@@ -1,0 +1,91 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one exhibit of the
+paper's Section 7 (see DESIGN.md's experiment index): it computes the same
+rows/series the paper plots, prints them, writes them under
+``benchmarks/results/``, asserts the expected qualitative shape, and times
+the pipeline through pytest-benchmark.
+
+Scale is controlled by ``REPRO_BENCH_TRACES`` (traces per dataset,
+default 40 — the paper used 1000; the shapes are stable well below that).
+Run with ``pytest benchmarks/ --benchmark-only`` and add ``-s`` to watch
+the tables stream by.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.traces import standard_datasets
+from repro.video import envivio
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_traces_per_dataset() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRACES", "40"))
+
+
+@pytest.fixture(scope="session")
+def traces_per_dataset() -> int:
+    return bench_traces_per_dataset()
+
+
+@pytest.fixture(scope="session")
+def manifest():
+    return envivio()
+
+
+@pytest.fixture(scope="session")
+def datasets(traces_per_dataset):
+    """The paper's three datasets at benchmark scale (seeded)."""
+    return standard_datasets(
+        traces_per_dataset=traces_per_dataset, duration_s=320.0, seed=2015
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_pool(datasets):
+    """A cross-dataset pool, like the paper's 100-trace training set."""
+    per = max(4, bench_traces_per_dataset() // 3)
+    pool = []
+    for traces in datasets.values():
+        pool.extend(traces[:per])
+    return pool
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write one rendered report per exhibit under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def svg_sink():
+    """Write one rendered SVG figure per exhibit under benchmarks/results/."""
+    from repro.experiments import save_svg
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, svg_text: str) -> None:
+        save_svg(svg_text, RESULTS_DIR / f"{name}.svg")
+
+    return write
+
+
+def run_once(benchmark, func):
+    """Time a whole experiment pipeline exactly once.
+
+    These pipelines take seconds to minutes; statistical rounds would be
+    wasteful and the interesting output is the figure data itself.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,186 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper exhibits; they quantify the sensitivity of our
+implementation's own choices:
+
+* **Throughput-bin spacing** — the deployment default is log spacing;
+  the paper's sketch implies linear.  Log bins resolve the low-throughput
+  regime (where QoE is most sensitive) better at equal bin counts.
+* **Predictor family** — the paper fixes the harmonic mean and defers
+  better predictors to future work; here the alternatives race.
+* **Robust error window** — RobustMPC takes the max error over the past
+  5 chunks; shorter windows forgive too fast, longer ones stay scared
+  too long.
+* **FastMPC's CBR table under VBR content** — the table keys on nominal
+  rates while the online solver sees true per-chunk sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.abr import SessionConfig
+from repro.core.fastmpc import FastMPCConfig, FastMPCController
+from repro.core.mpc import MPCController
+from repro.core.robust import RobustMPCController
+from repro.experiments import median, render_table, run_matrix
+from repro.prediction import (
+    EWMAPredictor,
+    HarmonicMeanPredictor,
+    HoltLinearPredictor,
+    LastSamplePredictor,
+    SlidingMeanPredictor,
+)
+from repro.video import envivio_vbr
+
+
+def test_bin_spacing_ablation(benchmark, mixed_pool, manifest, report_sink):
+    """Log vs linear throughput bins at equal (coarse) bin counts."""
+
+    def run():
+        out = {}
+        for spacing in ("log", "linear"):
+            for bins in (10, 30):
+                config = FastMPCConfig(
+                    buffer_bins=bins, throughput_bins=bins,
+                    throughput_spacing=spacing,
+                )
+                results = run_matrix(
+                    {"fastmpc": FastMPCController(config=config)},
+                    mixed_pool, manifest,
+                )
+                out[(spacing, bins)] = results.median_n_qoe("fastmpc")
+        return out
+
+    scores = run_once(benchmark, run)
+    rows = [[s, b, round(v, 4)] for (s, b), v in scores.items()]
+    report_sink(
+        "ablation_bin_spacing",
+        render_table(["spacing", "bins", "median n-QoE"], rows),
+    )
+    # At coarse bin counts, log spacing must not lose badly to linear —
+    # it resolves the low-throughput regime where stalls are decided.
+    assert scores[("log", 10)] >= scores[("linear", 10)] - 0.05
+
+
+def test_predictor_family_ablation(benchmark, mixed_pool, manifest, report_sink):
+    """MPC with each predictor family; the paper's harmonic default must
+    be competitive, naive persistence must trail."""
+
+    def run():
+        algorithms = {
+            "harmonic": MPCController(HarmonicMeanPredictor(), name="h"),
+            "sliding-mean": MPCController(SlidingMeanPredictor(), name="s"),
+            "ewma": MPCController(EWMAPredictor(), name="e"),
+            "holt": MPCController(HoltLinearPredictor(), name="ho"),
+            "last-sample": MPCController(LastSamplePredictor(), name="l"),
+        }
+        results = run_matrix(algorithms, mixed_pool, manifest)
+        return {name: results.median_n_qoe(name) for name in algorithms}
+
+    scores = run_once(benchmark, run)
+    report_sink(
+        "ablation_predictor_family",
+        render_table(
+            ["predictor", "median n-QoE"],
+            [[k, round(v, 4)] for k, v in sorted(scores.items(),
+                                                 key=lambda kv: -kv[1])],
+        ),
+    )
+    best = max(scores.values())
+    assert scores["harmonic"] >= best - 0.06  # the default is competitive
+    # The paper's stated reason for the harmonic mean is robustness to
+    # outliers relative to the *arithmetic* mean — that ordering holds.
+    # (Interesting ablation result: plain persistence is competitive on
+    # these traces, whose fading has no isolated one-chunk spikes.)
+    assert scores["harmonic"] >= scores["sliding-mean"] - 0.02
+
+
+def test_robust_error_window_ablation(benchmark, mixed_pool, manifest, report_sink):
+    """RobustMPC's max-error window: 1 vs the paper's 5 vs 15 chunks."""
+
+    def run():
+        algorithms = {
+            f"window-{w}": RobustMPCController(error_window=w, name=f"w{w}")
+            for w in (1, 5, 15)
+        }
+        results = run_matrix(algorithms, mixed_pool, manifest)
+        return {name: results.median_n_qoe(name) for name in algorithms}
+
+    scores = run_once(benchmark, run)
+    report_sink(
+        "ablation_robust_window",
+        render_table(
+            ["error window", "median n-QoE"],
+            [[k, round(v, 4)] for k, v in scores.items()],
+        ),
+    )
+    # The paper's window must not be dominated by the degenerate window-1.
+    assert scores["window-5"] >= scores["window-1"] - 0.05
+
+
+def test_fastmpc_cbr_assumption_under_vbr(benchmark, mixed_pool, report_sink):
+    """FastMPC's table assumes CBR sizes; on VBR content the online MPC
+    (which reads true per-chunk sizes) should hold up at least as well."""
+    vbr_video = envivio_vbr(variability=0.35, seed=4)
+
+    def run():
+        results = run_matrix(
+            {
+                "mpc-online": MPCController(),
+                "fastmpc-table": FastMPCController(),
+            },
+            mixed_pool,
+            vbr_video,
+        )
+        return {
+            "mpc-online": results.median_n_qoe("mpc-online"),
+            "fastmpc-table": results.median_n_qoe("fastmpc-table"),
+        }
+
+    scores = run_once(benchmark, run)
+    report_sink(
+        "ablation_vbr_cbr_table",
+        render_table(
+            ["algorithm", "median n-QoE (VBR content)"],
+            [[k, round(v, 4)] for k, v in scores.items()],
+        ),
+    )
+    assert scores["mpc-online"] >= scores["fastmpc-table"] - 0.05
+
+
+def test_request_pacing_ablation(benchmark, mixed_pool, manifest, report_sink):
+    """Chunk-scheduling ablation (the paper's §3.1 Delta-t question):
+    pacing requests to a target buffer below Bmax saves nothing in QoE
+    terms but shrinks the held buffer — until the target gets small
+    enough that throughput dips start draining it (the Figure 11c
+    mechanism from the scheduling side)."""
+    from repro.abr import SessionConfig
+    from repro.core.robust import RobustMPCController
+
+    def run():
+        out = {}
+        for target in (6.0, 15.0, None):
+            config = SessionConfig(request_target_buffer_s=target)
+            results = run_matrix(
+                {"robust-mpc": RobustMPCController()}, mixed_pool, manifest,
+                config,
+            )
+            label = "none (Bmax)" if target is None else f"{target:g}s"
+            out[label] = (
+                results.median_n_qoe("robust-mpc"),
+                median(results.metric_values("robust-mpc", "total_rebuffer_s")),
+            )
+        return out
+
+    scores = run_once(benchmark, run)
+    rows = [[k, round(v[0], 4), round(v[1], 2)] for k, v in scores.items()]
+    report_sink(
+        "ablation_request_pacing",
+        render_table(["pacing target", "median n-QoE", "median stall s"], rows),
+    )
+    # A generous 15 s target costs little against no pacing; a 6 s target
+    # must not *gain* QoE (holding less buffer can only remove slack).
+    assert scores["15s"][0] >= scores["6s"][0] - 0.03
+    assert scores["none (Bmax)"][0] >= scores["6s"][0] - 0.03

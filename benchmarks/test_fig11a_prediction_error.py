@@ -1,0 +1,81 @@
+"""Figure 11a — n-QoE vs throughput-prediction error.
+
+Paper's shape: BB is flat (it ignores throughput); MPC's advantage over
+BB shrinks as the controlled error level grows and can invert beyond
+~25%; RobustMPC degrades far more slowly than plain MPC.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.sensitivity import prediction_error_sweep
+
+ERROR_LEVELS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.49)
+
+
+@pytest.fixture(scope="module")
+def sweep(mixed_pool, manifest):
+    return prediction_error_sweep(
+        mixed_pool, manifest, error_levels=ERROR_LEVELS, seed=7
+    )
+
+
+def test_figure11a_pipeline(benchmark, mixed_pool, manifest, report_sink,
+                            svg_sink, sweep):
+    run_once(
+        benchmark,
+        lambda: prediction_error_sweep(
+            mixed_pool[:4], manifest, error_levels=(0.05, 0.4), seed=7
+        ),
+    )
+    report_sink("fig11a_prediction_error", sweep.describe())
+    from repro.experiments import render_lines_svg
+
+    svg_sink(
+        "fig11a_prediction_error",
+        render_lines_svg(
+            list(sweep.parameter_values), sweep.series,
+            title="Figure 11a — n-QoE vs prediction error",
+            x_label="average prediction error",
+        ),
+    )
+
+
+def test_bb_is_flat(benchmark, sweep):
+    series = run_once(benchmark, lambda: sweep.series["bb"])
+    assert max(series) - min(series) < 1e-9
+
+
+def test_mpc_advantage_shrinks_with_error(benchmark, sweep):
+    gaps = run_once(
+        benchmark,
+        lambda: [m - b for m, b in zip(sweep.series["mpc"], sweep.series["bb"])],
+    )
+    # Accurate predictions: MPC ahead of BB.
+    assert gaps[0] > 0
+    # The advantage at the worst error level is clearly smaller.
+    assert gaps[-1] < gaps[0]
+
+
+def test_robust_mpc_degrades_less_than_plain_mpc(benchmark, sweep):
+    values = run_once(
+        benchmark,
+        lambda: (
+            sweep.series["mpc"][0] - sweep.series["mpc"][-1],
+            sweep.series["robust-mpc"][0] - sweep.series["robust-mpc"][-1],
+        ),
+    )
+    plain_drop, robust_drop = values
+    assert robust_drop <= plain_drop + 0.02
+
+
+def test_high_error_floor(benchmark, sweep):
+    """Even at 49% average error no series goes catastrophically negative
+    in the median — the QoE model's penalties stay bounded."""
+    minima = run_once(
+        benchmark, lambda: {a: min(s) for a, s in sweep.series.items()}
+    )
+    for algorithm, value in minima.items():
+        assert value > -1.0, f"{algorithm} collapsed to {value:.2f}"

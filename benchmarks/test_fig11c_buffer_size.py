@@ -1,0 +1,80 @@
+"""Figure 11c — n-QoE vs playout buffer size.
+
+Paper's shape: growing ``Bmax`` helps every algorithm while the buffer is
+small, the curves plateau around 25 s, and RB — which never looks at the
+buffer — is the least affected overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.sensitivity import buffer_size_sweep
+
+BUFFER_SIZES = (10.0, 20.0, 30.0, 40.0, 50.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(mixed_pool, manifest):
+    return buffer_size_sweep(mixed_pool, manifest, buffer_sizes_s=BUFFER_SIZES)
+
+
+def test_figure11c_pipeline(benchmark, mixed_pool, manifest, report_sink,
+                            svg_sink, sweep):
+    run_once(
+        benchmark,
+        lambda: buffer_size_sweep(
+            mixed_pool[:4], manifest, buffer_sizes_s=(10.0, 30.0)
+        ),
+    )
+    report_sink("fig11c_buffer_size", sweep.describe())
+    from repro.experiments import render_lines_svg
+
+    svg_sink(
+        "fig11c_buffer_size",
+        render_lines_svg(
+            list(sweep.parameter_values), sweep.series,
+            title="Figure 11c — n-QoE vs buffer size",
+            x_label="Bmax (s)",
+        ),
+    )
+
+
+def test_small_buffers_hurt(benchmark, sweep):
+    """10 s of buffer is clearly worse than 30 s for buffer-aware
+    algorithms."""
+    deltas = run_once(
+        benchmark,
+        lambda: {
+            a: sweep.series[a][2] - sweep.series[a][0]
+            for a in ("fastmpc", "bb", "mpc-opt")
+        },
+    )
+    for algorithm, delta in deltas.items():
+        assert delta > -0.02, f"{algorithm} got worse with more buffer"
+    assert max(deltas.values()) > 0.01
+
+
+def test_plateau_beyond_30s(benchmark, sweep):
+    """Growing the buffer from 30 s to 50 s changes little."""
+    shifts = run_once(
+        benchmark,
+        lambda: {
+            a: abs(sweep.series[a][4] - sweep.series[a][2])
+            for a in sweep.series
+        },
+    )
+    for algorithm, shift in shifts.items():
+        assert shift < 0.1, f"{algorithm} still moving after 30s: {shift:.3f}"
+
+
+def test_rb_is_least_buffer_sensitive(benchmark, sweep):
+    spans = run_once(
+        benchmark,
+        lambda: {
+            a: max(sweep.series[a]) - min(sweep.series[a]) for a in sweep.series
+        },
+    )
+    buffer_aware = [spans[a] for a in ("fastmpc", "bb", "mpc-opt")]
+    assert spans["rb"] <= max(buffer_aware) + 0.02

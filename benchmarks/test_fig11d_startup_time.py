@@ -1,0 +1,72 @@
+"""Figure 11d — n-QoE (excluding the startup term) vs fixed startup delay.
+
+Paper's shape: a longer fixed startup lets the player pre-roll more
+buffer, so overall QoE (scored without the startup penalty) improves for
+every algorithm as the delay grows from 2 s to 10 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.sensitivity import startup_time_sweep
+
+STARTUP_TIMES = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(mixed_pool, manifest):
+    return startup_time_sweep(mixed_pool, manifest, startup_times_s=STARTUP_TIMES)
+
+
+def test_figure11d_pipeline(benchmark, mixed_pool, manifest, report_sink,
+                            svg_sink, sweep):
+    run_once(
+        benchmark,
+        lambda: startup_time_sweep(
+            mixed_pool[:4], manifest, startup_times_s=(2.0, 10.0)
+        ),
+    )
+    report_sink("fig11d_startup_time", sweep.describe())
+    from repro.experiments import render_lines_svg
+
+    svg_sink(
+        "fig11d_startup_time",
+        render_lines_svg(
+            list(sweep.parameter_values), sweep.series,
+            title="Figure 11d — n-QoE vs fixed startup delay",
+            x_label="startup delay (s)",
+        ),
+    )
+
+
+def test_longer_startup_never_hurts(benchmark, sweep):
+    endpoints = run_once(
+        benchmark,
+        lambda: {a: (s[0], s[-1]) for a, s in sweep.series.items()},
+    )
+    for algorithm, (at_2s, at_10s) in endpoints.items():
+        assert at_10s >= at_2s - 0.02, (
+            f"{algorithm}: {at_2s:.3f} -> {at_10s:.3f} with more pre-roll"
+        )
+
+
+def test_improvement_is_visible_somewhere(benchmark, sweep):
+    gains = run_once(
+        benchmark,
+        lambda: {a: s[-1] - s[0] for a, s in sweep.series.items()},
+    )
+    assert max(gains.values()) > 0.005
+
+
+def test_series_are_roughly_monotone(benchmark, sweep):
+    violations = run_once(
+        benchmark,
+        lambda: {
+            a: sum(1 for x, y in zip(s, s[1:]) if y < x - 0.05)
+            for a, s in sweep.series.items()
+        },
+    )
+    for algorithm, count in violations.items():
+        assert count == 0, f"{algorithm} has large non-monotone steps"

@@ -1,0 +1,83 @@
+"""Section 7.3's bitrate-levels experiment (described, "not shown").
+
+Paper's text: *"With BB and MPC, we can achieve better performance using
+finer-grained set of bitrate levels.  With RB, however, the performance
+of RB first improves as we add more bitrate levels, but decreases when
+there are too many bitrate levels"* — RB starts switching on every
+throughput wiggle, paying instability penalties.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.sensitivity import bitrate_levels_sweep
+
+LEVEL_COUNTS = (2, 3, 5, 8, 12, 20)
+
+
+@pytest.fixture(scope="module")
+def sweep(mixed_pool, manifest):
+    return bitrate_levels_sweep(mixed_pool, manifest, level_counts=LEVEL_COUNTS)
+
+
+def test_figure11e_pipeline(benchmark, mixed_pool, manifest, report_sink,
+                            svg_sink, sweep):
+    run_once(
+        benchmark,
+        lambda: bitrate_levels_sweep(
+            mixed_pool[:4], manifest, level_counts=(2, 5)
+        ),
+    )
+    report_sink("fig11e_bitrate_levels", sweep.describe())
+    from repro.experiments import render_lines_svg
+
+    svg_sink(
+        "fig11e_bitrate_levels",
+        render_lines_svg(
+            list(sweep.parameter_values), sweep.series,
+            title="Bitrate-level sensitivity (§7.3)",
+            x_label="ladder levels",
+        ),
+    )
+
+
+def test_mpc_gains_from_finer_ladders(benchmark, sweep):
+    values = run_once(benchmark, lambda: sweep.series["mpc"])
+    assert max(values[2:]) >= values[0]  # 5+ levels beat 2 levels
+
+
+def test_bb_gains_from_finer_ladders(benchmark, sweep):
+    values = run_once(benchmark, lambda: sweep.series["bb"])
+    assert max(values[2:]) >= values[0] - 0.02
+
+
+def test_rb_gains_saturate(benchmark, sweep):
+    """RB's improvement flattens out with fine ladders.
+
+    Reproduction note (EXPERIMENTS.md): the paper reports RB eventually
+    *declining* with too many levels.  Under Eq. 5's total-variation
+    switching penalty with identity quality, RB's switching cost converges
+    rather than grows as the ladder refines (smaller steps, more of them),
+    so we observe saturation instead of decline — the crossover where RB
+    stops benefiting is reproduced, the downturn is not guaranteed.
+    """
+    values = run_once(benchmark, lambda: sweep.series["rb"])
+    early_gain = values[2] - values[0]  # 2 -> 5 levels
+    late_gain = values[-1] - values[2]  # 5 -> 20 levels
+    assert early_gain > 0
+    assert late_gain < early_gain
+
+
+def test_mpc_leads_at_coarse_ladders(benchmark, sweep):
+    """With only 2-3 levels, planning matters most: MPC leads RB and BB."""
+    leads = run_once(
+        benchmark,
+        lambda: [
+            sweep.series["mpc"][i] - max(sweep.series["rb"][i],
+                                         sweep.series["bb"][i])
+            for i in (0, 1)
+        ],
+    )
+    assert max(leads) > 0

@@ -1,0 +1,46 @@
+"""Figure 7 — characteristics of the three datasets.
+
+Paper's panels: CDFs of per-trace mean throughput, throughput standard
+deviation, and per-session average harmonic-mean prediction error for the
+FCC, HSDPA, and synthetic datasets.  Expected shape: FCC is the most
+stable (lowest std, <5% average prediction error), HSDPA the most variable
+(session-average error reaching ~40% in the tail, with substantial
+over-estimation).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure7, median, percentile, render_figure7
+
+
+def test_figure7(benchmark, datasets, report_sink):
+    characteristics = run_once(benchmark, lambda: figure7(datasets))
+
+    report_sink("fig7_dataset_characteristics", render_figure7(characteristics))
+
+    fcc = characteristics["fcc"]
+    hsdpa = characteristics["hsdpa"]
+    synthetic = characteristics["synthetic"]
+
+    # FCC: stable broadband, accurate harmonic-mean prediction (<5% avg).
+    assert median(fcc.mean_abs_prediction_error) < 0.06
+    assert median(fcc.std_kbps) < 0.2 * median(fcc.mean_kbps)
+
+    # HSDPA: the stress case — much larger errors, heavy tail.
+    assert median(hsdpa.mean_abs_prediction_error) > 2 * median(
+        fcc.mean_abs_prediction_error
+    )
+    assert percentile(hsdpa.mean_abs_prediction_error, 90) > 0.25
+    # Over-estimation (the rebuffer-inducing direction) is common.
+    assert median(hsdpa.overestimation_fraction) > 0.2
+
+    # Variability ordering across the three panels: FCC < synthetic/HSDPA.
+    def cov(ch):
+        return median(
+            [s / m for s, m in zip(ch.std_kbps, ch.mean_kbps)]
+        )
+
+    assert cov(fcc) < cov(synthetic)
+    assert cov(fcc) < cov(hsdpa)

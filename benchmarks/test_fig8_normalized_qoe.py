@@ -1,0 +1,130 @@
+"""Figure 8 — normalized QoE of all six algorithms on all three datasets.
+
+The paper's main result (emulation testbed): RobustMPC's median n-QoE
+beats every baseline on FCC (~15% over the best prior algorithm) and
+HSDPA (~10%), plain FastMPC loses its edge on HSDPA, and the stock
+dash.js rule logic trails everything by a wide margin (60%+).
+
+Every test here carries the ``benchmark`` fixture so the whole module
+runs under ``--benchmark-only``; the experiment itself is computed once
+per module and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.abr import paper_algorithms
+from repro.experiments import (
+    figure8,
+    fraction_below,
+    render_cdf_svg,
+    render_result_set,
+)
+
+
+@pytest.fixture(scope="module")
+def results(datasets, manifest):
+    return figure8(datasets, manifest, algorithms=paper_algorithms(),
+                   backend="emulation")
+
+
+def test_figure8_pipeline(benchmark, datasets, manifest, report_sink, svg_sink,
+                          results):
+    # Time a one-dataset slice of the matrix; the full run lives in the
+    # module fixture and its rendered tables go to benchmarks/results/.
+    run_once(
+        benchmark,
+        lambda: figure8(
+            {"fcc": datasets["fcc"][:10]}, manifest,
+            algorithms=paper_algorithms(), backend="emulation",
+        ),
+    )
+    report_sink(
+        "fig8_normalized_qoe",
+        "\n\n".join(render_result_set(rs) for rs in results.values()),
+    )
+    for dataset, rs in results.items():
+        svg_sink(
+            f"fig8_{dataset}",
+            render_cdf_svg(
+                {a: rs.n_qoe_values(a) for a in rs.algorithms()},
+                title=f"Figure 8 — normalized QoE ({dataset})",
+                x_label="n-QoE",
+            ),
+        )
+
+
+def test_robust_mpc_wins_fcc_and_hsdpa(benchmark, results):
+    medians = run_once(
+        benchmark,
+        lambda: {
+            ds: {a: results[ds].median_n_qoe(a) for a in results[ds].algorithms()}
+            for ds in results
+        },
+    )
+    for dataset in ("fcc", "hsdpa"):
+        robust = medians[dataset]["robust-mpc"]
+        for baseline in ("rb", "bb", "dashjs", "festive"):
+            assert robust > medians[dataset][baseline], (
+                f"{dataset}: robust-mpc {robust:.3f} vs {baseline} "
+                f"{medians[dataset][baseline]:.3f}"
+            )
+
+
+def test_improvement_over_best_baseline_is_substantial(benchmark, results):
+    """Paper: 15% on FCC, 10% on HSDPA over state-of-art algorithms."""
+
+    def improvements():
+        out = {}
+        for dataset in ("fcc", "hsdpa"):
+            rs = results[dataset]
+            best = max(rs.median_n_qoe(a) for a in ("rb", "bb", "festive"))
+            out[dataset] = (rs.median_n_qoe("robust-mpc") - best) / best
+        return out
+
+    gains = run_once(benchmark, improvements)
+    assert gains["fcc"] > 0.05
+    assert gains["hsdpa"] > 0.05
+
+
+def test_fastmpc_matches_robust_on_stable_but_not_mobile(benchmark, results):
+    values = run_once(
+        benchmark,
+        lambda: (
+            results["fcc"].median_n_qoe("fastmpc"),
+            results["fcc"].median_n_qoe("bb"),
+            results["hsdpa"].median_n_qoe("fastmpc"),
+            results["hsdpa"].median_n_qoe("robust-mpc"),
+        ),
+    )
+    fcc_fast, fcc_bb, hsdpa_fast, hsdpa_robust = values
+    assert fcc_fast > fcc_bb
+    assert hsdpa_fast < hsdpa_robust
+
+
+def test_dashjs_trails_by_a_wide_margin(benchmark, results):
+    ratios = run_once(
+        benchmark,
+        lambda: [
+            rs.median_n_qoe("robust-mpc") / rs.median_n_qoe("dashjs")
+            for rs in results.values()
+        ],
+    )
+    assert all(r > 1.15 for r in ratios)
+
+
+def test_negative_qoe_tail_concentrates_on_mobile(benchmark, results):
+    """Paper: ~1% of FCC sessions vs ~10% of HSDPA sessions have n-QoE<0."""
+
+    def worst_tail(rs):
+        return max(
+            fraction_below(rs.n_qoe_values(a), 0.0) for a in rs.algorithms()
+        )
+
+    tails = run_once(
+        benchmark,
+        lambda: (worst_tail(results["hsdpa"]), worst_tail(results["fcc"])),
+    )
+    assert tails[0] >= tails[1]

@@ -1,0 +1,90 @@
+"""Figure 9 — per-metric detail on the FCC (broadband) dataset.
+
+Paper's three panels: CDFs of average bitrate, average bitrate change
+per chunk, and total rebuffer time.  Expected shape on the stable FCC
+traces: everyone keeps rebuffering low (throughput is predictable), the
+MPC family reaches BB-level average bitrate, and RobustMPC does so with
+fewer/smaller switches than BB — the QoE gap comes from smoothness, not
+stalls.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.abr import paper_algorithms
+from repro.experiments import (
+    figure8,
+    figure9_10,
+    fraction_at_most,
+    median,
+    render_detail_series,
+)
+
+
+@pytest.fixture(scope="module")
+def detail(datasets, manifest):
+    results = figure8(
+        {"fcc": datasets["fcc"]}, manifest,
+        algorithms=paper_algorithms(), backend="emulation",
+    )
+    return figure9_10(results["fcc"])
+
+
+def test_figure9_pipeline(benchmark, datasets, manifest, report_sink, detail):
+    run_once(
+        benchmark,
+        lambda: figure9_10(
+            figure8(
+                {"fcc": datasets["fcc"][:8]}, manifest,
+                algorithms=paper_algorithms(), backend="emulation",
+            )["fcc"]
+        ),
+    )
+    report_sink("fig9_fcc_detail", render_detail_series(detail))
+
+
+def test_rebuffering_is_uniformly_low(benchmark, detail):
+    """All algorithms achieve similarly low rebuffer time on FCC."""
+    medians = run_once(
+        benchmark,
+        lambda: {a: median(v) for a, v in detail.total_rebuffer_s.items()},
+    )
+    for algorithm, value in medians.items():
+        assert value < 5.0, f"{algorithm} median rebuffer {value:.1f}s on FCC"
+
+
+def test_mpc_bitrate_at_least_bb_level(benchmark, detail):
+    values = run_once(
+        benchmark,
+        lambda: (
+            median(detail.average_bitrate_kbps["robust-mpc"]),
+            median(detail.average_bitrate_kbps["bb"]),
+        ),
+    )
+    assert values[0] >= 0.9 * values[1]
+
+
+def test_robust_mpc_switches_less_than_bb(benchmark, detail):
+    """The paper: 'RobustMPC, FastMPC and BB achieve similar average
+    bitrates, but RobustMPC uses fewer bitrate switches.'"""
+    values = run_once(
+        benchmark,
+        lambda: (
+            median(detail.average_bitrate_change_kbps["robust-mpc"]),
+            median(detail.average_bitrate_change_kbps["bb"]),
+        ),
+    )
+    assert values[0] < values[1]
+
+
+def test_most_sessions_stall_free(benchmark, detail):
+    fractions = run_once(
+        benchmark,
+        lambda: {
+            a: fraction_at_most(v, 1e-9)
+            for a, v in detail.total_rebuffer_s.items()
+        },
+    )
+    assert fractions["robust-mpc"] > 0.5

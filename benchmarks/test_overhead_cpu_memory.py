@@ -1,0 +1,98 @@
+"""Section 7.4 — CPU and memory overhead of FastMPC vs the baselines.
+
+Paper's claim: *"FastMPC, BB, and RB all consume similar amount of CPU,
+while FastMPC uses only 60 kB more memory"*.  Here the per-decision cost
+of each algorithm is measured directly (microseconds on the chunk-request
+critical path) and FastMPC's table footprint is reported; the online
+solver (RobustMPC without the table) is included to show what the table
+enumeration buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.abr import SessionConfig, create
+from repro.abr.base import PlayerObservation
+from repro.experiments import measure_overhead, render_table
+from repro.traces import FCCTraceGenerator
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def overhead_samples(manifest):
+    trace = FCCTraceGenerator(seed=77).generate(320.0)
+    algorithms = {
+        name: create(name)
+        for name in ("rb", "bb", "festive", "dashjs", "fastmpc", "robust-mpc")
+    }
+    return {s.algorithm: s for s in measure_overhead(algorithms, trace, manifest)}
+
+
+def test_overhead_report(benchmark, manifest, report_sink, overhead_samples):
+    trace = FCCTraceGenerator(seed=78).generate(320.0)
+    run_once(
+        benchmark,
+        lambda: measure_overhead(
+            {"rb": create("rb"), "fastmpc": create("fastmpc")}, trace, manifest
+        ),
+    )
+    rows = [
+        [
+            s.algorithm,
+            round(s.mean_decision_us, 1),
+            round(s.max_decision_us, 1),
+            round(s.table_bytes / 1000.0, 1),
+        ]
+        for s in overhead_samples.values()
+    ]
+    report_sink(
+        "overhead_cpu_memory",
+        render_table(["algorithm", "mean us", "max us", "table kB"], rows),
+    )
+
+
+def test_fastmpc_decision_cost_is_baseline_class(benchmark, overhead_samples):
+    """FastMPC's lookup must cost the same order as RB/BB — not the
+    online solver's."""
+    values = run_once(
+        benchmark,
+        lambda: (
+            overhead_samples["fastmpc"].mean_decision_us,
+            max(
+                overhead_samples["rb"].mean_decision_us,
+                overhead_samples["bb"].mean_decision_us,
+                overhead_samples["festive"].mean_decision_us,
+            ),
+            overhead_samples["robust-mpc"].mean_decision_us,
+        ),
+    )
+    fast, baseline, solver = values
+    assert fast < 25 * baseline  # same order of magnitude
+    assert fast < solver / 5  # and far below the online solver
+
+
+def test_fastmpc_memory_band(benchmark, overhead_samples):
+    """The deployed table is tens of kB (paper: 60 kB extra memory)."""
+    table_kb = run_once(
+        benchmark, lambda: overhead_samples["fastmpc"].table_bytes / 1000.0
+    )
+    assert 5.0 < table_kb < 120.0
+    for name in ("rb", "bb", "festive", "dashjs"):
+        assert overhead_samples[name].table_bytes == 0
+
+
+def test_raw_lookup_latency(benchmark, manifest):
+    """Microbenchmark the FastMPC decision itself (quantise + binary
+    search): this is the number that must be negligible on mobile CPUs."""
+    controller = create("fastmpc")
+    controller.prepare(manifest, SessionConfig())
+    controller.predictor.observe_kbps(1500.0)
+    observation = PlayerObservation(
+        chunk_index=10, buffer_level_s=14.0, prev_level_index=2,
+        wall_time_s=40.0, playback_started=True,
+    )
+    level = benchmark(controller.select_bitrate, observation)
+    assert 0 <= level < 5
+    assert benchmark.stats["mean"] < 1e-3  # well under a millisecond

@@ -1,0 +1,78 @@
+"""Table 1 — FastMPC table size vs discretization, full vs run-length coded.
+
+Paper's rows (extra JavaScript size):  50 levels: 25.0 kB full / 19.1 kB
+RLE; 100: 100 kB / 56.4 kB; 200: 400 kB / 141 kB; 500: 2.5 MB / 451 kB.
+The representation differs (we serialise binary, they count JS source),
+so the absolute bytes differ; what must reproduce is the *trend*: RLE
+size grows sublinearly and the compression ratio improves sharply with
+granularity (paper: 0.76 -> 0.56 -> 0.35 -> 0.18).
+
+The 500-level column builds ~1.5M solver instances; we run 50/100/200 at
+the paper's horizon 5 and add 500 at horizon 4 (table contents barely
+depend on the last horizon step; the size/compression trend is identical)
+to keep the bench under a minute.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import render_table, table1
+
+
+@pytest.fixture(scope="module")
+def reports():
+    main = table1(discretization_levels=(50, 100, 200), horizon=5)
+    extra = table1(discretization_levels=(500,), horizon=4)
+    return main + extra
+
+
+def test_table1_pipeline(benchmark, report_sink, reports):
+    run_once(benchmark, lambda: table1(discretization_levels=(50,), horizon=5))
+    rows = [
+        [
+            r.discretization_levels,
+            r.num_entries,
+            round(r.full_bytes / 1000.0, 1),
+            round(r.rle_bytes / 1000.0, 1),
+            round(r.compression_ratio, 3),
+        ]
+        for r in reports
+    ]
+    report_sink(
+        "table1_table_size",
+        render_table(["levels", "entries", "full kB", "RLE kB", "ratio"], rows),
+    )
+
+
+def test_full_size_grows_quadratically(benchmark, reports):
+    entries = run_once(benchmark, lambda: [r.num_entries for r in reports])
+    # levels n -> n buffer bins x 5 prev levels x n throughput bins.
+    assert entries == [50 * 5 * 50, 100 * 5 * 100, 200 * 5 * 200, 500 * 5 * 500]
+
+
+def test_compression_ratio_improves_with_levels(benchmark, reports):
+    ratios = run_once(benchmark, lambda: [r.compression_ratio for r in reports])
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < 0.5 * ratios[0]
+
+
+def test_rle_stays_deployable(benchmark, reports):
+    """Even the 500-level table compresses to well under a megabyte
+    (paper: 451 kB) — small enough to ship with a player."""
+    sizes = run_once(benchmark, lambda: {r.discretization_levels: r.rle_bytes
+                                          for r in reports})
+    assert sizes[100] < 120_000
+    assert sizes[500] < 1_000_000
+
+
+def test_paper_configuration_is_tens_of_kilobytes(benchmark, reports):
+    """The deployed 100-bin table lands in the same tens-of-kB band the
+    paper reports (56.4 kB RLE; '60 kB extra memory')."""
+    rle_100 = run_once(
+        benchmark,
+        lambda: next(r.rle_bytes for r in reports
+                     if r.discretization_levels == 100),
+    )
+    assert 10_000 < rle_100 < 100_000

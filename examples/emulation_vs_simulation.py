@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Emulation vs simulation: how much does byte-level realism matter?
+
+The paper evaluates on both a testbed (Section 7.2) and a chunk-level
+simulator (Section 7.3).  This example runs identical algorithm/trace
+pairs through our two backends and quantifies the gap that HTTP realism
+(request RTTs, header overhead, TCP slow-start restarts) introduces —
+including the throughput-measurement bias that motivates robust
+prediction handling.
+
+Usage::
+
+    python examples/emulation_vs_simulation.py [num_traces]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import create, envivio
+from repro.emulation import NetworkProfile
+from repro.experiments import median, render_table, run_matrix
+from repro.traces import HSDPATraceGenerator
+
+
+def main() -> int:
+    num_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    manifest = envivio()
+    traces = HSDPATraceGenerator(seed=99).generate_many(
+        num_traces, manifest.total_duration_s + 60.0
+    )
+    algorithms = lambda: {  # fresh instances per backend
+        "robust-mpc": create("robust-mpc"),
+        "bb": create("bb"),
+        "dashjs": create("dashjs"),
+    }
+
+    sim = run_matrix(algorithms(), traces, manifest, backend="sim")
+    emu = run_matrix(
+        algorithms(), traces, manifest, backend="emulation",
+        network=NetworkProfile(rtt_s=0.08, header_kilobits=4.0, slow_start=True),
+    )
+
+    rows = []
+    for name in ("robust-mpc", "bb", "dashjs"):
+        sim_tput = median(sim.metric_values(name, "average_throughput_kbps"))
+        emu_tput = median(emu.metric_values(name, "average_throughput_kbps"))
+        rows.append(
+            [
+                name,
+                round(sim.median_n_qoe(name), 3),
+                round(emu.median_n_qoe(name), 3),
+                round(sim_tput, 0),
+                round(emu_tput, 0),
+                f"{(1 - emu_tput / sim_tput):.0%}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "algorithm",
+                "sim n-QoE",
+                "emu n-QoE",
+                "sim meas. kbps",
+                "emu meas. kbps",
+                "HTTP bias",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe emulator's measured throughput sits below the simulator's —"
+        "\nthe application-layer bias [Huang et al., IMC'12] that the paper"
+        "\ncites as a core difficulty for rate-based algorithms.  Orderings"
+        "\nbetween algorithms survive the added realism."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

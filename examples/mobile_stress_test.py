@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Mobile stress test: why RobustMPC exists.
+
+Recreates the paper's central HSDPA finding at example scale: on highly
+variable cellular traces, plain (Fast)MPC trusts its throughput
+predictions, over-commits, and stalls; RobustMPC feeds the same solver
+the recent-error lower bound (Theorem 1) and keeps the stalls away at a
+small bitrate cost.
+
+Usage::
+
+    python examples/mobile_stress_test.py [num_traces]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import envivio
+from repro.abr import BufferBasedAlgorithm
+from repro.core import FastMPCController, RobustMPCController
+from repro.experiments import fraction_at_most, median, render_table, run_matrix
+from repro.traces import HSDPATraceGenerator
+
+
+def main() -> int:
+    num_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    manifest = envivio()
+    traces = HSDPATraceGenerator(seed=42).generate_many(
+        num_traces, manifest.total_duration_s + 60.0
+    )
+    print(f"running 3 algorithms over {num_traces} HSDPA-like traces...\n")
+
+    algorithms = {
+        "fastmpc": FastMPCController(),
+        "robust-mpc": RobustMPCController(),
+        "bb": BufferBasedAlgorithm(),
+    }
+    results = run_matrix(algorithms, traces, manifest, dataset="hsdpa")
+
+    rows = []
+    for name in algorithms:
+        rebuffers = results.metric_values(name, "total_rebuffer_s")
+        bitrates = results.metric_values(name, "average_bitrate_kbps")
+        rows.append(
+            [
+                name,
+                round(results.median_n_qoe(name), 3),
+                round(median(bitrates), 0),
+                round(median(rebuffers), 2),
+                f"{fraction_at_most(rebuffers, 1e-9):.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["algorithm", "median n-QoE", "median kbps", "median stall s",
+             "stall-free"],
+            rows,
+        )
+    )
+
+    gain = results.median_improvement("robust-mpc", "fastmpc")
+    print(
+        f"\nRobustMPC beats plain FastMPC by {gain:.0%} in median n-QoE "
+        "on this mobile workload —\nthe paper's Section 7.2 story: "
+        "prediction error, not the controller, is the enemy."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""QoE preference study: one objective knob, three kinds of user.
+
+The QoE model of Eq. 5 is parameterised, not fixed: lambda weights
+smoothness, mu weights stalls, mu_s weights startup.  This example scores
+the *same* player sessions under the paper's three preference profiles —
+and then lets MPC re-optimise for each profile, showing the practical
+benefit of an algorithm that optimises the declared objective directly
+(Figure 11b's point).
+
+Usage::
+
+    python examples/qoe_preference_study.py [num_traces]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import QoEWeights, create, envivio, simulate_session
+from repro.abr import SessionConfig
+from repro.experiments import render_table
+from repro.traces import SyntheticTraceGenerator
+
+PRESETS = (
+    QoEWeights.balanced(),
+    QoEWeights.avoid_instability(),
+    QoEWeights.avoid_rebuffering(),
+)
+
+
+def main() -> int:
+    num_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    manifest = envivio()
+    traces = SyntheticTraceGenerator(seed=7).generate_many(
+        num_traces, manifest.total_duration_s + 60.0
+    )
+
+    # Part 1: a buffer-based player is oblivious to the user's preference —
+    # its sessions are whatever they are, only the score changes.
+    print("1. The same BB sessions scored under each preference:\n")
+    bb_sessions = [
+        simulate_session(create("bb"), trace, manifest) for trace in traces
+    ]
+    rows = []
+    for weights in PRESETS:
+        totals = [s.qoe(weights=weights).total for s in bb_sessions]
+        rows.append([weights.label, round(sum(totals) / len(totals), 0)])
+    print(render_table(["preference", "BB mean QoE"], rows))
+
+    # Part 2: MPC re-plans for each preference, because the weights enter
+    # its optimisation directly.
+    print("\n2. RobustMPC re-optimised per preference vs BB:\n")
+    rows = []
+    for weights in PRESETS:
+        config = SessionConfig(weights=weights)
+        mpc_total = 0.0
+        bb_total = 0.0
+        switches_mpc = 0.0
+        for trace in traces:
+            mpc = simulate_session(create("robust-mpc"), trace, manifest, config)
+            bb = simulate_session(create("bb"), trace, manifest, config)
+            mpc_total += mpc.qoe().total
+            bb_total += bb.qoe().total
+            switches_mpc += mpc.metrics().average_bitrate_change_kbps
+        rows.append(
+            [
+                weights.label,
+                round(mpc_total / num_traces, 0),
+                round(bb_total / num_traces, 0),
+                round(switches_mpc / num_traces, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["preference", "RobustMPC QoE", "BB QoE", "MPC kbps/chunk switch"],
+            rows,
+        )
+    )
+    print(
+        "\nNote how MPC's switching magnitude falls under 'avoid-instability'"
+        "\n— the controller spends its freedom where the user says it matters."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

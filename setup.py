@@ -1,0 +1,7 @@
+"""Setup shim for environments without the ``wheel`` package, where the
+PEP 517 editable-install path (which must build a wheel) is unavailable.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

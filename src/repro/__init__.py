@@ -1,0 +1,92 @@
+"""repro — reproduction of Yin et al., "A Control-Theoretic Approach for
+Dynamic Adaptive Video Streaming over HTTP" (SIGCOMM 2015).
+
+The package implements the paper's control-theoretic streaming model, the
+MPC / RobustMPC / FastMPC bitrate-adaptation algorithms, the baselines
+they are evaluated against (RB, BB, FESTIVE, stock dash.js rules), a
+trace-driven simulator and a byte-level emulation testbed, dataset
+generators matching the paper's FCC/HSDPA/synthetic workloads, and the
+experiment harness that regenerates every figure and table of Section 7.
+
+Quickstart::
+
+    from repro import quick_session
+
+    result = quick_session(algorithm="robust-mpc", dataset="hsdpa")
+    print(result.metrics().describe())
+    print("QoE:", result.qoe().total)
+"""
+
+from __future__ import annotations
+
+from .abr import (
+    ABRAlgorithm,
+    BufferBasedAlgorithm,
+    DashJSRuleBased,
+    FestiveAlgorithm,
+    RateBasedAlgorithm,
+    SessionConfig,
+    create,
+    paper_algorithms,
+)
+from .core import (
+    FastMPCConfig,
+    FastMPCController,
+    MPCController,
+    QoEWeights,
+    RobustMPCController,
+    compute_qoe,
+    fluid_upper_bound,
+    make_mpc_opt,
+    normalized_qoe,
+)
+from .sim import SessionMetrics, SessionResult, StartupPolicy, simulate_session
+from .traces import Trace, make_generator, standard_datasets
+from .video import BitrateLadder, VideoManifest, envivio
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABRAlgorithm",
+    "BufferBasedAlgorithm",
+    "DashJSRuleBased",
+    "FestiveAlgorithm",
+    "RateBasedAlgorithm",
+    "SessionConfig",
+    "create",
+    "paper_algorithms",
+    "FastMPCConfig",
+    "FastMPCController",
+    "MPCController",
+    "QoEWeights",
+    "RobustMPCController",
+    "compute_qoe",
+    "fluid_upper_bound",
+    "make_mpc_opt",
+    "normalized_qoe",
+    "SessionMetrics",
+    "SessionResult",
+    "StartupPolicy",
+    "simulate_session",
+    "Trace",
+    "make_generator",
+    "standard_datasets",
+    "BitrateLadder",
+    "VideoManifest",
+    "envivio",
+    "quick_session",
+    "__version__",
+]
+
+
+def quick_session(
+    algorithm: str = "robust-mpc",
+    dataset: str = "fcc",
+    trace_index: int = 0,
+    seed: int = 0,
+) -> SessionResult:
+    """Run one algorithm on one generated trace with paper defaults."""
+    manifest = envivio()
+    generator = make_generator(dataset, seed=seed)
+    trace = generator.generate(manifest.total_duration_s + 60.0, index=trace_index)
+    return simulate_session(create(algorithm), trace, manifest)

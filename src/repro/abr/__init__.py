@@ -1,0 +1,28 @@
+"""Bitrate-adaptation algorithms: shared interface, baselines, registry."""
+
+from .base import ABRAlgorithm, DownloadResult, PlayerObservation, SessionConfig
+from .rate_based import RateBasedAlgorithm
+from .bola import BolaAlgorithm
+from .buffer_based import BufferBasedAlgorithm
+from .festive import FestiveAlgorithm
+from .dashjs import DashJSRuleBased
+from .fixed import ConstantLevelAlgorithm, FixedPlanAlgorithm
+from .registry import available, create, paper_algorithms, register
+
+__all__ = [
+    "ABRAlgorithm",
+    "DownloadResult",
+    "PlayerObservation",
+    "SessionConfig",
+    "RateBasedAlgorithm",
+    "BolaAlgorithm",
+    "BufferBasedAlgorithm",
+    "FestiveAlgorithm",
+    "DashJSRuleBased",
+    "ConstantLevelAlgorithm",
+    "FixedPlanAlgorithm",
+    "available",
+    "create",
+    "paper_algorithms",
+    "register",
+]

@@ -1,0 +1,125 @@
+"""The stock dash.js (v1.2.0) rule-based adaptation logic.
+
+Section 6 describes the original dash.js decision logic the paper
+compares against (item 5 of Section 7.1.2):
+
+* ``DownloadRatioRule`` — selects bitrate from the "download ratio": play
+  time of the last chunk divided by its download time.  A ratio below 1
+  means the chunk arrived slower than real time, so the rule scales the
+  current rate down by the ratio; a ratio comfortably above the step to
+  the next level allows an immediate up-switch.  This immediacy is why
+  the paper observes the stock player "incurs many unnecessary switches".
+
+* ``InsufficientBufferRule`` — drops to the lowest bitrate whenever the
+  buffer has recently been critically low, which keeps rebuffering rare.
+
+Rules are combined by priority: the *more conservative* (lower) proposal
+wins, matching dash.js's conflict resolution.  Per the paper's evaluation
+protocol, the logic runs with the two testbed modifications applied
+(decisions at chunk boundaries, strictly sequential downloads) — that is
+exactly how both of our backends drive every algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ABRAlgorithm, DownloadResult, PlayerObservation
+
+__all__ = ["DashJSRuleBased"]
+
+
+class DashJSRuleBased(ABRAlgorithm):
+    """Port of the dash.js v1.2 rule set.
+
+    Parameters
+    ----------
+    low_buffer_s:
+        Buffer level considered "insufficient"; a visit below it forces
+        the lowest bitrate (dash.js's default validation threshold ~4 s).
+    low_buffer_memory_chunks:
+        For how many subsequent chunks a low-buffer event keeps the
+        insufficient-buffer rule active.
+    up_switch_margin:
+        Required headroom factor for an up-switch: the measured download
+        ratio must exceed ``margin * (next_rate / current_rate)``.
+    """
+
+    name = "dashjs"
+
+    def __init__(
+        self,
+        low_buffer_s: float = 4.0,
+        low_buffer_memory_chunks: int = 2,
+        up_switch_margin: float = 1.0,
+    ) -> None:
+        if low_buffer_s < 0:
+            raise ValueError("low-buffer threshold must be >= 0")
+        if low_buffer_memory_chunks < 0:
+            raise ValueError("low-buffer memory must be >= 0")
+        if up_switch_margin <= 0:
+            raise ValueError("up-switch margin must be positive")
+        self.low_buffer_s = low_buffer_s
+        self.low_buffer_memory_chunks = low_buffer_memory_chunks
+        self.up_switch_margin = up_switch_margin
+        self._last_download_ratio: Optional[float] = None
+        self._low_buffer_cooldown = 0
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        self._last_download_ratio = None
+        self._low_buffer_cooldown = 0
+
+    # ------------------------------------------------------------------
+    # The two rules
+    # ------------------------------------------------------------------
+
+    def _download_ratio_rule(self, current: int) -> int:
+        """Proposal from the last chunk's download ratio."""
+        ladder = self.manifest.ladder
+        ratio = self._last_download_ratio
+        if ratio is None:
+            return 0  # nothing measured yet: start at the bottom
+        current_rate = ladder[current]
+        if ratio < 1.0:
+            # Arrived slower than real time: scale down proportionally.
+            return ladder.highest_at_most(current_rate * ratio)
+        if current + 1 < len(ladder):
+            step = ladder[current + 1] / current_rate
+            if ratio >= self.up_switch_margin * step:
+                return current + 1
+        return current
+
+    def _insufficient_buffer_rule(self, observation: PlayerObservation) -> int:
+        """Proposal from recent buffer health; len(ladder)-1 = no opinion."""
+        if (
+            observation.playback_started
+            and observation.buffer_level_s < self.low_buffer_s
+        ):
+            self._low_buffer_cooldown = self.low_buffer_memory_chunks
+            return 0
+        if self._low_buffer_cooldown > 0:
+            return 0
+        return len(self.manifest.ladder) - 1
+
+    # ------------------------------------------------------------------
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        current = (
+            observation.prev_level_index
+            if observation.prev_level_index is not None
+            else 0
+        )
+        ratio_proposal = self._download_ratio_rule(current)
+        buffer_proposal = self._insufficient_buffer_rule(observation)
+        return min(ratio_proposal, buffer_proposal)
+
+    def on_download_complete(self, result: DownloadResult) -> None:
+        if result.download_time_s > 0:
+            self._last_download_ratio = (
+                self.manifest.chunk_duration_s / result.download_time_s
+            )
+        if self._low_buffer_cooldown > 0:
+            self._low_buffer_cooldown -= 1
+        super().on_download_complete(result)

@@ -1,0 +1,150 @@
+"""FESTIVE (Jiang et al., CoNEXT 2012) — stability-aware rate selection.
+
+Section 7.1.2, item 6 configures FESTIVE as: no wait time between chunk
+downloads, no randomized scheduling (irrelevant in the single-player
+setting), an *efficiency score* driven by ``p = 1`` times the harmonic
+mean of the past 5 chunks, a *stability score* as a function of bitrate
+switches in the past 5 chunks, and the bitrate chosen to minimise
+``stability + alpha * efficiency`` with ``alpha = 12``.
+
+Following the FESTIVE design, this implementation also keeps the
+*gradual switching* discipline: candidates are only the current level and
+its immediate neighbours, and an up-switch is considered only after the
+player has stayed at the current level for a number of chunks
+proportional to the level ("patience grows with rate").  This deliberate
+sluggishness is why the paper observes FESTIVE "switches up bitrate
+slowly even when the available throughput is increasing" — a fairness
+feature, not a bug (footnote 8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.harmonic import HarmonicMeanPredictor
+from .base import ABRAlgorithm, DownloadResult, PlayerObservation
+
+__all__ = ["FestiveAlgorithm"]
+
+
+class FestiveAlgorithm(ABRAlgorithm):
+    """Efficiency/stability trade-off with gradual switching.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the efficiency score (paper: 12).
+    predictor:
+        Bandwidth estimator (paper: harmonic mean of last 5 chunks).
+    switch_window:
+        How many recent chunks the stability score counts switches over.
+    """
+
+    name = "festive"
+
+    def __init__(
+        self,
+        alpha: float = 12.0,
+        predictor: Optional[ThroughputPredictor] = None,
+        switch_window: int = 5,
+        safety_factor: float = 1.0,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if switch_window < 1:
+            raise ValueError("switch window must be >= 1")
+        if safety_factor <= 0:
+            raise ValueError("safety factor must be positive")
+        self.alpha = alpha
+        self.predictor = predictor if predictor is not None else HarmonicMeanPredictor()
+        self.switch_window = switch_window
+        self.safety_factor = safety_factor
+        self._recent_levels: Deque[int] = deque(maxlen=switch_window + 1)
+        self._chunks_at_current = 0
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        self._recent_levels.clear()
+        self._chunks_at_current = 0
+
+    def predictors(self) -> Iterable[ThroughputPredictor]:
+        return (self.predictor,)
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+
+    def efficiency_score(self, level: int, predicted_kbps: float) -> float:
+        """Distance of the candidate rate from the bandwidth-fit target.
+
+        FESTIVE's definition: ``|rate / min(p*w, rate_ref) - 1|`` where
+        ``rate_ref`` is the rate the plain rate-based policy would pick
+        (highest ladder rate under ``p*w``).  Candidates below the target
+        score positive, creating the upward pressure that efficiency is
+        meant to encode; candidates above ``p*w`` are penalised too.
+        """
+        ladder = self.manifest.ladder
+        rate = ladder[level]
+        budget = self.safety_factor * predicted_kbps
+        rate_ref = ladder[ladder.highest_at_most(budget)]
+        reference = min(budget, rate_ref)
+        if reference <= 0:
+            return float("inf")
+        return abs(rate / reference - 1.0)
+
+    def stability_score(self, level: int) -> float:
+        """``2^k`` with ``k`` switches over the recent window, counting the
+        candidate switch itself."""
+        switches = 0
+        history = list(self._recent_levels)
+        for a, b in zip(history, history[1:]):
+            if a != b:
+                switches += 1
+        if history and level != history[-1]:
+            switches += 1
+        return float(2**switches)
+
+    # ------------------------------------------------------------------
+
+    def _candidate_levels(self, current: int) -> List[int]:
+        """Gradual switching: current level and eligible neighbours."""
+        candidates = [current]
+        if current > 0:
+            candidates.append(current - 1)
+        # Up-switch patience: a player at level i waits i+1 chunks.
+        if (
+            current + 1 < len(self.manifest.ladder)
+            and self._chunks_at_current >= current + 1
+        ):
+            candidates.append(current + 1)
+        return candidates
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        predicted = self.predictor.predict(1)[0]
+        if observation.prev_level_index is None:
+            # Cold start: the highest rate under the (conservative) estimate.
+            return self.manifest.ladder.highest_at_most(
+                self.safety_factor * predicted
+            )
+        current = observation.prev_level_index
+        best_level = current
+        best_score = float("inf")
+        for level in sorted(self._candidate_levels(current)):
+            score = self.stability_score(level) + self.alpha * self.efficiency_score(
+                level, predicted
+            )
+            if score < best_score - 1e-12:
+                best_score = score
+                best_level = level
+        return best_level
+
+    def on_download_complete(self, result: DownloadResult) -> None:
+        if self._recent_levels and self._recent_levels[-1] == result.level_index:
+            self._chunks_at_current += 1
+        else:
+            self._chunks_at_current = 1
+        self._recent_levels.append(result.level_index)
+        super().on_download_complete(result)

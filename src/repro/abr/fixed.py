@@ -1,0 +1,65 @@
+"""Trivial reference policies: fixed level and fixed plan.
+
+These are the two "extreme solutions" Section 2 uses to motivate the QoE
+trade-off (always-lowest avoids stalls but wastes quality; always-highest
+maximises nominal quality but stalls), and they double as deterministic
+fixtures for tests and for cross-checking the simulator against
+:func:`repro.core.offline.simulate_fixed_plan`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ABRAlgorithm, PlayerObservation
+
+__all__ = ["ConstantLevelAlgorithm", "FixedPlanAlgorithm"]
+
+
+class ConstantLevelAlgorithm(ABRAlgorithm):
+    """Always pick the same ladder level (negative = from the top)."""
+
+    def __init__(self, level_index: int = 0) -> None:
+        self._requested_level = level_index
+        self.name = f"constant[{level_index}]"
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        n = len(manifest.ladder)
+        level = self._requested_level
+        if level < 0:
+            level += n
+        if not 0 <= level < n:
+            raise ValueError(
+                f"level {self._requested_level} invalid for a {n}-level ladder"
+            )
+        self._level = level
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        return self._level
+
+
+class FixedPlanAlgorithm(ABRAlgorithm):
+    """Replay a predetermined per-chunk plan (testing / offline replays)."""
+
+    name = "fixed-plan"
+
+    def __init__(self, plan: Sequence[int]) -> None:
+        if not plan:
+            raise ValueError("plan must not be empty")
+        self.plan = [int(x) for x in plan]
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        if len(self.plan) != manifest.num_chunks:
+            raise ValueError(
+                f"plan covers {len(self.plan)} chunks; video has {manifest.num_chunks}"
+            )
+        n = len(manifest.ladder)
+        if any(not 0 <= level < n for level in self.plan):
+            raise ValueError("plan contains invalid level indices")
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        return self.plan[observation.chunk_index]

@@ -1,0 +1,49 @@
+"""RB — the canonical rate-based algorithm.
+
+Section 7.1.2, item 1: *"The bitrate is picked as the maximum available
+bitrate which is less than p = 1 times throughput prediction using
+harmonic mean of past 5 chunks."*  Pure Eq. (13): throughput prediction
+in, bitrate out, buffer ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.harmonic import HarmonicMeanPredictor
+from .base import ABRAlgorithm, PlayerObservation
+
+__all__ = ["RateBasedAlgorithm"]
+
+
+class RateBasedAlgorithm(ABRAlgorithm):
+    """Max bitrate under ``p x`` predicted throughput.
+
+    Parameters
+    ----------
+    predictor:
+        Defaults to the harmonic mean of the last 5 chunks.
+    safety_factor:
+        The paper's ``p`` (default 1.0); values below 1 leave headroom.
+    """
+
+    name = "rb"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        safety_factor: float = 1.0,
+    ) -> None:
+        if safety_factor <= 0:
+            raise ValueError("safety factor must be positive")
+        self.predictor = predictor if predictor is not None else HarmonicMeanPredictor()
+        self.safety_factor = safety_factor
+
+    def predictors(self) -> Iterable[ThroughputPredictor]:
+        return (self.predictor,)
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        budget = self.safety_factor * self.predictor.predict(1)[0]
+        return self.manifest.ladder.highest_at_most(budget)

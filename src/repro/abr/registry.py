@@ -1,0 +1,72 @@
+"""Name-based construction of adaptation algorithms.
+
+The experiment harness, CLI, and benchmarks refer to algorithms by the
+names the paper uses (Section 7.1.2); :func:`create` builds a fresh,
+default-configured instance and :func:`paper_algorithms` returns the full
+line-up of Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.fastmpc import FastMPCController
+from ..core.mdp import MDPController
+from ..core.mpc import MPCController, make_mpc_opt
+from ..core.robust import RobustMPCController
+from .base import ABRAlgorithm
+from .bola import BolaAlgorithm
+from .buffer_based import BufferBasedAlgorithm
+from .dashjs import DashJSRuleBased
+from .festive import FestiveAlgorithm
+from .fixed import ConstantLevelAlgorithm
+from .rate_based import RateBasedAlgorithm
+
+__all__ = ["create", "available", "paper_algorithms", "register"]
+
+_FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
+    "rb": RateBasedAlgorithm,
+    "bb": BufferBasedAlgorithm,
+    "bola": BolaAlgorithm,
+    "festive": FestiveAlgorithm,
+    "dashjs": DashJSRuleBased,
+    "mpc": MPCController,
+    "robust-mpc": RobustMPCController,
+    "fastmpc": FastMPCController,
+    "robust-fastmpc": lambda: FastMPCController(robust=True),
+    "mpc-opt": make_mpc_opt,
+    "mdp": MDPController,
+    "lowest": lambda: ConstantLevelAlgorithm(0),
+    "highest": lambda: ConstantLevelAlgorithm(-1),
+}
+
+
+def register(name: str, factory: Callable[[], ABRAlgorithm]) -> None:
+    """Add a custom algorithm to the registry (e.g. from user code)."""
+    if not name:
+        raise ValueError("name must be non-empty")
+    if name in _FACTORIES:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available() -> List[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def create(name: str) -> ABRAlgorithm:
+    """A fresh instance of a registered algorithm."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {', '.join(available())}"
+        ) from None
+    return factory()
+
+
+def paper_algorithms() -> Dict[str, ABRAlgorithm]:
+    """The six algorithms of the paper's main comparison (Figure 8)."""
+    names = ["rb", "bb", "fastmpc", "robust-mpc", "dashjs", "festive"]
+    return {name: create(name) for name in names}

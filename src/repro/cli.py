@@ -1,0 +1,322 @@
+"""``repro-abr`` — command-line front end for the reproduction.
+
+Subcommands map one-to-one onto the paper's artifacts:
+
+* ``generate-traces`` — write a dataset of FCC/HSDPA/synthetic traces.
+* ``run``             — play one algorithm over one trace (or a generated
+                        one) and print the session log summary.
+* ``compare``         — the Figure 8 matrix on generated datasets.
+* ``figure``          — regenerate a specific figure's data
+                        (fig7, fig8, fig9, fig10, fig11a..fig11d,
+                        fig11e-levels, fig12a, fig12b).
+* ``table1``          — FastMPC table-size report.
+* ``overhead``        — the Section 7.4 CPU/memory microbenchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from . import __version__
+from .abr.registry import available, create, paper_algorithms
+from .abr.base import SessionConfig
+from .experiments import (
+    figure7,
+    figure8,
+    figure9_10,
+    measure_overhead,
+    render_detail_series,
+    render_figure7,
+    render_result_set,
+    render_table,
+    table1,
+)
+from .experiments import sensitivity
+from .qoe import QoEWeights
+from .sim.session import simulate_session
+from .emulation.harness import emulate_session
+from .traces import (
+    load_trace_csv,
+    make_generator,
+    save_dataset,
+    standard_datasets,
+    DATASET_NAMES,
+)
+from .video import envivio
+
+
+def _add_common_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--traces", type=int, default=50, help="traces per dataset (default 50)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=320.0,
+        help="trace duration in seconds (default 320)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-abr",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate-traces", help="write a trace dataset to disk")
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("output_dir")
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=320.0)
+
+    p = sub.add_parser("run", help="one algorithm, one trace")
+    p.add_argument("algorithm", choices=available())
+    p.add_argument("--trace-file", help="CSV trace to play against")
+    p.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="fcc",
+        help="generate a trace from this dataset when no file is given",
+    )
+    p.add_argument("--trace-index", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=("sim", "emulation"), default="sim")
+    p.add_argument("--buffer", type=float, default=30.0, help="Bmax seconds")
+    p.add_argument(
+        "--weights",
+        choices=("balanced", "avoid-instability", "avoid-rebuffering"),
+        default="balanced",
+    )
+
+    p = sub.add_parser("compare", help="the Figure 8 matrix")
+    _add_common_trace_args(p)
+    p.add_argument("--backend", choices=("sim", "emulation"), default="sim")
+    p.add_argument(
+        "--algorithms",
+        nargs="*",
+        default=None,
+        help=f"subset of: {', '.join(available())}",
+    )
+    p.add_argument(
+        "--save",
+        metavar="PREFIX",
+        help="write one <PREFIX>-<dataset>.csv result file per dataset",
+    )
+
+    p = sub.add_parser("figure", help="regenerate one figure's data")
+    p.add_argument(
+        "name",
+        choices=(
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11a",
+            "fig11b",
+            "fig11c",
+            "fig11d",
+            "fig11e-levels",
+            "fig12a",
+            "fig12b",
+        ),
+    )
+    _add_common_trace_args(p)
+    p.add_argument("--backend", choices=("sim", "emulation"), default="sim")
+    p.add_argument("--svg", metavar="PATH", help="also render the figure to SVG")
+
+    p = sub.add_parser("table1", help="FastMPC table-size report")
+    p.add_argument(
+        "--levels", type=int, nargs="*", default=[50, 100, 200],
+        help="discretization levels (paper: 50 100 200 500)",
+    )
+    p.add_argument("--horizon", type=int, default=5)
+
+    p = sub.add_parser("overhead", help="per-decision CPU/memory microbenchmark")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _make_config(args) -> SessionConfig:
+    weights = QoEWeights.preset(getattr(args, "weights", "balanced"))
+    return SessionConfig(
+        buffer_capacity_s=getattr(args, "buffer", 30.0), weights=weights
+    )
+
+
+def _cmd_generate_traces(args) -> int:
+    generator = make_generator(args.dataset, seed=args.seed)
+    traces = generator.generate_many(args.count, args.duration)
+    paths = save_dataset(traces, args.output_dir)
+    print(f"wrote {len(paths)} {args.dataset} traces to {args.output_dir}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    manifest = envivio()
+    if args.trace_file:
+        trace = load_trace_csv(args.trace_file)
+    else:
+        generator = make_generator(args.dataset, seed=args.seed)
+        trace = generator.generate(
+            manifest.total_duration_s + 60.0, index=args.trace_index
+        )
+    algorithm = create(args.algorithm)
+    config = _make_config(args)
+    run = simulate_session if args.backend == "sim" else emulate_session
+    session = run(algorithm, trace, manifest, config)
+    print(session.metrics().describe())
+    breakdown = session.qoe()
+    print(
+        f"QoE {breakdown.total:.1f} = quality {breakdown.quality_total:.1f}"
+        f" - {breakdown.weights.switching:g} x switching {breakdown.switching_total:.1f}"
+        f" - {breakdown.weights.rebuffering:g} x rebuffer {breakdown.rebuffer_seconds:.2f}s"
+        f" - {breakdown.weights.startup:g} x startup {breakdown.startup_seconds:.2f}s"
+    )
+    return 0
+
+
+def _datasets_from_args(args):
+    return standard_datasets(
+        traces_per_dataset=args.traces, duration_s=args.duration, seed=args.seed
+    )
+
+
+def _cmd_compare(args) -> int:
+    manifest = envivio()
+    datasets = _datasets_from_args(args)
+    if args.algorithms:
+        algorithms = {name: create(name) for name in args.algorithms}
+    else:
+        algorithms = paper_algorithms()
+    results = figure8(datasets, manifest, algorithms=algorithms, backend=args.backend)
+    for name, rs in results.items():
+        print(render_result_set(rs))
+        print()
+        if args.save:
+            from .experiments import save_result_set_csv
+
+            path = f"{args.save}-{name}.csv"
+            save_result_set_csv(rs, path)
+            print(f"saved {path}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    manifest = envivio()
+    name = args.name
+    if name == "fig7":
+        datasets = _datasets_from_args(args)
+        print(render_figure7(figure7(datasets)))
+        return 0
+    if name in ("fig8", "fig9", "fig10"):
+        datasets = _datasets_from_args(args)
+        results = figure8(datasets, manifest, backend=args.backend)
+        if name == "fig8":
+            for rs in results.values():
+                print(render_result_set(rs))
+                print()
+            if args.svg:
+                from .experiments import render_cdf_svg, save_svg
+
+                first = next(iter(results.values()))
+                save_svg(
+                    render_cdf_svg(
+                        {a: first.n_qoe_values(a) for a in first.algorithms()},
+                        title=f"normalized QoE ({first.dataset})",
+                        x_label="n-QoE",
+                    ),
+                    args.svg,
+                )
+                print(f"saved {args.svg}")
+        else:
+            dataset = "fcc" if name == "fig9" else "hsdpa"
+            print(render_detail_series(figure9_10(results[dataset])))
+        return 0
+    # Sensitivity figures run on a mixed trace pool, like the paper's
+    # training set "randomly picked across all datasets".
+    datasets = _datasets_from_args(args)
+    pool: List = []
+    for traces in datasets.values():
+        pool.extend(traces[: max(1, args.traces // len(datasets))])
+    sweeps = {
+        "fig11a": lambda: sensitivity.prediction_error_sweep(pool, manifest),
+        "fig11b": lambda: sensitivity.qoe_preference_sweep(pool, manifest),
+        "fig11c": lambda: sensitivity.buffer_size_sweep(pool, manifest),
+        "fig11d": lambda: sensitivity.startup_time_sweep(pool, manifest),
+        "fig11e-levels": lambda: sensitivity.bitrate_levels_sweep(pool, manifest),
+        "fig12a": lambda: sensitivity.discretization_sweep(pool, manifest),
+        "fig12b": lambda: sensitivity.horizon_sweep(pool, manifest),
+    }
+    sweep = sweeps[name]()
+    print(sweep.describe())
+    if args.svg:
+        from .experiments import render_lines_svg, save_svg
+
+        x_values = list(sweep.parameter_values)
+        if not all(isinstance(v, (int, float)) for v in x_values):
+            x_values = list(range(len(x_values)))
+        save_svg(
+            render_lines_svg(x_values, sweep.series, title=name),
+            args.svg,
+        )
+        print(f"saved {args.svg}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    reports = table1(discretization_levels=args.levels, horizon=args.horizon)
+    rows = [
+        [
+            r.discretization_levels,
+            r.num_entries,
+            round(r.full_bytes / 1000.0, 1),
+            round(r.rle_bytes / 1000.0, 1),
+            round(r.compression_ratio, 3),
+        ]
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["levels", "entries", "full kB", "RLE kB", "ratio"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    manifest = envivio()
+    trace = make_generator("fcc", seed=args.seed).generate(
+        manifest.total_duration_s + 60.0
+    )
+    algorithms = {
+        name: create(name)
+        for name in ("rb", "bb", "festive", "dashjs", "fastmpc", "robust-mpc")
+    }
+    for sample in measure_overhead(algorithms, trace, manifest):
+        print(sample.describe())
+    return 0
+
+
+_COMMANDS = {
+    "generate-traces": _cmd_generate_traces,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "table1": _cmd_table1,
+    "overhead": _cmd_overhead,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

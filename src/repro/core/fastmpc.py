@@ -1,0 +1,299 @@
+"""FastMPC — table-enumerated MPC (Section 5).
+
+FastMPC does MPC's "Optimize" step offline: it enumerates the binned state
+space (current buffer level x previous bitrate x predicted throughput),
+solves each instance exactly, and stores only the *first* bitrate of each
+optimal plan.  Online, a decision is one state quantisation plus one
+binary-search lookup — no solver ships with the player.
+
+The builder here vectorises the offline enumeration: for each (buffer bin,
+previous level) pair, all ``|R|^N`` candidate plans are evaluated against
+*all* throughput bins simultaneously, so an entire 100x100x5-level table
+(50 000 instances of the paper's configuration, Figure 5) builds in
+seconds.  Built tables are memoised per configuration because every
+session of an experiment shares one table — mirroring deployment, where
+the table is computed once and downloaded by every player.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..abr.base import ABRAlgorithm, PlayerObservation
+from ..prediction.base import ThroughputPredictor
+from ..prediction.errors import PredictionErrorTracker
+from ..prediction.harmonic import HarmonicMeanPredictor
+from .horizon import _plan_matrix
+from .qoe import QoEWeights
+from .table import Binning, DecisionTable, TableSizeReport
+
+__all__ = [
+    "FastMPCConfig",
+    "build_decision_table",
+    "clear_table_cache",
+    "table_size_sweep",
+    "FastMPCController",
+]
+
+
+@dataclass(frozen=True)
+class FastMPCConfig:
+    """Discretization parameters for the offline enumeration.
+
+    The paper's deployed configuration is 100 buffer bins and 100
+    throughput bins with horizon 5 (Section 5.2); Figure 12a sweeps the
+    bin count and Table 1 reports the resulting table sizes.
+    """
+
+    buffer_bins: int = 100
+    throughput_bins: int = 100
+    horizon: int = 5
+    throughput_low_kbps: Optional[float] = None  # default: 0.2 * min ladder rate
+    throughput_high_kbps: Optional[float] = None  # default: 2.0 * max ladder rate
+    throughput_spacing: str = "log"
+    keep_full_table: bool = False
+
+    def __post_init__(self) -> None:
+        if self.buffer_bins < 1 or self.throughput_bins < 1:
+            raise ValueError("bin counts must be >= 1")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+
+    def resolved_range(self, ladder_kbps: Tuple[float, ...]) -> Tuple[float, float]:
+        low = (
+            self.throughput_low_kbps
+            if self.throughput_low_kbps is not None
+            else 0.2 * min(ladder_kbps)
+        )
+        high = (
+            self.throughput_high_kbps
+            if self.throughput_high_kbps is not None
+            else 2.0 * max(ladder_kbps)
+        )
+        if not (0 < low < high):
+            raise ValueError("need 0 < throughput_low < throughput_high")
+        return low, high
+
+
+_TABLE_CACHE: Dict[tuple, DecisionTable] = {}
+
+
+def clear_table_cache() -> None:
+    """Drop all memoised decision tables (used by tests)."""
+    _TABLE_CACHE.clear()
+
+
+def _cache_key(
+    ladder_kbps: Tuple[float, ...],
+    quality_values: Tuple[float, ...],
+    chunk_duration_s: float,
+    buffer_capacity_s: float,
+    weights: QoEWeights,
+    config: FastMPCConfig,
+) -> tuple:
+    return (
+        ladder_kbps,
+        quality_values,
+        chunk_duration_s,
+        buffer_capacity_s,
+        (weights.switching, weights.rebuffering, weights.startup),
+        (
+            config.buffer_bins,
+            config.throughput_bins,
+            config.horizon,
+            config.throughput_low_kbps,
+            config.throughput_high_kbps,
+            config.throughput_spacing,
+            config.keep_full_table,
+        ),
+    )
+
+
+def build_decision_table(
+    ladder_kbps: Iterable[float],
+    chunk_duration_s: float,
+    buffer_capacity_s: float,
+    weights: QoEWeights,
+    quality_values: Optional[Iterable[float]] = None,
+    config: Optional[FastMPCConfig] = None,
+    use_cache: bool = True,
+) -> DecisionTable:
+    """Enumerate the binned state space and solve every instance offline.
+
+    ``quality_values`` defaults to identity quality (``q(R) = R``).  Chunk
+    sizes are the CBR model ``d(R) = L * R`` — the paper's table also keys
+    on nominal rates, with VBR left to the online solver.
+    """
+    ladder = tuple(float(r) for r in ladder_kbps)
+    if not ladder or list(ladder) != sorted(ladder):
+        raise ValueError("ladder must be non-empty and ascending")
+    quality = (
+        tuple(float(q) for q in quality_values)
+        if quality_values is not None
+        else ladder
+    )
+    if len(quality) != len(ladder):
+        raise ValueError("one quality value per ladder level required")
+    config = config if config is not None else FastMPCConfig()
+    key = _cache_key(
+        ladder, quality, chunk_duration_s, buffer_capacity_s, weights, config
+    )
+    if use_cache and key in _TABLE_CACHE:
+        return _TABLE_CACHE[key]
+
+    low, high = config.resolved_range(ladder)
+    buffer_binning = Binning(0.0, buffer_capacity_s, config.buffer_bins, "linear")
+    throughput_binning = Binning(low, high, config.throughput_bins, config.throughput_spacing)
+
+    num_levels = len(ladder)
+    plans = _plan_matrix(num_levels, config.horizon)  # (M, N)
+    sizes = np.asarray([chunk_duration_s * r for r in ladder])  # CBR, per level
+    quality_arr = np.asarray(quality)
+    c_centers = throughput_binning.centers  # (C,)
+    lam, mu = weights.switching, weights.rebuffering
+    L, bmax = chunk_duration_s, buffer_capacity_s
+
+    # Per-step per-plan download times against every throughput bin are
+    # identical across steps (CBR + flat prediction), so precompute the
+    # (M, C) matrix once per (nothing) — it depends only on the plan level
+    # at each step; gather rows per step below.
+    dt_by_level = sizes[:, None] / c_centers[None, :]  # (levels, C)
+
+    decisions = np.empty(
+        (config.buffer_bins, num_levels, config.throughput_bins), dtype=np.int64
+    )
+    plan_first = plans[:, 0]
+    for b_idx in range(config.buffer_bins):
+        b0 = buffer_binning.center(b_idx)
+        for prev in range(num_levels):
+            buffer_s = np.full((plans.shape[0], c_centers.size), b0)
+            qoe = np.zeros_like(buffer_s)
+            prev_q: np.ndarray | float = quality_arr[prev]
+            for i in range(config.horizon):
+                levels = plans[:, i]
+                dt = dt_by_level[levels]  # (M, C)
+                rebuffer = np.maximum(dt - buffer_s, 0.0)
+                buffer_s = np.maximum(buffer_s - dt, 0.0) + L
+                np.minimum(buffer_s, bmax, out=buffer_s)
+                q_now = quality_arr[levels][:, None]  # (M, 1)
+                qoe += q_now - mu * rebuffer
+                qoe -= lam * np.abs(q_now - prev_q)
+                prev_q = q_now
+            best = np.argmax(qoe, axis=0)  # first max = lexicographic tie-break
+            decisions[b_idx, prev, :] = plan_first[best]
+
+    table = DecisionTable(
+        buffer_binning,
+        num_levels,
+        throughput_binning,
+        decisions.reshape(-1),
+        keep_full=config.keep_full_table,
+    )
+    if use_cache:
+        _TABLE_CACHE[key] = table
+    return table
+
+
+def table_size_sweep(
+    ladder_kbps: Iterable[float],
+    chunk_duration_s: float,
+    buffer_capacity_s: float,
+    weights: QoEWeights,
+    discretization_levels: Iterable[int] = (50, 100, 200, 500),
+    horizon: int = 5,
+) -> List[TableSizeReport]:
+    """Reproduce Table 1: table size vs discretization granularity.
+
+    Each level count ``n`` uses ``n`` buffer bins and ``n`` throughput
+    bins, mirroring the paper's single "discretization levels" knob.
+    """
+    ladder = tuple(float(r) for r in ladder_kbps)
+    reports = []
+    for n in discretization_levels:
+        config = FastMPCConfig(buffer_bins=n, throughput_bins=n, horizon=horizon)
+        table = build_decision_table(
+            ladder, chunk_duration_s, buffer_capacity_s, weights, config=config
+        )
+        reports.append(table.size_report(n))
+    return reports
+
+
+class FastMPCController(ABRAlgorithm):
+    """The table-driven player-side algorithm.
+
+    Online cost per decision: one harmonic-mean update, two bin index
+    computations, and one binary search — the "negligible overhead"
+    claimed in Section 7.4 and measured by the overhead benchmark.
+
+    Parameters
+    ----------
+    predictor:
+        Defaults to the harmonic mean of the last 5 chunks.
+    config:
+        Discretization settings; the table is built (or fetched from the
+        module cache) at :meth:`prepare` time.
+    robust:
+        When True, queries the table with the RobustMPC lower bound
+        ``C_hat / (1 + err)`` — valid because the table's throughput axis
+        *is* the MPC input that Theorem 1 says to lower-bound.
+    """
+
+    name = "fastmpc"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        config: Optional[FastMPCConfig] = None,
+        robust: bool = False,
+        error_window: int = 5,
+        name: Optional[str] = None,
+    ) -> None:
+        self.predictor = predictor if predictor is not None else HarmonicMeanPredictor()
+        self.table_config = config if config is not None else FastMPCConfig()
+        self.robust = robust
+        self.error_tracker = PredictionErrorTracker(window=error_window)
+        if name:
+            self.name = name
+        elif robust:
+            self.name = "robust-fastmpc"
+        self._pending_raw_prediction: Optional[float] = None
+        self.table: Optional[DecisionTable] = None
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        self.error_tracker.reset()
+        self._pending_raw_prediction = None
+        quality_values = tuple(config.quality(r) for r in manifest.ladder)
+        self.table = build_decision_table(
+            manifest.ladder.levels_kbps,
+            manifest.chunk_duration_s,
+            config.buffer_capacity_s,
+            config.weights,
+            quality_values=quality_values,
+            config=self.table_config,
+        )
+
+    def predictors(self) -> Iterable[ThroughputPredictor]:
+        return (self.predictor,)
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        assert self.table is not None
+        raw = self.predictor.predict(1)[0]
+        self._pending_raw_prediction = raw
+        query = raw
+        if self.robust:
+            query = raw / (1.0 + self.error_tracker.max_recent_abs_error())
+        prev = observation.prev_level_index if observation.prev_level_index is not None else 0
+        return self.table.lookup(observation.buffer_level_s, prev, query)
+
+    def on_download_complete(self, result) -> None:
+        if self._pending_raw_prediction is not None:
+            self.error_tracker.record(
+                self._pending_raw_prediction, result.throughput_kbps
+            )
+            self._pending_raw_prediction = None
+        super().on_download_complete(result)

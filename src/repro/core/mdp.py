@@ -1,0 +1,253 @@
+"""MDP-based bitrate control — the paper's Section 4.1 alternative.
+
+The paper's "strawman" discussion: *"with MDP we could consider
+formulating the throughput and buffer state transition as Markov
+processes, and find the optimal control policy using standard algorithms
+such as value iteration or policy iteration.  However, this has a strong
+assumption that throughput dynamics follow Markov processes ... We regard
+the potential use of MDP ... as future work."*
+
+This module implements that future work so the assumption can be tested:
+
+* :class:`ThroughputMarkovModel` — throughput is discretized into log-
+  spaced states; per-chunk transitions are counted online with Laplace
+  smoothing, starting from a sticky-neighbour prior (exactly the structure
+  of the paper's synthetic dataset generator).
+* :class:`MDPController` — an infinite-horizon discounted MDP over states
+  ``(buffer bin, throughput state, previous level)`` with actions = ladder
+  levels, stage reward = Eq. 5's per-chunk terms, solved by vectorised
+  value iteration; the policy is refreshed as the transition model learns.
+
+On traces whose dynamics really are (close to) Markov — the synthetic
+dataset — the learned policy is competitive with MPC; on trend-driven
+traces the Markov assumption bites, which is precisely the caveat the
+paper raises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..abr.base import ABRAlgorithm, DownloadResult, PlayerObservation
+from ..qoe import QoEWeights
+from .table import Binning
+
+__all__ = ["ThroughputMarkovModel", "MDPController"]
+
+
+class ThroughputMarkovModel:
+    """A learned Markov chain over discretized throughput states.
+
+    Parameters
+    ----------
+    binning:
+        Throughput state space (log spacing recommended).
+    prior_stickiness:
+        Prior probability mass on self-transitions; the remainder spreads
+        to the immediate neighbour states (a birth-death prior matching
+        how bottleneck sharing actually evolves).
+    prior_weight:
+        How many pseudo-observations the prior is worth per state.
+    """
+
+    def __init__(
+        self,
+        binning: Binning,
+        prior_stickiness: float = 0.7,
+        prior_weight: float = 4.0,
+    ) -> None:
+        if not (0 < prior_stickiness < 1):
+            raise ValueError("stickiness must be in (0, 1)")
+        if prior_weight <= 0:
+            raise ValueError("prior weight must be positive")
+        self.binning = binning
+        n = binning.count
+        prior = np.zeros((n, n))
+        for i in range(n):
+            neighbours = [j for j in (i - 1, i + 1) if 0 <= j < n]
+            prior[i, i] = prior_stickiness
+            for j in neighbours:
+                prior[i, j] = (1 - prior_stickiness) / len(neighbours)
+        self._counts = prior * prior_weight
+        self._last_state: Optional[int] = None
+
+    @property
+    def num_states(self) -> int:
+        return self.binning.count
+
+    def state_of(self, throughput_kbps: float) -> int:
+        return self.binning.index_of(throughput_kbps)
+
+    def observe(self, throughput_kbps: float) -> int:
+        """Record one per-chunk throughput sample; returns its state."""
+        state = self.state_of(throughput_kbps)
+        if self._last_state is not None:
+            self._counts[self._last_state, state] += 1.0
+        self._last_state = state
+        return state
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-stochastic estimate ``P[c, c']``."""
+        totals = self._counts.sum(axis=1, keepdims=True)
+        return self._counts / totals
+
+    @property
+    def last_state(self) -> Optional[int]:
+        return self._last_state
+
+
+class MDPController(ABRAlgorithm):
+    """Value-iteration policy over (buffer, throughput state, prev level).
+
+    Parameters
+    ----------
+    buffer_bins / throughput_bins:
+        State-space discretization (the same trade-off as FastMPC's table).
+    discount:
+        Discount factor of the infinite-horizon objective.  Values near 1
+        approximate the undiscounted per-chunk QoE sum.
+    replan_every:
+        Re-run value iteration after this many observed chunks so the
+        policy tracks the learned transition model (1 = always fresh).
+    max_iterations / tolerance:
+        Value-iteration stopping criteria (sup-norm).
+    """
+
+    name = "mdp"
+
+    def __init__(
+        self,
+        buffer_bins: int = 24,
+        throughput_bins: int = 12,
+        discount: float = 0.95,
+        replan_every: int = 4,
+        max_iterations: int = 300,
+        tolerance: float = 1.0,
+        prior_stickiness: float = 0.7,
+    ) -> None:
+        if buffer_bins < 2 or throughput_bins < 2:
+            raise ValueError("need at least 2 bins per dimension")
+        if not (0 < discount < 1):
+            raise ValueError("discount must be in (0, 1)")
+        if replan_every < 1:
+            raise ValueError("replan_every must be >= 1")
+        self.buffer_bins = buffer_bins
+        self.throughput_bins = throughput_bins
+        self.discount = discount
+        self.replan_every = replan_every
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.prior_stickiness = prior_stickiness
+        self._policy: Optional[np.ndarray] = None
+        self._chunks_since_plan = 0
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        ladder = manifest.ladder
+        self._buffer_binning = Binning(
+            0.0, config.buffer_capacity_s, self.buffer_bins, "linear"
+        )
+        self._throughput_binning = Binning(
+            0.2 * ladder.min_kbps, 2.0 * ladder.max_kbps,
+            self.throughput_bins, "log",
+        )
+        self.model = ThroughputMarkovModel(
+            self._throughput_binning, prior_stickiness=self.prior_stickiness
+        )
+        self._quality = np.asarray([config.quality(r) for r in ladder])
+        # CBR stage model, like the FastMPC table.
+        self._sizes = np.asarray(
+            [manifest.chunk_duration_s * r for r in ladder]
+        )
+        self._policy = None
+        self._chunks_since_plan = 0
+        self._precompute_dynamics()
+
+    def _precompute_dynamics(self) -> None:
+        """Per (action, buffer bin, realized throughput state): the stage
+        rebuffer time and the next buffer bin."""
+        L = self.manifest.chunk_duration_s
+        bmax = self.config.buffer_capacity_s
+        b_centers = self._buffer_binning.centers  # (B,)
+        c_centers = self._throughput_binning.centers  # (C,)
+        download = self._sizes[:, None, None] / c_centers[None, None, :]  # (A,1,C)
+        buffers = b_centers[None, :, None]  # (1,B,1)
+        rebuffer = np.maximum(download - buffers, 0.0)  # (A,B,C)
+        next_buffer = np.minimum(
+            np.maximum(buffers - download, 0.0) + L, bmax
+        )
+        next_index = np.clip(
+            np.searchsorted(self._buffer_binning.edges, next_buffer) - 1,
+            0,
+            self.buffer_bins - 1,
+        )
+        self._stage_rebuffer = rebuffer  # (A, B, C)
+        self._next_buffer_index = next_index.astype(np.int64)  # (A, B, C)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _value_iteration(self) -> np.ndarray:
+        """Solve for the policy; returns argmax actions (B, C, R)."""
+        weights: QoEWeights = self.config.weights
+        lam, mu = weights.switching, weights.rebuffering
+        gamma = self.discount
+        A = len(self._quality)
+        B, C = self.buffer_bins, self.throughput_bins
+        P = self.model.transition_matrix()  # (C, C')
+        quality = self._quality
+        switch_cost = lam * np.abs(quality[:, None] - quality[None, :])  # (A, R)
+
+        V = np.zeros((B, C, A))  # value, with "prev level" = last action
+        c_range = np.arange(C)
+        for _ in range(self.max_iterations):
+            # Expected continuation per action: for realized next state c',
+            # the system lands in (next_buffer, c', prev=a).
+            ev = np.empty((A, B, C))
+            for a in range(A):
+                landing = V[self._next_buffer_index[a], c_range[None, :], a]  # (B, C')
+                stage = -mu * self._stage_rebuffer[a] + gamma * landing  # (B, C')
+                ev[a] = stage @ P.T  # expectation over c' given c -> (B, C)
+            # Q[b, c, r, a] = q_a - switch(a, r) + ev[a][b, c]
+            Q = (
+                quality[None, None, None, :]
+                - switch_cost.T[None, None, :, :]
+                + ev.transpose(1, 2, 0)[:, :, None, :]
+            )
+            V_new = Q.max(axis=3)  # (B, C, R)
+            delta = np.abs(V_new - V).max()
+            V = V_new
+            if delta < self.tolerance:
+                break
+        policy = Q.argmax(axis=3)  # (B, C, R)
+        return policy
+
+    def _ensure_policy(self) -> None:
+        if self._policy is None or self._chunks_since_plan >= self.replan_every:
+            self._policy = self._value_iteration()
+            self._chunks_since_plan = 0
+
+    # ------------------------------------------------------------------
+    # ABR interface
+    # ------------------------------------------------------------------
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        self._ensure_policy()
+        assert self._policy is not None
+        b = self._buffer_binning.index_of(observation.buffer_level_s)
+        c = self.model.last_state
+        if c is None:
+            return 0  # cold start: bottom of the ladder, like real players
+        prev = observation.prev_level_index or 0
+        return int(self._policy[b, c, prev])
+
+    def on_download_complete(self, result: DownloadResult) -> None:
+        self.model.observe(result.throughput_kbps)
+        self._chunks_since_plan += 1
+        super().on_download_complete(result)

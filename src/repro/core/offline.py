@@ -1,0 +1,249 @@
+"""Offline-optimal QoE — the denominator of the paper's normalized QoE.
+
+Section 7.1.2 defines ``n-QoE(A) = QoE(A) / QoE(OPT)`` where ``QoE(OPT)``
+is the maximum QoE achievable with perfect knowledge of the whole future
+throughput.  Footnote 6: "To make it tractable to compute this offline
+optimal, we assume it can pick bitrates from a continuous range
+[Rmin, Rmax]" — i.e. the paper normalises by a *continuous relaxation*,
+not the (intractable) exact discrete optimum.  We do the same, with an
+explicit construction that is provably an upper bound:
+
+**The fluid bound.**  Fix a startup delay ``Ts`` and a total rebuffer
+budget ``rho``.  Any schedule whose stalls total at most ``rho`` must
+deliver chunk ``k`` (of ``K``, each ``L`` seconds) by its playback
+deadline ``Ts + (k-1)*L + rho``, so the cumulative delivered rate obeys
+``L * sum_{i<=k} R_i <= bits(deadline_k)``, where ``bits(t)`` is the
+trace's integral.  Maximising ``sum R_i`` under those prefix caps and
+``R_i <= Rmax`` gives the closed form
+
+    S*(Ts, rho) = min( K*Rmax,
+                       min_k bits(Ts + (k-1)L + rho)/L + (K-k)*Rmax ).
+
+Since only the rebuffer term of Eq. 5 grows with ``rho`` and only the
+startup term with ``Ts``, every real strategy with startup ``Ts_a`` and
+total stall ``rho_a`` satisfies
+``QoE <= S*(Ts_a, rho_a) - mu*rho_a - mu_s*Ts_a`` (switching penalties
+only subtract).  We take the supremum over a *cell cover* of the
+``(Ts, rho)`` domain, scoring each cell with ``S*`` at its upper corner
+and penalties at its lower corner — coarser cells can only loosen (raise)
+the bound, never break it.
+
+For a non-identity concave quality function the per-chunk sum is bounded
+by ``K * q(S*/K)`` (Jensen); for the paper's identity ``q`` this is just
+``S*``.
+
+A brute-force exact discrete optimum (:func:`exhaustive_optimal`) is also
+provided for tiny instances; tests verify ``fluid_bound >= exhaustive``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..traces.trace import Trace
+from ..video.manifest import VideoManifest
+from ..video.quality import IdentityQuality, QualityFunction
+from ..qoe import QoEBreakdown, QoEWeights, compute_qoe
+
+__all__ = [
+    "CumulativeBits",
+    "fluid_upper_bound",
+    "simulate_fixed_plan",
+    "exhaustive_optimal",
+    "normalized_qoe",
+]
+
+
+class CumulativeBits:
+    """O(log n) evaluation of ``bits(t)`` via per-segment prefix sums."""
+
+    def __init__(self, trace: Trace) -> None:
+        times = list(trace.timestamps)
+        bws = list(trace.bandwidths_kbps)
+        durations = trace.segment_durations()
+        prefix = [0.0]
+        for bw, dur in zip(bws, durations):
+            prefix.append(prefix[-1] + bw * dur)
+        self._times = times
+        self._bws = bws
+        self._prefix = prefix
+        self._duration = trace.duration_s
+        self._per_pass = prefix[-1]
+
+    def bits(self, t: float) -> float:
+        """Kilobits deliverable in ``[0, t]`` (trace wraps)."""
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        passes, rem = divmod(t, self._duration)
+        total = passes * self._per_pass
+        idx = bisect.bisect_right(self._times, rem) - 1
+        total += self._prefix[idx] + self._bws[idx] * (rem - self._times[idx])
+        return total
+
+
+def _geometric_cells(limit: float) -> List[Tuple[float, float]]:
+    """Cover ``[0, limit]`` with cells [0,1], [1,2], [2,4], ... (seconds)."""
+    cells = [(0.0, 1.0)]
+    lo = 1.0
+    while lo < limit:
+        hi = min(lo * 2, limit)
+        cells.append((lo, hi))
+        lo = hi
+    return cells
+
+
+def fluid_upper_bound(
+    trace: Trace,
+    manifest: VideoManifest,
+    weights: Optional[QoEWeights] = None,
+    quality: Optional[QualityFunction] = None,
+    buffer_capacity_s: float = 30.0,
+    max_rebuffer_s: float = 256.0,
+    startup_step_s: float = 2.0,
+) -> float:
+    """``QoE(OPT)`` — the continuous-relaxation upper bound (see module doc).
+
+    Returns the bound in QoE units (same scale as Eq. 5).
+    """
+    weights = weights if weights is not None else QoEWeights.balanced()
+    q = quality if quality is not None else IdentityQuality()
+    K = manifest.num_chunks
+    L = manifest.chunk_duration_s
+    r_max = manifest.ladder.max_kbps
+    cumulative = CumulativeBits(trace)
+
+    def s_star(ts: float, rho: float) -> float:
+        best = K * r_max
+        for k in range(1, K + 1):
+            deadline = ts + (k - 1) * L + rho
+            cap = cumulative.bits(deadline) / L + (K - k) * r_max
+            if cap < best:
+                best = cap
+        return max(best, 0.0)
+
+    # Startup waiting beyond the buffer capacity is dominated: the buffer
+    # clamps at Bmax, so extra wait buys nothing but keeps costing mu_s.
+    ts_limit = buffer_capacity_s + L
+    ts_edges = [min(i * startup_step_s, ts_limit) for i in range(int(ts_limit / startup_step_s) + 2)]
+    ts_cells = list(zip(ts_edges, ts_edges[1:]))
+    rho_cells = _geometric_cells(max_rebuffer_s)
+
+    best = -math.inf
+    for ts_lo, ts_hi in ts_cells:
+        for rho_lo, rho_hi in rho_cells:
+            s = s_star(ts_hi, rho_hi)
+            value = (
+                K * q(s / K)
+                - weights.rebuffering * rho_lo
+                - weights.startup * ts_lo
+            )
+            if value > best:
+                best = value
+    # Open cells: strategies stalling beyond max_rebuffer_s or waiting
+    # beyond ts_limit are dominated by the saturated-quality corner.
+    best = max(
+        best,
+        K * q(r_max) - weights.rebuffering * max_rebuffer_s,
+        K * q(r_max) - weights.startup * ts_limit,
+    )
+    return best
+
+
+def simulate_fixed_plan(
+    trace: Trace,
+    manifest: VideoManifest,
+    plan: Sequence[int],
+    weights: Optional[QoEWeights] = None,
+    quality: Optional[QualityFunction] = None,
+    buffer_capacity_s: float = 30.0,
+    extra_startup_wait_s: float = 0.0,
+) -> QoEBreakdown:
+    """Exact QoE of a fixed bitrate plan against the *true* trace.
+
+    A standalone forward model of Eqs. (1)–(4): playback begins when the
+    first chunk has downloaded (plus an optional extra wait), the buffer
+    gains ``L`` per chunk and drains in real time, rebuffering accrues
+    whenever a download outlasts the buffer, and a full buffer forces the
+    Eq. (4) pause.  Deliberately independent of :mod:`repro.sim` so the two
+    implementations cross-check each other in tests.
+    """
+    if len(plan) != manifest.num_chunks:
+        raise ValueError("plan length must equal the number of chunks")
+    weights = weights if weights is not None else QoEWeights.balanced()
+    q = quality if quality is not None else IdentityQuality()
+    if extra_startup_wait_s < 0:
+        raise ValueError("extra startup wait must be >= 0")
+    L = manifest.chunk_duration_s
+    t = 0.0
+    buffer_s = 0.0
+    playing = False
+    startup_s = 0.0
+    rebuffer_total = 0.0
+    for k, level in enumerate(plan):
+        size = manifest.chunk_size_kilobits(k, level)
+        dt = trace.time_to_download(t, size)
+        if playing:
+            rebuffer_total += max(dt - buffer_s, 0.0)
+            buffer_s = max(buffer_s - dt, 0.0)
+        t += dt
+        buffer_s += L
+        if not playing:
+            t += extra_startup_wait_s
+            playing = True
+            startup_s = t
+        if buffer_s > buffer_capacity_s:
+            t += buffer_s - buffer_capacity_s  # Eq. (4) wait
+            buffer_s = buffer_capacity_s
+    bitrates = [manifest.ladder[level] for level in plan]
+    return compute_qoe(bitrates, rebuffer_total, startup_s, weights, q)
+
+
+def exhaustive_optimal(
+    trace: Trace,
+    manifest: VideoManifest,
+    weights: Optional[QoEWeights] = None,
+    quality: Optional[QualityFunction] = None,
+    buffer_capacity_s: float = 30.0,
+    startup_wait_grid_s: Sequence[float] = (0.0, 2.0, 4.0, 8.0),
+    max_plans: int = 2_000_000,
+) -> Tuple[Tuple[int, ...], float]:
+    """Exact discrete optimum by brute force — tiny instances only.
+
+    Returns ``(best_plan, best_qoe)``.  Used in tests to sandwich the
+    fluid bound (``exhaustive <= fluid``) and to certify MPC-OPT.
+    """
+    levels = len(manifest.ladder)
+    if levels**manifest.num_chunks > max_plans:
+        raise ValueError(
+            f"{levels}^{manifest.num_chunks} plans exceeds max_plans={max_plans}"
+        )
+    best_plan: Optional[Tuple[int, ...]] = None
+    best_qoe = -math.inf
+    for plan in itertools.product(range(levels), repeat=manifest.num_chunks):
+        for wait in startup_wait_grid_s:
+            breakdown = simulate_fixed_plan(
+                trace, manifest, plan, weights, quality, buffer_capacity_s, wait
+            )
+            if breakdown.total > best_qoe:
+                best_qoe = breakdown.total
+                best_plan = plan
+    assert best_plan is not None
+    return best_plan, best_qoe
+
+
+def normalized_qoe(qoe_value: float, optimal_qoe: float) -> float:
+    """``n-QoE = QoE(A) / QoE(OPT)`` (Section 7.1.2).
+
+    Negative values are meaningful ("the QoE can be negative when rebuffer
+    time is too long", Section 7.2); a non-positive optimum would make the
+    ratio ill-defined and raises instead.
+    """
+    if optimal_qoe <= 0:
+        raise ValueError(
+            f"offline-optimal QoE must be positive to normalise (got {optimal_qoe})"
+        )
+    return qoe_value / optimal_qoe

@@ -1,0 +1,12 @@
+"""Re-export shim: the QoE model lives in :mod:`repro.qoe`.
+
+It sits at the package top level because both the algorithm interface
+(:mod:`repro.abr.base`) and the controllers in :mod:`repro.core` depend on
+it — importing it through the ``core`` package from ``abr`` would create
+an import cycle.  The documented access path ``repro.core.qoe`` keeps
+working through this module.
+"""
+
+from ..qoe import QoEBreakdown, QoEWeights, compute_qoe
+
+__all__ = ["QoEBreakdown", "QoEWeights", "compute_qoe"]

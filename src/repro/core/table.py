@@ -1,0 +1,275 @@
+"""Binning and table storage for FastMPC (Section 5).
+
+FastMPC replaces the online solver with a precomputed decision table
+indexed by (buffer level, previous bitrate, predicted throughput).  Two
+optimisations from Section 5.2 live here:
+
+* **Compaction via binning** — buffer and throughput values are coarsened
+  into bins; row keys need not be stored because they are computed from
+  bin indices (:class:`Binning`).
+
+* **Table compression** — the optimal decisions for neighbouring scenarios
+  are usually identical, so the decision vector compresses extremely well
+  under lossless run-length encoding; lookups on the compressed form use
+  binary search (:class:`RunLengthEncodedTable`).  Table 1 of the paper
+  reports the resulting sizes; :class:`TableSizeReport` reproduces them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Binning", "RunLengthEncodedTable", "DecisionTable", "TableSizeReport"]
+
+
+class Binning:
+    """Fixed bins over ``[low, high]`` with linear or logarithmic spacing.
+
+    Values outside the range clamp to the edge bins, so any observed state
+    maps to *some* table row — the paper's "key value closest to the
+    current state".
+    """
+
+    __slots__ = ("low", "high", "count", "spacing", "_edges", "_centers")
+
+    def __init__(self, low: float, high: float, count: int, spacing: str = "linear") -> None:
+        if count < 1:
+            raise ValueError("need at least one bin")
+        if not (low < high):
+            raise ValueError("need low < high")
+        if spacing not in ("linear", "log"):
+            raise ValueError(f"unknown spacing {spacing!r}")
+        if spacing == "log" and low <= 0:
+            raise ValueError("log spacing requires low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.count = count
+        self.spacing = spacing
+        if spacing == "linear":
+            edges = np.linspace(low, high, count + 1)
+        else:
+            edges = np.geomspace(low, high, count + 1)
+        self._edges = edges
+        if spacing == "linear":
+            self._centers = (edges[:-1] + edges[1:]) / 2.0
+        else:
+            self._centers = np.sqrt(edges[:-1] * edges[1:])  # geometric mid
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges.copy()
+
+    @property
+    def centers(self) -> np.ndarray:
+        return self._centers.copy()
+
+    def index_of(self, value: float) -> int:
+        """Bin index for a value, clamping out-of-range values."""
+        if math.isnan(value):
+            raise ValueError("cannot bin NaN")
+        if value <= self.low:
+            return 0
+        if value >= self.high:
+            return self.count - 1
+        idx = int(np.searchsorted(self._edges, value, side="right")) - 1
+        return min(max(idx, 0), self.count - 1)
+
+    def center(self, index: int) -> float:
+        if not 0 <= index < self.count:
+            raise IndexError(f"bin index {index} out of range")
+        return float(self._centers[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"Binning({self.low:g}..{self.high:g}, count={self.count}, "
+            f"{self.spacing})"
+        )
+
+
+class RunLengthEncodedTable:
+    """Lossless RLE of a flat decision vector with binary-search lookup.
+
+    Storage is two parallel arrays: the *exclusive end index* of each run
+    and the run's value.  ``lookup(i)`` binary-searches the end-index array
+    — exactly the online procedure Section 5.2 describes.
+    """
+
+    __slots__ = ("_run_ends", "_run_values", "_length")
+
+    def __init__(self, run_ends: Sequence[int], run_values: Sequence[int]) -> None:
+        if len(run_ends) != len(run_values):
+            raise ValueError("run arrays must have equal length")
+        if not run_ends:
+            raise ValueError("table must not be empty")
+        prev = 0
+        for end in run_ends:
+            if end <= prev:
+                raise ValueError("run ends must be strictly increasing and positive")
+            prev = end
+        self._run_ends = list(int(e) for e in run_ends)
+        self._run_values = list(int(v) for v in run_values)
+        self._length = self._run_ends[-1]
+
+    @classmethod
+    def encode(cls, values: Sequence[int]) -> "RunLengthEncodedTable":
+        """Compress a flat vector of small non-negative ints."""
+        if len(values) == 0:
+            raise ValueError("cannot encode an empty vector")
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError("values must be one-dimensional")
+        change = np.flatnonzero(np.diff(arr)) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [len(arr)]))
+        return cls(ends.tolist(), arr[starts].tolist())
+
+    def decode(self) -> np.ndarray:
+        """Expand back to the full vector (tests / full-table mode)."""
+        out = np.empty(self._length, dtype=np.int64)
+        start = 0
+        for end, value in zip(self._run_ends, self._run_values):
+            out[start:end] = value
+            start = end
+        return out
+
+    def lookup(self, index: int) -> int:
+        """Value at a flat index via binary search over run ends."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range 0..{self._length - 1}")
+        run = bisect.bisect_right(self._run_ends, index)
+        return self._run_values[run]
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_runs(self) -> int:
+        return len(self._run_ends)
+
+    def size_bytes(self, index_bytes: int = 4, value_bytes: int = 1) -> int:
+        """Serialized size: one (end, value) record per run."""
+        return self.num_runs * (index_bytes + value_bytes)
+
+    def to_bytes(self) -> bytes:
+        """Portable serialization: u32 run count, then (u32 end, u8 value)."""
+        parts = [struct.pack("<I", self.num_runs)]
+        for end, value in zip(self._run_ends, self._run_values):
+            parts.append(struct.pack("<IB", end, value))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RunLengthEncodedTable":
+        (count,) = struct.unpack_from("<I", blob, 0)
+        ends, values = [], []
+        offset = 4
+        for _ in range(count):
+            end, value = struct.unpack_from("<IB", blob, offset)
+            offset += 5
+            ends.append(end)
+            values.append(value)
+        return cls(ends, values)
+
+
+@dataclass(frozen=True)
+class TableSizeReport:
+    """One row of the paper's Table 1."""
+
+    discretization_levels: int
+    num_entries: int
+    full_bytes: int
+    rle_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compressed / full — lower is better (paper: 0.5 at 100 levels,
+        ~0.18 at 500 levels)."""
+        return self.rle_bytes / self.full_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.discretization_levels:>5} levels | full {self.full_bytes / 1000:8.1f} kB"
+            f" | RLE {self.rle_bytes / 1000:8.1f} kB"
+            f" | ratio {self.compression_ratio:5.2f}"
+        )
+
+
+class DecisionTable:
+    """The FastMPC lookup structure over (buffer, prev level, throughput).
+
+    The flat layout is C-order ``(buffer_bin, prev_level, throughput_bin)``
+    with the throughput axis fastest — neighbouring throughput bins almost
+    always share a decision, which is what makes the RLE effective.
+    """
+
+    __slots__ = ("buffer_bins", "num_levels", "throughput_bins", "_rle", "_full")
+
+    def __init__(
+        self,
+        buffer_bins: Binning,
+        num_levels: int,
+        throughput_bins: Binning,
+        decisions_flat: Sequence[int],
+        keep_full: bool = False,
+    ) -> None:
+        if num_levels < 1:
+            raise ValueError("need at least one ladder level")
+        expected = buffer_bins.count * num_levels * throughput_bins.count
+        if len(decisions_flat) != expected:
+            raise ValueError(
+                f"{len(decisions_flat)} decisions but the index space has {expected}"
+            )
+        arr = np.asarray(decisions_flat, dtype=np.int64)
+        if arr.min() < 0 or arr.max() >= num_levels:
+            raise ValueError("decisions must be valid ladder level indices")
+        self.buffer_bins = buffer_bins
+        self.num_levels = num_levels
+        self.throughput_bins = throughput_bins
+        self._rle = RunLengthEncodedTable.encode(arr)
+        self._full = arr.astype(np.uint8) if keep_full else None
+
+    # ------------------------------------------------------------------
+
+    def _flat_index(self, buffer_idx: int, prev_level: int, throughput_idx: int) -> int:
+        if not 0 <= prev_level < self.num_levels:
+            raise IndexError(f"prev level {prev_level} out of range")
+        return (
+            buffer_idx * self.num_levels + prev_level
+        ) * self.throughput_bins.count + throughput_idx
+
+    def lookup(
+        self, buffer_level_s: float, prev_level: int, predicted_kbps: float
+    ) -> int:
+        """The online step: quantize the state, then one binary search."""
+        b = self.buffer_bins.index_of(buffer_level_s)
+        c = self.throughput_bins.index_of(predicted_kbps)
+        flat = self._flat_index(b, prev_level, c)
+        if self._full is not None:
+            return int(self._full[flat])
+        return self._rle.lookup(flat)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._rle)
+
+    @property
+    def rle(self) -> RunLengthEncodedTable:
+        return self._rle
+
+    def size_report(self, discretization_levels: int) -> TableSizeReport:
+        """Full-table vs RLE sizes (one Table 1 row).
+
+        Full storage is one byte per entry (levels fit a u8, as in the
+        paper's 5-level ladder); RLE records are 5 bytes per run.
+        """
+        return TableSizeReport(
+            discretization_levels=discretization_levels,
+            num_entries=self.num_entries,
+            full_bytes=self.num_entries,
+            rle_bytes=self._rle.size_bytes(),
+        )

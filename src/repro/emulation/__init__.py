@@ -1,0 +1,21 @@
+"""Byte-level discrete-event emulation testbed (the paper's Section 7.2
+environment: trace-throttled link + HTTP chunk server + dash.js-like
+sequential client)."""
+
+from .clock import EventQueue
+from .link import SharedTraceLink, Transfer
+from .server import ChunkRequest, ChunkServer
+from .client import EmulatedClient
+from .harness import NetworkProfile, emulate_session, emulate_shared_link
+
+__all__ = [
+    "EventQueue",
+    "SharedTraceLink",
+    "Transfer",
+    "ChunkRequest",
+    "ChunkServer",
+    "EmulatedClient",
+    "NetworkProfile",
+    "emulate_session",
+    "emulate_shared_link",
+]

@@ -1,0 +1,132 @@
+"""Top-level entry points for the emulation testbed.
+
+:func:`emulate_session` is the byte-level counterpart of
+:func:`repro.sim.session.simulate_session`; :func:`emulate_shared_link`
+runs several players against one bottleneck — the multi-player scenario
+Section 8 discusses as future work, available here as an extension
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..abr.base import ABRAlgorithm, SessionConfig
+from ..sim.session import SessionResult, StartupPolicy
+from ..traces.trace import Trace
+from ..video.manifest import VideoManifest
+from .client import EmulatedClient
+from .clock import EventQueue
+from .link import SharedTraceLink
+from .server import ChunkServer
+
+__all__ = ["NetworkProfile", "emulate_session", "emulate_shared_link"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Network-path parameters of the emulated testbed.
+
+    The defaults approximate the paper's Emulab setup (LAN RTT, standard
+    HTTP overhead) with slow-start restarts enabled so that HTTP-level
+    throughput measurements carry their real-world bias.
+    """
+
+    rtt_s: float = 0.08
+    header_kilobits: float = 4.0
+    server_processing_delay_s: float = 0.001
+    slow_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rtt_s < 0:
+            raise ValueError("RTT must be >= 0")
+        if self.header_kilobits < 0:
+            raise ValueError("header overhead must be >= 0")
+        if self.server_processing_delay_s < 0:
+            raise ValueError("processing delay must be >= 0")
+
+
+def emulate_session(
+    algorithm: ABRAlgorithm,
+    trace: Trace,
+    manifest: VideoManifest,
+    config: Optional[SessionConfig] = None,
+    network: Optional[NetworkProfile] = None,
+    startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
+    fixed_startup_delay_s: float = 0.0,
+) -> SessionResult:
+    """Run one player through the byte-level testbed; same result type as
+    the simulator, so harness code is backend-agnostic."""
+    config = config if config is not None else SessionConfig()
+    network = network if network is not None else NetworkProfile()
+    queue = EventQueue()
+    link = SharedTraceLink(
+        trace, queue, rtt_s=max(network.rtt_s, 1e-3), slow_start=network.slow_start
+    )
+    server = ChunkServer(
+        manifest,
+        header_kilobits=network.header_kilobits,
+        processing_delay_s=network.server_processing_delay_s,
+    )
+    client = EmulatedClient(
+        client_id=0,
+        algorithm=algorithm,
+        manifest=manifest,
+        config=config,
+        queue=queue,
+        link=link,
+        server=server,
+        rtt_s=network.rtt_s,
+        startup_policy=startup_policy,
+        fixed_startup_delay_s=fixed_startup_delay_s,
+    )
+    queue.run_until_idle()
+    return client.result()
+
+
+def emulate_shared_link(
+    algorithms: Sequence[ABRAlgorithm],
+    trace: Trace,
+    manifest: VideoManifest,
+    config: Optional[SessionConfig] = None,
+    network: Optional[NetworkProfile] = None,
+    start_stagger_s: float = 0.0,
+) -> List[SessionResult]:
+    """Multiple players compete on one bottleneck (Section 8 extension).
+
+    Each algorithm drives its own client; ``start_stagger_s`` offsets the
+    session starts (players rarely begin simultaneously in practice).
+    Returns one session result per player, in input order.
+    """
+    if not algorithms:
+        raise ValueError("need at least one player")
+    if start_stagger_s < 0:
+        raise ValueError("stagger must be >= 0")
+    config = config if config is not None else SessionConfig()
+    network = network if network is not None else NetworkProfile()
+    queue = EventQueue()
+    link = SharedTraceLink(
+        trace, queue, rtt_s=max(network.rtt_s, 1e-3), slow_start=network.slow_start
+    )
+    server = ChunkServer(
+        manifest,
+        header_kilobits=network.header_kilobits,
+        processing_delay_s=network.server_processing_delay_s,
+    )
+    clients = [
+        EmulatedClient(
+            client_id=i,
+            algorithm=algorithm,
+            manifest=manifest,
+            config=config,
+            queue=queue,
+            link=link,
+            server=server,
+            rtt_s=network.rtt_s,
+            start_time_s=i * start_stagger_s,
+        )
+        for i, algorithm in enumerate(algorithms)
+    ]
+    queue.run_until_idle()
+    return [client.result() for client in clients]

@@ -1,0 +1,261 @@
+"""A trace-shaped bottleneck link with fair sharing and TCP-like ramping.
+
+This is the emulation counterpart of the paper's ``linux tc`` throttling:
+the link's instantaneous capacity follows the throughput trace, active
+transfers share it max-min fairly (what TCP flows on a common bottleneck
+approximate), and each transfer can optionally start under a slow-start
+window ramp — doubling its self-imposed rate cap every RTT from an
+initial window until it no longer constrains the transfer.
+
+The ramp reproduces a bias the paper's related work highlights (Huang et
+al., "Confused, Timid, and Unstable"): short chunk downloads never reach
+link capacity, so HTTP-level throughput samples under-estimate available
+bandwidth — one of the reasons robust prediction handling matters.
+
+Everything is event-driven and exact between events: rates are constant
+between consecutive (trace boundary | window-doubling | completion)
+events, so progress integrates in closed form.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..traces.trace import Trace
+from .clock import EventQueue
+
+__all__ = ["Transfer", "SharedTraceLink"]
+
+_MTU_KILOBITS = 12.0  # 1500 bytes
+
+
+class Transfer:
+    """One in-flight download on the link."""
+
+    __slots__ = (
+        "transfer_id",
+        "size_kilobits",
+        "remaining_kilobits",
+        "started_at_s",
+        "completed_at_s",
+        "on_complete",
+        "window_kilobits",
+        "next_epoch_s",
+        "ramp_done",
+        "current_rate_kbps",
+    )
+
+    def __init__(
+        self,
+        transfer_id: int,
+        size_kilobits: float,
+        started_at_s: float,
+        on_complete: Callable[["Transfer"], None],
+        initial_window_kilobits: float,
+        rtt_s: float,
+        ramp: bool,
+    ) -> None:
+        self.transfer_id = transfer_id
+        self.size_kilobits = size_kilobits
+        self.remaining_kilobits = size_kilobits
+        self.started_at_s = started_at_s
+        self.completed_at_s: Optional[float] = None
+        self.on_complete = on_complete
+        self.window_kilobits = initial_window_kilobits
+        self.next_epoch_s = started_at_s + rtt_s
+        self.ramp_done = not ramp
+        self.current_rate_kbps = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        if self.completed_at_s is None:
+            raise RuntimeError("transfer not complete yet")
+        return self.completed_at_s - self.started_at_s
+
+    def throughput_kbps(self) -> float:
+        """Application-level average throughput of the finished transfer."""
+        d = self.duration_s
+        return self.size_kilobits / d if d > 0 else math.inf
+
+
+def _water_fill(capacity_kbps: float, caps_kbps: List[float]) -> List[float]:
+    """Max-min fair allocation of ``capacity`` under per-flow caps."""
+    n = len(caps_kbps)
+    if n == 0:
+        return []
+    allocation = [0.0] * n
+    remaining = capacity_kbps
+    order = sorted(range(n), key=lambda i: caps_kbps[i])
+    active = n
+    for i in order:
+        share = remaining / active
+        give = min(caps_kbps[i], share)
+        allocation[i] = give
+        remaining -= give
+        active -= 1
+    return allocation
+
+
+class SharedTraceLink:
+    """The bottleneck: trace-shaped capacity, fair-shared, event-driven.
+
+    Parameters
+    ----------
+    trace:
+        Capacity over time (wraps like the simulator's traces).
+    queue:
+        The emulation's event queue; the link schedules its own progress
+        events on it.
+    rtt_s:
+        Round-trip time used by the slow-start window ramp.
+    slow_start:
+        Whether new transfers ramp (True reproduces HTTP throughput bias;
+        False makes the link behave like the chunk-level simulator).
+    initial_window_kilobits:
+        Slow-start initial window (default 10 MTUs, RFC 6928).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        queue: EventQueue,
+        rtt_s: float = 0.08,
+        slow_start: bool = True,
+        initial_window_kilobits: float = 10 * _MTU_KILOBITS,
+    ) -> None:
+        if rtt_s <= 0:
+            raise ValueError("RTT must be positive")
+        if initial_window_kilobits <= 0:
+            raise ValueError("initial window must be positive")
+        self.trace = trace
+        self.queue = queue
+        self.rtt_s = rtt_s
+        self.slow_start = slow_start
+        self.initial_window_kilobits = initial_window_kilobits
+        self._transfers: Dict[int, Transfer] = {}
+        self._next_id = 0
+        self._generation = 0
+        self._last_progress_time = 0.0
+        # Once a window exceeds this, the cap can never bind again.
+        self._ramp_ceiling_kbps = 4.0 * max(trace.bandwidths_kbps)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._transfers)
+
+    def start_transfer(
+        self, size_kilobits: float, on_complete: Callable[[Transfer], None]
+    ) -> Transfer:
+        """Begin delivering ``size_kilobits``; ``on_complete`` fires at the
+        exact virtual completion time."""
+        if size_kilobits <= 0:
+            raise ValueError("transfer size must be positive")
+        self._apply_progress()
+        transfer = Transfer(
+            self._next_id,
+            size_kilobits,
+            self.queue.now,
+            on_complete,
+            self.initial_window_kilobits,
+            self.rtt_s,
+            ramp=self.slow_start,
+        )
+        self._next_id += 1
+        self._transfers[transfer.transfer_id] = transfer
+        self._reschedule()
+        return transfer
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _capacity_now(self) -> float:
+        return self.trace.bandwidth_at(self.queue.now)
+
+    def _next_trace_boundary(self) -> float:
+        """Virtual time of the next capacity change."""
+        now = self.queue.now
+        duration = self.trace.duration_s
+        pos = now % duration
+        times = self.trace.timestamps
+        idx = bisect.bisect_right(times, pos) - 1
+        seg_end = times[idx + 1] if idx + 1 < len(times) else duration
+        return now + (seg_end - pos)
+
+    def _cap_kbps(self, transfer: Transfer) -> float:
+        if transfer.ramp_done:
+            return math.inf
+        return transfer.window_kilobits / self.rtt_s
+
+    def _apply_progress(self) -> None:
+        """Integrate byte progress since the last checkpoint.
+
+        Rates were constant over the interval by construction: the link
+        reschedules at every trace boundary, window epoch, arrival, and
+        completion, and records each transfer's rate at that point.
+        """
+        now = self.queue.now
+        dt = now - self._last_progress_time
+        if dt > 0:
+            for transfer in self._transfers.values():
+                transfer.remaining_kilobits -= transfer.current_rate_kbps * dt
+        self._last_progress_time = now
+
+    def _advance_windows(self) -> None:
+        """Apply any window doublings whose epoch has passed."""
+        now = self.queue.now
+        for transfer in self._transfers.values():
+            while not transfer.ramp_done and transfer.next_epoch_s <= now + 1e-12:
+                transfer.window_kilobits *= 2
+                transfer.next_epoch_s += self.rtt_s
+                if transfer.window_kilobits / self.rtt_s >= self._ramp_ceiling_kbps:
+                    transfer.ramp_done = True
+
+    def _reschedule(self) -> None:
+        """Record current rates and schedule the next interesting moment."""
+        self._generation += 1
+        generation = self._generation
+        self._last_progress_time = self.queue.now
+        if not self._transfers:
+            return
+        ids = list(self._transfers)
+        caps = [self._cap_kbps(self._transfers[i]) for i in ids]
+        rates = _water_fill(self._capacity_now(), caps)
+        horizon = self._next_trace_boundary()
+        for tid, rate in zip(ids, rates):
+            transfer = self._transfers[tid]
+            transfer.current_rate_kbps = rate
+            if not transfer.ramp_done:
+                horizon = min(horizon, transfer.next_epoch_s)
+            if rate > 0:
+                horizon = min(
+                    horizon, self.queue.now + transfer.remaining_kilobits / rate
+                )
+        self.queue.schedule_at(
+            max(horizon, self.queue.now),
+            lambda: self._on_progress(generation),
+        )
+
+    def _on_progress(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a newer reschedule
+        self._apply_progress()
+        self._advance_windows()
+        now = self.queue.now
+        completed: List[Transfer] = []
+        for tid in list(self._transfers):
+            transfer = self._transfers[tid]
+            if transfer.remaining_kilobits <= 1e-9:
+                transfer.remaining_kilobits = 0.0
+                transfer.completed_at_s = now
+                del self._transfers[tid]
+                completed.append(transfer)
+        self._reschedule()
+        for transfer in completed:
+            transfer.on_complete(transfer)

@@ -1,0 +1,93 @@
+"""Experiment harness: runners, sweeps, per-figure reproduction, reports."""
+
+from .cdf import cdf_at, ecdf, fraction_at_most, fraction_below, median, percentile
+from .runner import BACKENDS, ExperimentRecord, ResultSet, run_matrix
+from .figures import (
+    DatasetCharacteristics,
+    DetailSeries,
+    OverheadSample,
+    figure7,
+    figure8,
+    figure9_10,
+    measure_overhead,
+    prediction_profile,
+    table1,
+)
+from .sensitivity import (
+    SweepResult,
+    bitrate_levels_sweep,
+    buffer_size_sweep,
+    discretization_sweep,
+    horizon_sweep,
+    prediction_error_sweep,
+    qoe_preference_sweep,
+    startup_time_sweep,
+)
+from .persistence import (
+    load_result_set_csv,
+    load_sweep_json,
+    save_result_set_csv,
+    save_session_log_csv,
+    save_sweep_json,
+)
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_median_ci,
+    paired_median_difference_ci,
+    sign_test_fraction,
+)
+from .svgplot import render_cdf_svg, render_lines_svg, save_svg
+from .report import (
+    render_detail_series,
+    render_distribution_summary,
+    render_figure7,
+    render_result_set,
+    render_table,
+)
+
+__all__ = [
+    "cdf_at",
+    "ecdf",
+    "fraction_at_most",
+    "fraction_below",
+    "median",
+    "percentile",
+    "BACKENDS",
+    "ExperimentRecord",
+    "ResultSet",
+    "run_matrix",
+    "DatasetCharacteristics",
+    "DetailSeries",
+    "OverheadSample",
+    "figure7",
+    "figure8",
+    "figure9_10",
+    "measure_overhead",
+    "prediction_profile",
+    "table1",
+    "SweepResult",
+    "bitrate_levels_sweep",
+    "buffer_size_sweep",
+    "discretization_sweep",
+    "horizon_sweep",
+    "prediction_error_sweep",
+    "qoe_preference_sweep",
+    "startup_time_sweep",
+    "load_result_set_csv",
+    "load_sweep_json",
+    "save_result_set_csv",
+    "save_session_log_csv",
+    "save_sweep_json",
+    "ConfidenceInterval",
+    "bootstrap_median_ci",
+    "paired_median_difference_ci",
+    "sign_test_fraction",
+    "render_cdf_svg",
+    "render_lines_svg",
+    "save_svg",
+    "render_detail_series",
+    "render_distribution_summary",
+    "render_figure7",
+    "render_result_set",
+    "render_table",
+]

@@ -1,0 +1,85 @@
+"""Empirical-distribution helpers for the evaluation figures.
+
+Nearly every figure in Section 7 is a CDF over per-session values; these
+utilities compute the curves and the summary statistics (medians,
+percentiles, fractions) the paper's text quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ecdf",
+    "percentile",
+    "median",
+    "fraction_below",
+    "fraction_at_most",
+    "cdf_at",
+]
+
+
+def ecdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF: returns (sorted values, cumulative fractions)."""
+    if not values:
+        raise ValueError("need at least one value")
+    ordered = sorted(values)
+    n = len(ordered)
+    return ordered, [(i + 1) / n for i in range(n)]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly below ``threshold`` (e.g. "10% of
+    sessions have n-QoE < 0")."""
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= ``threshold`` (e.g. "zero rebuffer in 65% of
+    all cases")."""
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def cdf_at(values: Sequence[float], grid: Sequence[float]) -> List[float]:
+    """CDF evaluated on an explicit grid (for aligned plotting/tables)."""
+    if not values:
+        raise ValueError("need at least one value")
+    ordered = sorted(values)
+    n = len(ordered)
+    out = []
+    for g in grid:
+        count = 0
+        for v in ordered:
+            if v <= g:
+                count += 1
+            else:
+                break
+        out.append(count / n)
+    return out

@@ -1,0 +1,124 @@
+"""Multiprocess experiment execution.
+
+The paper's full-scale runs (1000 traces x 6 algorithms x 3 datasets) are
+embarrassingly parallel across (algorithm, trace) pairs.  This module
+fans :func:`repro.experiments.runner.run_matrix` out over a process pool.
+
+To stay fork/spawn-safe, work units reference algorithms by *registry
+name* (each worker constructs its own instance) and traces by value
+(traces are small, immutable, and picklable).  Results are identical to
+the serial runner for deterministic algorithms — a property pinned by
+``tests/experiments/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from ..abr.base import SessionConfig
+from ..abr.registry import create
+from ..core.offline import fluid_upper_bound
+from ..sim.session import StartupPolicy, simulate_session
+from ..traces.trace import Trace
+from ..video.manifest import VideoManifest
+from .runner import ExperimentRecord, ResultSet, _score_session
+
+__all__ = ["run_matrix_parallel"]
+
+
+def _run_one(args) -> ExperimentRecord:
+    """Process-pool work unit: one (algorithm name, trace) session."""
+    (
+        dataset,
+        algorithm_name,
+        trace,
+        manifest,
+        config,
+        startup_policy_value,
+        fixed_startup_delay_s,
+        include_startup,
+        optimal,
+    ) = args
+    algorithm = create(algorithm_name)
+    session = simulate_session(
+        algorithm,
+        trace,
+        manifest,
+        config,
+        startup_policy=StartupPolicy(startup_policy_value),
+        fixed_startup_delay_s=fixed_startup_delay_s,
+    )
+    return _score_session(dataset, algorithm_name, session, optimal, include_startup)
+
+
+def run_matrix_parallel(
+    algorithm_names: Sequence[str],
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    config: Optional[SessionConfig] = None,
+    workers: Optional[int] = None,
+    startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
+    fixed_startup_delay_s: float = 0.0,
+    include_startup_in_qoe: bool = True,
+    dataset: str = "",
+    chunksize: int = 4,
+) -> ResultSet:
+    """Parallel counterpart of :func:`run_matrix` (simulation backend).
+
+    Parameters
+    ----------
+    algorithm_names:
+        Registry names (see :func:`repro.abr.registry.available`); each
+        worker builds its own instances, so no cross-process state leaks.
+    workers:
+        Pool size; defaults to the CPU count.
+    """
+    if not algorithm_names:
+        raise ValueError("need at least one algorithm name")
+    if not traces:
+        raise ValueError("need at least one trace")
+    config = config if config is not None else SessionConfig()
+
+    bound_weights = config.weights
+    if not include_startup_in_qoe:
+        from ..qoe import QoEWeights
+
+        bound_weights = QoEWeights(
+            config.weights.switching, config.weights.rebuffering, 0.0,
+            label=config.weights.label,
+        )
+    optima = [
+        fluid_upper_bound(
+            trace,
+            manifest,
+            weights=bound_weights,
+            quality=config.quality,
+            buffer_capacity_s=config.buffer_capacity_s,
+        )
+        for trace in traces
+    ]
+
+    jobs = [
+        (
+            dataset,
+            name,
+            trace,
+            manifest,
+            config,
+            startup_policy.value,
+            fixed_startup_delay_s,
+            include_startup_in_qoe,
+            optima[i],
+        )
+        for name in algorithm_names
+        for i, trace in enumerate(traces)
+    ]
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        records: List[ExperimentRecord] = [_run_one(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            records = pool.map(_run_one, jobs, chunksize=chunksize)
+    return ResultSet(records, dataset=dataset)

@@ -1,0 +1,198 @@
+"""Saving and reloading experiment results.
+
+Long experiment campaigns (the paper's 1000-trace runs) should not have to
+re-simulate to re-plot.  This module serialises a
+:class:`~repro.experiments.runner.ResultSet` to CSV — one row per scored
+session, columns for every metric the figures consume — and loads it back
+into a fully functional ``ResultSet`` (aggregations, medians, detail
+series all work; only the full per-chunk logs are not retained).
+
+A JSON sidecar variant is provided for sweep results, preserving the
+series structure of Figures 11/12.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import List, Union
+
+from ..qoe import QoEBreakdown, QoEWeights
+from ..sim.metrics import SessionMetrics
+from .runner import ExperimentRecord, ResultSet
+from .sensitivity import SweepResult
+
+__all__ = [
+    "save_result_set_csv",
+    "load_result_set_csv",
+    "save_sweep_json",
+    "load_sweep_json",
+    "save_session_log_csv",
+]
+
+PathLike = Union[str, os.PathLike]
+
+_METRIC_FIELDS = (
+    "num_chunks",
+    "average_bitrate_kbps",
+    "average_bitrate_change_kbps",
+    "num_switches",
+    "total_rebuffer_s",
+    "num_rebuffer_events",
+    "startup_delay_s",
+    "total_wall_time_s",
+    "average_throughput_kbps",
+)
+
+_BREAKDOWN_FIELDS = (
+    "quality_total",
+    "switching_total",
+    "rebuffer_seconds",
+    "startup_seconds",
+)
+
+_WEIGHT_FIELDS = ("switching", "rebuffering", "startup", "label")
+
+
+def save_result_set_csv(results: ResultSet, path: PathLike) -> None:
+    """One row per scored session; lossless for everything figures need."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["dataset", "algorithm", "trace_name", "optimal_qoe", "n_qoe"]
+            + [f"metric_{f}" for f in _METRIC_FIELDS]
+            + [f"qoe_{f}" for f in _BREAKDOWN_FIELDS]
+            + [f"weight_{f}" for f in _WEIGHT_FIELDS]
+        )
+        for r in results.records:
+            writer.writerow(
+                [r.dataset, r.algorithm, r.trace_name, r.optimal_qoe, r.n_qoe]
+                + [getattr(r.metrics, f) for f in _METRIC_FIELDS]
+                + [getattr(r.breakdown, f) for f in _BREAKDOWN_FIELDS]
+                + [getattr(r.breakdown.weights, f) for f in _WEIGHT_FIELDS]
+            )
+
+
+def load_result_set_csv(path: PathLike) -> ResultSet:
+    """Inverse of :func:`save_result_set_csv`."""
+    path = Path(path)
+    records: List[ExperimentRecord] = []
+    dataset = ""
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            weights = QoEWeights(
+                float(row["weight_switching"]),
+                float(row["weight_rebuffering"]),
+                float(row["weight_startup"]),
+                label=row["weight_label"],
+            )
+            breakdown = QoEBreakdown(
+                quality_total=float(row["qoe_quality_total"]),
+                switching_total=float(row["qoe_switching_total"]),
+                rebuffer_seconds=float(row["qoe_rebuffer_seconds"]),
+                startup_seconds=float(row["qoe_startup_seconds"]),
+                weights=weights,
+            )
+            metrics = SessionMetrics(
+                algorithm_name=row["algorithm"],
+                trace_name=row["trace_name"],
+                num_chunks=int(float(row["metric_num_chunks"])),
+                average_bitrate_kbps=float(row["metric_average_bitrate_kbps"]),
+                average_bitrate_change_kbps=float(
+                    row["metric_average_bitrate_change_kbps"]
+                ),
+                num_switches=int(float(row["metric_num_switches"])),
+                total_rebuffer_s=float(row["metric_total_rebuffer_s"]),
+                num_rebuffer_events=int(float(row["metric_num_rebuffer_events"])),
+                startup_delay_s=float(row["metric_startup_delay_s"]),
+                total_wall_time_s=float(row["metric_total_wall_time_s"]),
+                average_throughput_kbps=float(
+                    row["metric_average_throughput_kbps"]
+                ),
+            )
+            dataset = row["dataset"]
+            records.append(
+                ExperimentRecord(
+                    dataset=row["dataset"],
+                    algorithm=row["algorithm"],
+                    trace_name=row["trace_name"],
+                    metrics=metrics,
+                    breakdown=breakdown,
+                    optimal_qoe=float(row["optimal_qoe"]),
+                    n_qoe=float(row["n_qoe"]),
+                )
+            )
+    if not records:
+        raise ValueError(f"{path}: no experiment records found")
+    return ResultSet(records, dataset=dataset)
+
+
+def save_sweep_json(sweep: SweepResult, path: PathLike) -> None:
+    """Persist a Figure 11/12 sweep (series keyed by algorithm)."""
+    path = Path(path)
+    payload = {
+        "parameter_name": sweep.parameter_name,
+        "parameter_values": list(sweep.parameter_values),
+        "series": {name: list(values) for name, values in sweep.series.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_sweep_json(path: PathLike) -> SweepResult:
+    """Inverse of :func:`save_sweep_json`."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("parameter_name", "parameter_values", "series"):
+        if key not in payload:
+            raise ValueError(f"{path}: missing {key!r}")
+    return SweepResult(
+        parameter_name=payload["parameter_name"],
+        parameter_values=tuple(payload["parameter_values"]),
+        series={k: tuple(v) for k, v in payload["series"].items()},
+    )
+
+
+def save_session_log_csv(session, path: PathLike) -> None:
+    """Per-chunk player log — the paper's Section 6 logging functions.
+
+    One row per chunk with everything the modified dash.js logged:
+    bitrate, download time, measured throughput, buffer levels, stall and
+    wait times.  Useful for inspecting a single session's dynamics.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "chunk_index",
+                "level_index",
+                "bitrate_kbps",
+                "size_kilobits",
+                "download_time_s",
+                "throughput_kbps",
+                "buffer_before_s",
+                "buffer_after_s",
+                "rebuffer_s",
+                "waited_s",
+                "wall_time_end_s",
+            ]
+        )
+        for r in session.records:
+            writer.writerow(
+                [
+                    r.chunk_index,
+                    r.level_index,
+                    r.bitrate_kbps,
+                    r.size_kilobits,
+                    r.download_time_s,
+                    r.throughput_kbps,
+                    r.buffer_before_s,
+                    r.buffer_after_s,
+                    r.rebuffer_s,
+                    r.waited_s,
+                    r.wall_time_end_s,
+                ]
+            )

@@ -1,0 +1,123 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks and the CLI print the same rows/series the paper's figures
+plot; these helpers keep that output consistent and greppable (one parser-
+friendly table per exhibit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .cdf import fraction_at_most, fraction_below, median, percentile
+from .figures import DatasetCharacteristics, DetailSeries
+from .runner import ResultSet
+
+__all__ = [
+    "render_table",
+    "render_distribution_summary",
+    "render_result_set",
+    "render_figure7",
+    "render_detail_series",
+]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a separator line."""
+    if not headers:
+        raise ValueError("need at least one column")
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for col, cell in zip(columns, row):
+            col.append(f"{cell:.4f}" if isinstance(cell, float) else str(cell))
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(cells: List[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    lines = [fmt([c[0] for c in columns])]
+    lines.append("-+-".join("-" * w for w in widths))
+    for i in range(1, len(columns[0])):
+        lines.append(fmt([c[i] for c in columns]))
+    return "\n".join(lines)
+
+
+def render_distribution_summary(
+    label: str, values: Sequence[float], unit: str = ""
+) -> str:
+    """p10/p50/p90 one-liner for a per-session distribution."""
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{label:>28}: p10 {percentile(values, 10):10.3f}"
+        f" | median {median(values):10.3f}"
+        f" | p90 {percentile(values, 90):10.3f}{suffix}"
+    )
+
+
+def render_result_set(results: ResultSet) -> str:
+    """The Figure 8 summary: per-algorithm n-QoE distribution."""
+    rows = []
+    for algorithm in results.algorithms():
+        nqoe = results.n_qoe_values(algorithm)
+        rows.append(
+            [
+                algorithm,
+                round(percentile(nqoe, 10), 4),
+                round(median(nqoe), 4),
+                round(percentile(nqoe, 90), 4),
+                round(fraction_below(nqoe, 0.0), 4),
+            ]
+        )
+    title = f"normalized QoE ({results.dataset})" if results.dataset else "normalized QoE"
+    table = render_table(
+        ["algorithm", "p10", "median", "p90", "frac n-QoE<0"], rows
+    )
+    return f"{title}\n{table}"
+
+
+def render_figure7(characteristics: Mapping[str, DatasetCharacteristics]) -> str:
+    """Dataset characteristics summary (Figure 7)."""
+    rows = []
+    for name, ch in characteristics.items():
+        rows.append(
+            [
+                name,
+                round(median(ch.mean_kbps), 1),
+                round(median(ch.std_kbps), 1),
+                round(median(ch.mean_abs_prediction_error), 4),
+                round(max(ch.worst_abs_prediction_error), 4),
+                round(median(ch.overestimation_fraction), 4),
+            ]
+        )
+    return render_table(
+        [
+            "dataset",
+            "median mean kbps",
+            "median std kbps",
+            "median |err|",
+            "worst |err|",
+            "overest. frac",
+        ],
+        rows,
+    )
+
+
+def render_detail_series(detail: DetailSeries) -> str:
+    """Figures 9/10: the three per-metric distribution summaries."""
+    lines = [f"detail metrics ({detail.dataset})" if detail.dataset else "detail metrics"]
+    sections = [
+        ("average bitrate", detail.average_bitrate_kbps, "kbps"),
+        ("avg bitrate change", detail.average_bitrate_change_kbps, "kbps/chunk"),
+        ("total rebuffer", detail.total_rebuffer_s, "s"),
+    ]
+    for title, series, unit in sections:
+        lines.append(f"-- {title} --")
+        for algorithm, values in series.items():
+            lines.append(render_distribution_summary(algorithm, values, unit))
+        if title == "total rebuffer":
+            for algorithm, values in series.items():
+                lines.append(
+                    f"{algorithm:>28}: zero-rebuffer sessions "
+                    f"{fraction_at_most(values, 1e-9):.0%}"
+                )
+    return "\n".join(lines)

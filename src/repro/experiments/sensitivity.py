@@ -1,0 +1,342 @@
+"""Sensitivity-analysis sweeps — Figures 11 and 12 of the paper.
+
+Each function runs one of Section 7.3/7.4's parameter sweeps over a set of
+traces and returns a :class:`SweepResult` whose series are per-algorithm
+aggregate normalized QoE per parameter value.  Simulation backend
+throughout, exactly as in the paper ("For sensitivity analysis we evaluate
+different algorithms using a custom simulation framework").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..abr.base import ABRAlgorithm, SessionConfig
+from ..abr.buffer_based import BufferBasedAlgorithm
+from ..abr.rate_based import RateBasedAlgorithm
+from ..core.fastmpc import FastMPCConfig, FastMPCController
+from ..core.mpc import MPCController, make_mpc_opt
+from ..core.robust import RobustMPCController
+from ..prediction.harmonic import HarmonicMeanPredictor
+from ..prediction.oracle import NoisyOraclePredictor, OraclePredictor
+from ..qoe import QoEWeights
+from ..sim.session import StartupPolicy
+from ..traces.trace import Trace
+from ..video.manifest import BitrateLadder, VideoManifest
+from .cdf import median
+from .runner import ResultSet, run_matrix
+
+__all__ = [
+    "SweepResult",
+    "prediction_error_sweep",
+    "qoe_preference_sweep",
+    "buffer_size_sweep",
+    "startup_time_sweep",
+    "bitrate_levels_sweep",
+    "discretization_sweep",
+    "horizon_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sensitivity sweep: series[algo][i] is the aggregate n-QoE at
+    parameter_values[i]."""
+
+    parameter_name: str
+    parameter_values: tuple
+    series: Dict[str, tuple]
+
+    def best_algorithm_at(self, index: int) -> str:
+        """Which algorithm wins at one parameter setting."""
+        return max(self.series, key=lambda a: self.series[a][index])
+
+    def describe(self) -> str:
+        lines = [f"sweep over {self.parameter_name}"]
+        header = f"{'value':>12} | " + " | ".join(
+            f"{name:>12}" for name in self.series
+        )
+        lines.append(header)
+        for i, value in enumerate(self.parameter_values):
+            row = f"{value!s:>12} | " + " | ".join(
+                f"{self.series[name][i]:12.4f}" for name in self.series
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def _aggregate(
+    results: ResultSet, algorithms: Sequence[str], how: str = "median"
+) -> Dict[str, float]:
+    if how == "median":
+        return {name: median(results.n_qoe_values(name)) for name in algorithms}
+    if how == "mean":
+        return {
+            name: sum(results.n_qoe_values(name)) / len(results.n_qoe_values(name))
+            for name in algorithms
+        }
+    raise ValueError(f"unknown aggregate {how!r}; expected 'median' or 'mean'")
+
+
+def _collect(
+    parameter_name: str,
+    values: Sequence,
+    run_one: Callable[[object], Dict[str, float]],
+) -> SweepResult:
+    series: Dict[str, List[float]] = {}
+    for value in values:
+        point = run_one(value)
+        for name, nqoe in point.items():
+            series.setdefault(name, []).append(nqoe)
+    return SweepResult(
+        parameter_name=parameter_name,
+        parameter_values=tuple(values),
+        series={k: tuple(v) for k, v in series.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11a — prediction error
+# ----------------------------------------------------------------------
+
+def prediction_error_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    error_levels: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.49),
+    config: Optional[SessionConfig] = None,
+    include_robust: bool = True,
+    seed: int = 0,
+) -> SweepResult:
+    """n-QoE vs average prediction-error level (Figure 11a).
+
+    MPC and RB consume a noisy oracle at the given error level; BB ignores
+    throughput entirely, so its series is flat — the paper's headline
+    crossover is MPC dipping below BB beyond ~25% error.
+    """
+    config = config if config is not None else SessionConfig()
+
+    def run_one(err: float) -> Dict[str, float]:
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "mpc": MPCController(NoisyOraclePredictor(err, seed=seed)),
+            "rb": RateBasedAlgorithm(NoisyOraclePredictor(err, seed=seed + 1)),
+            "bb": BufferBasedAlgorithm(),
+        }
+        if include_robust:
+            algorithms["robust-mpc"] = RobustMPCController(
+                NoisyOraclePredictor(err, seed=seed + 2)
+            )
+        results = run_matrix(algorithms, traces, manifest, config)
+        return _aggregate(results, list(algorithms))
+
+    return _collect("prediction_error", list(error_levels), run_one)
+
+
+# ----------------------------------------------------------------------
+# Figure 11b — user QoE preferences
+# ----------------------------------------------------------------------
+
+def qoe_preference_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    presets: Sequence[QoEWeights] = (),
+    buffer_capacity_s: float = 30.0,
+) -> SweepResult:
+    """n-QoE under the three preference profiles (Figure 11b)."""
+    if not presets:
+        presets = (
+            QoEWeights.balanced(),
+            QoEWeights.avoid_instability(),
+            QoEWeights.avoid_rebuffering(),
+        )
+
+    def run_one(weights: QoEWeights) -> Dict[str, float]:
+        config = SessionConfig(buffer_capacity_s=buffer_capacity_s, weights=weights)
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "mpc-opt": make_mpc_opt(),
+            "fastmpc": FastMPCController(),
+            "bb": BufferBasedAlgorithm(),
+            "rb": RateBasedAlgorithm(),
+        }
+        results = run_matrix(algorithms, traces, manifest, config)
+        return _aggregate(results, list(algorithms))
+
+    sweep = _collect("qoe_preference", list(presets), run_one)
+    return SweepResult(
+        parameter_name=sweep.parameter_name,
+        parameter_values=tuple(w.label for w in presets),
+        series=sweep.series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11c — playout buffer size
+# ----------------------------------------------------------------------
+
+def buffer_size_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    buffer_sizes_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0),
+    weights: Optional[QoEWeights] = None,
+) -> SweepResult:
+    """n-QoE vs ``Bmax`` (Figure 11c): gains until ~25 s, then a plateau;
+    RB is the least affected because it ignores the buffer."""
+    weights = weights if weights is not None else QoEWeights.balanced()
+
+    def run_one(bmax: float) -> Dict[str, float]:
+        config = SessionConfig(buffer_capacity_s=bmax, weights=weights)
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "mpc-opt": make_mpc_opt(),
+            "fastmpc": FastMPCController(),
+            "bb": BufferBasedAlgorithm(),
+            "rb": RateBasedAlgorithm(),
+        }
+        results = run_matrix(algorithms, traces, manifest, config)
+        return _aggregate(results, list(algorithms))
+
+    return _collect("buffer_size_s", list(buffer_sizes_s), run_one)
+
+
+# ----------------------------------------------------------------------
+# Figure 11d — fixed startup delay
+# ----------------------------------------------------------------------
+
+def startup_time_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    startup_times_s: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    config: Optional[SessionConfig] = None,
+) -> SweepResult:
+    """n-QoE (excluding the startup term) vs a fixed startup delay
+    (Figure 11d): more pre-roll buffer helps every algorithm."""
+    config = config if config is not None else SessionConfig()
+
+    def run_one(ts: float) -> Dict[str, float]:
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "mpc-opt": make_mpc_opt(),
+            "fastmpc": FastMPCController(),
+            "bb": BufferBasedAlgorithm(),
+            "rb": RateBasedAlgorithm(),
+        }
+        results = run_matrix(
+            algorithms,
+            traces,
+            manifest,
+            config,
+            startup_policy=StartupPolicy.FIXED,
+            fixed_startup_delay_s=ts,
+            include_startup_in_qoe=False,
+        )
+        return _aggregate(results, list(algorithms))
+
+    return _collect("startup_time_s", list(startup_times_s), run_one)
+
+
+# ----------------------------------------------------------------------
+# Section 7.3 "not shown" — number of bitrate levels
+# ----------------------------------------------------------------------
+
+def bitrate_levels_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    level_counts: Sequence[int] = (2, 3, 5, 8, 12, 20),
+    config: Optional[SessionConfig] = None,
+) -> SweepResult:
+    """n-QoE vs ladder granularity.
+
+    The paper reports (without a figure) that BB and MPC improve with
+    finer ladders while RB first improves then *degrades* as it starts
+    switching too often.  Ladders are evenly spaced over the original
+    [Rmin, Rmax].
+    """
+    config = config if config is not None else SessionConfig()
+    r_min = manifest.ladder.min_kbps
+    r_max = manifest.ladder.max_kbps
+
+    def run_one(count: int) -> Dict[str, float]:
+        ladder = BitrateLadder.uniform(r_min, r_max, count)
+        video = manifest.with_ladder(ladder)
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "mpc": MPCController(),
+            "bb": BufferBasedAlgorithm(),
+            "rb": RateBasedAlgorithm(),
+        }
+        results = run_matrix(algorithms, traces, video, config)
+        return _aggregate(results, list(algorithms))
+
+    return _collect("bitrate_levels", list(level_counts), run_one)
+
+
+# ----------------------------------------------------------------------
+# Figure 12a — FastMPC discretization granularity
+# ----------------------------------------------------------------------
+
+def discretization_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    discretization_levels: Sequence[int] = (5, 10, 20, 50, 100),
+    config: Optional[SessionConfig] = None,
+    throughput_spacing: str = "linear",
+    seed: int = 0,
+) -> SweepResult:
+    """FastMPC n-QoE vs table bin count (Figure 12a), with both perfect
+    prediction and the harmonic-mean predictor.
+
+    Throughput bins default to *linear* spacing here — the layout the
+    paper's Figure 5 table sketches — because the figure's point is the
+    damage done by coarse quantization.  (The deployment default in
+    :class:`FastMPCConfig` is log spacing, which is kinder at coarse bin
+    counts; the spacing ablation bench compares the two.)"""
+    config = config if config is not None else SessionConfig()
+
+    def run_one(levels: int) -> Dict[str, float]:
+        table_config = FastMPCConfig(
+            buffer_bins=levels,
+            throughput_bins=levels,
+            throughput_spacing=throughput_spacing,
+        )
+        algorithms: Dict[str, ABRAlgorithm] = {
+            "fastmpc-perfect": FastMPCController(
+                predictor=OraclePredictor(), config=table_config
+            ),
+            "fastmpc-harmonic": FastMPCController(
+                predictor=HarmonicMeanPredictor(), config=table_config
+            ),
+        }
+        results = run_matrix(algorithms, traces, manifest, config)
+        return _aggregate(results, list(algorithms))
+
+    return _collect("discretization_levels", list(discretization_levels), run_one)
+
+
+# ----------------------------------------------------------------------
+# Figure 12b — look-ahead horizon
+# ----------------------------------------------------------------------
+
+def horizon_sweep(
+    traces: Sequence[Trace],
+    manifest: VideoManifest,
+    horizons: Sequence[int] = (2, 3, 4, 5, 6, 7, 8, 9),
+    error_levels: Sequence[float] = (0.10, 0.15, 0.20),
+    config: Optional[SessionConfig] = None,
+    aggregate: str = "mean",
+    seed: int = 0,
+) -> SweepResult:
+    """MPC n-QoE vs look-ahead horizon at several prediction-error levels
+    (Figure 12b): gains grow then saturate around the paper's h = 5.
+
+    Aggregates by mean by default: per-trace medians are noisy here
+    because a single decision difference early in a session compounds."""
+    config = config if config is not None else SessionConfig()
+
+    def run_one(horizon: int) -> Dict[str, float]:
+        algorithms: Dict[str, ABRAlgorithm] = {
+            f"mpc-err{int(err * 100)}": MPCController(
+                NoisyOraclePredictor(err, seed=seed), horizon=horizon
+            )
+            for err in error_levels
+        }
+        results = run_matrix(algorithms, traces, manifest, config)
+        return _aggregate(results, list(algorithms), how=aggregate)
+
+    return _collect("horizon", list(horizons), run_one)

@@ -1,0 +1,111 @@
+"""Statistical support: bootstrap confidence intervals and paired tests.
+
+The paper reports median improvements ("15% in FCC") without uncertainty;
+at reproduction scale (tens of traces instead of 1000) uncertainty
+matters, so the benches and reports can attach bootstrap confidence
+intervals to medians and to paired median differences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .cdf import median, percentile
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_median_ci",
+    "paired_median_difference_ci",
+    "sign_test_fraction",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def excludes_zero(self) -> bool:
+        """True when the interval lies strictly on one side of zero —
+        the quick significance read for an improvement claim."""
+        return self.low > 0.0 or self.high < 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.low:.4f}, {self.high:.4f}] @ {self.confidence:.0%}"
+        )
+
+
+def _bootstrap(
+    values: Sequence[float],
+    statistic,
+    n_boot: int,
+    seed: int,
+) -> List[float]:
+    rng = random.Random(f"bootstrap-{seed}")
+    n = len(values)
+    out = []
+    for _ in range(n_boot):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        out.append(statistic(resample))
+    return out
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the median of a per-session metric."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not (0 < confidence < 1):
+        raise ValueError("confidence must be in (0, 1)")
+    if n_boot < 10:
+        raise ValueError("n_boot too small to be meaningful")
+    stats = _bootstrap(list(values), median, n_boot, seed)
+    alpha = (1 - confidence) / 2
+    return ConfidenceInterval(
+        estimate=median(values),
+        low=percentile(stats, 100 * alpha),
+        high=percentile(stats, 100 * (1 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_median_difference_ci(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """CI for ``median(a_i - b_i)`` over *paired* sessions.
+
+    Pairing by trace removes the (large) across-trace variance, which is
+    how "algorithm A beats B" claims should be tested when both ran on
+    the same traces.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    diffs = [x - y for x, y in zip(a, b)]
+    return bootstrap_median_ci(diffs, confidence, n_boot, seed)
+
+
+def sign_test_fraction(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of paired sessions where ``a`` strictly beats ``b``."""
+    if len(a) != len(b) or not a:
+        raise ValueError("paired samples must be non-empty and equal length")
+    wins = sum(1 for x, y in zip(a, b) if x > y)
+    return wins / len(a)

@@ -1,0 +1,222 @@
+"""Dependency-free SVG rendering of the paper's figure types.
+
+The evaluation produces two plot shapes — CDFs (Figures 7-10) and
+parameter-sweep line charts (Figures 11-12).  This module renders both as
+standalone SVG files using nothing but the standard library, so the
+repository can materialise its figures without a plotting stack.
+
+The output is deliberately simple: one polyline per series, axes with
+tick labels, and a legend.  Styling matches across figures.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from .cdf import ecdf
+
+__all__ = ["render_cdf_svg", "render_lines_svg", "save_svg"]
+
+PathLike = Union[str, os.PathLike]
+
+_PALETTE = (
+    "#1f6feb",  # blue
+    "#d1242f",  # red
+    "#1a7f37",  # green
+    "#9a6700",  # ochre
+    "#8250df",  # purple
+    "#57606a",  # grey
+    "#bf3989",  # magenta
+    "#0b7285",  # teal
+)
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 36, 56
+
+
+def _nice_ticks(low: float, high: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    t = first
+    while t <= high + 1e-12:
+        if t >= low - 1e-12:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [low, high]
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+class _Canvas:
+    """Minimal SVG assembly with a data-space to pixel-space transform."""
+
+    def __init__(self, x_range: Tuple[float, float], y_range: Tuple[float, float]):
+        self.x0, self.x1 = x_range
+        self.y0, self.y1 = y_range
+        if self.x1 <= self.x0:
+            self.x1 = self.x0 + 1.0
+        if self.y1 <= self.y0:
+            self.y1 = self.y0 + 1.0
+        self.parts: List[str] = []
+
+    def px(self, x: float) -> float:
+        frac = (x - self.x0) / (self.x1 - self.x0)
+        return _MARGIN_L + frac * (_WIDTH - _MARGIN_L - _MARGIN_R)
+
+    def py(self, y: float) -> float:
+        frac = (y - self.y0) / (self.y1 - self.y0)
+        return _HEIGHT - _MARGIN_B - frac * (_HEIGHT - _MARGIN_T - _MARGIN_B)
+
+    def add(self, fragment: str) -> None:
+        self.parts.append(fragment)
+
+    def axes(self, x_label: str, y_label: str, title: str) -> None:
+        left, right = _MARGIN_L, _WIDTH - _MARGIN_R
+        top, bottom = _MARGIN_T, _HEIGHT - _MARGIN_B
+        self.add(
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#444" />'
+        )
+        for tx in _nice_ticks(self.x0, self.x1):
+            px = self.px(tx)
+            self.add(
+                f'<line x1="{px:.1f}" y1="{bottom}" x2="{px:.1f}" '
+                f'y2="{bottom + 5}" stroke="#444" />'
+                f'<text x="{px:.1f}" y="{bottom + 18}" text-anchor="middle" '
+                f'class="tick">{_format_tick(tx)}</text>'
+            )
+        for ty in _nice_ticks(self.y0, self.y1):
+            py = self.py(ty)
+            self.add(
+                f'<line x1="{left - 5}" y1="{py:.1f}" x2="{left}" '
+                f'y2="{py:.1f}" stroke="#444" />'
+                f'<text x="{left - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'class="tick">{_format_tick(ty)}</text>'
+                f'<line x1="{left}" y1="{py:.1f}" x2="{right}" y2="{py:.1f}" '
+                f'stroke="#eee" />'
+            )
+        self.add(
+            f'<text x="{(left + right) / 2}" y="{_HEIGHT - 14}" '
+            f'text-anchor="middle" class="label">{x_label}</text>'
+        )
+        self.add(
+            f'<text x="18" y="{(top + bottom) / 2}" text-anchor="middle" '
+            f'class="label" transform="rotate(-90 18 {(top + bottom) / 2})">'
+            f"{y_label}</text>"
+        )
+        self.add(
+            f'<text x="{(left + right) / 2}" y="{top - 12}" '
+            f'text-anchor="middle" class="title">{title}</text>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], color: str) -> None:
+        coords = " ".join(f"{self.px(x):.1f},{self.py(y):.1f}" for x, y in points)
+        self.add(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8" />'
+        )
+
+    def legend(self, names: Sequence[str]) -> None:
+        x = _MARGIN_L + 10
+        y = _MARGIN_T + 14
+        for i, name in enumerate(names):
+            color = _PALETTE[i % len(_PALETTE)]
+            self.add(
+                f'<line x1="{x}" y1="{y - 4}" x2="{x + 22}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="2.5" />'
+                f'<text x="{x + 28}" y="{y}" class="tick">{name}</text>'
+            )
+            y += 16
+
+    def render(self) -> str:
+        style = (
+            "<style>text{font-family:Helvetica,Arial,sans-serif}"
+            ".tick{font-size:11px;fill:#333}.label{font-size:13px;fill:#111}"
+            ".title{font-size:14px;fill:#111;font-weight:bold}</style>"
+        )
+        body = "\n".join(self.parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">\n'
+            f"{style}\n{body}\n</svg>\n"
+        )
+
+
+def render_cdf_svg(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "value",
+) -> str:
+    """A Figure 8/9/10-style CDF plot: one curve per algorithm."""
+    if not series:
+        raise ValueError("need at least one series")
+    lows, highs = [], []
+    for values in series.values():
+        if not values:
+            raise ValueError("series must be non-empty")
+        lows.append(min(values))
+        highs.append(max(values))
+    canvas = _Canvas((min(lows), max(highs)), (0.0, 1.0))
+    canvas.axes(x_label, "CDF", title)
+    for i, (name, values) in enumerate(series.items()):
+        xs, fs = ecdf(values)
+        points: List[Tuple[float, float]] = [(xs[0], 0.0)]
+        for x, f in zip(xs, fs):
+            points.append((x, points[-1][1]))  # horizontal step
+            points.append((x, f))
+        canvas.polyline(points, _PALETTE[i % len(_PALETTE)])
+    canvas.legend(list(series))
+    return canvas.render()
+
+
+def render_lines_svg(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "parameter",
+    y_label: str = "n-QoE",
+) -> str:
+    """A Figure 11/12-style sweep plot: one line per algorithm."""
+    if not series:
+        raise ValueError("need at least one series")
+    if not x_values:
+        raise ValueError("need x values")
+    y_min = min(min(v) for v in series.values())
+    y_max = max(max(v) for v in series.values())
+    pad = 0.05 * (y_max - y_min or 1.0)
+    canvas = _Canvas(
+        (min(x_values), max(x_values)), (y_min - pad, y_max + pad)
+    )
+    canvas.axes(x_label, y_label, title)
+    for i, (name, values) in enumerate(series.items()):
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length != x length")
+        canvas.polyline(list(zip(x_values, values)), _PALETTE[i % len(_PALETTE)])
+    canvas.legend(list(series))
+    return canvas.render()
+
+
+def save_svg(svg_text: str, path: PathLike) -> Path:
+    """Write an SVG document produced by the render functions."""
+    path = Path(path)
+    if not svg_text.lstrip().startswith("<svg"):
+        raise ValueError("not an SVG document")
+    path.write_text(svg_text)
+    return path

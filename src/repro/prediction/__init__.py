@@ -1,0 +1,27 @@
+"""Throughput predictors and prediction-error tracking."""
+
+from .base import ThroughputObservation, ThroughputPredictor, TraceAware
+from .harmonic import HarmonicMeanPredictor
+from .simple import (
+    EWMAPredictor,
+    HoltLinearPredictor,
+    LastSamplePredictor,
+    SlidingMeanPredictor,
+)
+from .oracle import NoisyOraclePredictor, OraclePredictor
+from .errors import PredictionErrorTracker, percentage_error
+
+__all__ = [
+    "ThroughputObservation",
+    "ThroughputPredictor",
+    "TraceAware",
+    "HarmonicMeanPredictor",
+    "EWMAPredictor",
+    "HoltLinearPredictor",
+    "LastSamplePredictor",
+    "SlidingMeanPredictor",
+    "NoisyOraclePredictor",
+    "OraclePredictor",
+    "PredictionErrorTracker",
+    "percentage_error",
+]

@@ -1,0 +1,105 @@
+"""Throughput-predictor interface.
+
+Section 3.3 of the paper: the bitrate controller consumes *predictions*
+``{C_hat_t, t > t_k}`` from a throughput predictor plus exactly-known
+buffer occupancy.  The paper deliberately treats predictors as pluggable —
+"we assume that predictors are given to us and are characterized in terms
+of their expected prediction errors" — and so does this package.
+
+A predictor is fed one observation per completed chunk download (the
+chunk's average throughput, Eq. 2) via :meth:`observe`, and asked for a
+per-chunk forecast over the MPC look-ahead horizon via :meth:`predict`.
+
+Oracle-style predictors used in sensitivity studies additionally implement
+:class:`TraceAware`: the simulator binds them to the ground-truth trace and
+informs them of the wall clock before each decision.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["ThroughputObservation", "ThroughputPredictor", "TraceAware"]
+
+
+@dataclass(frozen=True)
+class ThroughputObservation:
+    """One completed chunk download, as seen by the predictor."""
+
+    throughput_kbps: float
+    duration_s: float = 0.0
+    chunk_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.throughput_kbps <= 0:
+            raise ValueError("observed throughput must be positive")
+        if self.duration_s < 0:
+            raise ValueError("duration must be >= 0")
+
+
+class ThroughputPredictor(ABC):
+    """Base class for all predictors."""
+
+    name = "base"
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all history (called at the start of each session)."""
+
+    @abstractmethod
+    def observe(self, observation: ThroughputObservation) -> None:
+        """Record a completed chunk's measured average throughput."""
+
+    @abstractmethod
+    def predict(self, horizon: int) -> List[float]:
+        """Forecast per-chunk average throughput for the next ``horizon``
+        chunks, in kbps.  Must return exactly ``horizon`` positive values,
+        even with no history (a documented cold-start default)."""
+
+    def observe_kbps(self, throughput_kbps: float, duration_s: float = 0.0) -> None:
+        """Convenience wrapper building the observation record."""
+        self.observe(ThroughputObservation(throughput_kbps, duration_s))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class TraceAware:
+    """Mixin for predictors that peek at the ground-truth trace.
+
+    The simulator calls :meth:`bind_trace` once per session and
+    :meth:`set_wall_time` before each prediction, enabling oracle and
+    noisy-oracle predictors (Section 7.3's controlled-error study).
+    """
+
+    _trace = None
+    _wall_time_s: float = 0.0
+    _chunk_duration_s: Optional[float] = None
+
+    def bind_trace(self, trace, chunk_duration_s: float) -> None:
+        if chunk_duration_s <= 0:
+            raise ValueError("chunk duration must be positive")
+        self._trace = trace
+        self._chunk_duration_s = chunk_duration_s
+
+    def set_wall_time(self, t: float) -> None:
+        if t < 0:
+            raise ValueError("wall time must be >= 0")
+        self._wall_time_s = t
+
+    def _true_future(self, horizon: int) -> List[float]:
+        """Ground-truth average throughput over the next ``horizon``
+        chunk-length wall-clock windows starting now."""
+        if self._trace is None or self._chunk_duration_s is None:
+            raise RuntimeError(
+                "trace-aware predictor used before bind_trace(); "
+                "run it inside a simulation session"
+            )
+        L = self._chunk_duration_s
+        t = self._wall_time_s
+        return [
+            self._trace.average_kbps_between(t + j * L, t + (j + 1) * L)
+            for j in range(horizon)
+        ]

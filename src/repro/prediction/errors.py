@@ -1,0 +1,111 @@
+"""Prediction-error tracking for RobustMPC and for Figure 7.
+
+Section 7.1.2, RobustMPC configuration: *"We assume that the throughput
+lower bound is C_hat / (1 + err), where C_hat is obtained using harmonic
+mean of the past 5 chunks, while prediction error err is the maximum
+absolute percentage error of the past 5 chunks."*
+
+:class:`PredictionErrorTracker` records, for each chunk, the percentage
+error between what the predictor forecast before the download and what the
+download actually measured, and exposes the max/mean statistics both
+RobustMPC and the dataset-characterisation figure need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+__all__ = ["PredictionErrorTracker", "percentage_error"]
+
+
+def percentage_error(predicted_kbps: float, actual_kbps: float) -> float:
+    """Signed relative error ``(predicted - actual) / actual``.
+
+    Positive values mean over-estimation — the dangerous direction, since
+    it drives rebuffering (Section 7.2's HSDPA analysis).
+    """
+    if actual_kbps <= 0:
+        raise ValueError("actual throughput must be positive")
+    return (predicted_kbps - actual_kbps) / actual_kbps
+
+
+class PredictionErrorTracker:
+    """Rolling window of per-chunk prediction errors.
+
+    Parameters
+    ----------
+    window:
+        How many recent chunks the robust bound looks at (paper: 5).
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._all: List[float] = []
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._all.clear()
+
+    def record(self, predicted_kbps: float, actual_kbps: float) -> float:
+        """Record one chunk's prediction/outcome pair; returns the error."""
+        err = percentage_error(predicted_kbps, actual_kbps)
+        self._recent.append(err)
+        self._all.append(err)
+        return err
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    # ------------------------------------------------------------------
+    # RobustMPC bound
+    # ------------------------------------------------------------------
+
+    def max_recent_abs_error(self) -> float:
+        """Max absolute percentage error over the window (RobustMPC's
+        ``err``); 0 when no history exists yet."""
+        if not self._recent:
+            return 0.0
+        return max(abs(e) for e in self._recent)
+
+    def robust_lower_bound(self, predicted_kbps: float) -> float:
+        """The paper's lower bound ``C_hat / (1 + err)``."""
+        if predicted_kbps <= 0:
+            raise ValueError("prediction must be positive")
+        return predicted_kbps / (1.0 + self.max_recent_abs_error())
+
+    # ------------------------------------------------------------------
+    # Session statistics (Figure 7's right panel)
+    # ------------------------------------------------------------------
+
+    def mean_abs_error(self) -> float:
+        """Session-average absolute percentage error."""
+        if not self._all:
+            return 0.0
+        return sum(abs(e) for e in self._all) / len(self._all)
+
+    def mean_signed_error(self) -> float:
+        """Session-average signed error (positive = over-estimation)."""
+        if not self._all:
+            return 0.0
+        return sum(self._all) / len(self._all)
+
+    def overestimation_fraction(self) -> float:
+        """Fraction of chunks where the predictor over-estimated."""
+        if not self._all:
+            return 0.0
+        return sum(1 for e in self._all if e > 0) / len(self._all)
+
+    def worst_abs_error(self) -> float:
+        """Worst absolute percentage error over the whole session."""
+        if not self._all:
+            return 0.0
+        return max(abs(e) for e in self._all)
+
+    @property
+    def errors(self) -> List[float]:
+        """All signed errors recorded this session (copy)."""
+        return list(self._all)

@@ -1,0 +1,61 @@
+"""Harmonic-mean throughput predictor — the paper's default.
+
+Section 7.1.2: *"we use the harmonic mean of the observed throughput of the
+last 5 chunks because it is robust to outliers in per-chunk estimates"*
+(following FESTIVE [34]).  The harmonic mean down-weights throughput
+spikes, which matters because a single anomalously fast chunk would
+otherwise drag an arithmetic mean far above sustainable rates.
+
+The forecast is flat: the same value for every chunk in the horizon.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from .base import ThroughputObservation, ThroughputPredictor
+
+__all__ = ["HarmonicMeanPredictor"]
+
+
+class HarmonicMeanPredictor(ThroughputPredictor):
+    """Harmonic mean of the last ``window`` per-chunk throughputs.
+
+    Parameters
+    ----------
+    window:
+        Number of past chunks averaged (the paper uses 5).
+    cold_start_kbps:
+        Returned before any observation exists (a session's very first
+        chunk).  Defaults to a conservative low rate so cold-start picks
+        the bottom of the ladder, matching real player behaviour.
+    """
+
+    name = "harmonic"
+
+    def __init__(self, window: int = 5, cold_start_kbps: float = 100.0) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        self.window = window
+        self.cold_start_kbps = cold_start_kbps
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        self._samples.append(observation.throughput_kbps)
+
+    def current_estimate(self) -> float:
+        """The harmonic mean of the current window (cold-start fallback)."""
+        if not self._samples:
+            return self.cold_start_kbps
+        return len(self._samples) / sum(1.0 / s for s in self._samples)
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        return [self.current_estimate()] * horizon

@@ -1,0 +1,90 @@
+"""Oracle predictors with controllable error.
+
+Two pieces of the paper's methodology live here:
+
+* **Perfect prediction** (:class:`OraclePredictor`) backs *MPC-OPT*
+  (Section 7.1.2: "the exact MPC with perfect throughput prediction for
+  the next 5 chunks") and the "FastMPC + Perfect Prediction" series of
+  Figure 12a.
+
+* **Controlled error** (:class:`NoisyOraclePredictor`) backs the
+  sensitivity study of Section 7.3: "we use the average error level to
+  characterize the performance of a throughput predictor and model the
+  prediction output as being a combination of the true throughput with
+  added random noise according to the average error level" (Figures 11a
+  and 12b).
+
+Both need the ground-truth trace; the simulator wires it in through the
+:class:`~repro.prediction.base.TraceAware` protocol.  The "true" future for
+window ``j`` is the trace's average throughput over
+``[t + j*L, t + (j+1)*L)`` — accurate whenever downloads proceed roughly in
+real time, and exactly the view a testbed oracle would log.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import ThroughputObservation, ThroughputPredictor, TraceAware
+
+__all__ = ["OraclePredictor", "NoisyOraclePredictor"]
+
+
+class OraclePredictor(TraceAware, ThroughputPredictor):
+    """Perfect per-chunk throughput knowledge over the horizon."""
+
+    name = "oracle"
+
+    def reset(self) -> None:
+        self._wall_time_s = 0.0
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        # The oracle needs no history — it reads the trace directly.
+        pass
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        return [max(v, 1e-6) for v in self._true_future(horizon)]
+
+
+class NoisyOraclePredictor(TraceAware, ThroughputPredictor):
+    """Ground truth corrupted by multiplicative noise of a target level.
+
+    Each horizon entry is ``C_true * (1 + e)`` with ``e`` drawn uniformly
+    from ``[-2*err, +2*err]`` so that the *average absolute percentage
+    error* equals ``error_level`` (mean of |U(-2e, 2e)| is ``e``).  Noise is
+    seeded per (session seed, decision epoch, horizon slot) so experiments
+    are reproducible yet errors are independent across decisions.
+    """
+
+    name = "noisy-oracle"
+
+    def __init__(self, error_level: float, seed: int = 0, floor_kbps: float = 1e-3) -> None:
+        if error_level < 0 or error_level >= 0.5:
+            raise ValueError(
+                "error_level must be in [0, 0.5) so that 1 + e stays positive"
+            )
+        self.error_level = error_level
+        self.seed = seed
+        self.floor_kbps = floor_kbps
+        self._epoch = 0
+
+    def reset(self) -> None:
+        self._wall_time_s = 0.0
+        self._epoch = 0
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        self._epoch += 1
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        truth = self._true_future(horizon)
+        out = []
+        for j, c in enumerate(truth):
+            rng = random.Random(f"{self.seed}-{self._epoch}-{j}")
+            e = rng.uniform(-2 * self.error_level, 2 * self.error_level)
+            out.append(max(c * (1.0 + e), self.floor_kbps))
+        return out

@@ -1,0 +1,172 @@
+"""Simple baseline predictors: last-sample, sliding mean, EWMA, Holt.
+
+The paper evaluates only the harmonic-mean predictor (its Section 8 calls
+better prediction future work), but comparing predictor families is a
+natural ablation and these implementations back the predictor-choice
+experiments in ``tests/prediction`` and the Figure 7 bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .base import ThroughputObservation, ThroughputPredictor
+
+__all__ = [
+    "LastSamplePredictor",
+    "SlidingMeanPredictor",
+    "EWMAPredictor",
+    "HoltLinearPredictor",
+]
+
+
+class LastSamplePredictor(ThroughputPredictor):
+    """Forecast = the most recent chunk's throughput (naive persistence)."""
+
+    name = "last-sample"
+
+    def __init__(self, cold_start_kbps: float = 100.0) -> None:
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        self.cold_start_kbps = cold_start_kbps
+        self._last: Optional[float] = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        self._last = observation.throughput_kbps
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        value = self._last if self._last is not None else self.cold_start_kbps
+        return [value] * horizon
+
+
+class SlidingMeanPredictor(ThroughputPredictor):
+    """Arithmetic mean of the last ``window`` samples.
+
+    Included as the contrast case to the harmonic mean: it over-weights
+    throughput spikes, which is exactly why the paper prefers the harmonic
+    mean.
+    """
+
+    name = "sliding-mean"
+
+    def __init__(self, window: int = 5, cold_start_kbps: float = 100.0) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        self.window = window
+        self.cold_start_kbps = cold_start_kbps
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        self._samples.append(observation.throughput_kbps)
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if not self._samples:
+            value = self.cold_start_kbps
+        else:
+            value = sum(self._samples) / len(self._samples)
+        return [value] * horizon
+
+
+class EWMAPredictor(ThroughputPredictor):
+    """Exponentially weighted moving average with smoothing ``alpha``."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.4, cold_start_kbps: float = 100.0) -> None:
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        self.alpha = alpha
+        self.cold_start_kbps = cold_start_kbps
+        self._level: Optional[float] = None
+
+    def reset(self) -> None:
+        self._level = None
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        x = observation.throughput_kbps
+        if self._level is None:
+            self._level = x
+        else:
+            self._level = self.alpha * x + (1 - self.alpha) * self._level
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        value = self._level if self._level is not None else self.cold_start_kbps
+        return [value] * horizon
+
+
+class HoltLinearPredictor(ThroughputPredictor):
+    """Holt's double exponential smoothing: level + trend extrapolation.
+
+    Unlike the flat-forecast predictors, this one produces a *ramped*
+    horizon forecast, exercising MPC's ability to plan against anticipated
+    throughput changes.  The trend is damped and the forecast floored to
+    stay positive.
+    """
+
+    name = "holt"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        damping: float = 0.9,
+        cold_start_kbps: float = 100.0,
+        floor_kbps: float = 10.0,
+    ) -> None:
+        if not (0 < alpha <= 1) or not (0 <= beta <= 1):
+            raise ValueError("alpha in (0,1], beta in [0,1] required")
+        if not (0 < damping <= 1):
+            raise ValueError("damping must be in (0, 1]")
+        if cold_start_kbps <= 0 or floor_kbps <= 0:
+            raise ValueError("cold-start and floor must be positive")
+        self.alpha = alpha
+        self.beta = beta
+        self.damping = damping
+        self.cold_start_kbps = cold_start_kbps
+        self.floor_kbps = floor_kbps
+        self._level: Optional[float] = None
+        self._trend: float = 0.0
+
+    def reset(self) -> None:
+        self._level = None
+        self._trend = 0.0
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        x = observation.throughput_kbps
+        if self._level is None:
+            self._level = x
+            self._trend = 0.0
+            return
+        prev_level = self._level
+        self._level = self.alpha * x + (1 - self.alpha) * (prev_level + self._trend)
+        self._trend = self.beta * (self._level - prev_level) + (1 - self.beta) * self._trend
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self._level is None:
+            return [self.cold_start_kbps] * horizon
+        out = []
+        damp = self.damping
+        cumulative = 0.0
+        for step in range(1, horizon + 1):
+            cumulative += damp**step
+            out.append(max(self._level + cumulative * self._trend, self.floor_kbps))
+        return out

@@ -1,0 +1,6 @@
+"""Chunk-level trace-driven simulator (the paper's Section 7.3 framework)."""
+
+from .metrics import SessionMetrics
+from .session import SessionResult, StartupPolicy, simulate_session
+
+__all__ = ["SessionMetrics", "SessionResult", "StartupPolicy", "simulate_session"]

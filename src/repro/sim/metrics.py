@@ -1,0 +1,67 @@
+"""Per-session quality metrics — the quantities plotted in Figures 9/10.
+
+The paper's per-session detail views report, per algorithm and trace:
+average bitrate (kbps), average bitrate change per chunk (kbps/chunk),
+and total rebuffer time (s).  :class:`SessionMetrics` extracts these plus
+auxiliary diagnostics from a finished session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import SessionResult
+
+__all__ = ["SessionMetrics"]
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Summary statistics of one playback session."""
+
+    algorithm_name: str
+    trace_name: str
+    num_chunks: int
+    average_bitrate_kbps: float
+    average_bitrate_change_kbps: float  # per chunk boundary, Figures 9/10
+    num_switches: int
+    total_rebuffer_s: float
+    num_rebuffer_events: int
+    startup_delay_s: float
+    total_wall_time_s: float
+    average_throughput_kbps: float
+
+    @classmethod
+    def from_session(cls, session: "SessionResult") -> "SessionMetrics":
+        bitrates = session.bitrates_kbps
+        k = len(bitrates)
+        if k == 0:
+            raise ValueError("session has no chunks")
+        changes = [abs(b - a) for a, b in zip(bitrates, bitrates[1:])]
+        switches = sum(1 for c in changes if c > 0)
+        rebuffer_events = sum(1 for r in session.records if r.rebuffer_s > 1e-9)
+        throughputs = [r.throughput_kbps for r in session.records]
+        return cls(
+            algorithm_name=session.algorithm_name,
+            trace_name=session.trace_name,
+            num_chunks=k,
+            average_bitrate_kbps=sum(bitrates) / k,
+            average_bitrate_change_kbps=(sum(changes) / (k - 1)) if k > 1 else 0.0,
+            num_switches=switches,
+            total_rebuffer_s=session.total_rebuffer_s,
+            num_rebuffer_events=rebuffer_events,
+            startup_delay_s=session.startup_delay_s,
+            total_wall_time_s=session.total_wall_time_s,
+            average_throughput_kbps=sum(throughputs) / k,
+        )
+
+    def describe(self) -> str:
+        """One human-readable summary line."""
+        return (
+            f"{self.algorithm_name:>14} | avg bitrate {self.average_bitrate_kbps:7.1f} kbps"
+            f" | avg change {self.average_bitrate_change_kbps:6.1f} kbps/chunk"
+            f" | rebuffer {self.total_rebuffer_s:6.2f} s ({self.num_rebuffer_events} events)"
+            f" | startup {self.startup_delay_s:5.2f} s"
+        )

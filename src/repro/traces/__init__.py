@@ -1,0 +1,50 @@
+"""Throughput-trace substrate: trace model, dataset generators, I/O."""
+
+from .trace import Trace, TraceStats
+from .synthetic import MarkovState, SyntheticTraceGenerator, shared_bottleneck_states
+from .fcc import FCCTraceGenerator
+from .hsdpa import HSDPARegime, HSDPATraceGenerator
+from .filters import (
+    ensure_min_duration,
+    filter_by_mean,
+    filter_by_std,
+    filter_nontrivial,
+    take,
+)
+from .io import (
+    load_dataset,
+    load_trace_csv,
+    load_trace_mahimahi,
+    save_dataset,
+    save_trace_csv,
+    save_trace_mahimahi,
+)
+from .datasets import DATASET_NAMES, make_generator, standard_datasets
+from .fitting import MarkovFit, fit_markov_model
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "MarkovState",
+    "SyntheticTraceGenerator",
+    "shared_bottleneck_states",
+    "FCCTraceGenerator",
+    "HSDPARegime",
+    "HSDPATraceGenerator",
+    "ensure_min_duration",
+    "filter_by_mean",
+    "filter_by_std",
+    "filter_nontrivial",
+    "take",
+    "load_dataset",
+    "load_trace_csv",
+    "load_trace_mahimahi",
+    "save_dataset",
+    "save_trace_csv",
+    "save_trace_mahimahi",
+    "DATASET_NAMES",
+    "MarkovFit",
+    "fit_markov_model",
+    "make_generator",
+    "standard_datasets",
+]

@@ -1,0 +1,103 @@
+"""FCC-broadband-like throughput trace generator.
+
+The paper's broadband workload is the FCC "Measuring Broadband America"
+dataset [9]: sets of six 5-second average-throughput measurements per
+server/client pair, concatenated to cover the video length and filtered to
+sessions with 0–3 Mbps mean throughput (Section 7.1.1).
+
+We do not ship the proprietary measurement files; instead this module
+generates statistically matched traces (see DESIGN.md, substitution table).
+The published characteristics the generator is calibrated against
+(Figure 7 of the paper) are:
+
+* mean throughput spread over roughly 0.3–3 Mbps after the paper's
+  0–3 Mbps filter,
+* *low* temporal variability within a session — broadband links are stable,
+  with a standard deviation typically well under 20% of the mean, and
+* harmonic-mean prediction error under ~5% on average.
+
+The model: each session draws a long-term mean from a lognormal
+distribution; within the session throughput follows a slow AR(1) process
+around that mean at 5-second granularity, with occasional mild congestion
+dips (cross traffic).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from .trace import Trace
+
+__all__ = ["FCCTraceGenerator"]
+
+
+class FCCTraceGenerator:
+    """Seeded generator of FCC-like (stable broadband) traces."""
+
+    dataset_name = "fcc"
+    sample_interval_s = 5.0
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_low_kbps: float = 300.0,
+        mean_high_kbps: float = 3000.0,
+        relative_std: float = 0.05,
+        ar_coefficient: float = 0.7,
+        dip_probability: float = 0.015,
+        dip_depth: float = 0.35,
+        floor_kbps: float = 50.0,
+    ) -> None:
+        if not (0 < mean_low_kbps < mean_high_kbps):
+            raise ValueError("need 0 < mean_low < mean_high")
+        if not (0 <= ar_coefficient < 1):
+            raise ValueError("AR coefficient must be in [0, 1)")
+        if not (0 <= dip_probability <= 1):
+            raise ValueError("dip probability must be in [0, 1]")
+        if not (0 < dip_depth <= 1):
+            raise ValueError("dip depth must be in (0, 1]")
+        self.seed = seed
+        self.mean_low_kbps = mean_low_kbps
+        self.mean_high_kbps = mean_high_kbps
+        self.relative_std = relative_std
+        self.ar_coefficient = ar_coefficient
+        self.dip_probability = dip_probability
+        self.dip_depth = dip_depth
+        self.floor_kbps = floor_kbps
+
+    def _session_mean(self, rng: random.Random) -> float:
+        """Lognormal session mean, clipped to the paper's 0–3 Mbps filter."""
+        lo, hi = math.log(self.mean_low_kbps), math.log(self.mean_high_kbps)
+        mu = (lo + hi) / 2
+        sigma = (hi - lo) / 4
+        while True:
+            mean = math.exp(rng.gauss(mu, sigma))
+            if self.mean_low_kbps <= mean <= self.mean_high_kbps:
+                return mean
+
+    def generate(self, duration_s: float, index: int = 0) -> Trace:
+        """Generate one FCC-like trace of at least ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        rng = random.Random(f"{self.seed}-fcc-{index}")
+        session_mean = self._session_mean(rng)
+        sigma = self.relative_std * session_mean
+        # Stationary AR(1): innovations scaled so marginal std equals sigma.
+        innovation_std = sigma * math.sqrt(1 - self.ar_coefficient**2)
+        n = int(math.ceil(duration_s / self.sample_interval_s))
+        samples: List[float] = []
+        deviation = rng.gauss(0.0, sigma)
+        for _ in range(n):
+            value = session_mean + deviation
+            if rng.random() < self.dip_probability:
+                value *= 1.0 - self.dip_depth * rng.random()
+            samples.append(max(value, self.floor_kbps))
+            deviation = self.ar_coefficient * deviation + rng.gauss(0.0, innovation_std)
+        return Trace.from_samples(
+            samples, self.sample_interval_s, name=f"{self.dataset_name}-{index:04d}"
+        )
+
+    def generate_many(self, count: int, duration_s: float, start_index: int = 0) -> List[Trace]:
+        return [self.generate(duration_s, index=start_index + i) for i in range(count)]

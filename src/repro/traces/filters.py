@@ -1,0 +1,93 @@
+"""Trace selection and filtering utilities.
+
+Section 7.1.1 of the paper filters the FCC dataset to traces "whose average
+throughput is between 0 to 3 Mbps, to avoid trivial cases where picking the
+maximum bitrate is always the optimal solution".  These helpers implement
+that kind of selection over any collection of traces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .trace import Trace
+
+__all__ = [
+    "filter_by_mean",
+    "filter_by_std",
+    "filter_nontrivial",
+    "ensure_min_duration",
+    "take",
+]
+
+
+def filter_by_mean(
+    traces: Iterable[Trace],
+    min_kbps: float = 0.0,
+    max_kbps: float = float("inf"),
+) -> List[Trace]:
+    """Keep traces whose time-weighted mean throughput is in the band."""
+    if min_kbps > max_kbps:
+        raise ValueError("min_kbps must not exceed max_kbps")
+    return [t for t in traces if min_kbps <= t.mean_kbps() <= max_kbps]
+
+
+def filter_by_std(
+    traces: Iterable[Trace],
+    min_kbps: float = 0.0,
+    max_kbps: float = float("inf"),
+) -> List[Trace]:
+    """Keep traces by standard deviation (variability) band."""
+    if min_kbps > max_kbps:
+        raise ValueError("min_kbps must not exceed max_kbps")
+    return [t for t in traces if min_kbps <= t.std_kbps() <= max_kbps]
+
+
+def filter_nontrivial(
+    traces: Iterable[Trace],
+    max_bitrate_kbps: float,
+    margin: float = 1.0,
+) -> List[Trace]:
+    """Drop traces where the max ladder bitrate is always affordable.
+
+    A trace whose *minimum* throughput exceeds ``margin * max_bitrate_kbps``
+    makes every algorithm pick the top rate — the paper's "trivial case".
+    """
+    if max_bitrate_kbps <= 0:
+        raise ValueError("max bitrate must be positive")
+    out = []
+    for t in traces:
+        if min(t.bandwidths_kbps) <= margin * max_bitrate_kbps:
+            out.append(t)
+    return out
+
+
+def ensure_min_duration(traces: Iterable[Trace], min_duration_s: float) -> List[Trace]:
+    """Extend short traces by repetition so each covers the video length."""
+    if min_duration_s <= 0:
+        raise ValueError("duration must be positive")
+    out = []
+    for t in traces:
+        if t.duration_s >= min_duration_s:
+            out.append(t)
+        else:
+            copies = int(min_duration_s // t.duration_s) + 1
+            out.append(t.repeated(copies))
+    return out
+
+
+def take(
+    traces: Iterable[Trace],
+    count: int,
+    predicate: Optional[Callable[[Trace], bool]] = None,
+) -> List[Trace]:
+    """First ``count`` traces satisfying ``predicate`` (all, by default)."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    out: List[Trace] = []
+    for t in traces:
+        if predicate is None or predicate(t):
+            out.append(t)
+            if len(out) == count:
+                break
+    return out

@@ -1,0 +1,170 @@
+"""Fitting the hidden-Markov synthetic generator to measured traces.
+
+Section 7.1.1's synthetic dataset is parameterised by a state set, the
+per-state Gaussian (``m_s``, ``sigma_s``), and the transition matrix —
+"we vary both ... to generate traces".  This module estimates all three
+from measured traces, closing the loop for users who *do* hold real
+datasets: fit once, then generate unlimited statistically matched traces
+with :class:`~repro.traces.synthetic.SyntheticTraceGenerator`.
+
+Estimation is deliberately simple and robust:
+
+* states are quantile bins of the pooled sample distribution (equal
+  occupancy, so every state is well estimated),
+* ``m_s`` / ``sigma_s`` are the within-bin sample mean and standard
+  deviation,
+* transitions are Laplace-smoothed counts of consecutive-sample bin
+  moves, estimated per trace and pooled (no transitions across trace
+  boundaries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .synthetic import MarkovState, SyntheticTraceGenerator
+from .trace import Trace
+
+__all__ = ["MarkovFit", "fit_markov_model"]
+
+
+@dataclass(frozen=True)
+class MarkovFit:
+    """The estimated hidden-Markov throughput model."""
+
+    states: Tuple[MarkovState, ...]
+    transition_matrix: Tuple[Tuple[float, ...], ...]
+    bin_edges: Tuple[float, ...]  # len(states) - 1 interior edges
+    sample_interval_s: float
+    num_samples: int
+
+    def state_of(self, throughput_kbps: float) -> int:
+        """Bin index of one throughput sample."""
+        for i, edge in enumerate(self.bin_edges):
+            if throughput_kbps < edge:
+                return i
+        return len(self.states) - 1
+
+    def stationary_distribution(self, iterations: int = 500) -> List[float]:
+        """Power-iterated stationary distribution of the fitted chain."""
+        n = len(self.states)
+        dist = [1.0 / n] * n
+        for _ in range(iterations):
+            nxt = [0.0] * n
+            for i, p_i in enumerate(dist):
+                for j in range(n):
+                    nxt[j] += p_i * self.transition_matrix[i][j]
+            dist = nxt
+        return dist
+
+    def mean_kbps(self) -> float:
+        """Stationary mean throughput implied by the fit."""
+        dist = self.stationary_distribution()
+        return sum(p * s.mean_kbps for p, s in zip(dist, self.states))
+
+    def to_generator(self, seed: int = 0) -> SyntheticTraceGenerator:
+        """A seeded generator producing traces from the fitted model."""
+        return SyntheticTraceGenerator(
+            states=list(self.states),
+            transition_matrix=[list(row) for row in self.transition_matrix],
+            sample_interval_s=self.sample_interval_s,
+            seed=seed,
+        )
+
+
+def _quantile_edges(samples: Sequence[float], num_states: int) -> List[float]:
+    ordered = sorted(samples)
+    edges = []
+    for k in range(1, num_states):
+        pos = k * len(ordered) // num_states
+        edges.append(ordered[min(pos, len(ordered) - 1)])
+    # Degenerate (duplicate) edges can appear on flat data; nudge them.
+    for i in range(1, len(edges)):
+        if edges[i] <= edges[i - 1]:
+            edges[i] = edges[i - 1] * (1 + 1e-9) + 1e-9
+    return edges
+
+
+def fit_markov_model(
+    traces: Sequence[Trace],
+    num_states: int = 6,
+    smoothing: float = 0.5,
+) -> MarkovFit:
+    """Estimate states, emissions, and transitions from measured traces.
+
+    Parameters
+    ----------
+    traces:
+        Measured traces; samples are taken at each trace's own segment
+        granularity.  The fitted ``sample_interval_s`` is the median
+        segment length across the pool.
+    num_states:
+        Number of hidden states (quantile bins).
+    smoothing:
+        Laplace pseudo-count added to every transition cell.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to fit")
+    if num_states < 2:
+        raise ValueError("need at least two states")
+    if smoothing <= 0:
+        raise ValueError("smoothing must be positive")
+
+    pooled: List[float] = []
+    intervals: List[float] = []
+    per_trace_samples: List[List[float]] = []
+    for trace in traces:
+        samples = list(trace.bandwidths_kbps)
+        if len(samples) < 2:
+            raise ValueError("each trace needs at least two samples")
+        per_trace_samples.append(samples)
+        pooled.extend(samples)
+        intervals.extend(trace.segment_durations())
+    if len(set(pooled)) < num_states:
+        raise ValueError(
+            f"only {len(set(pooled))} distinct throughput values; "
+            f"cannot fit {num_states} states"
+        )
+    edges = _quantile_edges(pooled, num_states)
+
+    def state_of(value: float) -> int:
+        for i, edge in enumerate(edges):
+            if value < edge:
+                return i
+        return num_states - 1
+
+    # Emissions.
+    by_state: List[List[float]] = [[] for _ in range(num_states)]
+    for value in pooled:
+        by_state[state_of(value)].append(value)
+    states: List[MarkovState] = []
+    for bucket in by_state:
+        if not bucket:
+            raise ValueError("empty state bucket; reduce num_states")
+        mean = sum(bucket) / len(bucket)
+        var = sum((v - mean) ** 2 for v in bucket) / max(len(bucket) - 1, 1)
+        states.append(MarkovState(mean_kbps=mean, std_kbps=math.sqrt(var)))
+
+    # Transitions, pooled over traces (no cross-trace transitions).
+    counts = [[smoothing] * num_states for _ in range(num_states)]
+    for samples in per_trace_samples:
+        previous = state_of(samples[0])
+        for value in samples[1:]:
+            current = state_of(value)
+            counts[previous][current] += 1.0
+            previous = current
+    matrix = tuple(
+        tuple(c / sum(row) for c in row) for row in (tuple(r) for r in counts)
+    )
+
+    intervals.sort()
+    sample_interval = intervals[len(intervals) // 2]
+    return MarkovFit(
+        states=tuple(states),
+        transition_matrix=matrix,
+        bin_edges=tuple(edges),
+        sample_interval_s=sample_interval,
+        num_samples=len(pooled),
+    )

@@ -1,0 +1,144 @@
+"""Reading and writing traces to disk.
+
+Two formats are supported:
+
+* **CSV** — two columns ``time_s,bandwidth_kbps`` (header optional).  This
+  mirrors the HSDPA dataset's published log format and is the package's
+  native interchange format.
+
+* **Mahimahi** — one packet-delivery timestamp (in milliseconds) per line,
+  each granting one 1500-byte MTU of capacity.  This is the format used by
+  the broader ABR research ecosystem that grew out of this paper
+  (Pensieve, Puffer), so traces produced here can be consumed by those
+  tools and vice versa.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .trace import Trace
+
+__all__ = [
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_mahimahi",
+    "load_trace_mahimahi",
+    "save_dataset",
+    "load_dataset",
+]
+
+_MTU_BYTES = 1500
+_MTU_KILOBITS = _MTU_BYTES * 8 / 1000.0
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_trace_csv(trace: Trace, path: PathLike) -> None:
+    """Write ``time_s,bandwidth_kbps`` rows plus a final duration marker."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "bandwidth_kbps"])
+        for t, bw in zip(trace.timestamps, trace.bandwidths_kbps):
+            writer.writerow([f"{t:.6f}", f"{bw:.6f}"])
+        # Sentinel row marking total duration (bandwidth repeated).
+        writer.writerow([f"{trace.duration_s:.6f}", f"{trace.bandwidths_kbps[-1]:.6f}"])
+
+
+def load_trace_csv(path: PathLike, name: str = "") -> Trace:
+    """Inverse of :func:`save_trace_csv`; tolerates a missing header."""
+    path = Path(path)
+    times: List[float] = []
+    bws: List[float] = []
+    with path.open(newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or row[0].startswith("#"):
+                continue
+            try:
+                t = float(row[0])
+            except ValueError:
+                continue  # header row
+            times.append(t)
+            bws.append(float(row[1]))
+    if len(times) < 2:
+        raise ValueError(f"{path}: need at least two rows (samples + duration sentinel)")
+    duration = times[-1]
+    return Trace(times[:-1], bws[:-1], duration_s=duration, name=name or path.stem)
+
+
+def save_trace_mahimahi(trace: Trace, path: PathLike) -> None:
+    """Write a mahimahi packet-delivery schedule equivalent to the trace.
+
+    Each line is an integer millisecond at which one MTU may be sent.  We
+    walk the trace in 1 ms steps accumulating fractional capacity; a packet
+    opportunity is emitted whenever a full MTU has accrued.
+    """
+    path = Path(path)
+    ms_total = int(math.ceil(trace.duration_s * 1000))
+    with path.open("w") as fh:
+        credit_kilobits = 0.0
+        for ms in range(ms_total):
+            credit_kilobits += trace.bandwidth_at(ms / 1000.0) / 1000.0
+            while credit_kilobits >= _MTU_KILOBITS:
+                fh.write(f"{ms + 1}\n")
+                credit_kilobits -= _MTU_KILOBITS
+
+
+def load_trace_mahimahi(
+    path: PathLike,
+    bucket_s: float = 1.0,
+    name: str = "",
+) -> Trace:
+    """Convert a mahimahi schedule back to a piecewise-constant trace.
+
+    Packet opportunities are aggregated into ``bucket_s`` buckets and each
+    bucket becomes one throughput sample.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket must be positive")
+    path = Path(path)
+    counts: dict[int, int] = {}
+    last_ms = 0
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            ms = int(line)
+            last_ms = max(last_ms, ms)
+            counts[int((ms - 1) / (bucket_s * 1000))] = (
+                counts.get(int((ms - 1) / (bucket_s * 1000)), 0) + 1
+            )
+    if not counts:
+        raise ValueError(f"{path}: empty mahimahi trace")
+    n_buckets = max(int(math.ceil(last_ms / (bucket_s * 1000))), max(counts) + 1)
+    samples = [
+        counts.get(i, 0) * _MTU_KILOBITS / bucket_s for i in range(n_buckets)
+    ]
+    return Trace.from_samples(samples, bucket_s, name=name or path.stem)
+
+
+def save_dataset(traces: Iterable[Trace], directory: PathLike) -> List[Path]:
+    """Save each trace as ``<name>.csv`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, trace in enumerate(traces):
+        stem = trace.name or f"trace-{i:04d}"
+        p = directory / f"{stem}.csv"
+        save_trace_csv(trace, p)
+        paths.append(p)
+    return paths
+
+
+def load_dataset(directory: PathLike) -> List[Trace]:
+    """Load every ``*.csv`` trace under ``directory`` (sorted by name)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a directory")
+    return [load_trace_csv(p) for p in sorted(directory.glob("*.csv"))]

@@ -1,0 +1,150 @@
+"""Synthetic throughput dataset from a hidden Markov model.
+
+Section 7.1.1 of the paper: *"The throughput is based on some hidden state
+``S_t`` in ``S`` modeling the number of users sharing a bottleneck link.
+The actual throughput ``C_t`` follows a Gaussian distribution with mean
+``m_s`` and variance ``sigma_s^2`` given the value of hidden state
+``S_t = s``.  We vary both the state transition probability matrix as well
+as the parameters ``m_s``, ``sigma_s^2`` to generate traces."*
+
+This module implements exactly that generator.  The default configuration
+models a bottleneck of fixed capacity shared by 1..`max_users` users, so
+state ``s`` has mean throughput ``capacity / s``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .trace import Trace
+
+__all__ = ["MarkovState", "SyntheticTraceGenerator", "shared_bottleneck_states"]
+
+
+@dataclass(frozen=True)
+class MarkovState:
+    """One hidden state: Gaussian throughput with mean/std, in kbps."""
+
+    mean_kbps: float
+    std_kbps: float
+
+    def sample(self, rng: random.Random, floor_kbps: float) -> float:
+        return max(rng.gauss(self.mean_kbps, self.std_kbps), floor_kbps)
+
+
+def shared_bottleneck_states(
+    capacity_kbps: float = 4800.0,
+    max_users: int = 6,
+    relative_std: float = 0.15,
+) -> List[MarkovState]:
+    """States for ``s`` users sharing a ``capacity_kbps`` bottleneck.
+
+    State ``s`` (1-indexed) yields mean ``capacity / s`` — the paper's
+    "number of users sharing a bottleneck link" interpretation.
+    """
+    if max_users < 1:
+        raise ValueError("max_users must be >= 1")
+    states = []
+    for s in range(1, max_users + 1):
+        mean = capacity_kbps / s
+        states.append(MarkovState(mean_kbps=mean, std_kbps=relative_std * mean))
+    return states
+
+
+def _default_transition_matrix(n: int, stay_probability: float) -> List[List[float]]:
+    """Birth–death chain: users arrive/depart one at a time."""
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        neighbours = [j for j in (i - 1, i + 1) if 0 <= j < n]
+        move = (1.0 - stay_probability) / len(neighbours)
+        matrix[i][i] = stay_probability
+        for j in neighbours:
+            matrix[i][j] = move
+    return matrix
+
+
+class SyntheticTraceGenerator:
+    """Seeded generator for the paper's synthetic dataset.
+
+    Parameters
+    ----------
+    states:
+        The hidden Markov states.  Defaults to a shared-bottleneck model.
+    transition_matrix:
+        Row-stochastic matrix ``P[i][j] = Pr(next=j | current=i)``.
+        Defaults to a sticky birth–death chain.
+    sample_interval_s:
+        The dwell time of each throughput sample (state transitions are
+        evaluated once per interval).
+    floor_kbps:
+        Throughput samples are clipped from below at this value so that a
+        Gaussian tail cannot produce a dead link.
+    seed:
+        Seed for reproducibility; every generated trace derives its own
+        stream from it.
+    """
+
+    dataset_name = "synthetic"
+
+    def __init__(
+        self,
+        states: Optional[Sequence[MarkovState]] = None,
+        transition_matrix: Optional[Sequence[Sequence[float]]] = None,
+        sample_interval_s: float = 2.0,
+        floor_kbps: float = 50.0,
+        stay_probability: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        self.states = list(states) if states is not None else shared_bottleneck_states()
+        if not self.states:
+            raise ValueError("need at least one Markov state")
+        n = len(self.states)
+        if transition_matrix is None:
+            transition_matrix = _default_transition_matrix(n, stay_probability)
+        self.transition_matrix = [list(map(float, row)) for row in transition_matrix]
+        if len(self.transition_matrix) != n or any(
+            len(row) != n for row in self.transition_matrix
+        ):
+            raise ValueError("transition matrix shape must match number of states")
+        for row in self.transition_matrix:
+            if any(p < 0 for p in row) or abs(sum(row) - 1.0) > 1e-9:
+                raise ValueError("transition matrix rows must be distributions")
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sample_interval_s = float(sample_interval_s)
+        self.floor_kbps = float(floor_kbps)
+        self.seed = seed
+
+    def _next_state(self, rng: random.Random, current: int) -> int:
+        u = rng.random()
+        acc = 0.0
+        row = self.transition_matrix[current]
+        for j, p in enumerate(row):
+            acc += p
+            if u <= acc:
+                return j
+        return len(row) - 1
+
+    def generate(self, duration_s: float, index: int = 0) -> Trace:
+        """Generate one trace of at least ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        rng = random.Random(f"{self.seed}-synthetic-{index}")
+        state = rng.randrange(len(self.states))
+        samples: List[float] = []
+        t = 0.0
+        while t < duration_s:
+            samples.append(self.states[state].sample(rng, self.floor_kbps))
+            state = self._next_state(rng, state)
+            t += self.sample_interval_s
+        return Trace.from_samples(
+            samples,
+            self.sample_interval_s,
+            name=f"{self.dataset_name}-{index:04d}",
+        )
+
+    def generate_many(self, count: int, duration_s: float, start_index: int = 0) -> List[Trace]:
+        """Generate ``count`` independent traces."""
+        return [self.generate(duration_s, index=start_index + i) for i in range(count)]

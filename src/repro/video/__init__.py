@@ -1,0 +1,39 @@
+"""Video model substrate: manifests, quality functions, presets."""
+
+from .manifest import BitrateLadder, VideoManifest
+from .quality import (
+    IdentityQuality,
+    LogQuality,
+    PiecewiseLinearQuality,
+    QualityFunction,
+    SaturatingQuality,
+)
+from .vbr import complexity_profile, vbr_manifest
+from .presets import (
+    DEFAULT_BUFFER_CAPACITY_S,
+    ENVIVIO_CHUNK_SECONDS,
+    ENVIVIO_LADDER_KBPS,
+    ENVIVIO_NUM_CHUNKS,
+    envivio,
+    envivio_vbr,
+    short_test_video,
+)
+
+__all__ = [
+    "BitrateLadder",
+    "VideoManifest",
+    "QualityFunction",
+    "IdentityQuality",
+    "LogQuality",
+    "SaturatingQuality",
+    "PiecewiseLinearQuality",
+    "complexity_profile",
+    "vbr_manifest",
+    "DEFAULT_BUFFER_CAPACITY_S",
+    "ENVIVIO_CHUNK_SECONDS",
+    "ENVIVIO_LADDER_KBPS",
+    "ENVIVIO_NUM_CHUNKS",
+    "envivio",
+    "envivio_vbr",
+    "short_test_video",
+]

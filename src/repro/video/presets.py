@@ -1,0 +1,58 @@
+"""Video presets used in the paper's evaluation.
+
+Section 7.1.1: *"We use the 'Envivio' video from the DASH-264 JavaScript
+reference client test page which is 260s long, consisting of 65 4s chunks.
+The video is encoded ... in the following bitrate levels:
+R = {350, 600, 1000, 2000, 3000} kbps"* (matching YouTube's 240p–1080p
+recommendations), with buffer size ``Bmax = 30 s``.
+"""
+
+from __future__ import annotations
+
+from .manifest import BitrateLadder, VideoManifest
+from .vbr import vbr_manifest
+
+__all__ = [
+    "ENVIVIO_LADDER_KBPS",
+    "ENVIVIO_CHUNK_SECONDS",
+    "ENVIVIO_NUM_CHUNKS",
+    "DEFAULT_BUFFER_CAPACITY_S",
+    "envivio",
+    "envivio_vbr",
+    "short_test_video",
+]
+
+ENVIVIO_LADDER_KBPS = (350.0, 600.0, 1000.0, 2000.0, 3000.0)
+ENVIVIO_CHUNK_SECONDS = 4.0
+ENVIVIO_NUM_CHUNKS = 65
+DEFAULT_BUFFER_CAPACITY_S = 30.0
+
+
+def envivio() -> VideoManifest:
+    """The paper's evaluation video: 65 x 4 s CBR chunks, 5-level ladder."""
+    return VideoManifest.cbr(
+        ENVIVIO_CHUNK_SECONDS,
+        BitrateLadder(ENVIVIO_LADDER_KBPS),
+        ENVIVIO_NUM_CHUNKS,
+        title="envivio",
+    )
+
+
+def envivio_vbr(variability: float = 0.25, seed: int = 0) -> VideoManifest:
+    """A VBR variant of the Envivio preset (extension experiments)."""
+    return vbr_manifest(
+        ENVIVIO_CHUNK_SECONDS,
+        BitrateLadder(ENVIVIO_LADDER_KBPS),
+        ENVIVIO_NUM_CHUNKS,
+        variability=variability,
+        seed=seed,
+        title="envivio-vbr",
+    )
+
+
+def short_test_video(num_chunks: int = 8, num_levels: int = 3) -> VideoManifest:
+    """A small video for unit tests and exhaustive-search cross-checks."""
+    ladder = BitrateLadder(list(ENVIVIO_LADDER_KBPS)[:num_levels])
+    return VideoManifest.cbr(
+        ENVIVIO_CHUNK_SECONDS, ladder, num_chunks, title="short-test"
+    )

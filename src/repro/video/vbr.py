@@ -1,0 +1,69 @@
+"""Variable-bitrate (VBR) chunk-size generation.
+
+Section 3.1 notes that under VBR the ``d_k ~ R_k`` relationship differs
+across chunks (complex scenes need more bits at the same nominal level).
+The evaluation uses a CBR encode, but the control problem — and our
+MPC solver — handles per-chunk sizes, so this module provides seeded VBR
+manifests for tests and extension experiments.
+
+The model multiplies each chunk's nominal size by a per-chunk *complexity*
+factor drawn from a mean-one lognormal AR(1) process (scene complexity is
+temporally correlated), shared across levels of the same chunk (a hard
+scene is hard at every bitrate).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from .manifest import BitrateLadder, VideoManifest
+
+__all__ = ["vbr_manifest", "complexity_profile"]
+
+
+def complexity_profile(
+    num_chunks: int,
+    variability: float = 0.25,
+    correlation: float = 0.6,
+    seed: int = 0,
+) -> List[float]:
+    """Mean-one multiplicative complexity factors for each chunk.
+
+    ``variability`` is the marginal sigma of ``log(factor)``;
+    ``correlation`` the AR(1) coefficient of the log-process.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if variability < 0:
+        raise ValueError("variability must be >= 0")
+    if not (0 <= correlation < 1):
+        raise ValueError("correlation must be in [0, 1)")
+    rng = random.Random(f"{seed}-vbr")
+    innovation = variability * math.sqrt(1 - correlation**2)
+    log_factor = rng.gauss(0.0, variability)
+    out = []
+    for _ in range(num_chunks):
+        # exp(-sigma^2/2) correction keeps the factor mean at one.
+        out.append(math.exp(log_factor - 0.5 * variability**2))
+        log_factor = correlation * log_factor + rng.gauss(0.0, innovation)
+    return out
+
+
+def vbr_manifest(
+    chunk_duration_s: float,
+    ladder: BitrateLadder,
+    num_chunks: int,
+    variability: float = 0.25,
+    correlation: float = 0.6,
+    seed: int = 0,
+    title: str = "",
+) -> VideoManifest:
+    """A VBR :class:`VideoManifest` around nominal ``L * R`` sizes."""
+    factors = complexity_profile(num_chunks, variability, correlation, seed)
+    sizes = [
+        [chunk_duration_s * rate * factor for rate in ladder]
+        for factor in factors
+    ]
+    return VideoManifest(chunk_duration_s, ladder, sizes, title=title or "vbr")

@@ -1,0 +1,75 @@
+"""Session-level behaviour contracts for every registered algorithm.
+
+A registry-wide sweep: each algorithm must complete sessions on easy,
+hard, and pathological traces without violating the player contract.
+These are the tests that catch an algorithm regressing into returning
+bad levels, crashing on cold starts, or leaking state across sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import available, create
+from repro.sim import simulate_session
+from repro.traces import Trace
+from repro.video import envivio
+
+ALGORITHMS = [name for name in available()]
+
+EASY = Trace.constant(2500.0, 600.0, name="easy")
+HARD = Trace(
+    [0.0, 30.0, 60.0, 90.0, 120.0],
+    [2500.0, 120.0, 1800.0, 90.0, 3000.0],
+    duration_s=600.0,
+    name="hard",
+)
+TRICKLE = Trace.constant(120.0, 4000.0, name="trickle")
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return envivio()
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+class TestEveryAlgorithm:
+    def test_easy_trace_no_stalls(self, name, manifest):
+        if name == "highest":
+            pytest.skip("always-highest is allowed to stall by design")
+        session = simulate_session(create(name), EASY, manifest)
+        assert len(session.records) == 65
+        assert session.total_rebuffer_s < 5.0
+
+    def test_hard_trace_completes(self, name, manifest):
+        session = simulate_session(create(name), HARD, manifest)
+        assert len(session.records) == 65
+        assert all(0 <= level < 5 for level in session.level_indices)
+
+    def test_trickle_trace_completes(self, name, manifest):
+        session = simulate_session(create(name), TRICKLE, manifest)
+        assert len(session.records) == 65
+
+    def test_instance_reusable_across_sessions(self, name, manifest):
+        """prepare() must fully reset state: running twice on the same
+        trace gives identical sessions."""
+        algorithm = create(name)
+        first = simulate_session(algorithm, HARD, manifest)
+        second = simulate_session(algorithm, HARD, manifest)
+        assert first.level_indices == second.level_indices
+        assert first.total_rebuffer_s == pytest.approx(second.total_rebuffer_s)
+
+    def test_deterministic_across_instances(self, name, manifest):
+        a = simulate_session(create(name), HARD, manifest)
+        b = simulate_session(create(name), HARD, manifest)
+        assert a.level_indices == b.level_indices
+
+
+@pytest.mark.parametrize("name", ["rb", "bb", "festive", "dashjs", "bola",
+                                  "robust-mpc"])
+def test_smart_algorithms_beat_max_on_trickle(name, manifest):
+    """On a starved link every adaptive algorithm must clearly beat the
+    always-highest policy (the paper's motivating extreme)."""
+    adaptive = simulate_session(create(name), TRICKLE, manifest)
+    greedy = simulate_session(create("highest"), TRICKLE, manifest)
+    assert adaptive.qoe().total > greedy.qoe().total

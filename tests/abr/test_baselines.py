@@ -1,0 +1,242 @@
+"""RB, BB, FESTIVE, dash.js rules, and the fixed policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abr import (
+    BufferBasedAlgorithm,
+    ConstantLevelAlgorithm,
+    DashJSRuleBased,
+    FestiveAlgorithm,
+    FixedPlanAlgorithm,
+    RateBasedAlgorithm,
+    SessionConfig,
+)
+from repro.abr.base import DownloadResult, PlayerObservation
+from repro.prediction import LastSamplePredictor
+from repro.video import envivio
+
+
+def obs(chunk=5, buffer_s=10.0, prev=1, playing=True):
+    return PlayerObservation(
+        chunk_index=chunk, buffer_level_s=buffer_s, prev_level_index=prev,
+        wall_time_s=chunk * 4.0, playback_started=playing,
+    )
+
+
+def result(level=1, throughput=1000.0, download_time=2.4, rebuffer=0.0, chunk=0):
+    ladder = (350.0, 600.0, 1000.0, 2000.0, 3000.0)
+    return DownloadResult(
+        chunk_index=chunk, level_index=level, bitrate_kbps=ladder[level],
+        size_kilobits=throughput * download_time, download_time_s=download_time,
+        throughput_kbps=throughput, rebuffer_s=rebuffer,
+        buffer_after_s=10.0, wall_time_end_s=(chunk + 1) * 4.0,
+    )
+
+
+def prepared(algo):
+    algo.prepare(envivio(), SessionConfig())
+    return algo
+
+
+class TestRateBased:
+    def test_picks_max_under_prediction(self):
+        predictor = LastSamplePredictor()
+        rb = prepared(RateBasedAlgorithm(predictor=predictor))
+        predictor.observe_kbps(2100.0)
+        assert rb.select_bitrate(obs()) == 3  # 2000 kbps
+
+    def test_ignores_buffer(self):
+        predictor = LastSamplePredictor()
+        rb = prepared(RateBasedAlgorithm(predictor=predictor))
+        predictor.observe_kbps(2100.0)
+        assert rb.select_bitrate(obs(buffer_s=0.0)) == rb.select_bitrate(
+            obs(buffer_s=29.0)
+        )
+
+    def test_safety_factor(self):
+        predictor = LastSamplePredictor()
+        rb = prepared(RateBasedAlgorithm(predictor=predictor, safety_factor=0.5))
+        predictor.observe_kbps(2100.0)
+        assert rb.select_bitrate(obs()) == 2  # 0.5 * 2100 -> 1000 kbps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateBasedAlgorithm(safety_factor=0.0)
+
+
+class TestBufferBased:
+    def test_rate_map_regions(self):
+        bb = prepared(BufferBasedAlgorithm(reservoir_s=5.0, cushion_s=10.0))
+        assert bb.rate_map_kbps(0.0) == 350.0
+        assert bb.rate_map_kbps(5.0) == 350.0
+        assert bb.rate_map_kbps(15.0) == 3000.0
+        assert bb.rate_map_kbps(30.0) == 3000.0
+        mid = bb.rate_map_kbps(10.0)
+        assert mid == pytest.approx(350.0 + 0.5 * (3000.0 - 350.0))
+
+    def test_selection_from_map(self):
+        bb = prepared(BufferBasedAlgorithm())
+        assert bb.select_bitrate(obs(buffer_s=2.0)) == 0
+        assert bb.select_bitrate(obs(buffer_s=15.0)) == 4
+        assert bb.select_bitrate(obs(buffer_s=10.0)) == 2  # f=1675 -> 1000
+
+    @given(b1=st.floats(0.0, 30.0), b2=st.floats(0.0, 30.0))
+    def test_rate_map_monotone(self, b1, b2):
+        bb = prepared(BufferBasedAlgorithm())
+        lo, hi = sorted((b1, b2))
+        assert bb.rate_map_kbps(lo) <= bb.rate_map_kbps(hi) + 1e-9
+
+    def test_no_throughput_predictor(self):
+        assert list(BufferBasedAlgorithm().predictors()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferBasedAlgorithm(reservoir_s=-1.0)
+        with pytest.raises(ValueError):
+            BufferBasedAlgorithm(cushion_s=0.0)
+
+
+class TestFestive:
+    def make(self):
+        predictor = LastSamplePredictor()
+        festive = FestiveAlgorithm(predictor=predictor)
+        prepared(festive)
+        return festive, predictor
+
+    def test_gradual_up_switch_one_level_at_a_time(self):
+        festive, predictor = self.make()
+        predictor.observe_kbps(50_000.0)
+        festive.on_download_complete(result(level=1, chunk=0))
+        festive.on_download_complete(result(level=1, chunk=1))
+        level = festive.select_bitrate(obs(prev=1))
+        assert level == 2  # one step up despite huge headroom
+
+    def test_up_switch_patience_grows_with_level(self):
+        """At level 3 the player must dwell 4 chunks before stepping up.
+
+        Downloads report a high measured throughput so the predictor keeps
+        favouring the top rate throughout."""
+        festive, predictor = self.make()
+        festive.on_download_complete(result(level=3, chunk=0, throughput=8000.0))
+        assert festive.select_bitrate(obs(prev=3)) == 3  # not patient yet
+        for chunk in range(1, 4):
+            festive.on_download_complete(
+                result(level=3, chunk=chunk, throughput=8000.0)
+            )
+        assert festive.select_bitrate(obs(prev=3)) == 4
+
+    def test_down_switch_when_bandwidth_collapses(self):
+        festive, predictor = self.make()
+        predictor.observe_kbps(400.0)
+        festive.on_download_complete(result(level=3, chunk=0))
+        assert festive.select_bitrate(obs(prev=3)) == 2
+
+    def test_stability_score_penalises_recent_switches(self):
+        festive, _ = self.make()
+        for chunk, level in enumerate([0, 1, 0, 1, 0]):
+            festive.on_download_complete(result(level=level, chunk=chunk))
+        assert festive.stability_score(0) == 2.0**4
+        assert festive.stability_score(1) == 2.0**5  # candidate adds one
+
+    def test_efficiency_score_prefers_bandwidth_fit(self):
+        festive, predictor = self.make()
+        predictor.observe_kbps(2100.0)
+        fit = festive.efficiency_score(3, 2100.0)  # 2000 kbps ~ fits
+        under = festive.efficiency_score(0, 2100.0)
+        over = festive.efficiency_score(4, 2100.0)
+        assert fit < under
+        assert fit < over
+
+    def test_cold_start_uses_prediction(self):
+        festive, predictor = self.make()
+        predictor.observe_kbps(650.0)
+        assert festive.select_bitrate(obs(chunk=0, prev=None)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FestiveAlgorithm(alpha=-1.0)
+        with pytest.raises(ValueError):
+            FestiveAlgorithm(switch_window=0)
+
+
+class TestDashJS:
+    def make(self):
+        dash = DashJSRuleBased()
+        prepared(dash)
+        return dash
+
+    def test_cold_start_at_bottom(self):
+        dash = self.make()
+        assert dash.select_bitrate(obs(chunk=0, prev=None, playing=False)) == 0
+
+    def test_down_switch_proportional_to_ratio(self):
+        dash = self.make()
+        # Last chunk at 2000 kbps took 8 s for 4 s of video: ratio 0.5.
+        dash.on_download_complete(result(level=3, download_time=8.0,
+                                         throughput=1000.0))
+        # usable bandwidth = 2000 * 0.5 = 1000 -> level 2.
+        assert dash.select_bitrate(obs(prev=3)) == 2
+
+    def test_up_switch_when_ratio_covers_next_step(self):
+        dash = self.make()
+        # At level 1 (600), ratio 4.0 >= 1000/600: switch up one level.
+        dash.on_download_complete(result(level=1, download_time=1.0,
+                                         throughput=2400.0))
+        assert dash.select_bitrate(obs(prev=1)) == 2
+
+    def test_insufficient_buffer_forces_lowest(self):
+        dash = self.make()
+        dash.on_download_complete(result(level=3, download_time=1.0,
+                                         throughput=8000.0))
+        assert dash.select_bitrate(obs(prev=3, buffer_s=2.0)) == 0
+
+    def test_low_buffer_memory_persists(self):
+        dash = self.make()
+        dash.on_download_complete(result(level=2, download_time=1.0,
+                                         throughput=4000.0))
+        dash.select_bitrate(obs(prev=2, buffer_s=1.0))  # triggers the rule
+        dash.on_download_complete(result(level=0, download_time=0.5,
+                                         throughput=2800.0, chunk=1))
+        # Buffer recovered, but the cooldown still pins the bottom rate.
+        assert dash.select_bitrate(obs(prev=0, buffer_s=10.0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DashJSRuleBased(low_buffer_s=-1.0)
+        with pytest.raises(ValueError):
+            DashJSRuleBased(up_switch_margin=0.0)
+
+
+class TestFixedPolicies:
+    def test_constant_level(self):
+        algo = prepared(ConstantLevelAlgorithm(2))
+        assert algo.select_bitrate(obs()) == 2
+
+    def test_constant_level_negative_indexing(self):
+        algo = prepared(ConstantLevelAlgorithm(-1))
+        assert algo.select_bitrate(obs()) == 4
+
+    def test_constant_level_bounds(self):
+        with pytest.raises(ValueError):
+            prepared(ConstantLevelAlgorithm(99))
+
+    def test_fixed_plan(self):
+        plan = [0] * 65
+        plan[7] = 3
+        algo = prepared(FixedPlanAlgorithm(plan))
+        assert algo.select_bitrate(obs(chunk=7)) == 3
+        assert algo.select_bitrate(obs(chunk=8)) == 0
+
+    def test_fixed_plan_validation(self):
+        with pytest.raises(ValueError):
+            FixedPlanAlgorithm([])
+        with pytest.raises(ValueError):
+            prepared(FixedPlanAlgorithm([0, 1]))  # wrong length
+        bad = [0] * 65
+        bad[3] = 9
+        with pytest.raises(ValueError):
+            prepared(FixedPlanAlgorithm(bad))

@@ -1,0 +1,79 @@
+"""BOLA (extension baseline)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abr import BolaAlgorithm, SessionConfig, create
+from repro.abr.base import PlayerObservation
+from repro.sim import simulate_session
+from repro.traces import SyntheticTraceGenerator, Trace
+from repro.video import envivio
+
+
+def prepared(gamma_p=5.0, buffer_capacity_s=30.0):
+    bola = BolaAlgorithm(gamma_p=gamma_p)
+    bola.prepare(envivio(), SessionConfig(buffer_capacity_s=buffer_capacity_s))
+    return bola
+
+
+def obs(buffer_s, prev=1):
+    return PlayerObservation(
+        chunk_index=5, buffer_level_s=buffer_s, prev_level_index=prev,
+        wall_time_s=20.0, playback_started=True,
+    )
+
+
+class TestBolaDecisions:
+    def test_empty_buffer_picks_lowest(self):
+        assert prepared().select_bitrate(obs(0.0)) == 0
+
+    def test_full_buffer_picks_highest(self):
+        assert prepared().select_bitrate(obs(30.0)) == 4
+
+    @given(b1=st.floats(0.0, 30.0), b2=st.floats(0.0, 30.0))
+    def test_monotone_in_buffer(self, b1, b2):
+        """BOLA's level choice is non-decreasing in buffer occupancy —
+        the defining property of a Lyapunov buffer map."""
+        bola = prepared()
+        lo, hi = sorted((b1, b2))
+        assert bola.select_bitrate(obs(lo)) <= bola.select_bitrate(obs(hi))
+
+    def test_gamma_p_trades_safety_for_utility(self):
+        """A larger gamma_p pins low rates until higher buffer levels."""
+        eager = prepared(gamma_p=2.0)
+        cautious = prepared(gamma_p=12.0)
+        mid = 10.0
+        assert cautious.select_bitrate(obs(mid)) <= eager.select_bitrate(obs(mid))
+
+    def test_scores_shape(self):
+        scores = prepared().scores(12.0)
+        assert len(scores) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BolaAlgorithm(gamma_p=0.0)
+        bola = BolaAlgorithm()
+        with pytest.raises(ValueError, match="buffer"):
+            bola.prepare(envivio(), SessionConfig(buffer_capacity_s=3.0))
+
+    def test_no_predictors(self):
+        """BOLA is pure Eq. 14: buffer in, bitrate out."""
+        assert list(BolaAlgorithm().predictors()) == []
+
+
+class TestBolaSessions:
+    def test_full_session(self, envivio_manifest):
+        trace = SyntheticTraceGenerator(seed=3).generate(320.0)
+        session = simulate_session(BolaAlgorithm(), trace, envivio_manifest)
+        assert len(session.records) == 65
+
+    def test_avoids_stalls_on_steady_link(self, envivio_manifest):
+        trace = Trace.constant(1200.0, 600.0)
+        session = simulate_session(BolaAlgorithm(), trace, envivio_manifest)
+        assert session.total_rebuffer_s == 0.0
+
+    def test_registry(self):
+        assert isinstance(create("bola"), BolaAlgorithm)

@@ -1,0 +1,52 @@
+"""The algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import ABRAlgorithm, available, create, paper_algorithms, register
+from repro.abr.registry import _FACTORIES
+
+
+class TestRegistry:
+    def test_available_lists_paper_algorithms(self):
+        names = available()
+        for expected in ("rb", "bb", "festive", "dashjs", "mpc", "robust-mpc",
+                         "fastmpc", "mpc-opt"):
+            assert expected in names
+
+    def test_create_returns_fresh_instances(self):
+        a = create("rb")
+        b = create("rb")
+        assert a is not b
+        assert isinstance(a, ABRAlgorithm)
+
+    def test_create_unknown(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            create("skynet")
+
+    def test_paper_algorithms_line_up(self):
+        algos = paper_algorithms()
+        assert set(algos) == {"rb", "bb", "fastmpc", "robust-mpc", "dashjs",
+                              "festive"}
+        for algo in algos.values():
+            assert isinstance(algo, ABRAlgorithm)
+
+    def test_register_custom(self):
+        class Custom(ABRAlgorithm):
+            name = "custom-test"
+
+            def select_bitrate(self, observation):
+                return 0
+
+        register("custom-test", Custom)
+        try:
+            assert isinstance(create("custom-test"), Custom)
+            with pytest.raises(ValueError, match="already registered"):
+                register("custom-test", Custom)
+        finally:
+            _FACTORIES.pop("custom-test", None)
+
+    def test_register_empty_name(self):
+        with pytest.raises(ValueError):
+            register("", lambda: None)

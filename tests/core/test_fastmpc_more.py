@@ -1,0 +1,105 @@
+"""Additional FastMPC coverage: spacing variants, quality functions,
+session-level near-optimality at the paper's deployed configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr.base import SessionConfig
+from repro.core.fastmpc import (
+    FastMPCConfig,
+    FastMPCController,
+    build_decision_table,
+    clear_table_cache,
+)
+from repro.core.mpc import MPCController
+from repro.qoe import QoEWeights
+from repro.sim import simulate_session
+from repro.traces import SyntheticTraceGenerator
+from repro.video import envivio
+from repro.video.quality import LogQuality
+
+LADDER = (350.0, 600.0, 1000.0, 2000.0, 3000.0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_table_cache()
+    yield
+    clear_table_cache()
+
+
+class TestSpacingVariants:
+    @pytest.mark.parametrize("spacing", ["log", "linear"])
+    def test_both_spacings_build_and_answer(self, spacing):
+        config = FastMPCConfig(
+            buffer_bins=10, throughput_bins=10, horizon=3,
+            throughput_spacing=spacing,
+        )
+        table = build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(), config=config
+        )
+        assert table.lookup(0.0, 0, 50.0) == 0
+        assert table.lookup(30.0, 4, 10_000.0) == 4
+
+    def test_custom_range(self):
+        config = FastMPCConfig(
+            buffer_bins=8, throughput_bins=8, horizon=3,
+            throughput_low_kbps=200.0, throughput_high_kbps=4000.0,
+        )
+        table = build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(), config=config
+        )
+        assert table.throughput_bins.low == 200.0
+        assert table.throughput_bins.high == 4000.0
+
+    def test_invalid_range_rejected(self):
+        config = FastMPCConfig(
+            throughput_low_kbps=4000.0, throughput_high_kbps=200.0
+        )
+        with pytest.raises(ValueError):
+            config.resolved_range(LADDER)
+
+
+class TestQualityFunctions:
+    def test_log_quality_table_differs_from_identity(self):
+        config = FastMPCConfig(buffer_bins=10, throughput_bins=10, horizon=3)
+        identity = build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(), config=config
+        )
+        log_q = LogQuality(reference_kbps=300.0, scale=700.0)
+        logarithmic = build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights(1.0, 700.0, 700.0, label="log"),
+            quality_values=tuple(log_q(r) for r in LADDER),
+            config=config,
+        )
+        flat_a = [identity.rle.lookup(i) for i in range(identity.num_entries)]
+        flat_b = [logarithmic.rle.lookup(i) for i in range(logarithmic.num_entries)]
+        assert flat_a != flat_b
+
+    def test_controller_respects_config_quality(self):
+        """The table the controller builds keys on the session's q(.)."""
+        controller = FastMPCController(
+            config=FastMPCConfig(buffer_bins=8, throughput_bins=8, horizon=3)
+        )
+        controller.prepare(
+            envivio(), SessionConfig(quality=LogQuality())
+        )
+        assert controller.table is not None
+
+
+class TestDeployedConfiguration:
+    def test_paper_config_tracks_online_solver_across_sessions(self):
+        """At the deployed 100x100 configuration, FastMPC's whole-session
+        QoE stays within a few percent of online MPC on several traces —
+        the 'near-optimal' claim of Section 5."""
+        manifest = envivio()
+        traces = SyntheticTraceGenerator(seed=17).generate_many(3, 320.0)
+        ratios = []
+        for trace in traces:
+            fast = simulate_session(FastMPCController(), trace, manifest)
+            online = simulate_session(MPCController(), trace, manifest)
+            if online.qoe().total > 0:
+                ratios.append(fast.qoe().total / online.qoe().total)
+        assert ratios, "need at least one positive-QoE session"
+        assert min(ratios) > 0.85

@@ -1,0 +1,88 @@
+"""Value-iteration internals of the MDP controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abr.base import SessionConfig
+from repro.core.mdp import MDPController
+from repro.qoe import QoEWeights
+from repro.video import envivio
+
+
+def prepared(**kwargs):
+    controller = MDPController(**kwargs)
+    controller.prepare(envivio(), SessionConfig())
+    return controller
+
+
+class TestDynamicsPrecomputation:
+    def test_shapes(self):
+        c = prepared(buffer_bins=10, throughput_bins=6)
+        assert c._stage_rebuffer.shape == (5, 10, 6)
+        assert c._next_buffer_index.shape == (5, 10, 6)
+
+    def test_rebuffer_zero_when_buffer_covers_download(self):
+        c = prepared(buffer_bins=10, throughput_bins=6)
+        # Highest buffer bin, highest throughput state, lowest action:
+        # download time is tiny compared to the buffer.
+        assert c._stage_rebuffer[0, -1, -1] == pytest.approx(0.0)
+
+    def test_next_buffer_indices_valid(self):
+        c = prepared(buffer_bins=10, throughput_bins=6)
+        assert c._next_buffer_index.min() >= 0
+        assert c._next_buffer_index.max() < 10
+
+    def test_higher_action_never_smaller_rebuffer(self):
+        """At fixed (buffer, throughput), a bigger chunk stalls at least
+        as long."""
+        c = prepared(buffer_bins=8, throughput_bins=5)
+        for b in range(8):
+            for s in range(5):
+                column = c._stage_rebuffer[:, b, s]
+                assert all(x <= y + 1e-12 for x, y in zip(column, column[1:]))
+
+
+class TestValueIteration:
+    def test_policy_shape_and_range(self):
+        c = prepared(buffer_bins=8, throughput_bins=5)
+        c.model.observe(1000.0)
+        policy = c._value_iteration()
+        assert policy.shape == (8, 5, 5)
+        assert policy.min() >= 0 and policy.max() < 5
+
+    def test_policy_extremes_in_buffer(self):
+        """The *argmax* action need not be monotone in buffer (switching
+        interactions — same phenomenon as FastMPC's table), but the
+        extremes are certain: an empty buffer never picks a higher level
+        than a full one, per (state, prev)."""
+        c = prepared(buffer_bins=12, throughput_bins=5)
+        for _ in range(20):
+            c.model.observe(1400.0)
+        policy = c._value_iteration()
+        for s in range(5):
+            for prev in range(5):
+                assert policy[0, s, prev] <= policy[-1, s, prev], (s, prev)
+
+    def test_heavier_rebuffer_weight_is_more_cautious(self):
+        careful = MDPController(buffer_bins=10, throughput_bins=5)
+        careful.prepare(
+            envivio(), SessionConfig(weights=QoEWeights.avoid_rebuffering())
+        )
+        relaxed = prepared(buffer_bins=10, throughput_bins=5)
+        for controller in (careful, relaxed):
+            for _ in range(10):
+                controller.model.observe(1500.0)
+        p_careful = careful._value_iteration()
+        p_relaxed = relaxed._value_iteration()
+        assert p_careful.sum() <= p_relaxed.sum()
+
+    def test_iteration_converges_quickly(self):
+        import time
+
+        c = prepared()
+        c.model.observe(1200.0)
+        start = time.perf_counter()
+        c._value_iteration()
+        assert time.perf_counter() - start < 2.0

@@ -1,0 +1,136 @@
+"""The MPC controller (Algorithm 1) and MPC-OPT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr.base import PlayerObservation, SessionConfig
+from repro.core.mpc import DEFAULT_HORIZON, MPCController, make_mpc_opt
+from repro.prediction import HarmonicMeanPredictor, LastSamplePredictor, OraclePredictor
+from repro.sim import simulate_session
+from repro.traces import Trace
+from repro.video import envivio, short_test_video
+
+
+def prepared_mpc(manifest, predictor=None, **kwargs):
+    mpc = MPCController(predictor=predictor, **kwargs)
+    mpc.prepare(manifest, SessionConfig())
+    return mpc
+
+
+def obs(chunk=10, buffer_s=15.0, prev=1, playing=True):
+    return PlayerObservation(
+        chunk_index=chunk,
+        buffer_level_s=buffer_s,
+        prev_level_index=prev,
+        wall_time_s=chunk * 4.0,
+        playback_started=playing,
+    )
+
+
+class TestMPCController:
+    def test_default_horizon_matches_paper(self):
+        assert MPCController().horizon == DEFAULT_HORIZON == 5
+
+    def test_requires_prepare(self):
+        with pytest.raises(RuntimeError, match="prepare"):
+            MPCController().select_bitrate(obs())
+
+    def test_high_prediction_high_bitrate(self, envivio_manifest):
+        predictor = LastSamplePredictor()
+        mpc = prepared_mpc(envivio_manifest, predictor)
+        predictor.observe_kbps(50_000.0)  # after prepare(): it resets state
+        assert mpc.select_bitrate(obs(prev=4)) == 4
+
+    def test_low_prediction_low_bitrate(self, envivio_manifest):
+        predictor = LastSamplePredictor()
+        mpc = prepared_mpc(envivio_manifest, predictor)
+        predictor.observe_kbps(90.0)
+        assert mpc.select_bitrate(obs(buffer_s=0.5, prev=0)) == 0
+
+    def test_horizon_clipped_at_video_end(self, envivio_manifest):
+        mpc = prepared_mpc(envivio_manifest)
+        assert mpc._effective_horizon(0) == 5
+        assert mpc._effective_horizon(62) == 3
+        assert mpc._effective_horizon(64) == 1
+
+    def test_decision_on_last_chunk_works(self, envivio_manifest):
+        mpc = prepared_mpc(envivio_manifest)
+        level = mpc.select_bitrate(obs(chunk=64))
+        assert 0 <= level < 5
+
+    def test_prediction_error_tracked_after_download(self, envivio_manifest):
+        from repro.abr.base import DownloadResult
+
+        predictor = LastSamplePredictor()
+        mpc = prepared_mpc(envivio_manifest, predictor)
+        predictor.observe_kbps(1000.0)
+        mpc.select_bitrate(obs())
+        mpc.on_download_complete(
+            DownloadResult(
+                chunk_index=10, level_index=1, bitrate_kbps=600.0,
+                size_kilobits=2400.0, download_time_s=3.0,
+                throughput_kbps=800.0, rebuffer_s=0.0, buffer_after_s=16.0,
+                wall_time_end_s=43.0,
+            )
+        )
+        # predicted 1000, actual 800 -> 25% error recorded
+        assert mpc.error_tracker.max_recent_abs_error() == pytest.approx(0.25)
+
+    def test_startup_wait_zero_in_steady_state(self, envivio_manifest):
+        mpc = prepared_mpc(envivio_manifest)
+        mpc.select_bitrate(obs(playing=True))
+        assert mpc.select_startup_wait(obs()) == 0.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            MPCController(horizon=0)
+
+    def test_prepare_resets_state(self, envivio_manifest):
+        mpc = prepared_mpc(envivio_manifest)
+        mpc.error_tracker.record(1500.0, 1000.0)
+        mpc.prepare(envivio_manifest, SessionConfig())
+        assert mpc.error_tracker.max_recent_abs_error() == 0.0
+
+    def test_custom_name(self):
+        assert MPCController(name="my-mpc").name == "my-mpc"
+
+    def test_quality_values_follow_config(self, envivio_manifest):
+        from repro.video.quality import LogQuality
+
+        mpc = MPCController()
+        mpc.prepare(envivio_manifest, SessionConfig(quality=LogQuality()))
+        assert mpc._quality_values[0] == pytest.approx(LogQuality()(350.0))
+
+
+class TestMPCOpt:
+    def test_uses_oracle(self):
+        mpc = make_mpc_opt()
+        assert isinstance(mpc.predictor, OraclePredictor)
+        assert mpc.name == "mpc-opt"
+
+    def test_beats_harmonic_mpc_on_volatile_trace(self, envivio_manifest):
+        """Perfect prediction should not lose to harmonic-mean prediction
+        on a trace with sharp throughput swings."""
+        trace = Trace(
+            [0.0, 40.0, 80.0, 120.0, 160.0, 200.0],
+            [2500.0, 300.0, 2500.0, 300.0, 2500.0, 300.0],
+            duration_s=400.0,
+        )
+        opt = simulate_session(make_mpc_opt(), trace, envivio_manifest)
+        plain = simulate_session(MPCController(), trace, envivio_manifest)
+        assert opt.qoe().total >= plain.qoe().total
+
+
+class TestMPCStartupPhase:
+    def test_startup_decision_records_wait(self, envivio_manifest):
+        predictor = LastSamplePredictor()
+        mpc = prepared_mpc(envivio_manifest, predictor)
+        predictor.observe_kbps(500.0)
+        mpc.select_bitrate(obs(chunk=0, buffer_s=0.0, prev=None, playing=False))
+        assert mpc.select_startup_wait(obs(chunk=0, playing=False)) >= 0.0
+
+    def test_startup_optimisation_can_be_disabled(self, envivio_manifest):
+        mpc = prepared_mpc(envivio_manifest, optimize_startup=False)
+        mpc.select_bitrate(obs(chunk=0, buffer_s=0.0, prev=None, playing=False))
+        assert mpc.select_startup_wait(obs(chunk=0, playing=False)) == 0.0

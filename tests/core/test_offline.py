@@ -1,0 +1,158 @@
+"""Offline-optimal bound, fixed-plan forward model, normalized QoE."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.fixed import FixedPlanAlgorithm
+from repro.core.offline import (
+    CumulativeBits,
+    exhaustive_optimal,
+    fluid_upper_bound,
+    normalized_qoe,
+    simulate_fixed_plan,
+)
+from repro.qoe import QoEWeights
+from repro.sim import simulate_session
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+class TestCumulativeBits:
+    def test_matches_trace_integral(self, step_trace):
+        cb = CumulativeBits(step_trace)
+        for t in (0.0, 10.0, 105.0, 200.0, 700.0, 1234.5):
+            assert cb.bits(t) == pytest.approx(
+                step_trace.kilobits_between(0.0, t), rel=1e-9, abs=1e-6
+            )
+
+    def test_rejects_negative(self, step_trace):
+        with pytest.raises(ValueError):
+            CumulativeBits(step_trace).bits(-1.0)
+
+
+class TestSimulateFixedPlan:
+    def test_matches_simulator(self, short_manifest):
+        """The standalone forward model and the event loop in repro.sim
+        are independent implementations of Eqs. (1)-(4); they must agree
+        for any fixed plan."""
+        rng = random.Random(0)
+        for trial in range(10):
+            samples = [rng.uniform(200.0, 3000.0) for _ in range(40)]
+            trace = Trace.from_samples(samples, 2.0)
+            plan = [rng.randrange(3) for _ in range(short_manifest.num_chunks)]
+            via_model = simulate_fixed_plan(trace, short_manifest, plan)
+            session = simulate_session(
+                FixedPlanAlgorithm(plan), trace, short_manifest
+            )
+            via_sim = session.qoe()
+            assert via_model.total == pytest.approx(via_sim.total, rel=1e-9, abs=1e-6)
+            assert via_model.rebuffer_seconds == pytest.approx(
+                via_sim.rebuffer_seconds, abs=1e-9
+            )
+            assert via_model.startup_seconds == pytest.approx(
+                via_sim.startup_seconds, abs=1e-9
+            )
+
+    def test_plan_length_validated(self, short_manifest):
+        with pytest.raises(ValueError):
+            simulate_fixed_plan(Trace.constant(1000, 60), short_manifest, [0])
+
+    def test_extra_wait_counts_toward_startup(self, short_manifest):
+        trace = Trace.constant(1000.0, 200.0)
+        plan = [0] * short_manifest.num_chunks
+        without = simulate_fixed_plan(trace, short_manifest, plan)
+        with_wait = simulate_fixed_plan(
+            trace, short_manifest, plan, extra_startup_wait_s=3.0
+        )
+        assert with_wait.startup_seconds == pytest.approx(
+            without.startup_seconds + 3.0
+        )
+
+
+class TestFluidUpperBound:
+    def test_dominates_exhaustive_optimal(self):
+        """The bound must sit above the true discrete optimum."""
+        manifest = short_test_video(num_chunks=5, num_levels=3)
+        rng = random.Random(1)
+        for trial in range(6):
+            samples = [rng.uniform(150.0, 3500.0) for _ in range(30)]
+            trace = Trace.from_samples(samples, 3.0)
+            _, best_qoe = exhaustive_optimal(trace, manifest)
+            bound = fluid_upper_bound(trace, manifest)
+            assert bound >= best_qoe - 1e-6
+
+    def test_dominates_any_fixed_plan(self, short_manifest):
+        rng = random.Random(2)
+        for trial in range(5):
+            samples = [rng.uniform(100.0, 4000.0) for _ in range(25)]
+            trace = Trace.from_samples(samples, 4.0)
+            bound = fluid_upper_bound(trace, short_manifest)
+            for _ in range(20):
+                plan = [rng.randrange(3) for _ in range(short_manifest.num_chunks)]
+                wait = rng.choice([0.0, 1.0, 5.0])
+                achieved = simulate_fixed_plan(
+                    trace, short_manifest, plan, extra_startup_wait_s=wait
+                ).total
+                assert bound >= achieved - 1e-6
+
+    def test_abundant_throughput_approaches_max_quality(self, short_manifest):
+        trace = Trace.constant(100_000.0, 600.0)
+        bound = fluid_upper_bound(trace, short_manifest)
+        k = short_manifest.num_chunks
+        r_max = short_manifest.ladder.max_kbps
+        assert bound <= k * r_max + 1e-6
+        assert bound >= 0.9 * k * r_max
+
+    def test_bound_monotone_in_throughput(self, short_manifest):
+        slow = Trace.constant(500.0, 600.0)
+        fast = Trace.constant(1500.0, 600.0)
+        assert fluid_upper_bound(fast, short_manifest) >= fluid_upper_bound(
+            slow, short_manifest
+        )
+
+    def test_respects_weights(self, short_manifest):
+        """A stingier weight set can only lower the bound."""
+        trace = Trace.constant(700.0, 600.0)
+        balanced = fluid_upper_bound(trace, short_manifest,
+                                     weights=QoEWeights.balanced())
+        harsh = fluid_upper_bound(trace, short_manifest,
+                                  weights=QoEWeights.avoid_rebuffering())
+        assert harsh <= balanced + 1e-9
+
+
+class TestExhaustiveOptimal:
+    def test_finds_constant_max_plan_when_throughput_is_ample(self):
+        manifest = short_test_video(num_chunks=4, num_levels=2)
+        trace = Trace.constant(50_000.0, 600.0)
+        plan, qoe = exhaustive_optimal(trace, manifest)
+        assert plan == (1, 1, 1, 1)
+
+    def test_respects_plan_budget(self):
+        manifest = short_test_video(num_chunks=8, num_levels=3)
+        with pytest.raises(ValueError, match="max_plans"):
+            exhaustive_optimal(Trace.constant(1000, 60), manifest, max_plans=10)
+
+    def test_beats_mpc_opt(self, short_manifest):
+        """The exhaustive optimum upper-bounds any online algorithm."""
+        from repro.core.mpc import make_mpc_opt
+
+        trace = Trace([0.0, 20.0], [1500.0, 500.0], duration_s=120.0)
+        _, best = exhaustive_optimal(trace, short_manifest)
+        mpc = simulate_session(make_mpc_opt(), trace, short_manifest)
+        assert best >= mpc.qoe().total - 1e-6
+
+
+class TestNormalizedQoE:
+    def test_ratio(self):
+        assert normalized_qoe(50.0, 100.0) == pytest.approx(0.5)
+        assert normalized_qoe(-20.0, 100.0) == pytest.approx(-0.2)
+
+    def test_rejects_nonpositive_optimal(self):
+        with pytest.raises(ValueError):
+            normalized_qoe(10.0, 0.0)

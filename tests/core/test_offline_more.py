@@ -1,0 +1,84 @@
+"""Additional offline-bound coverage: hypothesis-driven dominance and
+relationships between the normalizer and real algorithms at scale."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr import create
+from repro.core.offline import fluid_upper_bound
+from repro.qoe import QoEWeights
+from repro.sim import simulate_session
+from repro.traces import Trace
+from repro.video import short_test_video
+from repro.video.quality import LogQuality
+
+
+@given(
+    bandwidths=st.lists(st.floats(60.0, 4000.0), min_size=2, max_size=20),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=25)
+def test_bound_dominates_online_algorithms(bandwidths, seed):
+    """The fluid bound upper-bounds whatever any real algorithm achieves,
+    for arbitrary traces — the property that keeps n-QoE <= 1."""
+    manifest = short_test_video(num_chunks=10, num_levels=3)
+    trace = Trace.from_samples(bandwidths, interval_s=3.0)
+    bound = fluid_upper_bound(trace, manifest)
+    for name in ("rb", "bb", "dashjs"):
+        session = simulate_session(create(name), trace, manifest)
+        assert session.qoe().total <= bound + 1e-6
+
+
+@given(bandwidths=st.lists(st.floats(60.0, 4000.0), min_size=2, max_size=15))
+@settings(max_examples=25)
+def test_bound_positive_for_live_links(bandwidths):
+    """Any trace with non-trivial capacity admits a positive optimum."""
+    manifest = short_test_video(num_chunks=6, num_levels=3)
+    trace = Trace.from_samples(bandwidths, interval_s=4.0)
+    assert fluid_upper_bound(trace, manifest) > 0
+
+
+class TestBoundWithConcaveQuality:
+    def test_dominates_with_log_quality(self):
+        """The Jensen step (K*q(S/K)) keeps the bound valid for concave
+        non-identity quality functions."""
+        manifest = short_test_video(num_chunks=8, num_levels=3)
+        quality = LogQuality(reference_kbps=100.0, scale=500.0)
+        rng = random.Random(5)
+        for _ in range(5):
+            trace = Trace.from_samples(
+                [rng.uniform(150.0, 3000.0) for _ in range(20)], 4.0
+            )
+            bound = fluid_upper_bound(trace, manifest, quality=quality)
+            for name in ("rb", "bb"):
+                algo = create(name)
+                from repro.abr import SessionConfig
+
+                config = SessionConfig(quality=quality)
+                session = simulate_session(algo, trace, manifest, config)
+                assert session.qoe().total <= bound + 1e-6
+
+
+class TestBoundParameters:
+    def test_startup_weight_lowers_bound(self, step_trace, short_manifest):
+        cheap_startup = fluid_upper_bound(
+            step_trace, short_manifest,
+            weights=QoEWeights(1.0, 3000.0, 0.0, label="x"),
+        )
+        costly_startup = fluid_upper_bound(
+            step_trace, short_manifest,
+            weights=QoEWeights(1.0, 3000.0, 9000.0, label="y"),
+        )
+        assert costly_startup <= cheap_startup + 1e-9
+
+    def test_larger_buffer_never_lowers_bound(self, step_trace, short_manifest):
+        small = fluid_upper_bound(step_trace, short_manifest,
+                                  buffer_capacity_s=10.0)
+        large = fluid_upper_bound(step_trace, short_manifest,
+                                  buffer_capacity_s=40.0)
+        assert large >= small - 1e-9

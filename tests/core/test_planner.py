@@ -1,0 +1,93 @@
+"""The offline beam-search planner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.abr import FixedPlanAlgorithm, create
+from repro.core.offline import (
+    exhaustive_optimal,
+    fluid_upper_bound,
+    simulate_fixed_plan,
+)
+from repro.core.planner import OfflineBeamPlanner
+from repro.sim import simulate_session
+from repro.traces import SyntheticTraceGenerator, Trace
+from repro.video import envivio, short_test_video
+
+
+class TestExactnessOnSmallInstances:
+    def test_matches_exhaustive_optimal(self):
+        """On instances brute force can certify, the beam (at default
+        width) must find the same optimum."""
+        manifest = short_test_video(num_chunks=5, num_levels=3)
+        planner = OfflineBeamPlanner(
+            beam_width=512, startup_wait_grid_s=(0.0, 2.0, 4.0, 8.0)
+        )
+        rng = random.Random(3)
+        for trial in range(5):
+            samples = [rng.uniform(150.0, 3500.0) for _ in range(30)]
+            trace = Trace.from_samples(samples, 3.0)
+            _, best = exhaustive_optimal(
+                trace, manifest, startup_wait_grid_s=(0.0, 2.0, 4.0, 8.0)
+            )
+            result = planner.plan(trace, manifest)
+            assert result.qoe == pytest.approx(best, rel=1e-9, abs=1e-6)
+
+    def test_plan_qoe_is_realised(self):
+        """The reported QoE equals a replay of the plan through the
+        independent forward model (startup handled identically)."""
+        manifest = short_test_video(num_chunks=6, num_levels=3)
+        trace = Trace([0.0, 20.0], [1500.0, 600.0], duration_s=200.0)
+        planner = OfflineBeamPlanner(startup_wait_grid_s=(0.0,))
+        result = planner.plan(trace, manifest)
+        replay = simulate_fixed_plan(trace, manifest, result.plan)
+        assert result.qoe == pytest.approx(replay.total, rel=1e-9, abs=1e-6)
+
+
+class TestBracketsTheOptimum:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        manifest = envivio()
+        trace = SyntheticTraceGenerator(seed=23).generate(320.0)
+        planner = OfflineBeamPlanner(beam_width=128)
+        return manifest, trace, planner.plan(trace, manifest)
+
+    def test_below_fluid_upper_bound(self, setting):
+        manifest, trace, result = setting
+        assert result.qoe <= fluid_upper_bound(trace, manifest) + 1e-6
+
+    def test_above_every_online_algorithm(self, setting):
+        """Full future knowledge beats every causal controller."""
+        manifest, trace, result = setting
+        for name in ("rb", "bb", "robust-mpc", "mpc-opt"):
+            session = simulate_session(create(name), trace, manifest)
+            assert result.qoe >= session.qoe().total - 1e-6, name
+
+    def test_plan_replayable_through_simulator(self, setting):
+        manifest, trace, result = setting
+        session = simulate_session(
+            FixedPlanAlgorithm(list(result.plan)), trace, manifest
+        )
+        assert len(session.records) == manifest.num_chunks
+
+
+class TestBeamBehaviour:
+    def test_wider_beam_never_worse(self):
+        manifest = envivio().truncated(20)
+        trace = SyntheticTraceGenerator(seed=29).generate(200.0)
+        narrow = OfflineBeamPlanner(beam_width=4).plan(trace, manifest)
+        wide = OfflineBeamPlanner(beam_width=256).plan(trace, manifest)
+        assert wide.qoe >= narrow.qoe - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfflineBeamPlanner(beam_width=0)
+        with pytest.raises(ValueError):
+            OfflineBeamPlanner(time_bucket_s=0.0)
+        with pytest.raises(ValueError):
+            OfflineBeamPlanner(startup_wait_grid_s=())
+        with pytest.raises(ValueError):
+            OfflineBeamPlanner(startup_wait_grid_s=(-1.0,))

@@ -1,0 +1,149 @@
+"""RobustMPC and Theorem 1."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abr.base import DownloadResult, PlayerObservation, SessionConfig
+from repro.core.horizon import HorizonProblem, solve_horizon, solve_horizon_reference
+from repro.core.mpc import MPCController
+from repro.core.robust import RobustMPCController
+from repro.prediction import LastSamplePredictor
+from repro.qoe import QoEWeights
+
+LADDER = (350.0, 600.0, 1000.0)
+
+
+def problem_with_predictions(predictions, buffer_s=6.0, weights=None):
+    horizon = len(predictions)
+    return HorizonProblem(
+        buffer_level_s=buffer_s,
+        prev_quality=600.0,
+        chunk_sizes_kilobits=tuple(
+            tuple(4.0 * r for r in LADDER) for _ in range(horizon)
+        ),
+        quality_values=LADDER,
+        predicted_kbps=tuple(predictions),
+        chunk_duration_s=4.0,
+        buffer_capacity_s=30.0,
+        weights=weights if weights is not None else QoEWeights.balanced(),
+    )
+
+
+def plan_qoe(problem, plan, throughputs):
+    """Evaluate a plan against arbitrary realised throughputs."""
+    buffer_s = problem.buffer_level_s
+    qoe = 0.0
+    prev_q = problem.prev_quality
+    for i, level in enumerate(plan):
+        dt = problem.chunk_sizes_kilobits[i][level] / throughputs[i]
+        stall = max(dt - buffer_s, 0.0)
+        buffer_s = min(max(buffer_s - dt, 0.0) + problem.chunk_duration_s,
+                       problem.buffer_capacity_s)
+        q = problem.quality_values[level]
+        qoe += q - problem.weights.rebuffering * stall
+        if prev_q is not None:
+            qoe -= problem.weights.switching * abs(q - prev_q)
+        prev_q = q
+    return qoe
+
+
+@given(
+    lower=st.lists(st.floats(100.0, 2000.0), min_size=2, max_size=3),
+    spread=st.floats(1.0, 2.0),
+)
+def test_theorem_1_worst_case_is_lower_bound(lower, spread):
+    """Theorem 1: max_R min_{C in [C_, C^]} QoE == max_R QoE(C_).
+
+    We verify both halves on small instances: (a) for any plan, the
+    minimising throughput within the interval is the lower bound; (b) the
+    max-min optimal plan equals the plan MPC picks when fed the lower
+    bound.
+    """
+    problem_lower = problem_with_predictions(lower)
+    upper = [c * spread for c in lower]
+    horizon = len(lower)
+
+    # (a) per-plan worst case sits at the lower bound (check on a grid of
+    # interval corners).
+    for plan in itertools.product(range(len(LADDER)), repeat=horizon):
+        qoe_at_lower = plan_qoe(problem_lower, plan, lower)
+        for corner in itertools.product(*[(lo, hi) for lo, hi in zip(lower, upper)]):
+            assert plan_qoe(problem_lower, plan, list(corner)) >= qoe_at_lower - 1e-9
+
+    # (b) brute-force max-min over corner realisations == solve at lower bound.
+    best_maxmin, best_plan = -float("inf"), None
+    for plan in itertools.product(range(len(LADDER)), repeat=horizon):
+        worst = min(
+            plan_qoe(problem_lower, plan, list(corner))
+            for corner in itertools.product(*[(lo, hi) for lo, hi in zip(lower, upper)])
+        )
+        if worst > best_maxmin + 1e-12:
+            best_maxmin, best_plan = worst, plan
+    sol = solve_horizon_reference(problem_lower)
+    assert sol.qoe == pytest.approx(best_maxmin, rel=1e-9, abs=1e-6)
+
+
+class TestRobustController:
+    def make(self, manifest, predictor_value=1000.0, error_floor=0.0):
+        predictor = LastSamplePredictor()
+        predictor.observe_kbps(predictor_value)
+        robust = RobustMPCController(predictor=predictor, error_floor=error_floor)
+        robust.prepare(manifest, SessionConfig())
+        return robust
+
+    def feed_error(self, controller, predicted, actual, chunk=0):
+        controller._pending_raw_prediction = predicted
+        controller.on_download_complete(
+            DownloadResult(
+                chunk_index=chunk, level_index=0, bitrate_kbps=350.0,
+                size_kilobits=1400.0, download_time_s=1400.0 / actual,
+                throughput_kbps=actual, rebuffer_s=0.0, buffer_after_s=10.0,
+                wall_time_end_s=4.0,
+            )
+        )
+
+    def test_no_history_means_no_discount(self, envivio_manifest):
+        robust = self.make(envivio_manifest)
+        assert robust.current_error_bound() == 0.0
+        assert robust._transform_predictions([1000.0]) == [1000.0]
+
+    def test_discount_follows_max_recent_error(self, envivio_manifest):
+        robust = self.make(envivio_manifest)
+        self.feed_error(robust, predicted=1300.0, actual=1000.0)  # 30%
+        assert robust.current_error_bound() == pytest.approx(0.3)
+        assert robust._transform_predictions([1300.0])[0] == pytest.approx(1000.0)
+
+    def test_error_floor(self, envivio_manifest):
+        robust = self.make(envivio_manifest, error_floor=0.1)
+        assert robust.current_error_bound() == pytest.approx(0.1)
+
+    def test_never_more_aggressive_than_plain_mpc(self, envivio_manifest):
+        """After an over-estimation, RobustMPC's chosen level is <= plain
+        MPC's at the same state."""
+        predictor_r = LastSamplePredictor()
+        predictor_m = LastSamplePredictor()
+        robust = RobustMPCController(predictor=predictor_r)
+        plain = MPCController(predictor=predictor_m)
+        robust.prepare(envivio_manifest, SessionConfig())
+        plain.prepare(envivio_manifest, SessionConfig())
+        self.feed_error(robust, predicted=2600.0, actual=2000.0)
+        predictor_r.reset()
+        predictor_r.observe_kbps(2000.0)
+        predictor_m.observe_kbps(2000.0)
+        observation = PlayerObservation(
+            chunk_index=10, buffer_level_s=8.0, prev_level_index=2,
+            wall_time_s=40.0, playback_started=True,
+        )
+        assert robust.select_bitrate(observation) <= plain.select_bitrate(observation)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustMPCController(error_floor=-0.1)
+
+    def test_name(self):
+        assert RobustMPCController().name == "robust-mpc"

@@ -1,0 +1,167 @@
+"""FastMPC table storage: binning, run-length coding, lookups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.table import (
+    Binning,
+    DecisionTable,
+    RunLengthEncodedTable,
+    TableSizeReport,
+)
+
+
+class TestBinning:
+    def test_linear_edges_and_centers(self):
+        b = Binning(0.0, 10.0, 5)
+        assert b.index_of(0.5) == 0
+        assert b.index_of(9.5) == 4
+        assert b.center(0) == pytest.approx(1.0)
+        assert b.center(4) == pytest.approx(9.0)
+
+    def test_clamping(self):
+        b = Binning(0.0, 10.0, 5)
+        assert b.index_of(-3.0) == 0
+        assert b.index_of(100.0) == 4
+
+    def test_log_spacing(self):
+        b = Binning(100.0, 10_000.0, 2, spacing="log")
+        assert b.index_of(999.0) == 0
+        assert b.index_of(1001.0) == 1
+        # Geometric centre of [100, 1000] is ~316.
+        assert b.center(0) == pytest.approx(316.23, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Binning(0.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            Binning(10.0, 0.0, 5)
+        with pytest.raises(ValueError):
+            Binning(0.0, 10.0, 5, spacing="cubic")
+        with pytest.raises(ValueError):
+            Binning(0.0, 10.0, 5, spacing="log")
+        with pytest.raises(ValueError):
+            Binning(0.0, 10.0, 3).index_of(float("nan"))
+        with pytest.raises(IndexError):
+            Binning(0.0, 10.0, 3).center(3)
+
+    @given(value=st.floats(-100.0, 100.0), count=st.integers(1, 50))
+    def test_index_always_valid(self, value, count):
+        b = Binning(0.0, 10.0, count)
+        assert 0 <= b.index_of(value) < count
+
+    @given(count=st.integers(1, 30))
+    def test_center_maps_to_own_bin(self, count):
+        b = Binning(0.0, 10.0, count)
+        for i in range(count):
+            assert b.index_of(b.center(i)) == i
+
+
+class TestRLE:
+    def test_encode_decode_roundtrip(self):
+        values = [0, 0, 1, 1, 1, 2, 0, 0]
+        rle = RunLengthEncodedTable.encode(values)
+        assert list(rle.decode()) == values
+        assert rle.num_runs == 4
+
+    def test_lookup_matches_decode(self):
+        values = [3, 3, 1, 4, 4, 4, 0]
+        rle = RunLengthEncodedTable.encode(values)
+        for i, v in enumerate(values):
+            assert rle.lookup(i) == v
+
+    def test_lookup_bounds(self):
+        rle = RunLengthEncodedTable.encode([1, 2])
+        with pytest.raises(IndexError):
+            rle.lookup(2)
+        with pytest.raises(IndexError):
+            rle.lookup(-1)
+
+    def test_size_accounting(self):
+        rle = RunLengthEncodedTable.encode([0] * 1000)
+        assert rle.num_runs == 1
+        assert rle.size_bytes() == 5  # 4-byte end + 1-byte value
+
+    def test_bytes_roundtrip(self):
+        values = [0, 1, 1, 4, 2, 2, 2]
+        rle = RunLengthEncodedTable.encode(values)
+        back = RunLengthEncodedTable.from_bytes(rle.to_bytes())
+        assert list(back.decode()) == values
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunLengthEncodedTable.encode([])
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ValueError):
+            RunLengthEncodedTable([3, 2], [0, 1])
+        with pytest.raises(ValueError):
+            RunLengthEncodedTable([1], [0, 1])
+
+    @given(values=st.lists(st.integers(0, 7), min_size=1, max_size=300))
+    def test_roundtrip_property(self, values):
+        rle = RunLengthEncodedTable.encode(values)
+        assert list(rle.decode()) == values
+        for i in (0, len(values) // 2, len(values) - 1):
+            assert rle.lookup(i) == values[i]
+        assert rle.num_runs <= len(values)
+
+
+class TestDecisionTable:
+    def make_table(self, keep_full=False):
+        buffer_bins = Binning(0.0, 30.0, 4)
+        throughput_bins = Binning(100.0, 4000.0, 6, spacing="log")
+        n = 4 * 3 * 6
+        decisions = [(i // 6) % 3 for i in range(n)]  # varies by prev level
+        return DecisionTable(buffer_bins, 3, throughput_bins, decisions,
+                             keep_full=keep_full), decisions
+
+    def test_lookup_layout(self):
+        table, decisions = self.make_table()
+        # prev level drives the decision in this synthetic table.
+        assert table.lookup(1.0, 0, 150.0) == 0
+        assert table.lookup(1.0, 1, 150.0) == 1
+        assert table.lookup(29.0, 2, 3900.0) == 2
+
+    def test_full_and_rle_lookup_agree(self):
+        table_rle, _ = self.make_table(keep_full=False)
+        table_full, _ = self.make_table(keep_full=True)
+        for buffer_s in (0.0, 7.5, 29.9, 100.0):
+            for prev in range(3):
+                for kbps in (50.0, 800.0, 3900.0, 9000.0):
+                    assert table_rle.lookup(buffer_s, prev, kbps) == \
+                        table_full.lookup(buffer_s, prev, kbps)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTable(Binning(0, 30, 4), 3, Binning(100, 4000, 6), [0, 1])
+
+    def test_invalid_decisions_rejected(self):
+        buffer_bins = Binning(0.0, 30.0, 2)
+        throughput_bins = Binning(100.0, 4000.0, 2)
+        with pytest.raises(ValueError):
+            DecisionTable(buffer_bins, 2, throughput_bins, [0, 0, 5, 0, 0, 0, 0, 0])
+
+    def test_prev_level_bounds(self):
+        table, _ = self.make_table()
+        with pytest.raises(IndexError):
+            table.lookup(1.0, 3, 500.0)
+
+    def test_size_report(self):
+        table, _ = self.make_table()
+        report = table.size_report(6)
+        assert isinstance(report, TableSizeReport)
+        assert report.num_entries == 72
+        assert report.full_bytes == 72
+        assert report.rle_bytes == table.rle.size_bytes()
+        assert "levels" in report.describe()
+
+
+class TestTableSizeReport:
+    def test_compression_ratio(self):
+        report = TableSizeReport(100, 50_000, 50_000, 25_000)
+        assert report.compression_ratio == pytest.approx(0.5)

@@ -1,0 +1,105 @@
+"""Slow-start ramp mechanics of the shared link, in detail."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.emulation import EventQueue, SharedTraceLink
+from repro.traces import Trace
+
+
+def make_link(bw_kbps=8000.0, rtt_s=0.1, slow_start=True, iw_kilobits=120.0):
+    queue = EventQueue()
+    link = SharedTraceLink(
+        Trace.constant(bw_kbps, 600.0), queue, rtt_s=rtt_s,
+        slow_start=slow_start, initial_window_kilobits=iw_kilobits,
+    )
+    return queue, link
+
+
+class TestWindowRamp:
+    def test_first_rtt_limited_by_initial_window(self):
+        """During the first RTT the rate cap is IW/RTT regardless of link
+        capacity."""
+        queue, link = make_link(bw_kbps=100_000.0, rtt_s=0.1, iw_kilobits=120.0)
+        done = {}
+        # 120 kilobits = exactly one initial window -> one RTT to deliver.
+        link.start_transfer(120.0, lambda t: done.setdefault("t", t))
+        queue.run_until_idle()
+        assert done["t"].completed_at_s == pytest.approx(0.1, rel=1e-6)
+
+    def test_doubling_schedule(self):
+        """k windows of geometric growth: IW * (2^k - 1) bits arrive in
+        k RTTs (while the cap binds)."""
+        queue, link = make_link(bw_kbps=1_000_000.0, rtt_s=0.1, iw_kilobits=120.0)
+        done = {}
+        # IW + 2IW + 4IW = 7 * 120 = 840 kb -> exactly 3 RTTs.
+        link.start_transfer(840.0, lambda t: done.setdefault("t", t))
+        queue.run_until_idle()
+        assert done["t"].completed_at_s == pytest.approx(0.3, rel=1e-6)
+
+    def test_ramp_stops_binding_at_capacity(self):
+        """Once the window exceeds the bandwidth-delay product, the link
+        rate takes over and throughput approaches capacity."""
+        queue, link = make_link(bw_kbps=2000.0, rtt_s=0.05)
+        done = {}
+        link.start_transfer(60_000.0, lambda t: done.setdefault("t", t))
+        queue.run_until_idle()
+        assert done["t"].throughput_kbps() > 0.95 * 2000.0
+
+    def test_each_transfer_ramps_independently(self):
+        """Slow-start restart: a later transfer begins from IW again even
+        though an earlier one already ramped up."""
+        queue, link = make_link(bw_kbps=50_000.0, rtt_s=0.1, iw_kilobits=120.0)
+        times = {}
+        link.start_transfer(120.0, lambda t: times.setdefault("first", t))
+        queue.run_until_idle()
+        # Second identical transfer, much later: same 1-RTT duration.
+        queue.schedule_at(5.0, lambda: link.start_transfer(
+            120.0, lambda t: times.setdefault("second", t)))
+        queue.run_until_idle()
+        assert times["first"].duration_s == pytest.approx(0.1, rel=1e-6)
+        assert times["second"].duration_s == pytest.approx(0.1, rel=1e-6)
+
+    def test_disabled_ramp_ignores_window(self):
+        queue, link = make_link(bw_kbps=1000.0, slow_start=False)
+        done = {}
+        link.start_transfer(500.0, lambda t: done.setdefault("t", t))
+        queue.run_until_idle()
+        assert done["t"].completed_at_s == pytest.approx(0.5)
+
+    def test_validation(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            SharedTraceLink(Trace.constant(100.0, 10.0), queue, rtt_s=0.0)
+        with pytest.raises(ValueError):
+            SharedTraceLink(
+                Trace.constant(100.0, 10.0), queue,
+                initial_window_kilobits=0.0,
+            )
+
+
+class TestRampWithSharing:
+    def test_ramping_transfer_leaves_capacity_to_others(self):
+        """While one transfer is window-limited, a ramped-up competitor
+        gets the leftover capacity (max-min with caps)."""
+        queue, link = make_link(bw_kbps=2000.0, rtt_s=0.2, iw_kilobits=120.0)
+        done = {}
+        # First transfer: big, given time to finish its ramp.
+        link.start_transfer(20_000.0, lambda t: done.setdefault("big", t))
+        # Second arrives at t=5 (big is ramped) and is tiny: during its
+        # first RTT its cap is 120/0.2 = 600 kbps, so the big one keeps
+        # at least 1400 kbps rather than being halved.
+        def start_small():
+            link.start_transfer(60.0, lambda t: done.setdefault("small", t))
+
+        queue.schedule_at(5.0, start_small)
+        queue.run_until_idle()
+        small = done["small"]
+        assert small.duration_s == pytest.approx(0.1, rel=1e-6)  # 60kb at 600kbps
+        big = done["big"]
+        # Total time: 20000 kb with only a brief 600 kbps diversion ->
+        # well under the 20 s a fair half-split would suggest.
+        assert big.completed_at_s < 12.0

@@ -1,0 +1,103 @@
+"""Multi-client shared-link emulation — the Section 8 scenario in depth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import ConstantLevelAlgorithm, create
+from repro.emulation import (
+    ChunkServer,
+    EventQueue,
+    NetworkProfile,
+    SharedTraceLink,
+    emulate_shared_link,
+)
+from repro.traces import Trace
+from repro.video import envivio
+
+IDEAL = NetworkProfile(
+    rtt_s=0.0, header_kilobits=0.0, server_processing_delay_s=0.0,
+    slow_start=False,
+)
+
+
+class TestCapacityConservation:
+    def test_total_bits_bounded_by_link(self, envivio_manifest):
+        """N greedy clients can never jointly pull more than the link
+        carries."""
+        trace = Trace.constant(3000.0, 4000.0)
+        results = emulate_shared_link(
+            [ConstantLevelAlgorithm(-1) for _ in range(3)],
+            trace, envivio_manifest, network=IDEAL,
+        )
+        finish = max(r.total_wall_time_s for r in results)
+        total_kilobits = sum(
+            sum(rec.size_kilobits for rec in r.records) for r in results
+        )
+        assert total_kilobits <= trace.kilobits_between(0, finish) + 1e-3
+
+    def test_symmetric_clients_get_symmetric_outcomes(self, envivio_manifest):
+        trace = Trace.constant(2400.0, 4000.0)
+        results = emulate_shared_link(
+            [ConstantLevelAlgorithm(1), ConstantLevelAlgorithm(1)],
+            trace, envivio_manifest, network=IDEAL,
+        )
+        a, b = results
+        assert a.metrics().average_bitrate_kbps == pytest.approx(
+            b.metrics().average_bitrate_kbps
+        )
+        assert a.total_wall_time_s == pytest.approx(b.total_wall_time_s, rel=0.05)
+
+
+class TestScalingDown:
+    def test_more_players_less_throughput_each(self, envivio_manifest):
+        trace = Trace.constant(3000.0, 6000.0)
+        measured = []
+        for n in (1, 2, 4):
+            results = emulate_shared_link(
+                [create("bb") for _ in range(n)], trace, envivio_manifest,
+                network=IDEAL,
+            )
+            measured.append(
+                sum(r.metrics().average_throughput_kbps for r in results) / n
+            )
+        assert measured[0] > measured[1] > measured[2]
+
+    def test_adaptive_players_converge_to_fair_share(self, envivio_manifest):
+        """Two BB players on a 2 Mbps link each end up near 1 Mbps of
+        delivered video."""
+        trace = Trace.constant(2000.0, 6000.0)
+        results = emulate_shared_link(
+            [create("bb"), create("bb")], trace, envivio_manifest,
+            network=IDEAL,
+        )
+        for r in results:
+            assert 600.0 <= r.metrics().average_bitrate_kbps <= 1400.0
+
+
+class TestServerSharedState:
+    def test_server_counts_both_clients(self, envivio_manifest):
+        queue = EventQueue()
+        trace = Trace.constant(5000.0, 4000.0)
+        link = SharedTraceLink(trace, queue, slow_start=False)
+        server = ChunkServer(envivio_manifest)
+        from repro.abr import SessionConfig
+        from repro.emulation import EmulatedClient
+
+        clients = [
+            EmulatedClient(
+                client_id=i,
+                algorithm=ConstantLevelAlgorithm(0),
+                manifest=envivio_manifest,
+                config=SessionConfig(),
+                queue=queue,
+                link=link,
+                server=server,
+                rtt_s=0.0,
+            )
+            for i in range(2)
+        ]
+        queue.run_until_idle()
+        assert all(c.finished for c in clients)
+        assert server.requests_served == 2 * 65
+        assert server.requests_by_client() == {0: 65, 1: 65}

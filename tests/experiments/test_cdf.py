@@ -1,0 +1,87 @@
+"""Distribution helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    cdf_at,
+    ecdf,
+    fraction_at_most,
+    fraction_below,
+    median,
+    percentile,
+)
+
+
+class TestECDF:
+    def test_basic(self):
+        xs, fs = ecdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert fs == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 35) == 7.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(values=st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+           q=st.floats(0, 100))
+    def test_within_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+    @given(values=st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_monotone_in_q(self, values):
+        assert percentile(values, 25) <= percentile(values, 75) + 1e-9
+
+
+class TestFractions:
+    def test_below_is_strict(self):
+        values = [0.0, 0.0, 1.0, -1.0]
+        assert fraction_below(values, 0.0) == pytest.approx(0.25)
+
+    def test_at_most_is_inclusive(self):
+        values = [0.0, 0.0, 1.0, -1.0]
+        assert fraction_at_most(values, 0.0) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 0.0)
+        with pytest.raises(ValueError):
+            fraction_at_most([], 0.0)
+
+
+class TestCdfAt:
+    def test_grid_evaluation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, [0.0, 2.0, 2.5, 10.0]) == pytest.approx(
+            [0.0, 0.5, 0.5, 1.0]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_at([], [1.0])

@@ -1,0 +1,131 @@
+"""Per-figure reproduction entry points and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import BufferBasedAlgorithm, RateBasedAlgorithm
+from repro.core.fastmpc import FastMPCConfig, FastMPCController
+from repro.experiments import (
+    figure7,
+    figure8,
+    figure9_10,
+    measure_overhead,
+    prediction_profile,
+    render_detail_series,
+    render_distribution_summary,
+    render_figure7,
+    render_result_set,
+    render_table,
+    table1,
+)
+from repro.traces import FCCTraceGenerator, HSDPATraceGenerator, Trace
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def mini_datasets():
+    return {
+        "fcc": FCCTraceGenerator(seed=31).generate_many(3, 320.0),
+        "hsdpa": HSDPATraceGenerator(seed=31).generate_many(3, 320.0),
+    }
+
+
+class TestFigure7:
+    def test_characteristics_per_dataset(self, mini_datasets):
+        chars = figure7(mini_datasets)
+        assert set(chars) == {"fcc", "hsdpa"}
+        for ch in chars.values():
+            assert len(ch.mean_kbps) == 3
+            assert len(ch.mean_abs_prediction_error) == 3
+            assert all(0 <= f <= 1 for f in ch.overestimation_fraction)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            figure7({"empty": []})
+
+    def test_prediction_profile_on_constant_trace(self):
+        tracker = prediction_profile(Trace.constant(1000.0, 320.0))
+        assert tracker.mean_abs_error() == pytest.approx(0.0)
+
+    def test_render(self, mini_datasets):
+        text = render_figure7(figure7(mini_datasets))
+        assert "dataset" in text
+        assert "fcc" in text and "hsdpa" in text
+
+
+class TestFigure8And910:
+    @pytest.fixture(scope="class")
+    def results(self, mini_datasets):
+        algorithms = {
+            "rb": RateBasedAlgorithm(),
+            "bb": BufferBasedAlgorithm(),
+            "fastmpc": FastMPCController(
+                config=FastMPCConfig(buffer_bins=15, throughput_bins=15)
+            ),
+        }
+        return figure8(mini_datasets, envivio(), algorithms=algorithms,
+                       backend="sim")
+
+    def test_one_result_set_per_dataset(self, results):
+        assert set(results) == {"fcc", "hsdpa"}
+        for rs in results.values():
+            assert rs.algorithms() == ["rb", "bb", "fastmpc"]
+
+    def test_detail_series(self, results):
+        detail = figure9_10(results["fcc"])
+        assert set(detail.average_bitrate_kbps) == {"rb", "bb", "fastmpc"}
+        assert len(detail.total_rebuffer_s["rb"]) == 3
+
+    def test_renders(self, results):
+        text = render_result_set(results["fcc"])
+        assert "median" in text and "rb" in text
+        detail_text = render_detail_series(figure9_10(results["hsdpa"]))
+        assert "rebuffer" in detail_text
+        assert "zero-rebuffer" in detail_text
+
+
+class TestTable1:
+    def test_small_sweep(self):
+        reports = table1(discretization_levels=(8, 16), horizon=3)
+        assert [r.discretization_levels for r in reports] == [8, 16]
+        for r in reports:
+            assert r.rle_bytes > 0
+            assert r.full_bytes == r.num_entries
+
+
+class TestOverhead:
+    def test_measures_each_algorithm(self):
+        trace = FCCTraceGenerator(seed=5).generate(320.0)
+        algorithms = {
+            "rb": RateBasedAlgorithm(),
+            "fastmpc": FastMPCController(
+                config=FastMPCConfig(buffer_bins=15, throughput_bins=15)
+            ),
+        }
+        samples = measure_overhead(algorithms, trace, envivio())
+        assert [s.algorithm for s in samples] == ["rb", "fastmpc"]
+        for s in samples:
+            assert s.decisions == 65
+            assert s.mean_decision_us > 0
+        fast = samples[1]
+        assert fast.table_bytes > 0
+        assert "kB" in fast.describe()
+
+
+class TestRenderHelpers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_distribution_summary(self):
+        text = render_distribution_summary("metric", [1.0, 2.0, 3.0], "kbps")
+        assert "median" in text and "kbps" in text

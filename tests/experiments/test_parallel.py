@@ -1,0 +1,58 @@
+"""Parallel runner: equality with the serial runner, pool behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import create
+from repro.experiments import run_matrix
+from repro.experiments.parallel import run_matrix_parallel
+from repro.traces import FCCTraceGenerator
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return FCCTraceGenerator(seed=61).generate_many(4, 320.0)
+
+
+NAMES = ["rb", "bb", "dashjs"]
+
+
+class TestParallelRunner:
+    def test_matches_serial_exactly(self, traces):
+        serial = run_matrix(
+            {name: create(name) for name in NAMES}, traces, envivio(),
+            dataset="par",
+        )
+        parallel = run_matrix_parallel(
+            NAMES, traces, envivio(), workers=2, dataset="par"
+        )
+        assert parallel.algorithms() == serial.algorithms()
+        for name in NAMES:
+            assert parallel.n_qoe_values(name) == pytest.approx(
+                serial.n_qoe_values(name)
+            )
+            assert parallel.metric_values(name, "total_rebuffer_s") == pytest.approx(
+                serial.metric_values(name, "total_rebuffer_s")
+            )
+
+    def test_single_worker_inline_path(self, traces):
+        results = run_matrix_parallel(["bb"], traces[:2], envivio(), workers=1)
+        assert len(results.records) == 2
+
+    def test_validation(self, traces):
+        with pytest.raises(ValueError):
+            run_matrix_parallel([], traces, envivio())
+        with pytest.raises(ValueError):
+            run_matrix_parallel(["bb"], [], envivio())
+        with pytest.raises(ValueError):
+            run_matrix_parallel(["bb"], traces, envivio(), workers=0)
+
+    def test_mpc_runs_in_pool(self, traces):
+        """Controllers with numpy state must survive pickling of the
+        work units (they are created inside the worker)."""
+        results = run_matrix_parallel(
+            ["robust-mpc"], traces[:2], envivio(), workers=2
+        )
+        assert len(results.records) == 2

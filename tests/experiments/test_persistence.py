@@ -1,0 +1,103 @@
+"""Result persistence (CSV result sets, JSON sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import BufferBasedAlgorithm, RateBasedAlgorithm
+from repro.experiments import (
+    load_result_set_csv,
+    load_sweep_json,
+    run_matrix,
+    save_result_set_csv,
+    save_sweep_json,
+)
+from repro.experiments.sensitivity import SweepResult
+from repro.traces import FCCTraceGenerator
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def results():
+    traces = FCCTraceGenerator(seed=55).generate_many(3, 320.0)
+    return run_matrix(
+        {"rb": RateBasedAlgorithm(), "bb": BufferBasedAlgorithm()},
+        traces, envivio(), dataset="persist",
+    )
+
+
+class TestResultSetCSV:
+    def test_roundtrip_preserves_everything_figures_need(self, results, tmp_path):
+        path = tmp_path / "results.csv"
+        save_result_set_csv(results, path)
+        back = load_result_set_csv(path)
+        assert back.dataset == "persist"
+        assert back.algorithms() == results.algorithms()
+        for algo in results.algorithms():
+            assert back.n_qoe_values(algo) == pytest.approx(
+                results.n_qoe_values(algo)
+            )
+            assert back.metric_values(algo, "average_bitrate_kbps") == pytest.approx(
+                results.metric_values(algo, "average_bitrate_kbps")
+            )
+            assert back.median_n_qoe(algo) == pytest.approx(
+                results.median_n_qoe(algo)
+            )
+
+    def test_qoe_recomputable_from_breakdown(self, results, tmp_path):
+        path = tmp_path / "results.csv"
+        save_result_set_csv(results, path)
+        back = load_result_set_csv(path)
+        for a, b in zip(results.records, back.records):
+            assert b.qoe == pytest.approx(a.qoe)
+            assert b.breakdown.weights == a.breakdown.weights
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("dataset,algorithm\n")
+        with pytest.raises((ValueError, KeyError)):
+            load_result_set_csv(path)
+
+
+class TestSweepJSON:
+    def test_roundtrip(self, tmp_path):
+        sweep = SweepResult(
+            parameter_name="x",
+            parameter_values=(1, 2, 3),
+            series={"a": (0.1, 0.2, 0.3), "b": (0.3, 0.2, 0.1)},
+        )
+        path = tmp_path / "sweep.json"
+        save_sweep_json(sweep, path)
+        back = load_sweep_json(path)
+        assert back.parameter_name == "x"
+        assert back.parameter_values == (1, 2, 3)
+        assert back.series == {"a": (0.1, 0.2, 0.3), "b": (0.3, 0.2, 0.1)}
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"parameter_name": "x"}')
+        with pytest.raises(ValueError, match="missing"):
+            load_sweep_json(path)
+
+
+class TestSessionLog:
+    def test_per_chunk_log_export(self, tmp_path):
+        import csv
+
+        from repro import quick_session
+        from repro.experiments import save_session_log_csv
+
+        session = quick_session(algorithm="bb", dataset="fcc")
+        path = tmp_path / "session.csv"
+        save_session_log_csv(session, path)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 65
+        assert [int(r["chunk_index"]) for r in rows] == list(range(65))
+        for row in rows:
+            assert float(row["download_time_s"]) > 0
+            assert float(row["buffer_after_s"]) >= 0
+        # Totals in the log reconcile with the session summary.
+        assert sum(float(r["rebuffer_s"]) for r in rows) == pytest.approx(
+            session.total_rebuffer_s
+        )

@@ -1,0 +1,55 @@
+"""Report rendering edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    render_distribution_summary,
+    render_figure7,
+    render_table,
+)
+from repro.experiments.figures import DatasetCharacteristics
+
+
+class TestRenderTable:
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456789]])
+        assert "1.2346" in text
+
+    def test_mixed_types(self):
+        text = render_table(["name", "count", "ratio"], [["a", 3, 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "0.5000" in lines[2]
+
+    def test_columns_right_aligned(self):
+        text = render_table(["alpha", "b"], [["x", "yyyy"]])
+        header, _, row = text.splitlines()
+        assert header.index("alpha") <= row.index("x")
+
+
+class TestDistributionSummary:
+    def test_without_unit(self):
+        text = render_distribution_summary("metric", [1.0])
+        assert text.rstrip().endswith("1.000")
+
+    def test_percentiles_ordered(self):
+        text = render_distribution_summary("m", [1.0, 5.0, 9.0, 2.0, 7.0])
+        assert "p10" in text and "p90" in text
+
+
+class TestRenderFigure7:
+    def test_single_dataset(self):
+        ch = DatasetCharacteristics(
+            dataset="tiny",
+            mean_kbps=(1000.0, 2000.0),
+            std_kbps=(100.0, 150.0),
+            mean_abs_prediction_error=(0.05, 0.07),
+            mean_signed_prediction_error=(0.0, 0.01),
+            overestimation_fraction=(0.4, 0.6),
+            worst_abs_prediction_error=(0.2, 0.3),
+        )
+        text = render_figure7({"tiny": ch})
+        assert "tiny" in text
+        assert "1500" in text  # median of the two means

@@ -1,0 +1,117 @@
+"""The batch experiment runner and result sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import BufferBasedAlgorithm, RateBasedAlgorithm, SessionConfig
+from repro.experiments import ResultSet, run_matrix
+from repro.qoe import QoEWeights
+from repro.sim import StartupPolicy
+from repro.traces import FCCTraceGenerator
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return FCCTraceGenerator(seed=21).generate_many(4, 320.0)
+
+
+@pytest.fixture(scope="module")
+def results(traces):
+    algorithms = {"rb": RateBasedAlgorithm(), "bb": BufferBasedAlgorithm()}
+    return run_matrix(algorithms, traces, envivio(), dataset="unit")
+
+
+class TestRunMatrix:
+    def test_record_count(self, results, traces):
+        assert len(results.records) == 2 * len(traces)
+
+    def test_algorithms_listed_in_order(self, results):
+        assert results.algorithms() == ["rb", "bb"]
+
+    def test_normalization_in_unit_range_mostly(self, results):
+        for record in results.records:
+            assert record.optimal_qoe > 0
+            assert record.n_qoe <= 1.0 + 1e-9  # bound dominates
+
+    def test_metric_values(self, results, traces):
+        bitrates = results.metric_values("rb", "average_bitrate_kbps")
+        assert len(bitrates) == len(traces)
+        assert all(350.0 <= b <= 3000.0 for b in bitrates)
+
+    def test_qoe_matches_breakdown(self, results):
+        for record in results.records:
+            assert record.qoe == pytest.approx(record.breakdown.total)
+
+    def test_unknown_algorithm_raises(self, results):
+        with pytest.raises(KeyError):
+            results.for_algorithm("nope")
+
+    def test_median_improvement(self, results):
+        value = results.median_improvement("bb", "rb")
+        assert isinstance(value, float)
+
+    def test_validation(self, traces):
+        with pytest.raises(ValueError, match="backend"):
+            run_matrix({"rb": RateBasedAlgorithm()}, traces, envivio(),
+                       backend="fpga")
+        with pytest.raises(ValueError):
+            run_matrix({}, traces, envivio())
+        with pytest.raises(ValueError):
+            run_matrix({"rb": RateBasedAlgorithm()}, [], envivio())
+
+    def test_mapping_key_names_records(self, traces):
+        """Records are keyed by the caller's name, not the instance name."""
+        results = run_matrix(
+            {"my-rb": RateBasedAlgorithm()}, traces[:1], envivio()
+        )
+        assert results.algorithms() == ["my-rb"]
+
+    def test_emulation_backend(self, traces):
+        results = run_matrix(
+            {"bb": BufferBasedAlgorithm()}, traces[:2], envivio(),
+            backend="emulation",
+        )
+        assert len(results.records) == 2
+
+    def test_progress_callback(self, traces):
+        calls = []
+        run_matrix(
+            {"bb": BufferBasedAlgorithm()}, traces[:2], envivio(),
+            progress=lambda name, done, total: calls.append((name, done, total)),
+        )
+        assert calls == [("bb", 1, 2), ("bb", 2, 2)]
+
+    def test_exclude_startup_normalisation(self, traces):
+        """With startup excluded, both QoE and the bound drop the term."""
+        included = run_matrix(
+            {"bb": BufferBasedAlgorithm()}, traces[:2], envivio(),
+            startup_policy=StartupPolicy.FIXED, fixed_startup_delay_s=4.0,
+            include_startup_in_qoe=True,
+        )
+        excluded = run_matrix(
+            {"bb": BufferBasedAlgorithm()}, traces[:2], envivio(),
+            startup_policy=StartupPolicy.FIXED, fixed_startup_delay_s=4.0,
+            include_startup_in_qoe=False,
+        )
+        for a, b in zip(included.records, excluded.records):
+            assert b.breakdown.startup_seconds == 0.0
+            assert b.qoe >= a.qoe
+
+    def test_custom_weights_flow_through(self, traces):
+        config = SessionConfig(weights=QoEWeights.avoid_rebuffering())
+        results = run_matrix(
+            {"bb": BufferBasedAlgorithm()}, traces[:1], envivio(), config
+        )
+        assert results.records[0].breakdown.weights.rebuffering == 6000.0
+
+
+class TestResultSet:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            ResultSet([])
+
+    def test_merge(self, results):
+        merged = results.merged_with(results)
+        assert len(merged.records) == 2 * len(results.records)

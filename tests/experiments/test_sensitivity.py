@@ -1,0 +1,115 @@
+"""Sensitivity sweeps (Figures 11/12), run at miniature scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SweepResult,
+    bitrate_levels_sweep,
+    buffer_size_sweep,
+    discretization_sweep,
+    horizon_sweep,
+    prediction_error_sweep,
+    qoe_preference_sweep,
+    startup_time_sweep,
+)
+from repro.traces import FCCTraceGenerator, HSDPATraceGenerator
+from repro.video import envivio
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # A small mixed pool, like the paper's cross-dataset training set.
+    return (
+        FCCTraceGenerator(seed=41).generate_many(2, 320.0)
+        + HSDPATraceGenerator(seed=41).generate_many(2, 320.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return envivio()
+
+
+class TestPredictionErrorSweep:
+    def test_shapes_and_flat_bb(self, traces, manifest):
+        sweep = prediction_error_sweep(
+            traces, manifest, error_levels=(0.05, 0.4), include_robust=False
+        )
+        assert sweep.parameter_values == (0.05, 0.4)
+        assert set(sweep.series) == {"mpc", "rb", "bb"}
+        # BB ignores throughput: its series is exactly flat.
+        assert sweep.series["bb"][0] == pytest.approx(sweep.series["bb"][1])
+
+    def test_mpc_degrades_with_error(self, traces, manifest):
+        sweep = prediction_error_sweep(
+            traces, manifest, error_levels=(0.0, 0.45), include_robust=False
+        )
+        assert sweep.series["mpc"][1] <= sweep.series["mpc"][0] + 0.05
+
+
+class TestQoEPreferenceSweep:
+    def test_three_presets(self, traces, manifest):
+        sweep = qoe_preference_sweep(traces[:2], manifest)
+        assert sweep.parameter_values == (
+            "balanced", "avoid-instability", "avoid-rebuffering"
+        )
+        assert set(sweep.series) == {"mpc-opt", "fastmpc", "bb", "rb"}
+
+
+class TestBufferSizeSweep:
+    def test_runs(self, traces, manifest):
+        sweep = buffer_size_sweep(traces[:2], manifest,
+                                  buffer_sizes_s=(10.0, 30.0))
+        assert len(sweep.series["bb"]) == 2
+
+
+class TestStartupTimeSweep:
+    def test_runs_and_improves(self, traces, manifest):
+        sweep = startup_time_sweep(traces[:2], manifest,
+                                   startup_times_s=(2.0, 10.0))
+        # More pre-roll should not hurt (QoE excludes the startup term).
+        for series in sweep.series.values():
+            assert series[1] >= series[0] - 0.05
+
+
+class TestBitrateLevelsSweep:
+    def test_runs(self, traces, manifest):
+        sweep = bitrate_levels_sweep(traces[:2], manifest, level_counts=(2, 5))
+        assert set(sweep.series) == {"mpc", "bb", "rb"}
+        assert len(sweep.parameter_values) == 2
+
+
+class TestDiscretizationSweep:
+    def test_finer_bins_do_not_hurt(self, traces, manifest):
+        sweep = discretization_sweep(
+            traces[:2], manifest, discretization_levels=(4, 40)
+        )
+        assert set(sweep.series) == {"fastmpc-perfect", "fastmpc-harmonic"}
+        assert sweep.series["fastmpc-perfect"][1] >= (
+            sweep.series["fastmpc-perfect"][0] - 0.05
+        )
+
+
+class TestHorizonSweep:
+    def test_runs(self, traces, manifest):
+        sweep = horizon_sweep(
+            traces[:2], manifest, horizons=(2, 5), error_levels=(0.10,)
+        )
+        assert set(sweep.series) == {"mpc-err10"}
+        assert len(sweep.series["mpc-err10"]) == 2
+
+
+class TestSweepResult:
+    def test_describe_and_best(self):
+        sweep = SweepResult(
+            parameter_name="x",
+            parameter_values=(1, 2),
+            series={"a": (0.5, 0.7), "b": (0.6, 0.6)},
+        )
+        assert sweep.best_algorithm_at(0) == "b"
+        assert sweep.best_algorithm_at(1) == "a"
+        text = sweep.describe()
+        assert "sweep over x" in text
+        assert "0.7000" in text

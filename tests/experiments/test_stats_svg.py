@@ -1,0 +1,131 @@
+"""Bootstrap statistics and SVG figure rendering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    ConfidenceInterval,
+    bootstrap_median_ci,
+    paired_median_difference_ci,
+    sign_test_fraction,
+)
+from repro.experiments.svgplot import render_cdf_svg, render_lines_svg, save_svg
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_estimate(self):
+        rng = random.Random(0)
+        values = [rng.gauss(10.0, 2.0) for _ in range(60)]
+        ci = bootstrap_median_ci(values, n_boot=500, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(ci.estimate)
+
+    def test_tight_data_tight_interval(self):
+        ci = bootstrap_median_ci([5.0] * 30, n_boot=200)
+        assert ci.low == ci.high == 5.0
+
+    def test_higher_confidence_is_wider(self):
+        rng = random.Random(2)
+        values = [rng.uniform(0, 1) for _ in range(50)]
+        narrow = bootstrap_median_ci(values, confidence=0.8, n_boot=800, seed=3)
+        wide = bootstrap_median_ci(values, confidence=0.99, n_boot=800, seed=3)
+        assert wide.high - wide.low >= narrow.high - narrow.low - 1e-12
+
+    def test_deterministic_by_seed(self):
+        values = [1.0, 2.0, 5.0, 9.0, 3.0]
+        a = bootstrap_median_ci(values, seed=7, n_boot=200)
+        b = bootstrap_median_ci(values, seed=7, n_boot=200)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0], n_boot=2)
+
+    def test_describe(self):
+        text = ConfidenceInterval(0.5, 0.4, 0.6, 0.95).describe()
+        assert "95%" in text
+
+
+class TestPairedDifference:
+    def test_clear_winner_excludes_zero(self):
+        rng = random.Random(4)
+        base = [rng.uniform(0, 1) for _ in range(40)]
+        better = [v + 0.2 + rng.uniform(0, 0.05) for v in base]
+        ci = paired_median_difference_ci(better, base, n_boot=500, seed=5)
+        assert ci.excludes_zero()
+        assert ci.estimate > 0.15
+
+    def test_tie_includes_zero(self):
+        rng = random.Random(6)
+        a = [rng.gauss(0, 1) for _ in range(40)]
+        b = [v + rng.gauss(0, 1) for v in a]
+        ci = paired_median_difference_ci(a, b, n_boot=500, seed=7)
+        assert ci.contains(0.0) or abs(ci.estimate) < 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_median_difference_ci([1.0], [1.0, 2.0])
+
+
+class TestSignTest:
+    def test_fraction(self):
+        assert sign_test_fraction([2, 2, 0], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sign_test_fraction([], [])
+
+
+class TestSVG:
+    def test_cdf_plot_structure(self):
+        svg = render_cdf_svg(
+            {"rb": [0.1, 0.4, 0.5], "mpc": [0.3, 0.6, 0.9]},
+            title="normalized QoE", x_label="n-QoE",
+        )
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2
+        assert "rb" in svg and "mpc" in svg
+        assert "normalized QoE" in svg
+
+    def test_lines_plot_structure(self):
+        svg = render_lines_svg(
+            [1, 2, 3], {"a": [0.1, 0.2, 0.3], "b": [0.3, 0.2, 0.1]},
+            title="sweep",
+        )
+        assert svg.count("<polyline") == 2
+        assert "sweep" in svg
+
+    def test_lines_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_lines_svg([1, 2], {"a": [0.1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_svg({})
+        with pytest.raises(ValueError):
+            render_cdf_svg({"a": []})
+        with pytest.raises(ValueError):
+            render_lines_svg([], {})
+
+    def test_save(self, tmp_path):
+        svg = render_lines_svg([1, 2], {"a": [0.0, 1.0]})
+        path = save_svg(svg, tmp_path / "figure.svg")
+        assert path.read_text().startswith("<svg")
+        with pytest.raises(ValueError):
+            save_svg("not svg", tmp_path / "x.svg")
+
+    @given(
+        values=st.lists(st.floats(-10, 10), min_size=1, max_size=40),
+    )
+    def test_cdf_never_crashes(self, values):
+        svg = render_cdf_svg({"s": values})
+        assert "<polyline" in svg

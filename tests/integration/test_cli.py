@@ -1,0 +1,109 @@
+"""The repro-abr command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestRun:
+    def test_run_generated_trace(self, capsys):
+        code, out = run_cli(capsys, "run", "bb", "--dataset", "fcc")
+        assert code == 0
+        assert "avg bitrate" in out
+        assert "QoE" in out
+
+    def test_run_trace_file(self, capsys, tmp_path):
+        from repro.traces import Trace, save_trace_csv
+
+        path = tmp_path / "t.csv"
+        save_trace_csv(Trace.constant(1500.0, 400.0), path)
+        code, out = run_cli(capsys, "run", "rb", "--trace-file", str(path))
+        assert code == 0
+        assert "rebuffer" in out
+
+    def test_run_emulation_backend(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "bb", "--dataset", "hsdpa", "--backend", "emulation"
+        )
+        assert code == 0
+
+    def test_run_weight_preset(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "bb", "--weights", "avoid-rebuffering"
+        )
+        assert code == 0
+        assert "6000" in out
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "skynet"])
+
+
+class TestGenerateTraces:
+    def test_writes_dataset(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        code, out = run_cli(
+            capsys, "generate-traces", "synthetic", str(out_dir),
+            "--count", "3", "--duration", "60",
+        )
+        assert code == 0
+        assert len(list(out_dir.glob("*.csv"))) == 3
+        assert "wrote 3" in out
+
+
+class TestCompare:
+    def test_small_matrix(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "--traces", "2", "--algorithms", "rb", "bb",
+        )
+        assert code == 0
+        assert "normalized QoE (fcc)" in out
+        assert "normalized QoE (hsdpa)" in out
+
+
+class TestFigure:
+    def test_fig7(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig7", "--traces", "3")
+        assert code == 0
+        assert "median mean kbps" in out
+
+    def test_fig11c(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig11c", "--traces", "3")
+        assert code == 0
+        assert "buffer_size_s" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestTable1AndOverhead:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1", "--levels", "8", "16",
+                            "--horizon", "3")
+        assert code == 0
+        assert "RLE kB" in out
+
+    def test_overhead(self, capsys):
+        code, out = run_cli(capsys, "overhead")
+        assert code == 0
+        assert "mean decision" in out
+
+
+class TestMeta:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,63 @@
+"""Additional CLI coverage: result saving, SVG output, figure variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCompareSave:
+    def test_save_writes_csv_per_dataset(self, capsys, tmp_path):
+        prefix = str(tmp_path / "results")
+        code, out = run_cli(
+            capsys, "compare", "--traces", "2", "--algorithms", "bb",
+            "--save", prefix,
+        )
+        assert code == 0
+        for dataset in ("fcc", "hsdpa", "synthetic"):
+            path = tmp_path / f"results-{dataset}.csv"
+            assert path.exists(), f"missing {path}"
+            assert "algorithm" in path.read_text().splitlines()[0]
+
+    def test_saved_results_reload(self, capsys, tmp_path):
+        from repro.experiments import load_result_set_csv
+
+        prefix = str(tmp_path / "r")
+        run_cli(
+            capsys, "compare", "--traces", "2", "--algorithms", "rb", "bb",
+            "--save", prefix,
+        )
+        back = load_result_set_csv(tmp_path / "r-fcc.csv")
+        assert back.algorithms() == ["rb", "bb"]
+        assert len(back.records) == 4
+
+
+class TestFigureSvg:
+    def test_sweep_svg(self, capsys, tmp_path):
+        svg = tmp_path / "fig.svg"
+        code, out = run_cli(
+            capsys, "figure", "fig11d", "--traces", "3", "--svg", str(svg)
+        )
+        assert code == 0
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_fig9_detail_output(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig9", "--traces", "2")
+        assert code == 0
+        assert "average bitrate" in out
+        assert "zero-rebuffer" in out
+
+
+class TestRunExtensions:
+    @pytest.mark.parametrize("algorithm", ["bola", "mdp"])
+    def test_extension_algorithms_run(self, capsys, algorithm):
+        code, out = run_cli(capsys, "run", algorithm, "--dataset", "synthetic")
+        assert code == 0
+        assert "avg bitrate" in out

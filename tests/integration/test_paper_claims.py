@@ -1,0 +1,107 @@
+"""End-to-end checks of the paper's headline qualitative claims.
+
+These run the real experiment pipeline at reduced scale (a dozen traces
+per dataset instead of 1000), asserting the *shape* of Section 7's
+results: who wins, where the crossovers are, which algorithm collapses
+where.  The full-scale numbers live in the benchmarks tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import paper_algorithms
+from repro.experiments import figure8, median
+from repro.experiments.sensitivity import prediction_error_sweep
+from repro.traces import standard_datasets
+from repro.video import envivio
+
+TRACES_PER_DATASET = 12
+
+
+@pytest.fixture(scope="module")
+def results():
+    datasets = standard_datasets(
+        traces_per_dataset=TRACES_PER_DATASET, duration_s=320.0, seed=1
+    )
+    return figure8(datasets, envivio(), algorithms=paper_algorithms(),
+                   backend="sim")
+
+
+class TestFigure8Claims:
+    def test_robust_mpc_wins_every_dataset(self, results):
+        """Section 7.5: 'RobustMPC outperforms existing algorithms in both
+        broadband (FCC) and cellular (HSDPA) datasets'."""
+        for dataset in ("fcc", "hsdpa"):
+            rs = results[dataset]
+            robust = rs.median_n_qoe("robust-mpc")
+            for baseline in ("rb", "bb", "dashjs", "festive"):
+                assert robust > rs.median_n_qoe(baseline), (
+                    f"robust-mpc did not beat {baseline} on {dataset}"
+                )
+
+    def test_improvement_magnitude_band(self, results):
+        """Paper: ~15% (FCC) and ~10% (HSDPA) median improvement over the
+        best prior algorithm; we accept anything clearly positive."""
+        for dataset in ("fcc", "hsdpa"):
+            rs = results[dataset]
+            best_baseline = max(
+                rs.median_n_qoe(a) for a in ("rb", "bb", "dashjs", "festive")
+            )
+            robust = rs.median_n_qoe("robust-mpc")
+            assert (robust - best_baseline) / best_baseline > 0.03
+
+    def test_fastmpc_loses_its_edge_on_mobile(self, results):
+        """Section 7.5: 'regular FastMPC does not show advantage in
+        cellular network due to high throughput instability' — while on
+        FCC it does beat RB and BB."""
+        fcc = results["fcc"]
+        assert fcc.median_n_qoe("fastmpc") > fcc.median_n_qoe("rb")
+        assert fcc.median_n_qoe("fastmpc") > fcc.median_n_qoe("bb")
+        hsdpa = results["hsdpa"]
+        assert hsdpa.median_n_qoe("fastmpc") <= hsdpa.median_n_qoe("robust-mpc")
+        best_simple = max(hsdpa.median_n_qoe("rb"), hsdpa.median_n_qoe("bb"))
+        assert hsdpa.median_n_qoe("fastmpc") <= best_simple + 0.02
+
+    def test_dashjs_clearly_behind_mpc(self, results):
+        """Paper: 'significant improvement (60+% median normalized QoE)
+        compared with the original dash.js player'; we require a clear
+        gap on every dataset."""
+        for dataset, rs in results.items():
+            assert rs.median_n_qoe("robust-mpc") > 1.15 * rs.median_n_qoe("dashjs")
+
+    def test_rebuffering_discriminates_on_mobile(self, results):
+        """Figure 10: RobustMPC achieves far less rebuffering than plain
+        FastMPC on the mobile dataset."""
+        rs = results["hsdpa"]
+        robust = median(rs.metric_values("robust-mpc", "total_rebuffer_s"))
+        fast = median(rs.metric_values("fastmpc", "total_rebuffer_s"))
+        assert robust <= fast
+
+    def test_fcc_rebuffering_is_rare_for_everyone(self, results):
+        """Figure 9: on the stable broadband traces all algorithms keep
+        rebuffering low — differences come from switching/bitrate."""
+        rs = results["fcc"]
+        for algorithm in rs.algorithms():
+            assert median(rs.metric_values(algorithm, "total_rebuffer_s")) < 3.0
+
+
+class TestFigure11aClaim:
+    def test_mpc_crosses_below_bb_at_high_error(self):
+        """Figure 11a: with accurate predictions MPC beats BB; beyond
+        ~25% error plain MPC can fall below BB, while BB stays flat."""
+        datasets = standard_datasets(traces_per_dataset=4, duration_s=320.0,
+                                     seed=3)
+        pool = datasets["fcc"][:2] + datasets["hsdpa"][:2] + datasets["synthetic"][:2]
+        sweep = prediction_error_sweep(
+            pool, envivio(), error_levels=(0.02, 0.45), include_robust=True,
+            seed=5,
+        )
+        mpc, bb = sweep.series["mpc"], sweep.series["bb"]
+        assert mpc[0] > bb[0]  # accurate predictions: MPC ahead
+        # High error hurts MPC much more than BB.
+        assert (mpc[0] - mpc[1]) > -0.02
+        assert abs(bb[0] - bb[1]) < 1e-9
+        # RobustMPC is less affected by error than plain MPC.
+        robust = sweep.series["robust-mpc"]
+        assert robust[1] >= mpc[1] - 0.02

@@ -1,0 +1,104 @@
+"""Prediction-error tracking (RobustMPC's err and Figure 7 statistics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prediction import PredictionErrorTracker, percentage_error
+
+
+class TestPercentageError:
+    def test_signed(self):
+        assert percentage_error(1200.0, 1000.0) == pytest.approx(0.2)
+        assert percentage_error(800.0, 1000.0) == pytest.approx(-0.2)
+
+    def test_rejects_nonpositive_actual(self):
+        with pytest.raises(ValueError):
+            percentage_error(100.0, 0.0)
+
+
+class TestTracker:
+    def test_empty_tracker_defaults(self):
+        t = PredictionErrorTracker()
+        assert t.max_recent_abs_error() == 0.0
+        assert t.mean_abs_error() == 0.0
+        assert t.mean_signed_error() == 0.0
+        assert t.overestimation_fraction() == 0.0
+        assert t.worst_abs_error() == 0.0
+        assert len(t) == 0
+
+    def test_records_and_windows(self):
+        t = PredictionErrorTracker(window=2)
+        t.record(1100.0, 1000.0)  # +10%
+        t.record(1500.0, 1000.0)  # +50%
+        t.record(1000.0, 1000.0)  # 0% -> window holds {50%, 0%}
+        assert t.max_recent_abs_error() == pytest.approx(0.5)
+        t.record(1000.0, 1000.0)  # window holds {0%, 0%}
+        assert t.max_recent_abs_error() == pytest.approx(0.0)
+        # Whole-session stats still remember everything.
+        assert t.worst_abs_error() == pytest.approx(0.5)
+        assert len(t) == 4
+
+    def test_robust_lower_bound_formula(self):
+        """The paper's C_hat / (1 + err) with err = max |e| over window."""
+        t = PredictionErrorTracker(window=5)
+        t.record(1400.0, 1000.0)  # err 0.4
+        assert t.robust_lower_bound(2000.0) == pytest.approx(2000.0 / 1.4)
+
+    def test_robust_lower_bound_no_history(self):
+        t = PredictionErrorTracker()
+        assert t.robust_lower_bound(900.0) == pytest.approx(900.0)
+
+    def test_robust_lower_bound_validation(self):
+        with pytest.raises(ValueError):
+            PredictionErrorTracker().robust_lower_bound(0.0)
+
+    def test_overestimation_fraction(self):
+        t = PredictionErrorTracker()
+        t.record(1200.0, 1000.0)
+        t.record(800.0, 1000.0)
+        t.record(1001.0, 1000.0)
+        assert t.overestimation_fraction() == pytest.approx(2 / 3)
+
+    def test_mean_signed_error(self):
+        t = PredictionErrorTracker()
+        t.record(1200.0, 1000.0)
+        t.record(800.0, 1000.0)
+        assert t.mean_signed_error() == pytest.approx(0.0)
+        assert t.mean_abs_error() == pytest.approx(0.2)
+
+    def test_reset(self):
+        t = PredictionErrorTracker()
+        t.record(2000.0, 1000.0)
+        t.reset()
+        assert len(t) == 0
+        assert t.max_recent_abs_error() == 0.0
+
+    def test_errors_copy(self):
+        t = PredictionErrorTracker()
+        t.record(1100.0, 1000.0)
+        errors = t.errors
+        errors.append(99.0)
+        assert len(t.errors) == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PredictionErrorTracker(window=0)
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.floats(1.0, 5000.0), st.floats(1.0, 5000.0)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_lower_bound_never_exceeds_prediction(pairs):
+    """The robust bound is conservative: always <= the raw prediction."""
+    t = PredictionErrorTracker(window=5)
+    for predicted, actual in pairs:
+        t.record(predicted, actual)
+    assert t.robust_lower_bound(1234.0) <= 1234.0 + 1e-9
+    assert t.robust_lower_bound(1234.0) > 0

@@ -1,0 +1,86 @@
+"""The harmonic-mean predictor (the paper's default)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prediction import HarmonicMeanPredictor, SlidingMeanPredictor
+
+
+class TestHarmonicMean:
+    def test_cold_start(self):
+        p = HarmonicMeanPredictor(cold_start_kbps=123.0)
+        assert p.predict(3) == [123.0, 123.0, 123.0]
+
+    def test_single_observation(self):
+        p = HarmonicMeanPredictor()
+        p.observe_kbps(800.0)
+        assert p.predict(1) == [800.0]
+
+    def test_harmonic_mean_math(self):
+        p = HarmonicMeanPredictor(window=3)
+        for v in (400.0, 800.0):
+            p.observe_kbps(v)
+        expected = 2 / (1 / 400 + 1 / 800)
+        assert p.predict(1)[0] == pytest.approx(expected)
+
+    def test_window_slides(self):
+        p = HarmonicMeanPredictor(window=2)
+        for v in (100.0, 1000.0, 1000.0):
+            p.observe_kbps(v)
+        assert p.predict(1)[0] == pytest.approx(1000.0)
+
+    def test_flat_forecast(self):
+        p = HarmonicMeanPredictor()
+        p.observe_kbps(700.0)
+        forecast = p.predict(5)
+        assert len(forecast) == 5
+        assert len(set(forecast)) == 1
+
+    def test_reset(self):
+        p = HarmonicMeanPredictor(cold_start_kbps=99.0)
+        p.observe_kbps(5000.0)
+        p.reset()
+        assert p.predict(1) == [99.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor(window=0)
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor(cold_start_kbps=0.0)
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor().predict(0)
+
+    def test_rejects_nonpositive_observation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor().observe_kbps(0.0)
+
+
+@given(samples=st.lists(st.floats(10.0, 10_000.0), min_size=1, max_size=5))
+def test_harmonic_between_min_and_mean(samples):
+    """min(x) <= harmonic mean <= arithmetic mean."""
+    p = HarmonicMeanPredictor(window=5)
+    for v in samples:
+        p.observe_kbps(v)
+    hm = p.predict(1)[0]
+    assert min(samples) - 1e-9 <= hm <= sum(samples) / len(samples) + 1e-9
+
+
+@given(
+    baseline=st.floats(200.0, 2000.0),
+    spike=st.floats(5000.0, 50_000.0),
+)
+def test_more_robust_to_spikes_than_arithmetic_mean(baseline, spike):
+    """The paper picks the harmonic mean because it is 'robust to outliers
+    in per-chunk estimates': a single throughput spike moves it less."""
+    harmonic = HarmonicMeanPredictor(window=5)
+    arithmetic = SlidingMeanPredictor(window=5)
+    for predictor in (harmonic, arithmetic):
+        for _ in range(4):
+            predictor.observe_kbps(baseline)
+        predictor.observe_kbps(spike)
+    assert harmonic.predict(1)[0] < arithmetic.predict(1)[0]
+    # The harmonic estimate stays near the sustainable baseline.
+    assert harmonic.predict(1)[0] < 2.0 * baseline

@@ -1,0 +1,84 @@
+"""Oracle predictors: perfect and noise-controlled (Section 7.3)."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.prediction import NoisyOraclePredictor, OraclePredictor
+from repro.traces import Trace
+
+
+def bound(predictor, trace):
+    predictor.bind_trace(trace, chunk_duration_s=4.0)
+    predictor.reset()
+    return predictor
+
+
+class TestOracle:
+    def test_matches_trace_windows(self, step_trace):
+        p = bound(OraclePredictor(), step_trace)
+        p.set_wall_time(96.0)
+        forecast = p.predict(3)
+        # Windows [96,100), [100,104), [104,108): 2000 then 400 then 400.
+        assert forecast[0] == pytest.approx(2000.0)
+        assert forecast[1] == pytest.approx(400.0)
+        assert forecast[2] == pytest.approx(400.0)
+
+    def test_requires_binding(self):
+        p = OraclePredictor()
+        with pytest.raises(RuntimeError, match="bind_trace"):
+            p.predict(1)
+
+    def test_wall_time_validation(self):
+        p = bound(OraclePredictor(), Trace.constant(500.0, 60.0))
+        with pytest.raises(ValueError):
+            p.set_wall_time(-1.0)
+
+    def test_bind_validation(self):
+        with pytest.raises(ValueError):
+            OraclePredictor().bind_trace(Trace.constant(500.0, 60.0), 0.0)
+
+    def test_observe_is_noop(self):
+        p = bound(OraclePredictor(), Trace.constant(500.0, 60.0))
+        p.observe_kbps(9999.0)
+        assert p.predict(1)[0] == pytest.approx(500.0)
+
+
+class TestNoisyOracle:
+    def test_error_level_zero_is_exact(self):
+        trace = Trace.constant(800.0, 60.0)
+        p = bound(NoisyOraclePredictor(0.0), trace)
+        assert p.predict(3) == pytest.approx([800.0] * 3)
+
+    def test_mean_abs_error_matches_level(self):
+        trace = Trace.constant(1000.0, 60.0)
+        p = bound(NoisyOraclePredictor(0.2, seed=1), trace)
+        errors = []
+        for epoch in range(400):
+            value = p.predict(1)[0]
+            errors.append(abs(value - 1000.0) / 1000.0)
+            p.observe_kbps(1000.0)  # advances the noise epoch
+        assert statistics.mean(errors) == pytest.approx(0.2, abs=0.03)
+
+    def test_deterministic_per_seed_and_epoch(self):
+        trace = Trace.constant(1000.0, 60.0)
+        a = bound(NoisyOraclePredictor(0.3, seed=9), trace)
+        b = bound(NoisyOraclePredictor(0.3, seed=9), trace)
+        assert a.predict(4) == b.predict(4)
+        a.observe_kbps(1000.0)
+        assert a.predict(4) != b.predict(4)
+
+    def test_always_positive(self):
+        trace = Trace.constant(10.0, 60.0)
+        p = bound(NoisyOraclePredictor(0.49, seed=0), trace)
+        for _ in range(100):
+            assert all(v > 0 for v in p.predict(3))
+            p.observe_kbps(10.0)
+
+    def test_error_level_validation(self):
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(-0.1)
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(0.5)

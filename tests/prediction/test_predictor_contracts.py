@@ -1,0 +1,84 @@
+"""Cross-predictor behaviour contracts (property tests over the family)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    EWMAPredictor,
+    HarmonicMeanPredictor,
+    HoltLinearPredictor,
+    LastSamplePredictor,
+    SlidingMeanPredictor,
+)
+
+FACTORIES = {
+    "harmonic": HarmonicMeanPredictor,
+    "sliding-mean": SlidingMeanPredictor,
+    "ewma": EWMAPredictor,
+    "holt": HoltLinearPredictor,
+    "last-sample": LastSamplePredictor,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES), ids=str)
+@given(
+    samples=st.lists(st.floats(1.0, 50_000.0), min_size=0, max_size=20),
+    horizon=st.integers(1, 8),
+)
+def test_forecast_contract(name, samples, horizon):
+    """Every predictor: correct horizon length, strictly positive values,
+    regardless of history (including none)."""
+    predictor = FACTORIES[name]()
+    for v in samples:
+        predictor.observe_kbps(v)
+    forecast = predictor.predict(horizon)
+    assert len(forecast) == horizon
+    assert all(v > 0 for v in forecast)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES), ids=str)
+@given(samples=st.lists(st.floats(1.0, 50_000.0), min_size=1, max_size=15))
+def test_reset_restores_cold_start(name, samples):
+    predictor = FACTORIES[name]()
+    cold = predictor.predict(3)
+    for v in samples:
+        predictor.observe_kbps(v)
+    predictor.reset()
+    assert predictor.predict(3) == cold
+
+
+@pytest.mark.parametrize("name", ["harmonic", "sliding-mean", "ewma",
+                                  "last-sample"])
+@given(value=st.floats(10.0, 10_000.0), n=st.integers(1, 10))
+def test_constant_history_constant_forecast(name, value, n):
+    """Flat-forecast predictors fed a constant must predict it exactly."""
+    predictor = FACTORIES[name]()
+    for _ in range(n):
+        predictor.observe_kbps(value)
+    assert predictor.predict(4) == pytest.approx([value] * 4)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES), ids=str)
+@given(
+    samples=st.lists(st.floats(10.0, 10_000.0), min_size=1, max_size=12),
+    scale=st.floats(0.1, 10.0),
+)
+def test_scale_equivariance(name, samples, scale):
+    """Scaling all observed throughputs scales the forecast — no hidden
+    absolute thresholds inside any predictor."""
+    a = FACTORIES[name]()
+    b = FACTORIES[name]()
+    for v in samples:
+        a.observe_kbps(v)
+        b.observe_kbps(v * scale)
+    fa = a.predict(3)
+    fb = b.predict(3)
+    for x, y in zip(fa, fb):
+        # Holt floors its forecast, so only require equivariance when the
+        # unscaled forecast is comfortably above the floor.
+        if name == "holt" and (x <= 10.0 or y <= 10.0):
+            continue
+        assert y == pytest.approx(x * scale, rel=1e-9)

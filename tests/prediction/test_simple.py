@@ -1,0 +1,112 @@
+"""Baseline predictors: last-sample, sliding mean, EWMA, Holt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prediction import (
+    EWMAPredictor,
+    HoltLinearPredictor,
+    LastSamplePredictor,
+    SlidingMeanPredictor,
+)
+
+
+class TestLastSample:
+    def test_persistence(self):
+        p = LastSamplePredictor()
+        p.observe_kbps(100.0)
+        p.observe_kbps(900.0)
+        assert p.predict(2) == [900.0, 900.0]
+
+    def test_cold_start_and_reset(self):
+        p = LastSamplePredictor(cold_start_kbps=50.0)
+        assert p.predict(1) == [50.0]
+        p.observe_kbps(700.0)
+        p.reset()
+        assert p.predict(1) == [50.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LastSamplePredictor(cold_start_kbps=-1.0)
+        with pytest.raises(ValueError):
+            LastSamplePredictor().predict(0)
+
+
+class TestSlidingMean:
+    def test_mean(self):
+        p = SlidingMeanPredictor(window=3)
+        for v in (100.0, 200.0, 600.0):
+            p.observe_kbps(v)
+        assert p.predict(1)[0] == pytest.approx(300.0)
+
+    def test_window_evicts(self):
+        p = SlidingMeanPredictor(window=2)
+        for v in (1000.0, 100.0, 300.0):
+            p.observe_kbps(v)
+        assert p.predict(1)[0] == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingMeanPredictor(window=0)
+
+
+class TestEWMA:
+    def test_first_observation_sets_level(self):
+        p = EWMAPredictor(alpha=0.5)
+        p.observe_kbps(800.0)
+        assert p.predict(1)[0] == pytest.approx(800.0)
+
+    def test_smoothing(self):
+        p = EWMAPredictor(alpha=0.5)
+        p.observe_kbps(1000.0)
+        p.observe_kbps(0.0 + 500.0)
+        assert p.predict(1)[0] == pytest.approx(750.0)
+
+    def test_alpha_one_is_last_sample(self):
+        p = EWMAPredictor(alpha=1.0)
+        p.observe_kbps(100.0)
+        p.observe_kbps(900.0)
+        assert p.predict(1)[0] == pytest.approx(900.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=1.5)
+
+
+class TestHolt:
+    def test_ramped_forecast_follows_trend(self):
+        p = HoltLinearPredictor(alpha=0.8, beta=0.8)
+        for v in (100.0, 200.0, 300.0, 400.0):
+            p.observe_kbps(v)
+        forecast = p.predict(4)
+        assert forecast == sorted(forecast)  # increasing trend extrapolated
+        assert forecast[0] > 400.0
+
+    def test_forecast_stays_positive_under_downtrend(self):
+        p = HoltLinearPredictor(alpha=0.9, beta=0.9, floor_kbps=10.0)
+        for v in (2000.0, 1000.0, 200.0, 50.0):
+            p.observe_kbps(v)
+        assert all(v >= 10.0 for v in p.predict(8))
+
+    def test_cold_start(self):
+        p = HoltLinearPredictor(cold_start_kbps=77.0)
+        assert p.predict(2) == [77.0, 77.0]
+
+    def test_damping_limits_extrapolation(self):
+        aggressive = HoltLinearPredictor(alpha=0.8, beta=0.8, damping=1.0)
+        damped = HoltLinearPredictor(alpha=0.8, beta=0.8, damping=0.5)
+        for v in (100.0, 300.0, 500.0):
+            aggressive.observe_kbps(v)
+            damped.observe_kbps(v)
+        assert damped.predict(6)[-1] < aggressive.predict(6)[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltLinearPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltLinearPredictor(damping=0.0)
+        with pytest.raises(ValueError):
+            HoltLinearPredictor(beta=1.5)

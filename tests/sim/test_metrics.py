@@ -1,0 +1,54 @@
+"""Session metrics extraction (the Figures 9/10 quantities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr import FixedPlanAlgorithm
+from repro.sim import SessionMetrics, simulate_session
+from repro.traces import Trace
+from repro.video import envivio
+
+
+@pytest.fixture
+def session(envivio_manifest):
+    plan = [0] * 65
+    plan[10] = 2  # two switches: 350->1000->350
+    trace = Trace.constant(2500.0, 600.0)
+    return simulate_session(FixedPlanAlgorithm(plan), trace, envivio_manifest)
+
+
+class TestSessionMetrics:
+    def test_average_bitrate(self, session):
+        m = session.metrics()
+        expected = (64 * 350.0 + 1000.0) / 65
+        assert m.average_bitrate_kbps == pytest.approx(expected)
+
+    def test_average_bitrate_change_per_chunk(self, session):
+        """The paper's 'kbps/chunk' metric: total variation / (K-1)."""
+        m = session.metrics()
+        assert m.average_bitrate_change_kbps == pytest.approx(2 * 650.0 / 64)
+
+    def test_switch_count(self, session):
+        assert session.metrics().num_switches == 2
+
+    def test_rebuffer_fields(self, session):
+        m = session.metrics()
+        assert m.total_rebuffer_s == pytest.approx(0.0)
+        assert m.num_rebuffer_events == 0
+
+    def test_throughput_average(self, session):
+        assert session.metrics().average_throughput_kbps == pytest.approx(2500.0)
+
+    def test_describe_is_single_line(self, session):
+        text = session.metrics().describe()
+        assert "\n" not in text
+        assert "avg bitrate" in text
+
+    def test_single_chunk_session(self):
+        manifest = envivio().truncated(1)
+        trace = Trace.constant(1000.0, 60.0)
+        session = simulate_session(FixedPlanAlgorithm([0]), trace, manifest)
+        m = session.metrics()
+        assert m.average_bitrate_change_kbps == 0.0
+        assert m.num_chunks == 1

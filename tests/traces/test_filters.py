@@ -1,0 +1,89 @@
+"""Trace selection/filtering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import (
+    Trace,
+    ensure_min_duration,
+    filter_by_mean,
+    filter_by_std,
+    filter_nontrivial,
+    take,
+)
+
+
+def traces():
+    return [
+        Trace.constant(200.0, 60.0, name="slow"),
+        Trace.constant(1500.0, 60.0, name="mid"),
+        Trace.constant(9000.0, 60.0, name="fast"),
+        Trace([0.0, 30.0], [500.0, 2500.0], duration_s=60.0, name="vary"),
+    ]
+
+
+class TestFilterByMean:
+    def test_band(self):
+        kept = filter_by_mean(traces(), 300.0, 3000.0)
+        assert [t.name for t in kept] == ["mid", "vary"]
+
+    def test_paper_band_excludes_trivial_fast_links(self):
+        kept = filter_by_mean(traces(), 0.0, 3000.0)
+        assert all(t.mean_kbps() <= 3000.0 for t in kept)
+        assert "fast" not in [t.name for t in kept]
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            filter_by_mean(traces(), 100.0, 50.0)
+
+
+class TestFilterByStd:
+    def test_keeps_variable_traces(self):
+        kept = filter_by_std(traces(), min_kbps=100.0)
+        assert [t.name for t in kept] == ["vary"]
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            filter_by_std(traces(), 100.0, 50.0)
+
+
+class TestFilterNontrivial:
+    def test_drops_always_max_traces(self):
+        kept = filter_nontrivial(traces(), max_bitrate_kbps=3000.0)
+        assert "fast" not in [t.name for t in kept]
+        assert "mid" in [t.name for t in kept]
+
+    def test_requires_positive_bitrate(self):
+        with pytest.raises(ValueError):
+            filter_nontrivial(traces(), 0.0)
+
+
+class TestEnsureMinDuration:
+    def test_extends_short_traces_by_repetition(self):
+        short = Trace.constant(800.0, 10.0)
+        (extended,) = ensure_min_duration([short], 35.0)
+        assert extended.duration_s >= 35.0
+        assert extended.mean_kbps() == pytest.approx(800.0)
+
+    def test_leaves_long_traces_alone(self):
+        long = Trace.constant(800.0, 100.0)
+        (same,) = ensure_min_duration([long], 35.0)
+        assert same is long
+
+    def test_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            ensure_min_duration(traces(), 0.0)
+
+
+class TestTake:
+    def test_takes_first_n(self):
+        assert [t.name for t in take(traces(), 2)] == ["slow", "mid"]
+
+    def test_with_predicate(self):
+        kept = take(traces(), 5, predicate=lambda t: t.mean_kbps() > 1000)
+        assert [t.name for t in kept] == ["mid", "fast", "vary"]
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            take(traces(), -1)

@@ -1,0 +1,107 @@
+"""Fitting the hidden-Markov model to measured traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import HSDPATraceGenerator, SyntheticTraceGenerator, Trace
+from repro.traces.fitting import MarkovFit, fit_markov_model
+
+
+@pytest.fixture(scope="module")
+def hsdpa_pool():
+    return HSDPATraceGenerator(seed=71).generate_many(10, 320.0)
+
+
+class TestFitBasics:
+    def test_shapes(self, hsdpa_pool):
+        fit = fit_markov_model(hsdpa_pool, num_states=5)
+        assert len(fit.states) == 5
+        assert len(fit.bin_edges) == 4
+        assert len(fit.transition_matrix) == 5
+        for row in fit.transition_matrix:
+            assert sum(row) == pytest.approx(1.0)
+            assert all(p > 0 for p in row)  # Laplace smoothing
+
+    def test_states_ordered_by_mean(self, hsdpa_pool):
+        fit = fit_markov_model(hsdpa_pool, num_states=5)
+        means = [s.mean_kbps for s in fit.states]
+        assert means == sorted(means)
+
+    def test_state_of_uses_edges(self, hsdpa_pool):
+        fit = fit_markov_model(hsdpa_pool, num_states=4)
+        assert fit.state_of(1.0) == 0
+        assert fit.state_of(1e9) == 3
+
+    def test_sample_interval_matches_source(self, hsdpa_pool):
+        fit = fit_markov_model(hsdpa_pool)
+        assert fit.sample_interval_s == pytest.approx(1.0)  # HSDPA: 1 s
+
+    def test_validation(self, hsdpa_pool):
+        with pytest.raises(ValueError):
+            fit_markov_model([])
+        with pytest.raises(ValueError):
+            fit_markov_model(hsdpa_pool, num_states=1)
+        with pytest.raises(ValueError):
+            fit_markov_model(hsdpa_pool, smoothing=0.0)
+        flat = [Trace.constant(500.0, 20.0)]
+        with pytest.raises(ValueError):
+            fit_markov_model(flat, num_states=3)
+
+
+class TestFitQuality:
+    def test_stationary_mean_matches_data(self, hsdpa_pool):
+        fit = fit_markov_model(hsdpa_pool, num_states=6)
+        pooled_mean = sum(t.mean_kbps() * t.duration_s for t in hsdpa_pool) / sum(
+            t.duration_s for t in hsdpa_pool
+        )
+        assert fit.mean_kbps() == pytest.approx(pooled_mean, rel=0.15)
+
+    def test_transitions_are_sticky_for_regime_traffic(self, hsdpa_pool):
+        """Regime-switching traffic dwells: self-transitions dominate."""
+        fit = fit_markov_model(hsdpa_pool, num_states=5)
+        diagonal = sum(
+            fit.transition_matrix[i][i] for i in range(5)
+        ) / 5
+        assert diagonal > 0.4
+
+    def test_recovers_known_chain(self):
+        """Fit traces produced by a known generator and recover its
+        stickiness and mean structure."""
+        source = SyntheticTraceGenerator(seed=3, stay_probability=0.9)
+        traces = source.generate_many(12, 600.0)
+        fit = fit_markov_model(traces, num_states=6)
+        # Quantile bins don't align exactly with the hidden states (the
+        # 15% emission noise smears samples across bin edges), so the
+        # observed chain is less sticky than the hidden one — but still
+        # far above the 1/6 a memoryless process would show.
+        diagonal = sum(fit.transition_matrix[i][i] for i in range(6)) / 6
+        assert diagonal > 0.4
+        pooled_mean = sum(t.mean_kbps() for t in traces) / len(traces)
+        assert fit.mean_kbps() == pytest.approx(pooled_mean, rel=0.2)
+
+
+class TestRoundTrip:
+    def test_generator_reproduces_marginals(self, hsdpa_pool):
+        """Generate from the fit and compare first-order statistics."""
+        fit = fit_markov_model(hsdpa_pool, num_states=6)
+        generated = fit.to_generator(seed=5).generate_many(10, 320.0)
+        source_mean = sum(t.mean_kbps() for t in hsdpa_pool) / len(hsdpa_pool)
+        fitted_mean = sum(t.mean_kbps() for t in generated) / len(generated)
+        assert fitted_mean == pytest.approx(source_mean, rel=0.25)
+        source_cov = sum(t.std_kbps() / t.mean_kbps() for t in hsdpa_pool) / len(
+            hsdpa_pool
+        )
+        fitted_cov = sum(t.std_kbps() / t.mean_kbps() for t in generated) / len(
+            generated
+        )
+        assert fitted_cov == pytest.approx(source_cov, rel=0.6)
+
+    def test_generated_traces_are_usable(self, hsdpa_pool, envivio_manifest):
+        from repro.abr import create
+        from repro.sim import simulate_session
+
+        fit = fit_markov_model(hsdpa_pool)
+        trace = fit.to_generator(seed=1).generate(320.0)
+        session = simulate_session(create("bb"), trace, envivio_manifest)
+        assert len(session.records) == 65

@@ -1,0 +1,193 @@
+"""Tests for the FCC / HSDPA / synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import median
+from repro.experiments.figures import prediction_profile
+from repro.traces import (
+    FCCTraceGenerator,
+    HSDPATraceGenerator,
+    MarkovState,
+    SyntheticTraceGenerator,
+    make_generator,
+    shared_bottleneck_states,
+    standard_datasets,
+)
+from repro.traces.hsdpa import HSDPARegime
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("dataset", ["fcc", "hsdpa", "synthetic"])
+    def test_same_seed_same_trace(self, dataset):
+        a = make_generator(dataset, seed=3).generate(120.0, index=5)
+        b = make_generator(dataset, seed=3).generate(120.0, index=5)
+        assert a.bandwidths_kbps == b.bandwidths_kbps
+
+    @pytest.mark.parametrize("dataset", ["fcc", "hsdpa", "synthetic"])
+    def test_different_indices_differ(self, dataset):
+        gen = make_generator(dataset, seed=3)
+        a = gen.generate(120.0, index=0)
+        b = gen.generate(120.0, index=1)
+        assert a.bandwidths_kbps != b.bandwidths_kbps
+
+    def test_different_seeds_differ(self):
+        a = FCCTraceGenerator(seed=1).generate(120.0)
+        b = FCCTraceGenerator(seed=2).generate(120.0)
+        assert a.bandwidths_kbps != b.bandwidths_kbps
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("dataset", ["fcc", "hsdpa", "synthetic"])
+    def test_duration_covers_request(self, dataset):
+        trace = make_generator(dataset).generate(317.0)
+        assert trace.duration_s >= 317.0
+
+    @pytest.mark.parametrize("dataset", ["fcc", "hsdpa", "synthetic"])
+    def test_positive_throughput(self, dataset):
+        trace = make_generator(dataset).generate(200.0)
+        assert min(trace.bandwidths_kbps) > 0
+
+    def test_generate_many_counts_and_names(self):
+        traces = HSDPATraceGenerator().generate_many(4, 60.0, start_index=10)
+        assert len(traces) == 4
+        assert traces[0].name == "hsdpa-0010"
+        assert traces[3].name == "hsdpa-0013"
+
+    def test_rejects_nonpositive_duration(self):
+        for dataset in ("fcc", "hsdpa", "synthetic"):
+            with pytest.raises(ValueError):
+                make_generator(dataset).generate(0.0)
+
+
+class TestSampleIntervals:
+    def test_fcc_uses_5s_samples(self):
+        trace = FCCTraceGenerator().generate(60.0)
+        gaps = {round(b - a, 6) for a, b in zip(trace.timestamps, trace.timestamps[1:])}
+        assert gaps == {5.0}
+
+    def test_hsdpa_uses_1s_samples(self):
+        trace = HSDPATraceGenerator().generate(30.0)
+        gaps = {round(b - a, 6) for a, b in zip(trace.timestamps, trace.timestamps[1:])}
+        assert gaps == {1.0}
+
+
+class TestCalibration:
+    """The generators must land in the paper's Figure 7 bands (DESIGN.md)."""
+
+    def test_fcc_is_stable_broadband(self):
+        traces = FCCTraceGenerator(seed=11).generate_many(30, 320.0)
+        errors = [prediction_profile(t).mean_abs_error() for t in traces]
+        # Paper: "the average error of our harmonic mean throughput
+        # predictor is less than 5%" on FCC.
+        assert median(errors) < 0.06
+        cov = [t.std_kbps() / t.mean_kbps() for t in traces]
+        assert median(cov) < 0.15
+
+    def test_hsdpa_is_high_variability(self):
+        traces = HSDPATraceGenerator(seed=11).generate_many(30, 320.0)
+        errors = [prediction_profile(t).mean_abs_error() for t in traces]
+        # Paper: worst-case per-session error reaches ~40% on HSDPA.
+        assert median(errors) > 0.12
+        assert max(errors) > 0.3
+        cov = [t.std_kbps() / t.mean_kbps() for t in traces]
+        assert median(cov) > 0.25
+
+    def test_hsdpa_overestimates_a_meaningful_fraction(self):
+        traces = HSDPATraceGenerator(seed=11).generate_many(30, 320.0)
+        over = [prediction_profile(t).overestimation_fraction() for t in traces]
+        # Paper: the predictor over-estimates >20% of the time on HSDPA.
+        assert median(over) > 0.2
+
+    def test_variability_ordering_across_datasets(self):
+        """Figure 7: broadband most stable, mobile most variable."""
+        fcc = FCCTraceGenerator(seed=5).generate_many(20, 320.0)
+        hsdpa = HSDPATraceGenerator(seed=5).generate_many(20, 320.0)
+        fcc_cov = median([t.std_kbps() / t.mean_kbps() for t in fcc])
+        hsdpa_cov = median([t.std_kbps() / t.mean_kbps() for t in hsdpa])
+        assert fcc_cov < hsdpa_cov
+
+
+class TestSyntheticModel:
+    def test_shared_bottleneck_states_scale_inversely(self):
+        states = shared_bottleneck_states(capacity_kbps=4800.0, max_users=4)
+        assert [s.mean_kbps for s in states] == [4800.0, 2400.0, 1600.0, 1200.0]
+
+    def test_rejects_bad_transition_matrix(self):
+        states = shared_bottleneck_states(max_users=2)
+        with pytest.raises(ValueError, match="distributions"):
+            SyntheticTraceGenerator(states=states, transition_matrix=[[0.5, 0.2], [0.5, 0.5]])
+
+    def test_rejects_matrix_shape_mismatch(self):
+        states = shared_bottleneck_states(max_users=3)
+        with pytest.raises(ValueError, match="shape"):
+            SyntheticTraceGenerator(states=states, transition_matrix=[[1.0]])
+
+    def test_rejects_empty_states(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(states=[])
+
+    def test_floor_respected(self):
+        states = [MarkovState(mean_kbps=60.0, std_kbps=100.0)]
+        gen = SyntheticTraceGenerator(
+            states=states, transition_matrix=[[1.0]], floor_kbps=50.0
+        )
+        trace = gen.generate(600.0)
+        assert min(trace.bandwidths_kbps) >= 50.0
+
+    def test_throughput_visits_multiple_states(self):
+        trace = SyntheticTraceGenerator(seed=2).generate(600.0)
+        assert trace.std_kbps() > 100.0
+
+
+class TestHSDPAValidation:
+    def test_rejects_bad_regime_transitions(self):
+        regimes = [HSDPARegime("a", 100.0, 0.1, 5.0), HSDPARegime("b", 200.0, 0.1, 5.0)]
+        with pytest.raises(ValueError, match="not a distribution"):
+            HSDPATraceGenerator(regimes=regimes, transitions=[[0.9, 0.0], [1.0, 0.0]])
+
+    def test_rejects_bad_session_scales(self):
+        with pytest.raises(ValueError, match="scale"):
+            HSDPATraceGenerator(session_scale_low=0.0)
+
+
+class TestFCCValidation:
+    def test_rejects_bad_means(self):
+        with pytest.raises(ValueError):
+            FCCTraceGenerator(mean_low_kbps=3000.0, mean_high_kbps=300.0)
+
+    def test_rejects_bad_ar(self):
+        with pytest.raises(ValueError):
+            FCCTraceGenerator(ar_coefficient=1.0)
+
+    def test_session_means_within_filter_band(self):
+        gen = FCCTraceGenerator(seed=9)
+        for i in range(10):
+            mean = gen.generate(320.0, index=i).mean_kbps()
+            assert 100.0 < mean < 3400.0  # generous around the 0.3-3 Mbps band
+
+
+class TestStandardDatasets:
+    def test_builds_all_three(self):
+        datasets = standard_datasets(traces_per_dataset=5, duration_s=120.0)
+        assert set(datasets) == {"fcc", "hsdpa", "synthetic"}
+        for traces in datasets.values():
+            assert len(traces) == 5
+            for t in traces:
+                assert t.duration_s >= 120.0
+
+    def test_fcc_band_filter_applied(self):
+        datasets = standard_datasets(
+            traces_per_dataset=8, duration_s=120.0, mean_band_kbps=(0.0, 1500.0)
+        )
+        for t in datasets["fcc"]:
+            assert t.mean_kbps() <= 1500.0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_generator("netflix-open-connect")
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            standard_datasets(traces_per_dataset=0)

@@ -1,0 +1,98 @@
+"""Trace serialization: CSV and mahimahi formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import (
+    Trace,
+    load_dataset,
+    load_trace_csv,
+    load_trace_mahimahi,
+    save_dataset,
+    save_trace_csv,
+    save_trace_mahimahi,
+)
+
+
+def sample_trace() -> Trace:
+    return Trace([0.0, 2.0, 5.0], [1000.0, 512.5, 2000.0], duration_s=8.0, name="io")
+
+
+class TestCSV:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        back = load_trace_csv(path)
+        assert back.timestamps == trace.timestamps
+        assert back.bandwidths_kbps == pytest.approx(trace.bandwidths_kbps)
+        assert back.duration_s == pytest.approx(trace.duration_s)
+
+    def test_load_uses_filename_as_default_name(self, tmp_path):
+        path = tmp_path / "my-trace.csv"
+        save_trace_csv(sample_trace(), path)
+        assert load_trace_csv(path).name == "my-trace"
+
+    def test_load_rejects_too_short_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,bandwidth_kbps\n0.0,100.0\n")
+        with pytest.raises(ValueError, match="two rows"):
+            load_trace_csv(path)
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("# comment\n0.0,100.0\n5.0,100.0\n")
+        trace = load_trace_csv(path)
+        assert trace.duration_s == pytest.approx(5.0)
+
+
+class TestMahimahi:
+    def test_constant_trace_roundtrip_preserves_rate(self, tmp_path):
+        trace = Trace.constant(1200.0, 20.0)
+        path = tmp_path / "mahimahi.txt"
+        save_trace_mahimahi(trace, path)
+        back = load_trace_mahimahi(path, bucket_s=1.0)
+        # MTU quantisation loses a little; the mean must survive.
+        assert back.mean_kbps() == pytest.approx(1200.0, rel=0.05)
+
+    def test_variable_trace_roundtrip_shape(self, tmp_path):
+        trace = Trace([0.0, 10.0], [2000.0, 500.0], duration_s=20.0)
+        path = tmp_path / "mahimahi.txt"
+        save_trace_mahimahi(trace, path)
+        back = load_trace_mahimahi(path, bucket_s=1.0)
+        assert back.average_kbps_between(0, 10) > back.average_kbps_between(10, 20)
+
+    def test_empty_schedule_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_mahimahi(path)
+
+    def test_bucket_must_be_positive(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("1\n")
+        with pytest.raises(ValueError):
+            load_trace_mahimahi(path, bucket_s=0.0)
+
+
+class TestDataset:
+    def test_save_and_load_directory(self, tmp_path):
+        traces = [
+            Trace.constant(500.0, 10.0, name="a"),
+            Trace.constant(900.0, 10.0, name="b"),
+        ]
+        paths = save_dataset(traces, tmp_path / "ds")
+        assert len(paths) == 2
+        back = load_dataset(tmp_path / "ds")
+        assert [t.name for t in back] == ["a", "b"]
+        assert back[1].mean_kbps() == pytest.approx(900.0)
+
+    def test_unnamed_traces_get_indices(self, tmp_path):
+        traces = [Trace.constant(500.0, 10.0)]
+        paths = save_dataset(traces, tmp_path / "ds")
+        assert paths[0].name == "trace-0000.csv"
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")

@@ -1,0 +1,283 @@
+"""Unit and property tests for the piecewise-constant trace model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import Trace
+
+
+def sample_trace() -> Trace:
+    return Trace([0.0, 2.0, 5.0], [1000.0, 500.0, 2000.0], duration_s=8.0)
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+
+class TestConstruction:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Trace([0.0, 1.0], [100.0])
+
+    def test_requires_first_timestamp_zero(self):
+        with pytest.raises(ValueError, match="first timestamp"):
+            Trace([1.0, 2.0], [100.0, 200.0])
+
+    def test_requires_increasing_timestamps(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Trace([0.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace([0.0], [-5.0], duration_s=1.0)
+
+    def test_rejects_nan_bandwidth(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace([0.0], [float("nan")], duration_s=1.0)
+
+    def test_rejects_duration_before_last_timestamp(self):
+        with pytest.raises(ValueError, match="duration"):
+            Trace([0.0, 5.0], [1.0, 2.0], duration_s=4.0)
+
+    def test_requires_at_least_one_segment(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Trace([], [])
+
+    def test_default_duration_uses_median_gap(self):
+        trace = Trace([0.0, 2.0, 4.0], [1.0, 2.0, 3.0])
+        assert trace.duration_s == pytest.approx(6.0)
+
+    def test_is_immutable(self):
+        trace = sample_trace()
+        with pytest.raises(AttributeError):
+            trace.name = "other"
+
+    def test_from_samples(self):
+        trace = Trace.from_samples([100.0, 200.0, 300.0], interval_s=5.0)
+        assert trace.duration_s == pytest.approx(15.0)
+        assert trace.bandwidth_at(7.0) == 200.0
+
+    def test_constant(self):
+        trace = Trace.constant(800.0, 60.0)
+        assert trace.mean_kbps() == pytest.approx(800.0)
+        assert trace.duration_s == 60.0
+
+    def test_repr_mentions_name_and_segments(self):
+        trace = Trace.constant(800.0, 60.0, name="x")
+        assert "x" in repr(trace)
+        assert "segments=1" in repr(trace)
+
+
+# ----------------------------------------------------------------------
+# Point lookup and integration
+# ----------------------------------------------------------------------
+
+class TestBandwidthAt:
+    def test_inside_segments(self):
+        trace = sample_trace()
+        assert trace.bandwidth_at(0.0) == 1000.0
+        assert trace.bandwidth_at(1.99) == 1000.0
+        assert trace.bandwidth_at(2.0) == 500.0
+        assert trace.bandwidth_at(5.5) == 2000.0
+
+    def test_wraps_after_duration(self):
+        trace = sample_trace()
+        assert trace.bandwidth_at(8.0) == trace.bandwidth_at(0.0)
+        assert trace.bandwidth_at(10.5) == trace.bandwidth_at(2.5)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            sample_trace().bandwidth_at(-1.0)
+
+
+class TestIntegration:
+    def test_simple_window(self):
+        trace = sample_trace()
+        # [0,2): 1000*2, [2,5): 500*3, [5,8): 2000*3
+        assert trace.kilobits_between(0.0, 8.0) == pytest.approx(2000 + 1500 + 6000)
+
+    def test_partial_segments(self):
+        trace = sample_trace()
+        assert trace.kilobits_between(1.0, 3.0) == pytest.approx(1000 + 500)
+
+    def test_wrapped_window(self):
+        trace = sample_trace()
+        one_pass = trace.kilobits_between(0.0, 8.0)
+        assert trace.kilobits_between(0.0, 24.0) == pytest.approx(3 * one_pass)
+        assert trace.kilobits_between(7.0, 9.0) == pytest.approx(2000 + 1000)
+
+    def test_empty_window(self):
+        assert sample_trace().kilobits_between(3.0, 3.0) == 0.0
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValueError):
+            sample_trace().kilobits_between(5.0, 3.0)
+
+    def test_average_kbps_between(self):
+        trace = sample_trace()
+        assert trace.average_kbps_between(0.0, 2.0) == pytest.approx(1000.0)
+        assert trace.average_kbps_between(0.0, 8.0) == pytest.approx(9500 / 8)
+
+
+class TestTimeToDownload:
+    def test_within_one_segment(self):
+        trace = sample_trace()
+        assert trace.time_to_download(0.0, 500.0) == pytest.approx(0.5)
+
+    def test_across_segments(self):
+        trace = sample_trace()
+        # 2000 kb in seg 1 (2 s) + 500 kb at 500 kbps (1 s)
+        assert trace.time_to_download(0.0, 2500.0) == pytest.approx(3.0)
+
+    def test_wraps_around(self):
+        trace = sample_trace()
+        one_pass_kb = trace.kilobits_between(0.0, 8.0)
+        t = trace.time_to_download(0.0, one_pass_kb + 500.0)
+        assert t == pytest.approx(8.0 + 0.5)
+
+    def test_zero_size(self):
+        assert sample_trace().time_to_download(3.0, 0.0) == 0.0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            sample_trace().time_to_download(0.0, -1.0)
+
+    def test_all_zero_trace_raises(self):
+        dead = Trace([0.0], [0.0], duration_s=10.0)
+        with pytest.raises(ValueError, match="zero bytes"):
+            dead.time_to_download(0.0, 100.0)
+
+    def test_skips_zero_bandwidth_segment(self):
+        trace = Trace([0.0, 1.0, 2.0], [1000.0, 0.0, 1000.0], duration_s=3.0)
+        # 1000 kb at t=0.5: 0.5 s of seg 1 (500 kb) + 1 s dead + 0.5 s seg 3
+        assert trace.time_to_download(0.5, 1000.0) == pytest.approx(2.0)
+
+
+@given(
+    bandwidths=st.lists(st.floats(10.0, 5000.0), min_size=1, max_size=20),
+    start=st.floats(0.0, 50.0),
+    size=st.floats(1.0, 50000.0),
+)
+def test_download_time_inverts_integral(bandwidths, start, size):
+    """time_to_download is the exact inverse of kilobits_between."""
+    trace = Trace.from_samples(bandwidths, interval_s=2.0)
+    duration = trace.time_to_download(start, size)
+    delivered = trace.kilobits_between(start, start + duration)
+    assert delivered == pytest.approx(size, rel=1e-6, abs=1e-5)
+
+
+@given(
+    bandwidths=st.lists(st.floats(10.0, 5000.0), min_size=1, max_size=20),
+    t0=st.floats(0.0, 30.0),
+    d1=st.floats(0.0, 30.0),
+    d2=st.floats(0.0, 30.0),
+)
+def test_integral_is_additive(bandwidths, t0, d1, d2):
+    trace = Trace.from_samples(bandwidths, interval_s=1.5)
+    whole = trace.kilobits_between(t0, t0 + d1 + d2)
+    parts = trace.kilobits_between(t0, t0 + d1) + trace.kilobits_between(
+        t0 + d1, t0 + d1 + d2
+    )
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+class TestStats:
+    def test_mean_is_time_weighted(self):
+        trace = sample_trace()
+        assert trace.mean_kbps() == pytest.approx(9500 / 8)
+
+    def test_std_of_constant_is_zero(self):
+        assert Trace.constant(700.0, 30.0).std_kbps() == pytest.approx(0.0)
+
+    def test_stats_bundle(self):
+        stats = sample_trace().stats()
+        assert stats.min_kbps == 500.0
+        assert stats.max_kbps == 2000.0
+        assert stats.num_segments == 3
+        assert stats.duration_s == 8.0
+        assert stats.coefficient_of_variation() > 0
+
+    def test_cov_of_zero_mean(self):
+        stats = Trace([0.0], [0.0], duration_s=1.0).stats()
+        assert stats.coefficient_of_variation() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Transformations
+# ----------------------------------------------------------------------
+
+class TestTransforms:
+    def test_scaled(self):
+        trace = sample_trace().scaled(2.0)
+        assert trace.mean_kbps() == pytest.approx(2 * 9500 / 8)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sample_trace().scaled(0.0)
+
+    def test_shifted_floors(self):
+        trace = sample_trace().shifted(-800.0, floor_kbps=50.0)
+        assert min(trace.bandwidths_kbps) == 50.0
+
+    def test_sliced(self):
+        sliced = sample_trace().sliced(1.0, 6.0)
+        assert sliced.duration_s == pytest.approx(5.0)
+        assert sliced.bandwidth_at(0.0) == 1000.0  # re-based
+        assert sliced.bandwidth_at(1.5) == 500.0
+
+    def test_sliced_validates_bounds(self):
+        with pytest.raises(ValueError):
+            sample_trace().sliced(5.0, 20.0)
+
+    def test_concatenate(self):
+        a = Trace.constant(100.0, 5.0)
+        b = Trace.constant(300.0, 5.0)
+        joined = Trace.concatenate([a, b])
+        assert joined.duration_s == 10.0
+        assert joined.bandwidth_at(2.0) == 100.0
+        assert joined.bandwidth_at(7.0) == 300.0
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trace.concatenate([])
+
+    def test_repeated_matches_wrapping(self):
+        trace = sample_trace()
+        tripled = trace.repeated(3)
+        assert tripled.duration_s == pytest.approx(24.0)
+        for t in (0.5, 9.3, 18.7):
+            assert tripled.bandwidth_at(t) == trace.bandwidth_at(t)
+
+    def test_resampled_preserves_mean(self):
+        trace = sample_trace()
+        resampled = trace.resampled(1.0)
+        assert resampled.mean_kbps() == pytest.approx(trace.mean_kbps())
+
+    def test_chunk_throughputs(self):
+        trace = sample_trace()
+        windows = trace.chunk_throughputs(2.0, 4)
+        assert windows[0] == pytest.approx(1000.0)
+        assert windows[1] == pytest.approx(500.0)
+        assert len(windows) == 4
+
+
+@given(bandwidths=st.lists(st.floats(10.0, 5000.0), min_size=2, max_size=15))
+def test_slice_then_concat_roundtrip(bandwidths):
+    trace = Trace.from_samples(bandwidths, interval_s=1.0)
+    mid = trace.duration_s / 2
+    left = trace.sliced(0.0, mid)
+    right = trace.sliced(mid, trace.duration_s)
+    rebuilt = Trace.concatenate([left, right])
+    assert rebuilt.duration_s == pytest.approx(trace.duration_s)
+    assert rebuilt.kilobits_between(0, rebuilt.duration_s) == pytest.approx(
+        trace.kilobits_between(0, trace.duration_s), rel=1e-9
+    )

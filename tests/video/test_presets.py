@@ -1,0 +1,43 @@
+"""Video presets and the paper's evaluation constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video import (
+    DEFAULT_BUFFER_CAPACITY_S,
+    ENVIVIO_CHUNK_SECONDS,
+    ENVIVIO_LADDER_KBPS,
+    ENVIVIO_NUM_CHUNKS,
+    envivio,
+    envivio_vbr,
+    short_test_video,
+)
+
+
+class TestPaperConstants:
+    def test_envivio_constants_match_section_711(self):
+        """Section 7.1.1: 260 s video, 65 x 4 s chunks, YouTube-aligned
+        ladder {350, 600, 1000, 2000, 3000} kbps, Bmax = 30 s."""
+        assert ENVIVIO_NUM_CHUNKS == 65
+        assert ENVIVIO_CHUNK_SECONDS == 4.0
+        assert ENVIVIO_NUM_CHUNKS * ENVIVIO_CHUNK_SECONDS == 260.0
+        assert ENVIVIO_LADDER_KBPS == (350.0, 600.0, 1000.0, 2000.0, 3000.0)
+        assert DEFAULT_BUFFER_CAPACITY_S == 30.0
+
+    def test_envivio_fresh_instances(self):
+        assert envivio() is not envivio()
+        assert envivio().ladder == envivio().ladder
+
+    def test_envivio_vbr_seeded(self):
+        a = envivio_vbr(seed=1)
+        b = envivio_vbr(seed=1)
+        c = envivio_vbr(seed=2)
+        assert a.chunk_size_kilobits(5, 2) == b.chunk_size_kilobits(5, 2)
+        assert a.chunk_size_kilobits(5, 2) != c.chunk_size_kilobits(5, 2)
+
+    def test_short_test_video_bounds(self):
+        video = short_test_video(num_chunks=4, num_levels=2)
+        assert video.num_chunks == 4
+        assert len(video.ladder) == 2
+        assert video.ladder.levels_kbps == (350.0, 600.0)

@@ -1,0 +1,118 @@
+"""Quality functions q(.) — Section 3.1's perceived-quality models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video.quality import (
+    IdentityQuality,
+    LogQuality,
+    PiecewiseLinearQuality,
+    QualityFunction,
+    SaturatingQuality,
+    as_quality_function,
+)
+
+ALL_QUALITIES = [
+    IdentityQuality(),
+    LogQuality(),
+    SaturatingQuality(),
+    PiecewiseLinearQuality([(350, 0.0), (1000, 2.0), (3000, 3.0)]),
+]
+
+
+@pytest.mark.parametrize("q", ALL_QUALITIES, ids=lambda q: q.name)
+@given(a=st.floats(1.0, 5000.0), b=st.floats(1.0, 5000.0))
+def test_non_decreasing(q, a, b):
+    """Section 3.1: q must be non-decreasing in bitrate."""
+    lo, hi = sorted((a, b))
+    assert q(lo) <= q(hi) + 1e-12
+
+
+@pytest.mark.parametrize("q", ALL_QUALITIES, ids=lambda q: q.name)
+def test_rejects_negative_bitrate(q):
+    with pytest.raises(ValueError):
+        q(-1.0)
+
+
+class TestIdentity:
+    def test_is_identity(self):
+        q = IdentityQuality()
+        assert q(350.0) == 350.0
+        assert q(3000.0) == 3000.0
+
+
+class TestLog:
+    def test_zero_at_reference(self):
+        q = LogQuality(reference_kbps=300.0, scale=1000.0)
+        assert q(300.0) == pytest.approx(0.0)
+
+    def test_diminishing_returns(self):
+        q = LogQuality()
+        gain_low = q(700.0) - q(350.0)
+        gain_high = q(3000.0) - q(2650.0)
+        assert gain_low > gain_high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogQuality(reference_kbps=0.0)
+        with pytest.raises(ValueError):
+            LogQuality(scale=-1.0)
+
+
+class TestSaturating:
+    def test_mobile_example_from_paper(self):
+        """On a small screen, 1 Mbps and 3 Mbps should look similar while
+        350 kbps and 1 Mbps differ a lot."""
+        q = SaturatingQuality(knee_kbps=400.0, cap=1000.0)
+        low_gap = q(1000.0) - q(350.0)
+        high_gap = q(3000.0) - q(1000.0)
+        assert low_gap > 3 * high_gap
+
+    def test_caps(self):
+        q = SaturatingQuality(knee_kbps=400.0, cap=1000.0)
+        assert q(1e9) <= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingQuality(knee_kbps=0.0)
+
+
+class TestPiecewise:
+    def test_interpolates(self):
+        q = PiecewiseLinearQuality([(0, 0.0), (100, 10.0)])
+        assert q(50.0) == pytest.approx(5.0)
+
+    def test_clamps_outside_anchors(self):
+        q = PiecewiseLinearQuality([(100, 1.0), (200, 2.0)])
+        assert q(10.0) == 1.0
+        assert q(900.0) == 2.0
+
+    def test_requires_two_anchors(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearQuality([(100, 1.0)])
+
+    def test_requires_monotone_quality(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PiecewiseLinearQuality([(100, 2.0), (200, 1.0)])
+
+    def test_requires_distinct_rates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PiecewiseLinearQuality([(100, 1.0), (100, 2.0)])
+
+
+class TestCoercion:
+    def test_none_becomes_identity(self):
+        q = as_quality_function(None)
+        assert q(123.0) == 123.0
+
+    def test_passthrough(self):
+        q = IdentityQuality()
+        assert as_quality_function(q) is q
+
+    def test_wraps_plain_callable(self):
+        q = as_quality_function(lambda r: 2 * r)
+        assert isinstance(q, QualityFunction)
+        assert q(10.0) == 20.0

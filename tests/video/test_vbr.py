@@ -1,0 +1,68 @@
+"""VBR chunk-size generation."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.video import BitrateLadder, complexity_profile, envivio_vbr, vbr_manifest
+
+
+class TestComplexityProfile:
+    def test_mean_is_near_one(self):
+        factors = complexity_profile(2000, variability=0.3, seed=1)
+        assert statistics.mean(factors) == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_by_seed(self):
+        assert complexity_profile(50, seed=4) == complexity_profile(50, seed=4)
+        assert complexity_profile(50, seed=4) != complexity_profile(50, seed=5)
+
+    def test_zero_variability_is_flat(self):
+        factors = complexity_profile(10, variability=0.0)
+        assert all(f == pytest.approx(1.0) for f in factors)
+
+    def test_temporal_correlation(self):
+        """Adjacent chunks should be more alike than distant ones."""
+        factors = complexity_profile(3000, variability=0.4, correlation=0.9, seed=2)
+        adjacent = statistics.mean(
+            abs(b - a) for a, b in zip(factors, factors[1:])
+        )
+        shuffled = statistics.mean(
+            abs(factors[i] - factors[(i * 997) % len(factors)])
+            for i in range(len(factors))
+        )
+        assert adjacent < shuffled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            complexity_profile(0)
+        with pytest.raises(ValueError):
+            complexity_profile(5, variability=-0.1)
+        with pytest.raises(ValueError):
+            complexity_profile(5, correlation=1.0)
+
+
+class TestVBRManifest:
+    def test_not_cbr_but_valid(self):
+        video = vbr_manifest(4.0, BitrateLadder([350.0, 600.0, 1000.0]), 20, seed=3)
+        assert not video.is_cbr()
+        assert video.num_chunks == 20
+        # Sizes still increase with level within each chunk.
+        for k in range(20):
+            sizes = [video.chunk_size_kilobits(k, j) for j in range(3)]
+            assert sizes == sorted(sizes)
+
+    def test_complexity_shared_across_levels(self):
+        """A hard scene is hard at every bitrate: per-chunk factors are the
+        same across levels."""
+        video = vbr_manifest(4.0, BitrateLadder([350.0, 600.0]), 10, seed=3)
+        for k in range(10):
+            f0 = video.chunk_size_kilobits(k, 0) / (4.0 * 350.0)
+            f1 = video.chunk_size_kilobits(k, 1) / (4.0 * 600.0)
+            assert f0 == pytest.approx(f1)
+
+    def test_envivio_vbr_preset(self):
+        video = envivio_vbr(seed=0)
+        assert video.num_chunks == 65
+        assert not video.is_cbr()
