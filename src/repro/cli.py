@@ -16,6 +16,7 @@ Subcommands map one-to-one onto the paper's artifacts:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -67,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persistent disk cache for FastMPC decision tables and "
+            "offline-optimal bounds (default: $REPRO_CACHE_DIR)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate-traces", help="write a trace dataset to disk")
@@ -315,6 +324,11 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "cache_dir", None):
+        # Exported rather than threaded through every command: everything
+        # that caches (table builds, offline bounds) reads this variable
+        # as its default, including experiment pool workers on spawn.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
     return _COMMANDS[args.command](args)
 
 

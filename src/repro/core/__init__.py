@@ -10,6 +10,7 @@ from .horizon import (
     solve_horizon_reference,
     solve_startup,
 )
+from .kernel import build_table_decisions, solve_horizon_batch
 from .mpc import DEFAULT_HORIZON, MPCController, make_mpc_opt
 from .robust import RobustMPCController
 from .table import Binning, DecisionTable, RunLengthEncodedTable, TableSizeReport
@@ -37,8 +38,10 @@ __all__ = [
     "HorizonProblem",
     "HorizonSolution",
     "solve_horizon",
+    "solve_horizon_batch",
     "solve_horizon_reference",
     "solve_startup",
+    "build_table_decisions",
     "DEFAULT_HORIZON",
     "MPCController",
     "make_mpc_opt",

@@ -6,13 +6,16 @@ solves each instance exactly, and stores only the *first* bitrate of each
 optimal plan.  Online, a decision is one state quantisation plus one
 binary-search lookup — no solver ships with the player.
 
-The builder here vectorises the offline enumeration: for each (buffer bin,
-previous level) pair, all ``|R|^N`` candidate plans are evaluated against
-*all* throughput bins simultaneously, so an entire 100x100x5-level table
-(50 000 instances of the paper's configuration, Figure 5) builds in
-seconds.  Built tables are memoised per configuration because every
-session of an experiment shares one table — mirroring deployment, where
-the table is computed once and downloaded by every player.
+The offline enumeration delegates to the batched horizon kernel
+(:func:`repro.core.kernel.build_table_decisions`), which evaluates the
+whole binned state space — every ``(buffer_bin, prev_level,
+throughput_bin)`` instance — in a handful of NumPy passes rather than a
+Python loop per state.  Built tables are memoised per configuration
+in-process because every session of an experiment shares one table, and
+optionally persisted to a disk cache (``cache_dir`` argument or the
+``REPRO_CACHE_DIR`` environment variable) so repeated benchmark/figure
+runs skip the build entirely — mirroring deployment, where the table is
+computed once and downloaded by every player.
 """
 
 from __future__ import annotations
@@ -20,13 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
-
 from ..abr.base import ABRAlgorithm, PlayerObservation
 from ..prediction.base import ThroughputPredictor
 from ..prediction.errors import PredictionErrorTracker
 from ..prediction.harmonic import HarmonicMeanPredictor
-from .horizon import _plan_matrix
+from .kernel import build_table_decisions
 from .qoe import QoEWeights
 from .table import Binning, DecisionTable, TableSizeReport
 
@@ -120,12 +121,20 @@ def build_decision_table(
     quality_values: Optional[Iterable[float]] = None,
     config: Optional[FastMPCConfig] = None,
     use_cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> DecisionTable:
     """Enumerate the binned state space and solve every instance offline.
 
     ``quality_values`` defaults to identity quality (``q(R) = R``).  Chunk
     sizes are the CBR model ``d(R) = L * R`` — the paper's table also keys
     on nominal rates, with VBR left to the online solver.
+
+    Caching is two-level.  The in-process memo (``use_cache``) shares one
+    table across every session of a run.  The optional disk cache —
+    enabled by ``cache_dir`` or the ``REPRO_CACHE_DIR`` environment
+    variable — additionally persists tables across processes and runs,
+    keyed by the full configuration tuple; a hit skips the build and a
+    stale/corrupt entry silently falls back to rebuilding.
     """
     ladder = tuple(float(r) for r in ladder_kbps)
     if not ladder or list(ladder) != sorted(ladder):
@@ -144,56 +153,43 @@ def build_decision_table(
     if use_cache and key in _TABLE_CACHE:
         return _TABLE_CACHE[key]
 
+    # Imported lazily: experiments.persistence sits above core in the
+    # layering (it imports experiments.runner), so a module-level import
+    # here would be circular.
+    from ..experiments import persistence
+
+    cached = persistence.load_cached_table(key, cache_dir=cache_dir)
+    if cached is not None and cached.num_levels == len(ladder):
+        if use_cache:
+            _TABLE_CACHE[key] = cached
+        return cached
+
     low, high = config.resolved_range(ladder)
     buffer_binning = Binning(0.0, buffer_capacity_s, config.buffer_bins, "linear")
     throughput_binning = Binning(low, high, config.throughput_bins, config.throughput_spacing)
 
-    num_levels = len(ladder)
-    plans = _plan_matrix(num_levels, config.horizon)  # (M, N)
-    sizes = np.asarray([chunk_duration_s * r for r in ladder])  # CBR, per level
-    quality_arr = np.asarray(quality)
-    c_centers = throughput_binning.centers  # (C,)
-    lam, mu = weights.switching, weights.rebuffering
-    L, bmax = chunk_duration_s, buffer_capacity_s
-
-    # Per-step per-plan download times against every throughput bin are
-    # identical across steps (CBR + flat prediction), so precompute the
-    # (M, C) matrix once per (nothing) — it depends only on the plan level
-    # at each step; gather rows per step below.
-    dt_by_level = sizes[:, None] / c_centers[None, :]  # (levels, C)
-
-    decisions = np.empty(
-        (config.buffer_bins, num_levels, config.throughput_bins), dtype=np.int64
+    decisions = build_table_decisions(
+        level_sizes_kilobits=[chunk_duration_s * r for r in ladder],  # CBR
+        quality_values=quality,
+        buffer_centers=buffer_binning.centers,
+        throughput_centers=throughput_binning.centers,
+        horizon=config.horizon,
+        switching=weights.switching,
+        rebuffering=weights.rebuffering,
+        chunk_duration_s=chunk_duration_s,
+        buffer_capacity_s=buffer_capacity_s,
     )
-    plan_first = plans[:, 0]
-    for b_idx in range(config.buffer_bins):
-        b0 = buffer_binning.center(b_idx)
-        for prev in range(num_levels):
-            buffer_s = np.full((plans.shape[0], c_centers.size), b0)
-            qoe = np.zeros_like(buffer_s)
-            prev_q: np.ndarray | float = quality_arr[prev]
-            for i in range(config.horizon):
-                levels = plans[:, i]
-                dt = dt_by_level[levels]  # (M, C)
-                rebuffer = np.maximum(dt - buffer_s, 0.0)
-                buffer_s = np.maximum(buffer_s - dt, 0.0) + L
-                np.minimum(buffer_s, bmax, out=buffer_s)
-                q_now = quality_arr[levels][:, None]  # (M, 1)
-                qoe += q_now - mu * rebuffer
-                qoe -= lam * np.abs(q_now - prev_q)
-                prev_q = q_now
-            best = np.argmax(qoe, axis=0)  # first max = lexicographic tie-break
-            decisions[b_idx, prev, :] = plan_first[best]
 
     table = DecisionTable(
         buffer_binning,
-        num_levels,
+        len(ladder),
         throughput_binning,
         decisions.reshape(-1),
         keep_full=config.keep_full_table,
     )
     if use_cache:
         _TABLE_CACHE[key] = table
+    persistence.save_cached_table(key, table, cache_dir=cache_dir)
     return table
 
 
@@ -204,18 +200,27 @@ def table_size_sweep(
     weights: QoEWeights,
     discretization_levels: Iterable[int] = (50, 100, 200, 500),
     horizon: int = 5,
+    cache_dir: Optional[str] = None,
 ) -> List[TableSizeReport]:
     """Reproduce Table 1: table size vs discretization granularity.
 
     Each level count ``n`` uses ``n`` buffer bins and ``n`` throughput
     bins, mirroring the paper's single "discretization levels" knob.
+    With a disk cache (``cache_dir`` / ``REPRO_CACHE_DIR``), a repeat
+    sweep of the same configuration loads every table instead of
+    rebuilding.
     """
     ladder = tuple(float(r) for r in ladder_kbps)
     reports = []
     for n in discretization_levels:
         config = FastMPCConfig(buffer_bins=n, throughput_bins=n, horizon=horizon)
         table = build_decision_table(
-            ladder, chunk_duration_s, buffer_capacity_s, weights, config=config
+            ladder,
+            chunk_duration_s,
+            buffer_capacity_s,
+            weights,
+            config=config,
+            cache_dir=cache_dir,
         )
         reports.append(table.size_report(n))
     return reports
@@ -239,6 +244,9 @@ class FastMPCController(ABRAlgorithm):
         When True, queries the table with the RobustMPC lower bound
         ``C_hat / (1 + err)`` — valid because the table's throughput axis
         *is* the MPC input that Theorem 1 says to lower-bound.
+    cache_dir:
+        Optional disk-cache directory for the built table (defaults to
+        the ``REPRO_CACHE_DIR`` environment variable when unset).
     """
 
     name = "fastmpc"
@@ -250,10 +258,12 @@ class FastMPCController(ABRAlgorithm):
         robust: bool = False,
         error_window: int = 5,
         name: Optional[str] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.predictor = predictor if predictor is not None else HarmonicMeanPredictor()
         self.table_config = config if config is not None else FastMPCConfig()
         self.robust = robust
+        self.cache_dir = cache_dir
         self.error_tracker = PredictionErrorTracker(window=error_window)
         if name:
             self.name = name
@@ -274,6 +284,7 @@ class FastMPCController(ABRAlgorithm):
             config.weights,
             quality_values=quality_values,
             config=self.table_config,
+            cache_dir=self.cache_dir,
         )
 
     def predictors(self) -> Iterable[ThroughputPredictor]:

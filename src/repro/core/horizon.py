@@ -25,7 +25,7 @@ first), making both solvers deterministic and mutually consistent.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
@@ -130,53 +130,26 @@ class HorizonSolution:
 
 @lru_cache(maxsize=64)
 def _plan_matrix(num_levels: int, horizon: int) -> np.ndarray:
-    """All ``num_levels**horizon`` plans, lexicographic row order."""
+    """All ``num_levels**horizon`` plans, lexicographic row order.
+
+    The returned array is shared by every caller (it is memoised), so it
+    is marked read-only — a consumer mutating it in place would silently
+    corrupt every other caller's plan space.
+    """
     if num_levels**horizon > 2_000_000:
         raise ValueError(
             f"{num_levels}^{horizon} plans is beyond exhaustive enumeration; "
             "reduce the horizon or ladder size"
         )
     ranges = [range(num_levels)] * horizon
-    return np.array(list(itertools.product(*ranges)), dtype=np.int64)
+    plans = np.array(list(itertools.product(*ranges)), dtype=np.int64)
+    plans.setflags(write=False)
+    return plans
 
 
-def _evaluate_all_plans(problem: HorizonProblem) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """QoE, rebuffer time, and final buffer for every plan (vectorised)."""
-    plans = _plan_matrix(problem.num_levels, problem.horizon)
-    n_plans = plans.shape[0]
-    quality = np.asarray(problem.quality_values, dtype=np.float64)
-    sizes = np.asarray(problem.chunk_sizes_kilobits, dtype=np.float64)
-    lam = problem.weights.switching
-    mu = problem.weights.rebuffering
-    L = problem.chunk_duration_s
-    bmax = problem.buffer_capacity_s
-
-    buffer_s = np.full(n_plans, problem.buffer_level_s)
-    qoe = np.zeros(n_plans)
-    rebuf_total = np.zeros(n_plans)
-    prev_q: Optional[np.ndarray]
-    if problem.prev_quality is None:
-        prev_q = None
-    else:
-        prev_q = np.full(n_plans, problem.prev_quality)
-
-    for i in range(problem.horizon):
-        levels = plans[:, i]
-        download_time = sizes[i, levels] / problem.predicted_kbps[i]
-        rebuffer = np.maximum(download_time - buffer_s, 0.0)
-        buffer_s = np.maximum(buffer_s - download_time, 0.0) + L
-        # Waiting at a full buffer (Eq. 4) costs no QoE; just clamp.
-        np.minimum(buffer_s, bmax, out=buffer_s)
-        q_now = quality[levels]
-        qoe += q_now - mu * rebuffer
-        rebuf_total += rebuffer
-        if prev_q is not None:
-            qoe -= lam * np.abs(q_now - prev_q)
-        prev_q = q_now
-    return qoe, rebuf_total, buffer_s
-
-
-def solve_horizon(problem: HorizonProblem) -> HorizonSolution:
+def solve_horizon(
+    problem: HorizonProblem, evaluator: Optional[object] = None
+) -> HorizonSolution:
     """Exact solution of ``QOE_MAX_STEADY``.
 
     Dispatches on instance size: small plan spaces use vectorised
@@ -184,23 +157,27 @@ def solve_horizon(problem: HorizonProblem) -> HorizonSolution:
     ones (long horizons or fine ladders) use the exact Pareto-pruned DP,
     which returns the same optimal QoE but may pick a different optimal
     plan when several are tied.
+
+    ``evaluator`` optionally carries a :class:`repro.core.kernel.
+    _BatchEvaluator` whose scratch buffers are reused across calls (the
+    per-session state held by the MPC controllers).
     """
     if problem.num_levels**problem.horizon > _ENUMERATION_LIMIT:
         return solve_horizon_dp(problem)
-    return solve_horizon_enumerate(problem)
+    return solve_horizon_enumerate(problem, evaluator)
 
 
-def solve_horizon_enumerate(problem: HorizonProblem) -> HorizonSolution:
-    """Exact solution by vectorised exhaustive enumeration."""
-    qoe, rebuf, final_buffer = _evaluate_all_plans(problem)
-    best = int(np.argmax(qoe))  # first max = lexicographically smallest plan
-    plans = _plan_matrix(problem.num_levels, problem.horizon)
-    return HorizonSolution(
-        plan=tuple(int(x) for x in plans[best]),
-        qoe=float(qoe[best]),
-        rebuffer_s=float(rebuf[best]),
-        final_buffer_s=float(final_buffer[best]),
-    )
+def solve_horizon_enumerate(
+    problem: HorizonProblem, evaluator: Optional[object] = None
+) -> HorizonSolution:
+    """Exact solution by vectorised exhaustive enumeration.
+
+    A thin wrapper over the batched kernel (the single implementation of
+    the plan roll-out shared by all consumers) for one instance.
+    """
+    from .kernel import solve_horizon_batch
+
+    return solve_horizon_batch([problem], evaluator=evaluator)[0]
 
 
 def solve_horizon_reference(problem: HorizonProblem) -> HorizonSolution:
@@ -322,6 +299,7 @@ def solve_startup(
     problem: HorizonProblem,
     max_wait_s: Optional[float] = None,
     wait_step_s: float = 0.25,
+    evaluator: Optional[object] = None,
 ) -> HorizonSolution:
     """The startup problem ``QOE_MAX`` — jointly optimise plan and ``T_s``.
 
@@ -331,6 +309,12 @@ def solve_startup(
     (plan, T_s) pair wins.  The wait grid spans ``[0, max_wait_s]`` —
     by default up to the remaining buffer headroom, since waiting longer
     than ``Bmax`` of accumulated content is never useful.
+
+    The whole wait grid is evaluated as *one* batched-kernel call — the
+    grid points differ only in starting buffer, so they stack into a
+    single ``(grid, plans)`` computation instead of ``steps + 1``
+    independent solves.  Results (QoE values and the smallest-wait /
+    lexicographic tie-break) are identical to the per-point loop.
     """
     if wait_step_s <= 0:
         raise ValueError("wait step must be positive")
@@ -339,29 +323,56 @@ def solve_startup(
     if max_wait_s < 0:
         raise ValueError("max wait must be >= 0")
     mu_s = problem.weights.startup
-    best: Optional[HorizonSolution] = None
     steps = int(round(max_wait_s / wait_step_s))
-    for j in range(steps + 1):
-        wait = min(j * wait_step_s, max_wait_s)
-        candidate_problem = HorizonProblem(
-            buffer_level_s=problem.buffer_level_s + wait,
-            prev_quality=problem.prev_quality,
-            chunk_sizes_kilobits=problem.chunk_sizes_kilobits,
-            quality_values=problem.quality_values,
-            predicted_kbps=problem.predicted_kbps,
-            chunk_duration_s=problem.chunk_duration_s,
-            buffer_capacity_s=problem.buffer_capacity_s,
-            weights=problem.weights,
-        )
-        solution = solve_horizon(candidate_problem)
-        adjusted = solution.qoe - mu_s * wait
-        if best is None or adjusted > best.qoe + 1e-12:
+    waits = np.minimum(np.arange(steps + 1) * wait_step_s, max_wait_s)
+
+    best: Optional[HorizonSolution] = None
+    if problem.num_levels**problem.horizon > _ENUMERATION_LIMIT:
+        # DP regime (huge plan spaces): per-point exact solves.
+        for wait in waits:
+            solution = solve_horizon_dp(
+                replace(problem, buffer_level_s=problem.buffer_level_s + float(wait))
+            )
+            adjusted = solution.qoe - mu_s * float(wait)
+            if best is None or adjusted > best.qoe + 1e-12:
+                best = HorizonSolution(
+                    plan=solution.plan,
+                    qoe=adjusted,
+                    rebuffer_s=solution.rebuffer_s,
+                    final_buffer_s=solution.final_buffer_s,
+                    startup_wait_s=float(wait),
+                )
+        assert best is not None
+        return best
+
+    from .kernel import _BatchEvaluator, _solve_rows
+
+    if evaluator is None:
+        evaluator = _BatchEvaluator()
+    plans = _plan_matrix(problem.num_levels, problem.horizon)
+    sizes = np.asarray(problem.chunk_sizes_kilobits, dtype=np.float64)
+    preds = np.asarray(problem.predicted_kbps, dtype=np.float64)
+    quality = np.asarray(problem.quality_values, dtype=np.float64)
+    buffer0 = problem.buffer_level_s + waits
+    prev = (
+        None
+        if problem.prev_quality is None
+        else np.full(waits.shape, problem.prev_quality)
+    )
+    best_idx, qoe, rebuf, fin = _solve_rows(
+        evaluator, plans, sizes, preds, buffer0, prev, quality,
+        problem.weights.switching, problem.weights.rebuffering,
+        problem.chunk_duration_s, problem.buffer_capacity_s,
+    )
+    adjusted = qoe - mu_s * waits
+    for j in range(waits.shape[0]):
+        if best is None or adjusted[j] > best.qoe + 1e-12:
             best = HorizonSolution(
-                plan=solution.plan,
-                qoe=adjusted,
-                rebuffer_s=solution.rebuffer_s,
-                final_buffer_s=solution.final_buffer_s,
-                startup_wait_s=wait,
+                plan=tuple(int(x) for x in plans[best_idx[j]]),
+                qoe=float(adjusted[j]),
+                rebuffer_s=float(rebuf[j]),
+                final_buffer_s=float(fin[j]),
+                startup_wait_s=float(waits[j]),
             )
     assert best is not None
     return best

@@ -24,6 +24,7 @@ from ..prediction.errors import PredictionErrorTracker
 from ..prediction.harmonic import HarmonicMeanPredictor
 from ..prediction.oracle import OraclePredictor
 from .horizon import HorizonProblem, HorizonSolution, solve_horizon, solve_startup
+from .kernel import _BatchEvaluator
 
 __all__ = ["MPCController", "make_mpc_opt", "DEFAULT_HORIZON"]
 
@@ -69,6 +70,7 @@ class MPCController(ABRAlgorithm):
             self.name = name
         self._pending_raw_prediction: Optional[float] = None
         self._startup_wait_s = 0.0
+        self._evaluator: Optional[_BatchEvaluator] = None
 
     # ------------------------------------------------------------------
     # ABRAlgorithm interface
@@ -79,6 +81,10 @@ class MPCController(ABRAlgorithm):
         self.error_tracker.reset()
         self._pending_raw_prediction = None
         self._startup_wait_s = 0.0
+        # Per-session scratch for the horizon kernel: every per-chunk
+        # solve of this session reuses the same arrays instead of
+        # allocating fresh ones (the solves all share one shape).
+        self._evaluator = _BatchEvaluator()
         self._quality_values = tuple(
             config.quality(rate) for rate in manifest.ladder
         )
@@ -150,11 +156,11 @@ class MPCController(ABRAlgorithm):
         predictions = self._transform_predictions(list(raw))
         problem = self._build_problem(observation, predictions)
         if self.optimize_startup and not observation.playback_started:
-            solution = solve_startup(problem)
+            solution = solve_startup(problem, evaluator=self._evaluator)
             self._startup_wait_s = solution.startup_wait_s
             return solution
         self._startup_wait_s = 0.0
-        return solve_horizon(problem)
+        return solve_horizon(problem, evaluator=self._evaluator)
 
 
 def make_mpc_opt(horizon: int = DEFAULT_HORIZON) -> MPCController:

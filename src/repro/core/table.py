@@ -55,19 +55,27 @@ class Binning:
             edges = np.linspace(low, high, count + 1)
         else:
             edges = np.geomspace(low, high, count + 1)
-        self._edges = edges
         if spacing == "linear":
-            self._centers = (edges[:-1] + edges[1:]) / 2.0
+            centers = (edges[:-1] + edges[1:]) / 2.0
         else:
-            self._centers = np.sqrt(edges[:-1] * edges[1:])  # geometric mid
+            centers = np.sqrt(edges[:-1] * edges[1:])  # geometric mid
+        # Shared read-only views: hot-loop callers (table builds, kernels)
+        # access these per call, so handing out defensive copies would be
+        # a per-access allocation; read-only flags keep sharing safe.
+        edges.setflags(write=False)
+        centers.setflags(write=False)
+        self._edges = edges
+        self._centers = centers
 
     @property
     def edges(self) -> np.ndarray:
-        return self._edges.copy()
+        """Bin edge values — a shared *read-only* view, not a copy."""
+        return self._edges
 
     @property
     def centers(self) -> np.ndarray:
-        return self._centers.copy()
+        """Bin centre values — a shared *read-only* view, not a copy."""
+        return self._centers
 
     def index_of(self, value: float) -> int:
         """Bin index for a value, clamping out-of-range values."""
@@ -272,4 +280,62 @@ class DecisionTable:
             num_entries=self.num_entries,
             full_bytes=self.num_entries,
             rle_bytes=self._rle.size_bytes(),
+        )
+
+    # ------------------------------------------------------------------
+    # Portable serialization (the persistent on-disk table cache)
+    # ------------------------------------------------------------------
+
+    _MAGIC = b"RPROTBL1"
+    _SPACING_CODES = {"linear": 0, "log": 1}
+
+    @staticmethod
+    def _pack_binning(binning: Binning) -> bytes:
+        return struct.pack(
+            "<ddIB",
+            binning.low,
+            binning.high,
+            binning.count,
+            DecisionTable._SPACING_CODES[binning.spacing],
+        )
+
+    @staticmethod
+    def _unpack_binning(blob: bytes, offset: int) -> Tuple[Binning, int]:
+        low, high, count, code = struct.unpack_from("<ddIB", blob, offset)
+        spacing = {v: k for k, v in DecisionTable._SPACING_CODES.items()}[code]
+        return Binning(low, high, count, spacing), offset + struct.calcsize("<ddIB")
+
+    def to_bytes(self) -> bytes:
+        """Lossless serialization: binnings, shape flags, then the RLE.
+
+        ``from_bytes(to_bytes())`` reproduces a bitwise-identical table
+        (same binnings, same runs, same lookups).
+        """
+        return b"".join(
+            [
+                self._MAGIC,
+                self._pack_binning(self.buffer_bins),
+                self._pack_binning(self.throughput_bins),
+                struct.pack("<IB", self.num_levels, int(self._full is not None)),
+                self._rle.to_bytes(),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "DecisionTable":
+        """Inverse of :meth:`to_bytes`."""
+        if blob[: len(cls._MAGIC)] != cls._MAGIC:
+            raise ValueError("not a serialized DecisionTable")
+        offset = len(cls._MAGIC)
+        buffer_bins, offset = cls._unpack_binning(blob, offset)
+        throughput_bins, offset = cls._unpack_binning(blob, offset)
+        num_levels, keep_full = struct.unpack_from("<IB", blob, offset)
+        offset += struct.calcsize("<IB")
+        rle = RunLengthEncodedTable.from_bytes(blob[offset:])
+        return cls(
+            buffer_bins,
+            num_levels,
+            throughput_bins,
+            rle.decode(),
+            keep_full=bool(keep_full),
         )

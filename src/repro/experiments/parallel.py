@@ -3,6 +3,9 @@
 The paper's full-scale runs (1000 traces x 6 algorithms x 3 datasets) are
 embarrassingly parallel across (algorithm, trace) pairs.  This module
 fans :func:`repro.experiments.runner.run_matrix` out over a process pool.
+The per-trace offline bounds are parallel too: they are computed inside
+the same pool (one work unit per trace) before the sessions fan out,
+instead of serially in the parent.
 
 To stay fork/spawn-safe, work units reference algorithms by *registry
 name* (each worker constructs its own instance) and traces by value
@@ -18,13 +21,26 @@ from typing import List, Optional, Sequence
 
 from ..abr.base import SessionConfig
 from ..abr.registry import create
-from ..core.offline import fluid_upper_bound
 from ..sim.session import StartupPolicy, simulate_session
 from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
-from .runner import ExperimentRecord, ResultSet, _score_session
+from .persistence import cached_fluid_upper_bound
+from .runner import ExperimentRecord, ResultSet, _score_session, bound_weights_for
 
 __all__ = ["run_matrix_parallel"]
+
+
+def _compute_bound(args) -> float:
+    """Process-pool work unit: the offline-optimal bound of one trace."""
+    trace, manifest, weights, quality, buffer_capacity_s, cache_dir = args
+    return cached_fluid_upper_bound(
+        trace,
+        manifest,
+        weights=weights,
+        quality=quality,
+        buffer_capacity_s=buffer_capacity_s,
+        cache_dir=cache_dir,
+    )
 
 
 def _run_one(args) -> ExperimentRecord:
@@ -63,6 +79,7 @@ def run_matrix_parallel(
     include_startup_in_qoe: bool = True,
     dataset: str = "",
     chunksize: int = 4,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """Parallel counterpart of :func:`run_matrix` (simulation backend).
 
@@ -73,52 +90,59 @@ def run_matrix_parallel(
         worker builds its own instances, so no cross-process state leaks.
     workers:
         Pool size; defaults to the CPU count.
+    cache_dir:
+        Optional disk-cache directory for the per-trace offline bounds
+        (defaults to the ``REPRO_CACHE_DIR`` environment variable); a
+        warm cache makes the bound phase a pure read.
     """
     if not algorithm_names:
         raise ValueError("need at least one algorithm name")
     if not traces:
         raise ValueError("need at least one trace")
     config = config if config is not None else SessionConfig()
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
 
-    bound_weights = config.weights
-    if not include_startup_in_qoe:
-        from ..qoe import QoEWeights
-
-        bound_weights = QoEWeights(
-            config.weights.switching, config.weights.rebuffering, 0.0,
-            label=config.weights.label,
-        )
-    optima = [
-        fluid_upper_bound(
+    bound_weights = bound_weights_for(config, include_startup_in_qoe)
+    bound_jobs = [
+        (
             trace,
             manifest,
-            weights=bound_weights,
-            quality=config.quality,
-            buffer_capacity_s=config.buffer_capacity_s,
+            bound_weights,
+            config.quality,
+            config.buffer_capacity_s,
+            cache_dir,
         )
         for trace in traces
     ]
 
-    jobs = [
-        (
-            dataset,
-            name,
-            trace,
-            manifest,
-            config,
-            startup_policy.value,
-            fixed_startup_delay_s,
-            include_startup_in_qoe,
-            optima[i],
-        )
-        for name in algorithm_names
-        for i, trace in enumerate(traces)
-    ]
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be >= 1")
+    def session_jobs(optima: Sequence[float]) -> list:
+        return [
+            (
+                dataset,
+                name,
+                trace,
+                manifest,
+                config,
+                startup_policy.value,
+                fixed_startup_delay_s,
+                include_startup_in_qoe,
+                optima[i],
+            )
+            for name in algorithm_names
+            for i, trace in enumerate(traces)
+        ]
+
     if workers == 1:
-        records: List[ExperimentRecord] = [_run_one(job) for job in jobs]
+        optima = [_compute_bound(job) for job in bound_jobs]
+        records: List[ExperimentRecord] = [
+            _run_one(job) for job in session_jobs(optima)
+        ]
     else:
         with multiprocessing.Pool(processes=workers) as pool:
-            records = pool.map(_run_one, jobs, chunksize=chunksize)
+            # Bounds first, in the same pool — one unit per trace — so
+            # the expensive offline phase is parallel too rather than a
+            # serial parent-side prologue.
+            optima = pool.map(_compute_bound, bound_jobs, chunksize=1)
+            records = pool.map(_run_one, session_jobs(optima), chunksize=chunksize)
     return ResultSet(records, dataset=dataset)

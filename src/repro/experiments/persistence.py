@@ -14,13 +14,19 @@ series structure of Figures 11/12.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import os
+import struct
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
+from ..core.offline import fluid_upper_bound
+from ..core.table import DecisionTable
 from ..qoe import QoEBreakdown, QoEWeights
 from ..sim.metrics import SessionMetrics
+from ..traces.trace import Trace
+from ..video.manifest import VideoManifest
 from .runner import ExperimentRecord, ResultSet
 from .sensitivity import SweepResult
 
@@ -30,6 +36,12 @@ __all__ = [
     "save_sweep_json",
     "load_sweep_json",
     "save_session_log_csv",
+    "CACHE_DIR_ENV",
+    "cache_root",
+    "save_cached_table",
+    "load_cached_table",
+    "cached_fluid_upper_bound",
+    "clear_disk_cache",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -196,3 +208,205 @@ def save_session_log_csv(session, path: PathLike) -> None:
                     r.wall_time_end_s,
                 ]
             )
+
+
+# ---------------------------------------------------------------------------
+# Persistent disk cache: decision tables and offline bounds
+# ---------------------------------------------------------------------------
+#
+# Offline precomputation dominates repeated benchmark/figure runs: a
+# 500-bin FastMPC table or a 1000-trace batch of fluid bounds takes far
+# longer to build than to load.  Entries are content-addressed — the file
+# name is the SHA-256 of the full configuration key's ``repr`` and the key
+# itself is stored inside the entry, so a hash collision or stale format
+# is detected on load and falls back to recomputing.  Writes go through a
+# same-directory temp file + ``os.replace`` so concurrent processes (the
+# experiment worker pool) never observe a torn entry.
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_TABLE_SUBDIR = "tables"
+_BOUND_SUBDIR = "bounds"
+
+
+def cache_root(cache_dir: Optional[PathLike] = None) -> Optional[Path]:
+    """Resolve the disk-cache root directory.
+
+    Explicit ``cache_dir`` wins; otherwise the ``REPRO_CACHE_DIR``
+    environment variable; otherwise ``None`` — caching disabled.
+    """
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else None
+
+
+def _entry_path(root: Path, subdir: str, key_repr: str, suffix: str) -> Path:
+    digest = hashlib.sha256(key_repr.encode()).hexdigest()
+    return root / subdir / f"{digest}{suffix}"
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    # Best-effort, like loads: an unwritable cache (read-only mount, a
+    # file where the directory should be) must not abort the computation
+    # whose result it was merely recording.
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def save_cached_table(
+    key: tuple, table: DecisionTable, cache_dir: Optional[PathLike] = None
+) -> Optional[Path]:
+    """Persist a decision table under its configuration key.
+
+    ``key`` is the tuple produced by ``repro.core.fastmpc._cache_key`` —
+    plain floats/ints/strings, so its ``repr`` round-trips exactly.
+    Returns the entry path, or ``None`` when caching is disabled.
+    """
+    root = cache_root(cache_dir)
+    if root is None:
+        return None
+    key_repr = repr(key)
+    key_bytes = key_repr.encode()
+    path = _entry_path(root, _TABLE_SUBDIR, key_repr, ".table")
+    _atomic_write(
+        path, struct.pack("<I", len(key_bytes)) + key_bytes + table.to_bytes()
+    )
+    return path
+
+
+def load_cached_table(
+    key: tuple, cache_dir: Optional[PathLike] = None
+) -> Optional[DecisionTable]:
+    """Load a previously saved decision table, or ``None`` on any miss.
+
+    Misses include: caching disabled, no entry, stored key mismatch
+    (collision / stale format), or a corrupt blob — all safe, because the
+    caller simply rebuilds.
+    """
+    root = cache_root(cache_dir)
+    if root is None:
+        return None
+    key_repr = repr(key)
+    path = _entry_path(root, _TABLE_SUBDIR, key_repr, ".table")
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        (key_len,) = struct.unpack_from("<I", blob, 0)
+        stored = blob[4 : 4 + key_len].decode()
+        if stored != key_repr:
+            return None
+        return DecisionTable.from_bytes(blob[4 + key_len :])
+    except Exception:
+        return None
+
+
+def _quality_key(quality) -> Optional[str]:
+    """A stable fingerprint of a quality function, ``None`` if unkeyable.
+
+    Named :class:`~repro.video.quality.QualityFunction` subclasses are
+    keyed by class, name, and constructor state.  Anonymous callables
+    (``name`` of ``"base"``/``"wrapped"``) cannot be fingerprinted, so
+    bounds computed with them are never disk-cached.
+    """
+    if quality is None:
+        return repr(("IdentityQuality", "identity", []))
+    name = getattr(quality, "name", "base")
+    if name in ("base", "wrapped"):
+        return None
+    state = sorted(getattr(quality, "__dict__", {}).items())
+    return repr((type(quality).__name__, name, state))
+
+
+def cached_fluid_upper_bound(
+    trace: Trace,
+    manifest: VideoManifest,
+    weights: Optional[QoEWeights] = None,
+    quality=None,
+    buffer_capacity_s: float = 30.0,
+    max_rebuffer_s: float = 256.0,
+    startup_step_s: float = 2.0,
+    cache_dir: Optional[PathLike] = None,
+) -> float:
+    """Disk-cached :func:`repro.core.offline.fluid_upper_bound`.
+
+    The bound depends only on the trace content and a handful of scalars
+    (the continuous relaxation never reads per-chunk sizes), so the key is
+    the trace's ``(timestamps, bandwidths, duration)`` plus the manifest
+    shape, weights, quality fingerprint, and solver parameters.  Falls
+    back to a direct computation when caching is disabled or the quality
+    function cannot be keyed.
+    """
+    root = cache_root(cache_dir)
+    qkey = _quality_key(quality)
+
+    def compute() -> float:
+        return fluid_upper_bound(
+            trace,
+            manifest,
+            weights=weights,
+            quality=quality,
+            buffer_capacity_s=buffer_capacity_s,
+            max_rebuffer_s=max_rebuffer_s,
+            startup_step_s=startup_step_s,
+        )
+
+    if root is None or qkey is None:
+        return compute()
+    w = weights if weights is not None else QoEWeights.balanced()
+    key_repr = repr(
+        (
+            "fluid_upper_bound",
+            trace.timestamps,
+            trace.bandwidths_kbps,
+            trace.duration_s,
+            manifest.num_chunks,
+            manifest.chunk_duration_s,
+            manifest.ladder.max_kbps,
+            (w.switching, w.rebuffering, w.startup),
+            qkey,
+            buffer_capacity_s,
+            max_rebuffer_s,
+            startup_step_s,
+        )
+    )
+    path = _entry_path(root, _BOUND_SUBDIR, key_repr, ".json")
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("key") == key_repr:
+            return float(payload["value"])
+    except (OSError, ValueError):
+        pass
+    value = compute()
+    _atomic_write(
+        path, json.dumps({"key": key_repr, "value": value}).encode()
+    )
+    return value
+
+
+def clear_disk_cache(cache_dir: Optional[PathLike] = None) -> int:
+    """Delete every cached table and bound; returns the entry count.
+
+    Only known entry types under the cache root's ``tables/`` and
+    ``bounds/`` subdirectories are touched.
+    """
+    root = cache_root(cache_dir)
+    if root is None:
+        return 0
+    removed = 0
+    for subdir, suffix in ((_TABLE_SUBDIR, ".table"), (_BOUND_SUBDIR, ".json")):
+        directory = root / subdir
+        if not directory.is_dir():
+            continue
+        for entry in directory.iterdir():
+            if entry.suffix == suffix:
+                entry.unlink()
+                removed += 1
+    return removed

@@ -12,16 +12,22 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..abr.base import ABRAlgorithm, SessionConfig
-from ..core.offline import fluid_upper_bound, normalized_qoe
+from ..core.offline import normalized_qoe
 from ..emulation.harness import NetworkProfile, emulate_session
-from ..qoe import QoEBreakdown
+from ..qoe import QoEBreakdown, QoEWeights
 from ..sim.metrics import SessionMetrics
 from ..sim.session import SessionResult, StartupPolicy, simulate_session
 from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
 from .cdf import median
 
-__all__ = ["ExperimentRecord", "ResultSet", "run_matrix", "BACKENDS"]
+__all__ = [
+    "ExperimentRecord",
+    "ResultSet",
+    "bound_weights_for",
+    "run_matrix",
+    "BACKENDS",
+]
 
 BACKENDS = ("sim", "emulation")
 
@@ -96,6 +102,26 @@ class ResultSet:
         return ResultSet(self.records + other.records, dataset=self.dataset)
 
 
+def bound_weights_for(
+    config: SessionConfig, include_startup_in_qoe: bool
+) -> QoEWeights:
+    """Weights for the offline-optimal bound of a run.
+
+    When sessions are scored without the startup term (the Figure 11d
+    fixed-startup experiment), the bound they are normalised against must
+    also pay nothing for startup — otherwise n-QoE compares incompatible
+    objectives.  Shared by the serial and parallel runners.
+    """
+    if include_startup_in_qoe:
+        return config.weights
+    return QoEWeights(
+        config.weights.switching,
+        config.weights.rebuffering,
+        0.0,
+        label=config.weights.label,
+    )
+
+
 def _score_session(
     dataset: str,
     algorithm_name: str,
@@ -127,6 +153,7 @@ def run_matrix(
     include_startup_in_qoe: bool = True,
     dataset: str = "",
     progress: Optional[Callable[[str, int, int], None]] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """Run every algorithm over every trace and score the sessions.
 
@@ -143,6 +170,9 @@ def run_matrix(
         "except the startup delay term").
     progress:
         Optional callback ``(algorithm, finished, total)`` for long runs.
+    cache_dir:
+        Optional disk-cache directory for the per-trace offline bounds
+        (defaults to the ``REPRO_CACHE_DIR`` environment variable).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -152,23 +182,19 @@ def run_matrix(
         raise ValueError("need at least one trace")
     config = config if config is not None else SessionConfig()
 
-    bound_weights = config.weights
-    if not include_startup_in_qoe:
-        # Normalise against a bound that also pays nothing for startup.
-        from ..qoe import QoEWeights
+    # Imported lazily: persistence imports this module at load time.
+    from .persistence import cached_fluid_upper_bound
 
-        bound_weights = QoEWeights(
-            config.weights.switching, config.weights.rebuffering, 0.0,
-            label=config.weights.label,
-        )
+    bound_weights = bound_weights_for(config, include_startup_in_qoe)
     optimal_by_trace: Dict[int, float] = {}
     for i, trace in enumerate(traces):
-        optimal_by_trace[i] = fluid_upper_bound(
+        optimal_by_trace[i] = cached_fluid_upper_bound(
             trace,
             manifest,
             weights=bound_weights,
             quality=config.quality,
             buffer_capacity_s=config.buffer_capacity_s,
+            cache_dir=cache_dir,
         )
 
     records: List[ExperimentRecord] = []

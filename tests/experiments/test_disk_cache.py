@@ -1,0 +1,179 @@
+"""The persistent disk cache: tables and offline bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fastmpc
+from repro.core.fastmpc import (
+    FastMPCConfig,
+    build_decision_table,
+    clear_table_cache,
+    table_size_sweep,
+)
+from repro.core.offline import fluid_upper_bound
+from repro.experiments import persistence
+from repro.qoe import QoEWeights
+from repro.traces import FCCTraceGenerator
+from repro.video import envivio
+from repro.video.quality import LogQuality
+
+LADDER = (300.0, 750.0, 1200.0, 1850.0, 2850.0)
+SMALL = FastMPCConfig(buffer_bins=20, throughput_bins=25)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_table_cache()
+    yield
+    clear_table_cache()
+
+
+def build(tmp_path, **kwargs):
+    return build_decision_table(
+        LADDER, 4.0, 30.0, QoEWeights.balanced(), config=SMALL,
+        cache_dir=tmp_path, **kwargs
+    )
+
+
+class TestCacheRoot:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(persistence.CACHE_DIR_ENV, raising=False)
+        assert persistence.cache_root() is None
+
+    def test_env_var_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(persistence.CACHE_DIR_ENV, str(tmp_path))
+        assert persistence.cache_root() == tmp_path
+        assert persistence.cache_root(tmp_path / "explicit") == tmp_path / "explicit"
+
+
+class TestTableDiskCache:
+    def test_round_trip_bitwise_identical(self, tmp_path):
+        first = build(tmp_path)
+        clear_table_cache()  # drop the in-process memo, keep the disk entry
+        second = build(tmp_path)
+        assert second is not first
+        assert second.rle.to_bytes() == first.rle.to_bytes()
+        assert second.num_levels == first.num_levels
+        for attr in ("low", "high", "count", "spacing"):
+            assert getattr(second.buffer_bins, attr) == getattr(
+                first.buffer_bins, attr
+            )
+            assert getattr(second.throughput_bins, attr) == getattr(
+                first.throughput_bins, attr
+            )
+        # Identical behaviour, not just identical bytes.
+        for buf, prev, kbps in ((3.0, 0, 400.0), (15.0, 2, 1500.0), (29.0, 4, 6000.0)):
+            assert second.lookup(buf, prev, kbps) == first.lookup(buf, prev, kbps)
+
+    def test_second_build_does_not_recompute(self, tmp_path, monkeypatch):
+        build(tmp_path)
+        clear_table_cache()
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("table was rebuilt despite a disk cache hit")
+
+        monkeypatch.setattr(fastmpc, "build_table_decisions", boom)
+        build(tmp_path)  # served from disk
+
+    def test_sweep_hits_cache_on_repeat(self, tmp_path, monkeypatch):
+        levels = (10, 20)
+        table_size_sweep(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(),
+            discretization_levels=levels, cache_dir=tmp_path,
+        )
+        clear_table_cache()
+        monkeypatch.setattr(
+            fastmpc,
+            "build_table_decisions",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("sweep rebuilt a cached table")
+            ),
+        )
+        repeat = table_size_sweep(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(),
+            discretization_levels=levels, cache_dir=tmp_path,
+        )
+        assert [r.discretization_levels for r in repeat] == list(levels)
+
+    def test_different_config_misses(self, tmp_path):
+        build(tmp_path)
+        clear_table_cache()
+        other = build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(),
+            config=FastMPCConfig(buffer_bins=21, throughput_bins=25),
+            cache_dir=tmp_path,
+        )
+        assert other.buffer_bins.count == 21
+
+    def test_corrupt_entry_falls_back_to_build(self, tmp_path):
+        first = build(tmp_path)
+        clear_table_cache()
+        (entry,) = (tmp_path / "tables").iterdir()
+        entry.write_bytes(b"garbage")
+        rebuilt = build(tmp_path)
+        assert rebuilt.rle.to_bytes() == first.rle.to_bytes()
+
+    def test_no_cache_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(persistence.CACHE_DIR_ENV, raising=False)
+        build_decision_table(
+            LADDER, 4.0, 30.0, QoEWeights.balanced(), config=SMALL
+        )
+        assert not (tmp_path / "tables").exists()
+
+
+class TestBoundDiskCache:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return FCCTraceGenerator(seed=5).generate_many(1, 320.0)[0]
+
+    def test_round_trip_and_hit(self, trace, tmp_path, monkeypatch):
+        manifest = envivio()
+        weights = QoEWeights.balanced()
+        direct = fluid_upper_bound(trace, manifest, weights=weights)
+        cached = persistence.cached_fluid_upper_bound(
+            trace, manifest, weights=weights, cache_dir=tmp_path
+        )
+        assert cached == direct
+        calls = []
+        monkeypatch.setattr(
+            persistence,
+            "fluid_upper_bound",
+            lambda *a, **k: calls.append(1) or 0.0,
+        )
+        again = persistence.cached_fluid_upper_bound(
+            trace, manifest, weights=weights, cache_dir=tmp_path
+        )
+        assert again == direct
+        assert calls == []  # served from disk, never recomputed
+
+    def test_keyed_quality_function_cached(self, trace, tmp_path):
+        manifest = envivio()
+        quality = LogQuality(reference_kbps=250.0)
+        value = persistence.cached_fluid_upper_bound(
+            trace, manifest, quality=quality, cache_dir=tmp_path
+        )
+        assert value == fluid_upper_bound(trace, manifest, quality=quality)
+        assert any((tmp_path / "bounds").iterdir())
+
+    def test_unkeyable_quality_computes_directly(self, trace, tmp_path):
+        manifest = envivio()
+        value = persistence.cached_fluid_upper_bound(
+            trace, manifest, quality=lambda r: r, cache_dir=tmp_path
+        )
+        # An anonymous callable cannot be fingerprinted: correct value,
+        # but nothing is written.
+        assert value == pytest.approx(fluid_upper_bound(trace, manifest))
+        assert not (tmp_path / "bounds").exists()
+
+
+class TestClearDiskCache:
+    def test_clears_both_layers(self, tmp_path):
+        build(tmp_path)
+        trace = FCCTraceGenerator(seed=9).generate_many(1, 320.0)[0]
+        persistence.cached_fluid_upper_bound(
+            trace, envivio(), cache_dir=tmp_path
+        )
+        removed = persistence.clear_disk_cache(tmp_path)
+        assert removed == 2
+        assert persistence.clear_disk_cache(tmp_path) == 0
