@@ -1,0 +1,158 @@
+"""Decision-service smoke benchmark — sustained decision throughput and
+the graceful-degradation guarantee under a missing table.
+
+Runs the closed-loop load generator against an in-process
+:class:`~repro.service.server.DecisionServer` (one event loop, one
+worker — the same single-process shape as ``repro serve``), twice:
+
+* **warm** — a real FastMPC table is loaded; the acceptance bar is
+  >= 5,000 table decisions per second;
+* **cold** — no table at all; every session must still complete, every
+  decision served by the rate-based fallback with ``degraded`` set and
+  *zero* hard errors.
+
+Appends one record per run to ``benchmarks/results/BENCH_service.json``
+so future PRs can diff the service's perf trajectory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+from conftest import RESULTS_DIR, run_once
+
+from repro.core.fastmpc import build_decision_table
+from repro.qoe import QoEWeights
+from repro.service import (
+    DecisionServer,
+    DecisionService,
+    LoadTestConfig,
+    run_loadtest,
+)
+from repro.video.presets import (
+    DEFAULT_BUFFER_CAPACITY_S,
+    ENVIVIO_CHUNK_SECONDS,
+    ENVIVIO_LADDER_KBPS,
+)
+
+#: The acceptance bar: single worker, same machine, stdlib HTTP stack.
+MIN_DECISIONS_PER_SEC = 5_000.0
+
+LOAD_CONFIG = LoadTestConfig(
+    sessions=48,
+    chunks_per_session=65,
+    concurrency=16,
+    dataset="synthetic",
+    seed=2015,
+    trace_duration_s=320.0,
+)
+
+
+async def _loadtest_in_process(service: DecisionService) -> dict:
+    server = DecisionServer(service, port=0)
+    await server.start()
+    try:
+        report = await run_loadtest("127.0.0.1", server.bound_port, LOAD_CONFIG)
+        snapshot = service.metrics.snapshot()
+    finally:
+        await server.close()
+    return {"report": report, "metrics": snapshot}
+
+
+@pytest.fixture(scope="module")
+def warm_run():
+    table = build_decision_table(
+        ENVIVIO_LADDER_KBPS,
+        ENVIVIO_CHUNK_SECONDS,
+        DEFAULT_BUFFER_CAPACITY_S,
+        QoEWeights.balanced(),
+    )
+    service = DecisionService(ENVIVIO_LADDER_KBPS, table=table)
+    return asyncio.run(_loadtest_in_process(service))
+
+
+@pytest.fixture(scope="module")
+def cold_run():
+    service = DecisionService(ENVIVIO_LADDER_KBPS)  # no table on purpose
+    return asyncio.run(_loadtest_in_process(service))
+
+
+def test_warm_throughput_meets_bar(benchmark, warm_run):
+    report = warm_run["report"]
+    throughput = run_once(benchmark, lambda: report.throughput_dps)
+    expected = LOAD_CONFIG.sessions * LOAD_CONFIG.chunks_per_session
+    assert report.errors == 0
+    assert report.decisions == expected
+    assert report.sessions_completed == LOAD_CONFIG.sessions
+    assert report.sources.get("table", 0) == expected
+    assert throughput >= MIN_DECISIONS_PER_SEC, (
+        f"{throughput:,.0f} decisions/s under the {MIN_DECISIONS_PER_SEC:,.0f} bar"
+    )
+
+
+def test_cold_server_degrades_not_errors(benchmark, cold_run):
+    """Missing table: every session completes on the fallback, 0 errors."""
+    report = run_once(benchmark, lambda: cold_run["report"])
+    expected = LOAD_CONFIG.sessions * LOAD_CONFIG.chunks_per_session
+    assert report.errors == 0
+    assert report.decisions == expected
+    assert report.sessions_completed == LOAD_CONFIG.sessions
+    assert report.sources == {"fallback": expected}
+    assert report.degraded == expected
+    assert report.reasons == {"no-table": expected}
+    # The server-side view agrees: everything counted as degraded
+    # fallback, nothing as a hard error.
+    metrics = cold_run["metrics"]
+    assert metrics["decisions"]["table"] == 0
+    assert metrics["decisions"]["fallback"] == expected
+    assert metrics["decisions"]["error"] == 0
+    assert metrics["fallback_reasons"] == {"no-table": expected}
+
+
+def test_append_bench_json(warm_run, cold_run, report_sink):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_service.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if isinstance(history, dict):  # tolerate a hand-written scalar file
+            history = [history]
+    record = {
+        "timestamp": time.time(),
+        "config": {
+            "sessions": LOAD_CONFIG.sessions,
+            "chunks_per_session": LOAD_CONFIG.chunks_per_session,
+            "concurrency": LOAD_CONFIG.concurrency,
+            "dataset": LOAD_CONFIG.dataset,
+        },
+        "warm": {
+            "throughput_dps": warm_run["report"].throughput_dps,
+            "p50_us": warm_run["report"].p50_us,
+            "p99_us": warm_run["report"].p99_us,
+            "errors": warm_run["report"].errors,
+        },
+        "cold": {
+            "throughput_dps": cold_run["report"].throughput_dps,
+            "p50_us": cold_run["report"].p50_us,
+            "p99_us": cold_run["report"].p99_us,
+            "degraded": cold_run["report"].degraded,
+            "errors": cold_run["report"].errors,
+        },
+    }
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    warm, cold = record["warm"], record["cold"]
+    report_sink(
+        "BENCH_service",
+        "\n".join(
+            [
+                f"warm: {warm['throughput_dps']:,.0f} decisions/s"
+                f" | p50 {warm['p50_us']:,.0f} us | p99 {warm['p99_us']:,.0f} us",
+                f"cold: {cold['throughput_dps']:,.0f} decisions/s"
+                f" | degraded {cold['degraded']} | errors {cold['errors']}",
+            ]
+        ),
+    )

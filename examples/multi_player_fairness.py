@@ -7,8 +7,9 @@ players with (possibly different) adaptation algorithms compete on one
 trace-shaped bottleneck with max-min fair sharing, slow-start ramps, and
 request RTTs — the environment FESTIVE was designed for.
 
-The example reports per-player quality plus a Jain fairness index over
-average bitrates.
+The example reports per-player quality plus the shared-link fairness
+measures (Jain's index and the multiplayer paper's unfairness score)
+that ``emulate_shared_link`` now attaches to its result.
 
 Usage::
 
@@ -24,14 +25,6 @@ from repro.abr import create
 from repro.emulation import NetworkProfile, emulate_shared_link
 from repro.experiments import render_table
 from repro.traces import Trace
-
-
-def jain_index(values) -> float:
-    """Jain's fairness index: 1.0 = perfectly equal shares."""
-    n = len(values)
-    total = sum(values)
-    squares = sum(v * v for v in values)
-    return (total * total) / (n * squares) if squares else 1.0
 
 
 def main() -> int:
@@ -69,10 +62,8 @@ def main() -> int:
     )
 
     rows = []
-    bitrates = []
     for name, session in zip(names, results):
         metrics = session.metrics()
-        bitrates.append(metrics.average_bitrate_kbps)
         rows.append(
             [
                 name,
@@ -88,7 +79,7 @@ def main() -> int:
             rows,
         )
     )
-    print(f"\nJain fairness index over average bitrates: {jain_index(bitrates):.3f}")
+    print(f"\n{results.fairness().describe()}")
     print(
         "(FESTIVE trades some efficiency for stability by design — "
         "footnote 8 of the paper.)"

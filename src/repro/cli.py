@@ -11,6 +11,10 @@ Subcommands map one-to-one onto the paper's artifacts:
                         fig11e-levels, fig12a, fig12b).
 * ``table1``          — FastMPC table-size report.
 * ``overhead``        — the Section 7.4 CPU/memory microbenchmark.
+* ``serve``           — run the asyncio ABR decision service (FastMPC
+                        tables behind an HTTP boundary; docs/service.md).
+* ``loadtest``        — closed-loop trace-driven load generation against
+                        a running decision server.
 """
 
 from __future__ import annotations
@@ -148,6 +152,51 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("overhead", help="per-decision CPU/memory microbenchmark")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser("serve", help="run the ABR decision service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008, help="0 = ephemeral")
+    p.add_argument(
+        "--bins", type=int, default=100,
+        help="buffer and throughput bins of the served table (default 100)",
+    )
+    p.add_argument("--horizon", type=int, default=5)
+    p.add_argument("--buffer", type=float, default=30.0, help="Bmax seconds")
+    p.add_argument(
+        "--weights",
+        choices=("balanced", "avoid-instability", "avoid-rebuffering"),
+        default="balanced",
+    )
+    p.add_argument(
+        "--no-table",
+        action="store_true",
+        help=(
+            "start cold: serve rate-based fallback decisions (degraded=true)"
+            " until a table is swapped in via POST /v1/table"
+        ),
+    )
+    p.add_argument(
+        "--lookup-budget-ms", type=float, default=5.0,
+        help="table-lookup time budget before degrading to the fallback",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=60.0,
+        help="seconds before an idle keep-alive connection is reaped",
+    )
+
+    p = sub.add_parser(
+        "loadtest", help="closed-loop load test against a decision server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008)
+    p.add_argument("--sessions", type=int, default=64, help="virtual players")
+    p.add_argument("--chunks", type=int, default=65, help="decisions per session")
+    p.add_argument("--concurrency", type=int, default=16, help="connections")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="fcc")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
+    p.add_argument("--deadline", type=float, default=2.0, help="per-request s")
+    p.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+
     return parser
 
 
@@ -279,7 +328,11 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_table1(args) -> int:
-    reports = table1(discretization_levels=args.levels, horizon=args.horizon)
+    reports = table1(
+        discretization_levels=args.levels,
+        horizon=args.horizon,
+        cache_dir=args.cache_dir,
+    )
     rows = [
         [
             r.discretization_levels,
@@ -299,17 +352,99 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_overhead(args) -> int:
+    from .core.fastmpc import FastMPCController
+
     manifest = envivio()
     trace = make_generator("fcc", seed=args.seed).generate(
         manifest.total_duration_s + 60.0
     )
+    # FastMPC's table build dominates this command's start-up; thread the
+    # disk cache through explicitly (as `compare` does) so repeat
+    # invocations skip straight to the measurement.
     algorithms = {
-        name: create(name)
+        name: (
+            FastMPCController(cache_dir=args.cache_dir)
+            if name == "fastmpc"
+            else create(name)
+        )
         for name in ("rb", "bb", "festive", "dashjs", "fastmpc", "robust-mpc")
     }
     for sample in measure_overhead(algorithms, trace, manifest):
         print(sample.describe())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core.fastmpc import FastMPCConfig, build_decision_table
+    from .service import DecisionServer, DecisionService, ServiceConfig
+
+    manifest = envivio()
+    weights = QoEWeights.preset(args.weights)
+    table = None
+    if not args.no_table:
+        table = build_decision_table(
+            manifest.ladder.levels_kbps,
+            manifest.chunk_duration_s,
+            args.buffer,
+            weights,
+            config=FastMPCConfig(
+                buffer_bins=args.bins,
+                throughput_bins=args.bins,
+                horizon=args.horizon,
+            ),
+            cache_dir=args.cache_dir,
+        )
+    service = DecisionService(
+        manifest.ladder.levels_kbps,
+        table=table,
+        config=ServiceConfig(
+            lookup_budget_s=args.lookup_budget_ms / 1000.0,
+            idle_timeout_s=args.idle_timeout,
+        ),
+    )
+    server = DecisionServer(service, args.host, args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        mode = "table loaded" if service.table_loaded else "COLD (fallback only)"
+        print(
+            f"decision service on {args.host}:{server.bound_port} [{mode}]",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .service import LoadTestConfig, run_loadtest_sync
+
+    config = LoadTestConfig(
+        sessions=args.sessions,
+        chunks_per_session=args.chunks,
+        concurrency=args.concurrency,
+        dataset=args.dataset,
+        seed=args.seed,
+        trace_duration_s=args.duration,
+        deadline_s=args.deadline,
+    )
+    report = run_loadtest_sync(args.host, args.port, config)
+    print(report.describe())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved {args.json}")
+    return 1 if report.errors else 0
 
 
 _COMMANDS = {
@@ -319,6 +454,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "table1": _cmd_table1,
     "overhead": _cmd_overhead,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

@@ -36,7 +36,7 @@ class Binning:
     current state".
     """
 
-    __slots__ = ("low", "high", "count", "spacing", "_edges", "_centers")
+    __slots__ = ("low", "high", "count", "spacing", "_edges", "_centers", "_edges_list")
 
     def __init__(self, low: float, high: float, count: int, spacing: str = "linear") -> None:
         if count < 1:
@@ -66,6 +66,10 @@ class Binning:
         centers.setflags(write=False)
         self._edges = edges
         self._centers = centers
+        # Scalar lookups (one per online decision; the service's hot
+        # path) use bisect over a plain list — an order of magnitude
+        # cheaper than np.searchsorted on a single value.
+        self._edges_list = edges.tolist()
 
     @property
     def edges(self) -> np.ndarray:
@@ -85,7 +89,7 @@ class Binning:
             return 0
         if value >= self.high:
             return self.count - 1
-        idx = int(np.searchsorted(self._edges, value, side="right")) - 1
+        idx = bisect.bisect_right(self._edges_list, value) - 1
         return min(max(idx, 0), self.count - 1)
 
     def center(self, index: int) -> float:

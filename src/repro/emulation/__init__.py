@@ -6,7 +6,18 @@ from .clock import EventQueue
 from .link import SharedTraceLink, Transfer
 from .server import ChunkRequest, ChunkServer
 from .client import EmulatedClient
-from .harness import NetworkProfile, emulate_session, emulate_shared_link
+from .fairness import (
+    FairnessReport,
+    fairness_report,
+    jain_fairness_index,
+    unfairness,
+)
+from .harness import (
+    NetworkProfile,
+    SharedLinkResult,
+    emulate_session,
+    emulate_shared_link,
+)
 
 __all__ = [
     "EventQueue",
@@ -16,6 +27,11 @@ __all__ = [
     "ChunkServer",
     "EmulatedClient",
     "NetworkProfile",
+    "SharedLinkResult",
+    "FairnessReport",
+    "fairness_report",
+    "jain_fairness_index",
+    "unfairness",
     "emulate_session",
     "emulate_shared_link",
 ]

@@ -1,0 +1,78 @@
+"""Fairness metrics for multi-player bottleneck sharing.
+
+The multiplayer follow-up to the paper (Yin et al., arXiv:1608.08469)
+evaluates what happens when several MPC players share one link; its two
+standard measures over per-client average bitrates are implemented here:
+
+* **Jain's fairness index** ``(sum x)^2 / (n * sum x^2)`` — 1 when every
+  client gets the same average bitrate, ``1/n`` when one client takes
+  everything.
+
+* **Unfairness** ``sqrt(1 - Jain)`` — the multiplayer paper's headline
+  measure (also FESTIVE's); 0 is perfectly fair, larger is worse.
+
+:func:`fairness_report` aggregates finished sessions;
+:func:`repro.emulation.harness.emulate_shared_link` attaches one to its
+result so harness callers get fairness for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["jain_fairness_index", "unfairness", "FairnessReport", "fairness_report"]
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's index over non-negative allocations; 1 = perfectly fair."""
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ValueError("need at least one allocation")
+    if any(v < 0 for v in xs):
+        raise ValueError("allocations must be non-negative")
+    square_of_sum = sum(xs) ** 2
+    sum_of_squares = sum(v * v for v in xs)
+    if sum_of_squares == 0.0:
+        return 1.0  # all-zero: everyone equally starved
+    return square_of_sum / (len(xs) * sum_of_squares)
+
+
+def unfairness(values: Sequence[float]) -> float:
+    """The multiplayer paper's unfairness measure ``sqrt(1 - Jain)``."""
+    # Clamp: float error can push Jain a hair above 1 for equal inputs.
+    return math.sqrt(max(0.0, 1.0 - jain_fairness_index(values)))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Fairness of one shared-link run over per-client average bitrates."""
+
+    average_bitrates_kbps: Tuple[float, ...]
+    jain_index: float
+    unfairness: float
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.average_bitrates_kbps)
+
+    def describe(self) -> str:
+        rates = ", ".join(f"{r:.0f}" for r in self.average_bitrates_kbps)
+        return (
+            f"{self.num_clients} clients | avg bitrates [{rates}] kbps"
+            f" | Jain {self.jain_index:.3f}"
+            f" | unfairness {self.unfairness:.3f}"
+        )
+
+
+def fairness_report(sessions: Sequence) -> FairnessReport:
+    """Fairness over finished sessions (anything with ``metrics()``)."""
+    if not sessions:
+        raise ValueError("need at least one session")
+    rates = tuple(s.metrics().average_bitrate_kbps for s in sessions)
+    return FairnessReport(
+        average_bitrates_kbps=rates,
+        jain_index=jain_fairness_index(rates),
+        unfairness=unfairness(rates),
+    )

@@ -18,10 +18,29 @@ from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
 from .client import EmulatedClient
 from .clock import EventQueue
+from .fairness import FairnessReport, fairness_report
 from .link import SharedTraceLink
 from .server import ChunkServer
 
-__all__ = ["NetworkProfile", "emulate_session", "emulate_shared_link"]
+__all__ = [
+    "NetworkProfile",
+    "SharedLinkResult",
+    "emulate_session",
+    "emulate_shared_link",
+]
+
+
+class SharedLinkResult(List[SessionResult]):
+    """Per-player session results plus run-level fairness.
+
+    A plain list of :class:`SessionResult` (in player order — existing
+    callers keep indexing/unpacking it), with the multiplayer fairness
+    measures attached: :meth:`fairness` computes Jain's index and the
+    unfairness score over the players' average bitrates.
+    """
+
+    def fairness(self) -> FairnessReport:
+        return fairness_report(self)
 
 
 @dataclass(frozen=True)
@@ -92,12 +111,14 @@ def emulate_shared_link(
     config: Optional[SessionConfig] = None,
     network: Optional[NetworkProfile] = None,
     start_stagger_s: float = 0.0,
-) -> List[SessionResult]:
+) -> SharedLinkResult:
     """Multiple players compete on one bottleneck (Section 8 extension).
 
     Each algorithm drives its own client; ``start_stagger_s`` offsets the
     session starts (players rarely begin simultaneously in practice).
-    Returns one session result per player, in input order.
+    Returns one session result per player, in input order, as a
+    :class:`SharedLinkResult` — call ``.fairness()`` on it for Jain's
+    index and the multiplayer unfairness measure.
     """
     if not algorithms:
         raise ValueError("need at least one player")
@@ -129,4 +150,4 @@ def emulate_shared_link(
         for i, algorithm in enumerate(algorithms)
     ]
     queue.run_until_idle()
-    return [client.result() for client in clients]
+    return SharedLinkResult(client.result() for client in clients)

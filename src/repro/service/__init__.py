@@ -1,0 +1,50 @@
+"""``repro.service`` — the ABR decision service (deployment direction).
+
+Section 5's point is that FastMPC makes the MPC "Optimize" step cheap
+enough to run per-request in production; this package takes the next
+step the ROADMAP asks for and puts the table behind a serving boundary:
+
+* :mod:`protocol` — the session-keyed request/response wire format
+  carrying ``(buffer_s, prev_level, predicted_kbps, past_errors)``.
+* :mod:`metrics` — request counters, decision-source breakdown and
+  fixed-bucket latency histograms, exported as JSON from ``/metrics``.
+* :mod:`server` — :class:`DecisionService` (transport-free decision
+  logic with a rate-based fallback and per-lookup budgets) and
+  :class:`DecisionServer`, a stdlib-only asyncio HTTP/1.1 front end
+  with warm/cold table swapping that never drops connections.
+* :mod:`client` — a keep-alive asyncio client speaking the protocol.
+* :mod:`loadgen` — a closed-loop, trace-driven load generator that
+  replays virtual player sessions against a running server.
+
+Everything here is standard library + the existing ``repro`` core; the
+only numerics are one table lookup (or the rate-based fallback) per
+request.
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    DecisionRequest,
+    DecisionResponse,
+    ProtocolError,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+from .server import DecisionServer, DecisionService, ServiceConfig
+from .client import ServiceClient
+from .loadgen import LoadTestConfig, LoadTestReport, run_loadtest, run_loadtest_sync
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DecisionRequest",
+    "DecisionResponse",
+    "ProtocolError",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "ServiceConfig",
+    "DecisionService",
+    "DecisionServer",
+    "ServiceClient",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "run_loadtest",
+    "run_loadtest_sync",
+]

@@ -1,0 +1,193 @@
+"""Async client for the decision service.
+
+One keep-alive HTTP/1.1 connection per client instance — the shape a
+player integration would use (one control connection per stream
+session), and what the load generator multiplies to model concurrency.
+Requests carry a client-side deadline; a dead connection is re-dialed
+once per call before the error propagates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple, Union
+
+from ..core.table import DecisionTable
+from .protocol import DecisionRequest, DecisionResponse, ProtocolError
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server could not be reached or answered unparseably."""
+
+
+class ServiceClient:
+    """Keep-alive asyncio client speaking the decision protocol.
+
+    Usable as an async context manager::
+
+        async with ServiceClient("127.0.0.1", 8008) as client:
+            response = await client.decide(request)
+    """
+
+    def __init__(
+        self, host: str, port: int, deadline_s: float = 2.0
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        self.host = host
+        self.port = port
+        self.deadline_s = deadline_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> None:
+        if self.connected:
+            return
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.deadline_s
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._reader = self._writer = None
+            raise ServiceUnavailable(
+                f"cannot reach {self.host}:{self.port}: {exc}"
+            ) from None
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+
+    async def _request_once(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes]:
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode()
+        self._writer.write(head + body)
+        await self._writer.drain()
+        header_blob = await self._reader.readuntil(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        length = 0
+        close_after = False
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            key = name.strip().lower()
+            if key == "content-length":
+                length = int(value.strip())
+            elif key == "connection" and value.strip().lower() == "close":
+                close_after = True
+        payload = await self._reader.readexactly(length) if length else b""
+        if close_after:
+            await self.close()
+        return status, payload
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange under the client deadline.
+
+        The deadline is enforced by a ``loop.call_later`` handle that
+        aborts the connection — far cheaper per request than wrapping
+        every exchange in :func:`asyncio.wait_for`, which spawns a task.
+        Retries exactly once on a dead keep-alive connection (the server
+        may have reaped an idle one) — never on a deadline, so a slow
+        server cannot double the configured wait.
+        """
+        loop = asyncio.get_running_loop()
+        last_error: Optional[BaseException] = None
+        for attempt in range(2):
+            await self.connect()
+            writer = self._writer
+            timed_out = False
+
+            def _abort(w=writer) -> None:
+                nonlocal timed_out
+                timed_out = True
+                w.close()
+
+            deadline_handle = loop.call_later(self.deadline_s, _abort)
+            try:
+                return await self._request_once(method, path, body)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+                ValueError,
+                OSError,
+            ) as exc:
+                await self.close()
+                if timed_out:
+                    raise ServiceUnavailable(
+                        f"no response from {self.host}:{self.port} "
+                        f"within {self.deadline_s}s"
+                    ) from None
+                last_error = exc
+            finally:
+                deadline_handle.cancel()
+        raise ServiceUnavailable(f"retry failed: {last_error}") from None
+
+    # ------------------------------------------------------------------
+    # Protocol-level calls
+    # ------------------------------------------------------------------
+
+    async def decide(self, request: DecisionRequest) -> DecisionResponse:
+        """One bitrate decision; raises :class:`ServiceUnavailable` only
+        for transport failures — degraded answers come back normally."""
+        status, body = await self.request("POST", "/v1/decide", request.to_json())
+        if status != 200:
+            raise ServiceUnavailable(f"decide returned HTTP {status}: {body!r}")
+        try:
+            return DecisionResponse.from_json(body)
+        except ProtocolError as exc:
+            raise ServiceUnavailable(str(exc)) from None
+
+    async def metrics(self) -> dict:
+        status, body = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceUnavailable(f"metrics returned HTTP {status}")
+        return json.loads(body)
+
+    async def health(self) -> dict:
+        status, body = await self.request("GET", "/healthz")
+        if status != 200:
+            raise ServiceUnavailable(f"healthz returned HTTP {status}")
+        return json.loads(body)
+
+    async def swap_table(self, table: Union[DecisionTable, bytes]) -> dict:
+        """Install a new table on the server (warm swap)."""
+        blob = table.to_bytes() if isinstance(table, DecisionTable) else table
+        status, body = await self.request("POST", "/v1/table", blob)
+        payload = json.loads(body) if body else {}
+        if status != 200:
+            raise ServiceUnavailable(
+                f"table swap rejected: HTTP {status} {payload.get('error', '')}"
+            )
+        return payload

@@ -1,0 +1,270 @@
+"""Closed-loop, trace-driven load generation for the decision service.
+
+Each virtual session replays one throughput trace the way a player
+would: it predicts with the harmonic mean of its last measured chunks
+(the paper's predictor), asks the server for a level, "downloads" the
+chunk at the trace's bandwidth, advances its buffer, and only then
+issues the next request — closed-loop, so offered load tracks service
+capacity instead of overrunning it.  ``concurrency`` connections each
+drain sessions from a shared queue, which is exactly the many-players /
+one-backend shape the multiplayer follow-up paper measures.
+
+The report carries client-observed latency (histogram + quantiles),
+decision-source and degradation breakdowns, throughput in decisions per
+second, and a hard error count — the acceptance bar for a cold server
+is *zero* errors with every decision served by the fallback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..traces.trace import Trace
+from ..video.presets import (
+    DEFAULT_BUFFER_CAPACITY_S,
+    ENVIVIO_CHUNK_SECONDS,
+    ENVIVIO_LADDER_KBPS,
+)
+from .client import ServiceClient, ServiceUnavailable
+from .metrics import LatencyHistogram
+from .protocol import DecisionRequest
+
+__all__ = ["LoadTestConfig", "LoadTestReport", "run_loadtest", "run_loadtest_sync"]
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """Shape of one load test run."""
+
+    sessions: int = 32
+    chunks_per_session: int = 65
+    concurrency: int = 8
+    dataset: str = "fcc"
+    seed: int = 0
+    trace_duration_s: float = 320.0
+    deadline_s: float = 2.0
+    prediction_window: int = 5
+    robust: bool = True
+    ladder_kbps: Tuple[float, ...] = ENVIVIO_LADDER_KBPS
+    chunk_duration_s: float = ENVIVIO_CHUNK_SECONDS
+    buffer_capacity_s: float = DEFAULT_BUFFER_CAPACITY_S
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1 or self.chunks_per_session < 1:
+            raise ValueError("need at least one session and one chunk")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.prediction_window < 1:
+            raise ValueError("prediction window must be >= 1")
+        if not self.ladder_kbps:
+            raise ValueError("ladder must be non-empty")
+
+
+@dataclass
+class LoadTestReport:
+    """Aggregated outcome of a load test."""
+
+    decisions: int = 0
+    errors: int = 0
+    degraded: int = 0
+    sessions_completed: int = 0
+    wall_s: float = 0.0
+    sources: Dict[str, int] = field(default_factory=dict)
+    reasons: Dict[str, int] = field(default_factory=dict)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def throughput_dps(self) -> float:
+        """Completed decisions per second of wall time."""
+        return self.decisions / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return self.latency.quantile(0.50)
+
+    @property
+    def p95_us(self) -> float:
+        return self.latency.quantile(0.95)
+
+    @property
+    def p99_us(self) -> float:
+        return self.latency.quantile(0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "sessions_completed": self.sessions_completed,
+            "wall_s": self.wall_s,
+            "throughput_dps": self.throughput_dps,
+            "sources": dict(self.sources),
+            "reasons": dict(self.reasons),
+            "latency_us": self.latency.to_dict(),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"decisions {self.decisions} in {self.wall_s:.2f}s"
+            f" -> {self.throughput_dps:,.0f} decisions/s",
+            f"latency p50 {self.p50_us:,.0f} us | p95 {self.p95_us:,.0f} us"
+            f" | p99 {self.p99_us:,.0f} us",
+            f"sources {self.sources} | degraded {self.degraded}"
+            f" | errors {self.errors}",
+            f"sessions completed {self.sessions_completed}",
+        ]
+        if self.reasons:
+            lines.append(f"degradation reasons {self.reasons}")
+        return "\n".join(lines)
+
+
+class _VirtualPlayer:
+    """One trace-driven session: buffer dynamics + harmonic prediction."""
+
+    def __init__(self, session_id: str, trace: Trace, config: LoadTestConfig) -> None:
+        self.session_id = session_id
+        self.trace = trace
+        self.config = config
+        self.wall_s = 0.0
+        self.buffer_s = 0.0
+        self.prev_level: Optional[int] = None
+        self._measured: deque = deque(maxlen=config.prediction_window)
+        self._errors: deque = deque(maxlen=config.prediction_window)
+        self._last_predicted: Optional[float] = None
+
+    def _predict_kbps(self) -> float:
+        if not self._measured:
+            return max(self.trace.bandwidth_at(0.0), 1e-3)
+        return len(self._measured) / sum(1.0 / c for c in self._measured)
+
+    def next_request(self) -> DecisionRequest:
+        predicted = self._predict_kbps()
+        self._last_predicted = predicted
+        return DecisionRequest(
+            session_id=self.session_id,
+            buffer_s=self.buffer_s,
+            predicted_kbps=predicted,
+            prev_level=self.prev_level,
+            past_errors=tuple(self._errors) if self.config.robust else (),
+        )
+
+    def apply_decision(self, level_index: int) -> None:
+        """Advance the session model through one chunk download."""
+        config = self.config
+        level = min(max(level_index, 0), len(config.ladder_kbps) - 1)
+        size_kilobits = config.chunk_duration_s * config.ladder_kbps[level]
+        actual_kbps = max(self.trace.bandwidth_at(self.wall_s), 1e-3)
+        download_s = size_kilobits / actual_kbps
+        self.buffer_s = min(
+            max(self.buffer_s - download_s, 0.0) + config.chunk_duration_s,
+            config.buffer_capacity_s,
+        )
+        self.wall_s += download_s
+        if self._last_predicted is not None:
+            self._errors.append(
+                (self._last_predicted - actual_kbps) / actual_kbps
+            )
+        self._measured.append(actual_kbps)
+        self.prev_level = level
+
+
+def _make_traces(config: LoadTestConfig) -> List[Trace]:
+    # Imported here so the service package keeps no hard dependency on
+    # the trace generators when callers supply their own traces.
+    from ..traces import make_generator
+
+    generator = make_generator(config.dataset, seed=config.seed)
+    return generator.generate_many(config.sessions, config.trace_duration_s)
+
+
+async def _session_worker(
+    host: str,
+    port: int,
+    queue: "asyncio.Queue[_VirtualPlayer]",
+    config: LoadTestConfig,
+    report: LoadTestReport,
+) -> None:
+    """One connection draining sessions until the queue is empty."""
+    async with ServiceClient(host, port, deadline_s=config.deadline_s) as client:
+        while True:
+            try:
+                player = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            completed = True
+            for _ in range(config.chunks_per_session):
+                request = player.next_request()
+                started = time.perf_counter()
+                try:
+                    response = await client.decide(request)
+                except ServiceUnavailable:
+                    report.errors += 1
+                    completed = False
+                    break
+                latency_us = (time.perf_counter() - started) * 1e6
+                report.latency.observe(latency_us)
+                report.decisions += 1
+                report.sources[response.source] = (
+                    report.sources.get(response.source, 0) + 1
+                )
+                if response.degraded:
+                    report.degraded += 1
+                    key = response.reason or "unknown"
+                    report.reasons[key] = report.reasons.get(key, 0) + 1
+                player.apply_decision(response.level_index)
+            if completed:
+                report.sessions_completed += 1
+
+
+async def run_loadtest(
+    host: str,
+    port: int,
+    config: Optional[LoadTestConfig] = None,
+    traces: Optional[Sequence[Trace]] = None,
+) -> LoadTestReport:
+    """Drive the full closed loop against a running server.
+
+    ``traces`` defaults to ``config.sessions`` generated traces from
+    ``config.dataset``; when supplied explicitly, one session is run per
+    trace (cycling the config's session count is the caller's business).
+    """
+    config = config if config is not None else LoadTestConfig()
+    trace_list = list(traces) if traces is not None else _make_traces(config)
+    if not trace_list:
+        raise ValueError("need at least one trace")
+
+    queue: "asyncio.Queue[_VirtualPlayer]" = asyncio.Queue()
+    for i, trace in enumerate(trace_list):
+        queue.put_nowait(_VirtualPlayer(f"session-{i:05d}", trace, config))
+
+    report = LoadTestReport()
+    workers = min(config.concurrency, queue.qsize())
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(
+            _session_worker(host, port, queue, config, report)
+            for _ in range(workers)
+        ),
+        return_exceptions=True,
+    )
+    report.wall_s = time.perf_counter() - started
+    for outcome in results:
+        if isinstance(outcome, ServiceUnavailable):
+            report.errors += 1
+        elif isinstance(outcome, BaseException):
+            raise outcome
+    return report
+
+
+def run_loadtest_sync(
+    host: str,
+    port: int,
+    config: Optional[LoadTestConfig] = None,
+    traces: Optional[Sequence[Trace]] = None,
+) -> LoadTestReport:
+    """Blocking wrapper for CLI use."""
+    return asyncio.run(run_loadtest(host, port, config, traces))

@@ -1,0 +1,208 @@
+"""Built-in service telemetry.
+
+Everything a load balancer or dashboard needs to judge the decision
+service's health, kept cheap enough to update on every request:
+
+* monotonically increasing counters (requests, decision sources,
+  degraded reasons, table swaps);
+* a fixed-bucket latency histogram — bounded memory, constant-time
+  observation, and quantile estimates good enough for p50/p99 SLOs.
+
+The whole state exports as one JSON document from ``/metrics``; the
+schema is documented in ``docs/service.md`` and locked by tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKET_BOUNDS_US"]
+
+#: Upper bounds (microseconds) of the default latency buckets.  Spans the
+#: table-lookup regime (tens of µs) through badly overloaded (>100 ms);
+#: the final bucket is implicit +inf.
+DEFAULT_BUCKET_BOUNDS_US = (
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1_000.0,
+    2_000.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram over microsecond latencies.
+
+    ``observe`` is O(log buckets); memory is O(buckets) regardless of
+    request volume — the standard production trade-off (exact quantiles
+    are not worth an unbounded reservoir at millions of requests).
+    Quantiles are estimated by linear interpolation inside the bucket
+    that contains the target rank, which is exact to within one bucket
+    width.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum_us", "_max_us")
+
+    def __init__(self, bounds_us: Sequence[float] = DEFAULT_BUCKET_BOUNDS_US) -> None:
+        bounds = [float(b) for b in bounds_us]
+        if not bounds or bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if bounds[0] <= 0:
+            raise ValueError("bucket bounds must be positive")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last bucket = +inf
+        self._count = 0
+        self._sum_us = 0.0
+        self._max_us = 0.0
+
+    def observe(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError("latency must be >= 0")
+        self._counts[bisect.bisect_left(self._bounds, latency_us)] += 1
+        self._count += 1
+        self._sum_us += latency_us
+        if latency_us > self._max_us:
+            self._max_us = latency_us
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_us(self) -> float:
+        return self._sum_us / self._count if self._count else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self._max_us
+
+    def quantile(self, q: float) -> float:
+        """Estimated latency at quantile ``q`` in [0, 1]; 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                # The overflow bucket has no upper edge; report the max seen.
+                upper = self._bounds[i] if i < len(self._bounds) else self._max_us
+                if upper <= lower:
+                    return upper
+                fraction = (target - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self._max_us
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        if other._bounds != self._bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self._count += other._count
+        self._sum_us += other._sum_us
+        self._max_us = max(self._max_us, other._max_us)
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds_us": list(self._bounds),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum_us": self._sum_us,
+            "mean_us": self.mean_us,
+            "max_us": self._max_us,
+            "p50_us": self.quantile(0.50),
+            "p99_us": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Counters + latency histogram for one server instance.
+
+    The decision-source breakdown distinguishes healthy ``table``
+    answers, ``fallback`` answers (further split by reason), and hard
+    ``error`` responses (protocol/transport failures that could not be
+    served at all — the acceptance criterion requires these to stay 0
+    under a missing-table loadtest).
+    """
+
+    def __init__(self, bounds_us: Sequence[float] = DEFAULT_BUCKET_BOUNDS_US) -> None:
+        self.requests_total = 0
+        self.decisions_table = 0
+        self.decisions_fallback = 0
+        self.errors_total = 0
+        self.degraded_total = 0
+        self.fallback_reasons: Dict[str, int] = {}
+        self.table_swaps_total = 0
+        self.connections_opened = 0
+        self.connections_active = 0
+        self.latency = LatencyHistogram(bounds_us)
+        self._sessions_seen: set = set()
+
+    # ------------------------------------------------------------------
+
+    def record_decision(
+        self,
+        source: str,
+        latency_us: float,
+        degraded: bool,
+        reason: Optional[str],
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.requests_total += 1
+        if source == "table":
+            self.decisions_table += 1
+        else:
+            self.decisions_fallback += 1
+        if degraded:
+            self.degraded_total += 1
+            key = reason or "unknown"
+            self.fallback_reasons[key] = self.fallback_reasons.get(key, 0) + 1
+        if session_id is not None and len(self._sessions_seen) < 100_000:
+            self._sessions_seen.add(session_id)
+        self.latency.observe(latency_us)
+
+    def record_error(self) -> None:
+        self.requests_total += 1
+        self.errors_total += 1
+
+    def record_table_swap(self) -> None:
+        self.table_swaps_total += 1
+
+    @property
+    def sessions_seen(self) -> int:
+        return len(self._sessions_seen)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` JSON document."""
+        return {
+            "requests_total": self.requests_total,
+            "decisions": {
+                "table": self.decisions_table,
+                "fallback": self.decisions_fallback,
+                "error": self.errors_total,
+            },
+            "degraded_total": self.degraded_total,
+            "fallback_reasons": dict(self.fallback_reasons),
+            "sessions_seen": self.sessions_seen,
+            "table_swaps_total": self.table_swaps_total,
+            "connections": {
+                "opened": self.connections_opened,
+                "active": self.connections_active,
+            },
+            "latency_us": self.latency.to_dict(),
+        }

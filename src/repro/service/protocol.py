@@ -1,0 +1,210 @@
+"""Wire format of the decision service.
+
+One request per bitrate decision, JSON over HTTP.  The request carries
+exactly the state FastMPC's table is keyed on — the Section 3.3 inputs
+``(B_k, R_{k-1}, C_hat)`` — plus the recent prediction errors RobustMPC
+needs for its ``C_hat / (1 + err)`` lower bound, and a ``session_id`` so
+the server can attribute decisions and per-session counters without
+holding player state.
+
+Responses always come back well-formed: when the server cannot serve a
+table decision (missing table, malformed request, lookup over budget) it
+answers with the rate-based fallback and sets ``degraded`` — clients
+never see a hard error for a recoverable condition.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "DecisionRequest",
+    "DecisionResponse",
+    "SOURCE_TABLE",
+    "SOURCE_FALLBACK",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Decision provenance values carried in every response.
+SOURCE_TABLE = "table"
+SOURCE_FALLBACK = "fallback"
+
+_MAX_PAST_ERRORS = 64  # more than any sensible robustness window
+
+
+class ProtocolError(ValueError):
+    """A request/response payload that does not follow the protocol."""
+
+
+def _require_number(payload: dict, key: str) -> float:
+    value = payload.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key!r} must be a number, got {value!r}")
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ProtocolError(f"{key!r} must be finite")
+    return value
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One bitrate decision query.
+
+    Parameters
+    ----------
+    session_id:
+        Opaque stream-session key; used for telemetry attribution only.
+    buffer_s:
+        Current playback buffer occupancy ``B_k`` in seconds.
+    prev_level:
+        Ladder index of the previously fetched chunk, ``None`` before
+        the first chunk (the table is queried with level 0, exactly like
+        :class:`~repro.core.fastmpc.FastMPCController`).
+    predicted_kbps:
+        Throughput prediction ``C_hat`` (the player's harmonic mean).
+    past_errors:
+        Recent signed percentage prediction errors; when non-empty the
+        server queries the table with the RobustMPC lower bound.
+    """
+
+    session_id: str
+    buffer_s: float
+    predicted_kbps: float
+    prev_level: Optional[int] = None
+    past_errors: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ProtocolError("session_id must be non-empty")
+        if self.buffer_s < 0:
+            raise ProtocolError("buffer_s must be >= 0")
+        if self.predicted_kbps <= 0:
+            raise ProtocolError("predicted_kbps must be positive")
+        if self.prev_level is not None and self.prev_level < 0:
+            raise ProtocolError("prev_level must be >= 0")
+        if len(self.past_errors) > _MAX_PAST_ERRORS:
+            raise ProtocolError(
+                f"past_errors longer than {_MAX_PAST_ERRORS} entries"
+            )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "v": PROTOCOL_VERSION,
+            "session_id": self.session_id,
+            "buffer_s": self.buffer_s,
+            "predicted_kbps": self.predicted_kbps,
+        }
+        if self.prev_level is not None:
+            payload["prev_level"] = self.prev_level
+        if self.past_errors:
+            payload["past_errors"] = list(self.past_errors)
+        return payload
+
+    def to_json(self) -> bytes:
+        return json.dumps(self.to_dict(), separators=(",", ":")).encode()
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "DecisionRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        version = payload.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported protocol version {version!r}")
+        session_id = payload.get("session_id")
+        if not isinstance(session_id, str) or not session_id:
+            raise ProtocolError("session_id must be a non-empty string")
+        prev_level = payload.get("prev_level")
+        if prev_level is not None:
+            if isinstance(prev_level, bool) or not isinstance(prev_level, int):
+                raise ProtocolError("prev_level must be an integer")
+        raw_errors = payload.get("past_errors", [])
+        if not isinstance(raw_errors, list):
+            raise ProtocolError("past_errors must be a list")
+        errors = []
+        for e in raw_errors:
+            if isinstance(e, bool) or not isinstance(e, (int, float)):
+                raise ProtocolError("past_errors entries must be numbers")
+            errors.append(float(e))
+        return cls(
+            session_id=session_id,
+            buffer_s=_require_number(payload, "buffer_s"),
+            predicted_kbps=_require_number(payload, "predicted_kbps"),
+            prev_level=prev_level,
+            past_errors=tuple(errors),
+        )
+
+    @classmethod
+    def from_json(cls, blob: bytes) -> "DecisionRequest":
+        try:
+            payload = json.loads(blob)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class DecisionResponse:
+    """The server's answer: a ladder level plus provenance.
+
+    ``source`` records where the decision came from (``"table"`` or
+    ``"fallback"``); ``degraded`` is True whenever anything other than a
+    healthy in-budget table lookup produced the decision, with ``reason``
+    naming the cause (``no-table`` / ``malformed`` / ``over-budget``).
+    """
+
+    session_id: str
+    level_index: int
+    bitrate_kbps: float
+    source: str
+    degraded: bool = False
+    reason: Optional[str] = None
+    server_latency_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.level_index < 0:
+            raise ProtocolError("level_index must be >= 0")
+        if self.source not in (SOURCE_TABLE, SOURCE_FALLBACK):
+            raise ProtocolError(f"unknown decision source {self.source!r}")
+
+    def to_dict(self) -> dict:
+        payload = {
+            "v": PROTOCOL_VERSION,
+            "session_id": self.session_id,
+            "level_index": self.level_index,
+            "bitrate_kbps": self.bitrate_kbps,
+            "source": self.source,
+            "degraded": self.degraded,
+            "server_latency_us": round(self.server_latency_us, 3),
+        }
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        return payload
+
+    def to_json(self) -> bytes:
+        return json.dumps(self.to_dict(), separators=(",", ":")).encode()
+
+    @classmethod
+    def from_json(cls, blob: bytes) -> "DecisionResponse":
+        try:
+            payload = json.loads(blob)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"response body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError("response body must be a JSON object")
+        try:
+            return cls(
+                session_id=payload["session_id"],
+                level_index=int(payload["level_index"]),
+                bitrate_kbps=float(payload["bitrate_kbps"]),
+                source=payload["source"],
+                degraded=bool(payload.get("degraded", False)),
+                reason=payload.get("reason"),
+                server_latency_us=float(payload.get("server_latency_us", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed response payload: {exc}") from None

@@ -1,0 +1,556 @@
+"""The asyncio ABR decision server.
+
+Two layers, deliberately separated:
+
+* :class:`DecisionService` — transport-free decision logic.  Holds the
+  active :class:`~repro.core.table.DecisionTable` and the bitrate
+  ladder, answers one :class:`~repro.service.protocol.DecisionRequest`
+  per call, and implements the degradation policy: whenever a healthy
+  table lookup is impossible (no table loaded, malformed request) or
+  too slow (over the per-lookup budget), it serves the paper's
+  rate-based rule — max ladder rate at most the predicted throughput —
+  and flags the response ``degraded`` with a reason.  A response is
+  always produced; clients never see an exception for a recoverable
+  condition.
+
+* :class:`DecisionServer` — a stdlib-only HTTP/1.1 front end over
+  ``asyncio.start_server`` with keep-alive connections, per-request
+  read deadlines, and warm/cold table swapping: ``POST /v1/table``
+  installs a new table between requests with one reference assignment,
+  so in-flight connections keep streaming decisions and never drop.
+
+The single-threaded event loop is what makes the swap trivially safe:
+``decide`` captures the table reference once per request, and the
+reference flip happens between callbacks, never during one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from struct import error as struct_error
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..core.table import DecisionTable
+from ..video.manifest import BitrateLadder
+from .metrics import ServiceMetrics
+from .protocol import (
+    PROTOCOL_VERSION,
+    SOURCE_FALLBACK,
+    SOURCE_TABLE,
+    DecisionRequest,
+    DecisionResponse,
+    ProtocolError,
+)
+
+__all__ = ["ServiceConfig", "DecisionService", "DecisionServer"]
+
+#: Degradation reasons carried in responses and counted in /metrics.
+REASON_NO_TABLE = "no-table"
+REASON_MALFORMED = "malformed"
+REASON_OVER_BUDGET = "over-budget"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of the decision service.
+
+    ``lookup_budget_s`` bounds the time the table path may take before
+    the response is downgraded to the rate-based fallback — the service
+    promises a decision in bounded time even if a pathological table or
+    a cold page makes the lookup slow.  ``request_deadline_s`` bounds
+    how long the server waits for a request to arrive in full on an
+    open connection before giving up on it; ``idle_timeout_s`` reaps
+    keep-alive connections that have gone quiet.
+    """
+
+    lookup_budget_s: float = 0.005
+    request_deadline_s: float = 5.0
+    idle_timeout_s: float = 60.0
+    max_body_bytes: int = 64 * 1024
+    max_table_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.lookup_budget_s <= 0:
+            raise ValueError("lookup budget must be positive")
+        if self.request_deadline_s <= 0 or self.idle_timeout_s <= 0:
+            raise ValueError("deadlines must be positive")
+        if self.max_body_bytes < 1 or self.max_table_bytes < 1:
+            raise ValueError("body limits must be positive")
+
+
+class DecisionService:
+    """Decision logic + degradation policy, independent of any transport.
+
+    Parameters
+    ----------
+    ladder_kbps:
+        The bitrate ladder decisions index into.  Required even without
+        a table — the fallback path is the rate-based rule over this
+        ladder.
+    table:
+        The active decision table, or ``None`` for a cold start (every
+        decision degrades to the fallback until a table is swapped in).
+    config:
+        Budgets and limits; see :class:`ServiceConfig`.
+    metrics:
+        Telemetry sink; a fresh :class:`ServiceMetrics` by default.
+    clock:
+        Monotonic time source (injectable for budget tests).
+    """
+
+    def __init__(
+        self,
+        ladder_kbps: Sequence[float],
+        table: Optional[DecisionTable] = None,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.ladder = BitrateLadder(ladder_kbps)
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.clock = clock
+        self._table: Optional[DecisionTable] = None
+        if table is not None:
+            self._install(table)
+
+    # ------------------------------------------------------------------
+    # Table lifecycle
+    # ------------------------------------------------------------------
+
+    def _install(self, table: DecisionTable) -> None:
+        if table.num_levels != len(self.ladder):
+            raise ValueError(
+                f"table has {table.num_levels} levels but the ladder has "
+                f"{len(self.ladder)}"
+            )
+        self._table = table
+
+    @property
+    def table(self) -> Optional[DecisionTable]:
+        return self._table
+
+    @property
+    def table_loaded(self) -> bool:
+        return self._table is not None
+
+    def swap_table(self, table: DecisionTable) -> None:
+        """Atomically replace the active table (warm swap).
+
+        One reference assignment on the event-loop thread: requests
+        already past their table capture finish on the old table, the
+        next request sees the new one.  No connection is touched.
+        """
+        self._install(table)
+        self.metrics.record_table_swap()
+
+    def unload_table(self) -> None:
+        """Drop the active table (cold mode; used by drain/tests)."""
+        self._table = None
+        self.metrics.record_table_swap()
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _fallback(
+        self,
+        session_id: str,
+        predicted_kbps: Optional[float],
+        reason: str,
+        started: float,
+    ) -> DecisionResponse:
+        if predicted_kbps is not None and predicted_kbps > 0:
+            level = self.ladder.highest_at_most(predicted_kbps)
+        else:
+            level = 0  # nothing usable in the request: safest rate
+        latency_us = (self.clock() - started) * 1e6
+        response = DecisionResponse(
+            session_id=session_id,
+            level_index=level,
+            bitrate_kbps=self.ladder[level],
+            source=SOURCE_FALLBACK,
+            degraded=True,
+            reason=reason,
+            server_latency_us=latency_us,
+        )
+        self.metrics.record_decision(
+            SOURCE_FALLBACK, latency_us, True, reason, session_id
+        )
+        return response
+
+    def decide(self, request: DecisionRequest) -> DecisionResponse:
+        """Answer one well-formed request; never raises."""
+        started = self.clock()
+        table = self._table  # captured once; swaps cannot tear a request
+        if table is None:
+            return self._fallback(
+                request.session_id, request.predicted_kbps, REASON_NO_TABLE, started
+            )
+        query_kbps = request.predicted_kbps
+        if request.past_errors:
+            # RobustMPC's lower bound C_hat / (1 + err) — valid on the
+            # table because its throughput axis is the MPC input.
+            err = max(abs(e) for e in request.past_errors)
+            query_kbps = query_kbps / (1.0 + err)
+        prev = request.prev_level if request.prev_level is not None else 0
+        try:
+            level = table.lookup(request.buffer_s, prev, query_kbps)
+        except (IndexError, ValueError):
+            # e.g. prev_level beyond the ladder: recoverable, not fatal.
+            return self._fallback(
+                request.session_id, request.predicted_kbps, REASON_MALFORMED, started
+            )
+        elapsed = self.clock() - started
+        if elapsed > self.config.lookup_budget_s:
+            return self._fallback(
+                request.session_id, request.predicted_kbps, REASON_OVER_BUDGET, started
+            )
+        latency_us = elapsed * 1e6
+        response = DecisionResponse(
+            session_id=request.session_id,
+            level_index=level,
+            bitrate_kbps=self.ladder[level],
+            source=SOURCE_TABLE,
+            degraded=False,
+            reason=None,
+            server_latency_us=latency_us,
+        )
+        self.metrics.record_decision(
+            SOURCE_TABLE, latency_us, False, None, request.session_id
+        )
+        return response
+
+    def decide_payload(self, body: bytes) -> DecisionResponse:
+        """Decide from a raw request body; malformed input degrades.
+
+        A body that fails protocol validation still gets a response: the
+        fallback decision computed from whatever fields are salvageable
+        (``session_id`` and ``predicted_kbps`` when present), flagged
+        ``degraded`` with reason ``malformed``.
+        """
+        try:
+            request = DecisionRequest.from_json(body)
+        except ProtocolError:
+            session_id, predicted = _salvage(body)
+            return self._fallback(
+                session_id, predicted, REASON_MALFORMED, self.clock()
+            )
+        return self.decide(request)
+
+
+def _salvage(body: bytes) -> Tuple[str, Optional[float]]:
+    """Best-effort ``(session_id, predicted_kbps)`` from a bad payload."""
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return "unknown", None
+    if not isinstance(payload, dict):
+        return "unknown", None
+    session_id = payload.get("session_id")
+    if not isinstance(session_id, str) or not session_id:
+        session_id = "unknown"
+    predicted = payload.get("predicted_kbps")
+    if isinstance(predicted, bool) or not isinstance(predicted, (int, float)):
+        predicted = None
+    elif not (predicted > 0 and predicted == predicted and predicted != float("inf")):
+        predicted = None
+    return session_id, float(predicted) if predicted is not None else None
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+_JSON_HEADERS = b"Content-Type: application/json\r\n"
+_STATUS_LINES = {
+    200: b"HTTP/1.1 200 OK\r\n",
+    400: b"HTTP/1.1 400 Bad Request\r\n",
+    404: b"HTTP/1.1 404 Not Found\r\n",
+    405: b"HTTP/1.1 405 Method Not Allowed\r\n",
+    413: b"HTTP/1.1 413 Payload Too Large\r\n",
+}
+
+
+class DecisionServer:
+    """Stdlib asyncio HTTP/1.1 server around a :class:`DecisionService`.
+
+    Routes
+    ------
+    - ``POST /v1/decide``   one decision per request body
+    - ``GET  /metrics``     telemetry snapshot (JSON)
+    - ``GET  /healthz``     liveness + table status
+    - ``POST /v1/table``    warm/cold table swap (serialized table body)
+
+    Connections are keep-alive by default; a request whose headers or
+    body do not arrive within ``request_deadline_s`` closes only that
+    connection.  The server binds with ``port=0`` for an ephemeral port
+    (see :attr:`bound_port`).
+    """
+
+    def __init__(
+        self,
+        service: DecisionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    @property
+    def bound_port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop listening and tear down every open connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = self.service.metrics
+        config = self.service.config
+        metrics.connections_opened += 1
+        metrics.connections_active += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        # Idle reaping via a rescheduled timer instead of wrapping every
+        # read in asyncio.wait_for: wait_for spawns a Task per call, which
+        # profiles as ~20% of the whole request path at load.  The timer
+        # costs one call_later per timeout window, not per request.
+        loop = asyncio.get_running_loop()
+        last_active = loop.time()
+
+        def _reap() -> None:
+            nonlocal watchdog
+            idle = loop.time() - last_active
+            if idle >= config.idle_timeout_s:
+                writer.close()  # wakes any pending read with EOF/reset
+            else:
+                watchdog = loop.call_later(config.idle_timeout_s - idle, _reap)
+
+        watchdog = loop.call_later(config.idle_timeout_s, _reap)
+        try:
+            while True:
+                try:
+                    header_blob = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    break  # peer went away or idled out: normal teardown
+                except asyncio.LimitOverrunError:
+                    metrics.record_error()
+                    await self._respond(
+                        writer, 400, {"error": "headers too large"}, close=True
+                    )
+                    break
+                keep_alive = await self._handle_request(reader, writer, header_blob)
+                last_active = loop.time()
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown cancels handlers mid-read; ending the task
+            # *uncancelled* after cleanup keeps the streams machinery from
+            # logging a spurious "exception never retrieved".
+            pass
+        finally:
+            watchdog.cancel()
+            if task is not None:
+                self._connections.discard(task)
+            metrics.connections_active -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _handle_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        header_blob: bytes,
+    ) -> bool:
+        metrics = self.service.metrics
+        config = self.service.config
+        try:
+            method, path, headers = _parse_head(header_blob)
+        except ValueError:
+            metrics.record_error()
+            await self._respond(writer, 400, {"error": "malformed request"}, close=True)
+            return False
+
+        length = 0
+        raw_length = headers.get("content-length")
+        if raw_length is not None:
+            try:
+                length = int(raw_length)
+            except ValueError:
+                metrics.record_error()
+                await self._respond(
+                    writer, 400, {"error": "bad content-length"}, close=True
+                )
+                return False
+        limit = (
+            config.max_table_bytes if path == "/v1/table" else config.max_body_bytes
+        )
+        if length < 0 or length > limit:
+            metrics.record_error()
+            await self._respond(writer, 413, {"error": "body too large"}, close=True)
+            return False
+        body = b""
+        if length:
+            # Small bodies almost always arrive in the same segment as the
+            # headers, so the fast path reads without a deadline wrapper;
+            # only a body still in flight pays for asyncio.wait_for.
+            buffered = getattr(reader, "_buffer", b"")
+            try:
+                if len(buffered) >= length:
+                    body = await reader.readexactly(length)
+                else:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), config.request_deadline_s
+                    )
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                metrics.record_error()
+                return False  # cannot answer a half-received request
+
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+
+        if path == "/v1/decide":
+            if method != "POST":
+                metrics.record_error()
+                await self._respond(writer, 405, {"error": "POST required"})
+                return keep_alive
+            response = self.service.decide_payload(body)
+            await self._respond_raw(writer, 200, response.to_json(), keep_alive)
+            return keep_alive
+        if path == "/metrics":
+            await self._respond(writer, 200, metrics.snapshot(), close=not keep_alive)
+            return keep_alive
+        if path == "/healthz":
+            await self._respond(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "protocol_version": PROTOCOL_VERSION,
+                    "table_loaded": self.service.table_loaded,
+                    "num_levels": len(self.service.ladder),
+                },
+                close=not keep_alive,
+            )
+            return keep_alive
+        if path == "/v1/table":
+            if method != "POST":
+                metrics.record_error()
+                await self._respond(writer, 405, {"error": "POST required"})
+                return keep_alive
+            try:
+                table = DecisionTable.from_bytes(body)
+                self.service.swap_table(table)
+            except (ValueError, IndexError, struct_error) as exc:
+                metrics.record_error()
+                await self._respond(writer, 400, {"error": f"bad table: {exc}"})
+                return keep_alive
+            await self._respond(
+                writer,
+                200,
+                {"swapped": True, "num_entries": table.num_entries},
+                close=not keep_alive,
+            )
+            return keep_alive
+
+        metrics.record_error()
+        await self._respond(writer, 404, {"error": f"no route {path}"})
+        return keep_alive
+
+    # ------------------------------------------------------------------
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool = False
+    ) -> None:
+        await self._respond_raw(
+            writer,
+            status,
+            json.dumps(payload, separators=(",", ":")).encode(),
+            not close,
+        )
+
+    async def _respond_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        head = (
+            _STATUS_LINES[status]
+            + _JSON_HEADERS
+            + b"Content-Length: %d\r\n" % len(body)
+            + (b"Connection: keep-alive\r\n" if keep_alive else b"Connection: close\r\n")
+            + b"\r\n"
+        )
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+def _parse_head(blob: bytes) -> Tuple[str, str, dict]:
+    """Parse the request line + headers; raises ValueError when invalid."""
+    try:
+        text = blob.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise ValueError(str(exc)) from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError(f"bad request line {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"bad header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    # Strip any query string; routes are path-only.
+    path = target.split("?", 1)[0]
+    return method, path, headers

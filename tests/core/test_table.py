@@ -49,10 +49,62 @@ class TestBinning:
         with pytest.raises(IndexError):
             Binning(0.0, 10.0, 3).center(3)
 
+    def test_values_exactly_on_edges(self):
+        # An interior edge belongs to the bin it opens (half-open bins):
+        # edges of Binning(0, 10, 5) are [0, 2, 4, 6, 8, 10].
+        b = Binning(0.0, 10.0, 5)
+        assert b.index_of(2.0) == 1
+        assert b.index_of(4.0) == 2
+        assert b.index_of(8.0) == 4
+        # The outer edges clamp into the terminal bins.
+        assert b.index_of(0.0) == 0
+        assert b.index_of(10.0) == 4
+
+    def test_below_low_and_above_high_clamp(self):
+        b = Binning(0.0, 10.0, 5)
+        assert b.index_of(-1e9) == 0
+        assert b.index_of(-1e-12) == 0
+        assert b.index_of(10.0 + 1e-9) == 4
+        assert b.index_of(1e12) == 4
+
+    def test_log_spacing_edges(self):
+        # Geometric edges of Binning(100, 10000, 2) are [100, 1000, 10000].
+        b = Binning(100.0, 10_000.0, 2, spacing="log")
+        assert b.index_of(100.0) == 0
+        assert b.index_of(1000.0) == 1  # exactly on the interior edge
+        assert b.index_of(10_000.0) == 1
+        assert b.index_of(1.0) == 0
+        assert b.index_of(1e9) == 1
+
+    def test_matches_numpy_searchsorted_reference(self):
+        # The bisect fast path must agree with the vectorised reference
+        # semantics (searchsorted right on the shared edge array).
+        for spacing, low, high in (("linear", 0.0, 30.0), ("log", 100.0, 4000.0)):
+            b = Binning(low, high, 17, spacing=spacing)
+            probes = np.concatenate(
+                [b.edges, b.centers, np.linspace(low - 5.0, high + 5.0, 101)]
+            )
+            for value in probes:
+                if value <= low:
+                    expected = 0
+                elif value >= high:
+                    expected = b.count - 1
+                else:
+                    expected = int(np.searchsorted(b.edges, value, side="right")) - 1
+                    expected = min(max(expected, 0), b.count - 1)
+                assert b.index_of(float(value)) == expected
+
     @given(value=st.floats(-100.0, 100.0), count=st.integers(1, 50))
     def test_index_always_valid(self, value, count):
         b = Binning(0.0, 10.0, count)
         assert 0 <= b.index_of(value) < count
+
+    @given(count=st.integers(1, 40), edge_index=st.integers(0, 40))
+    def test_edges_map_into_valid_bins(self, count, edge_index):
+        b = Binning(0.0, 10.0, count)
+        edge = float(b.edges[min(edge_index, count)])
+        idx = b.index_of(edge)
+        assert 0 <= idx < count
 
     @given(count=st.integers(1, 30))
     def test_center_maps_to_own_bin(self, count):
@@ -109,6 +161,25 @@ class TestRLE:
         for i in (0, len(values) // 2, len(values) - 1):
             assert rle.lookup(i) == values[i]
         assert rle.num_runs <= len(values)
+
+    @given(
+        runs=st.lists(
+            st.tuples(st.integers(0, 255), st.integers(1, 40)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_bytes_roundtrip_property(self, runs):
+        # Run-structured inputs exercise long runs, not just noise; the
+        # serialized form must reproduce every value and the run count.
+        values = [v for v, length in runs for _ in range(length)]
+        rle = RunLengthEncodedTable.encode(values)
+        back = RunLengthEncodedTable.from_bytes(rle.to_bytes())
+        assert list(back.decode()) == values
+        assert back.num_runs == rle.num_runs
+        assert back.to_bytes() == rle.to_bytes()
+        for i in range(0, len(values), max(1, len(values) // 7)):
+            assert back.lookup(i) == values[i]
 
 
 class TestDecisionTable:

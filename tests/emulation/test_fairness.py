@@ -1,0 +1,126 @@
+"""Fairness metrics and their attachment to shared-link results."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abr import create
+from repro.emulation import (
+    FairnessReport,
+    NetworkProfile,
+    SharedLinkResult,
+    emulate_shared_link,
+    fairness_report,
+    jain_fairness_index,
+    unfairness,
+)
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+class TestJainIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_client_is_fair(self):
+        assert jain_fairness_index([123.0]) == pytest.approx(1.0)
+
+    def test_one_taker_gives_one_over_n(self):
+        assert jain_fairness_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        # Everyone equally starved: defined as fair, not a ZeroDivision.
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jain_fairness_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+        with pytest.raises(ValueError):
+            jain_fairness_index([1.0, -0.1])
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=20))
+    def test_bounded_between_one_over_n_and_one(self, values):
+        jain = jain_fairness_index(values)
+        assert 1.0 / len(values) - 1e-9 <= jain <= 1.0 + 1e-9
+
+    @given(
+        values=st.lists(st.floats(0.01, 1e4), min_size=1, max_size=10),
+        scale=st.floats(0.01, 100.0),
+    )
+    def test_scale_invariant(self, values, scale):
+        assert jain_fairness_index([v * scale for v in values]) == pytest.approx(
+            jain_fairness_index(values), rel=1e-9
+        )
+
+
+class TestUnfairness:
+    def test_zero_for_equal_shares(self):
+        assert unfairness([4.0, 4.0]) == pytest.approx(0.0)
+
+    def test_matches_definition(self):
+        values = [1.0, 2.0, 3.0]
+        assert unfairness(values) == pytest.approx(
+            math.sqrt(1.0 - jain_fairness_index(values))
+        )
+
+    def test_never_nan_on_equal_inputs(self):
+        # Float error can push Jain slightly above 1; sqrt must not NaN.
+        assert unfairness([1 / 3, 1 / 3, 1 / 3]) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestFairnessReport:
+    def test_from_sessions(self):
+        class FakeMetrics:
+            def __init__(self, rate):
+                self.average_bitrate_kbps = rate
+
+        class FakeSession:
+            def __init__(self, rate):
+                self._rate = rate
+
+            def metrics(self):
+                return FakeMetrics(self._rate)
+
+        report = fairness_report([FakeSession(800.0), FakeSession(1200.0)])
+        assert isinstance(report, FairnessReport)
+        assert report.num_clients == 2
+        assert report.average_bitrates_kbps == (800.0, 1200.0)
+        assert report.jain_index == pytest.approx(
+            jain_fairness_index([800.0, 1200.0])
+        )
+        assert "Jain" in report.describe()
+        assert "unfairness" in report.describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report([])
+
+
+class TestSharedLinkIntegration:
+    def test_emulate_shared_link_result_carries_fairness(self):
+        manifest = short_test_video(num_chunks=6, num_levels=3)
+        trace = Trace(
+            [0.0], [3000.0], duration_s=4 * manifest.total_duration_s, name="t"
+        )
+        results = emulate_shared_link(
+            [create("rb"), create("rb")],
+            trace,
+            manifest,
+            network=NetworkProfile(rtt_s=0.02, slow_start=False),
+        )
+        assert isinstance(results, SharedLinkResult)
+        assert len(results) == 2  # still a list of per-player results
+        report = results.fairness()
+        assert isinstance(report, FairnessReport)
+        assert report.num_clients == 2
+        assert 0.5 <= report.jain_index <= 1.0
+        # Identical algorithms on a fat link should split nearly evenly.
+        assert report.unfairness < 0.5

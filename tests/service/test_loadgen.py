@@ -1,0 +1,173 @@
+"""Closed-loop load generator against an in-process server."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    DecisionServer,
+    DecisionService,
+    LoadTestConfig,
+    run_loadtest,
+)
+from repro.service.loadgen import _VirtualPlayer
+from repro.traces import Trace
+
+from .conftest import LADDER, make_test_table
+
+
+def small_config(**overrides) -> LoadTestConfig:
+    fields = dict(
+        sessions=6,
+        chunks_per_session=10,
+        concurrency=3,
+        dataset="synthetic",
+        seed=7,
+        trace_duration_s=60.0,
+        ladder_kbps=LADDER,
+    )
+    fields.update(overrides)
+    return LoadTestConfig(**fields)
+
+
+async def loadtest_against(service, config):
+    server = DecisionServer(service, port=0)
+    await server.start()
+    try:
+        return await run_loadtest("127.0.0.1", server.bound_port, config)
+    finally:
+        await server.close()
+
+
+class TestLoadTest:
+    def test_warm_server_all_table_decisions(self):
+        service = DecisionService(LADDER, table=make_test_table())
+        config = small_config()
+        report = asyncio.run(loadtest_against(service, config))
+        expected = config.sessions * config.chunks_per_session
+        assert report.decisions == expected
+        assert report.errors == 0
+        assert report.sessions_completed == config.sessions
+        assert report.sources.get("table", 0) == expected
+        assert report.degraded == 0
+        assert report.latency.count == expected
+        assert report.throughput_dps > 0
+
+    def test_cold_server_degrades_every_decision_without_errors(self):
+        """The acceptance scenario: no table -> 100% fallback, 0 errors."""
+        service = DecisionService(LADDER)  # no table
+        config = small_config()
+        report = asyncio.run(loadtest_against(service, config))
+        expected = config.sessions * config.chunks_per_session
+        assert report.errors == 0
+        assert report.decisions == expected
+        assert report.sessions_completed == config.sessions
+        assert report.sources == {"fallback": expected}
+        assert report.degraded == expected
+        assert report.reasons == {"no-table": expected}
+
+    def test_unreachable_server_reports_errors_not_exceptions(self):
+        config = small_config(sessions=2, chunks_per_session=2, deadline_s=0.2)
+        report = asyncio.run(run_loadtest("127.0.0.1", 1, config))
+        assert report.errors > 0
+        assert report.sessions_completed == 0
+
+    def test_explicit_traces_drive_session_count(self):
+        service = DecisionService(LADDER, table=make_test_table())
+        traces = [
+            Trace([0.0], [1200.0], duration_s=60.0, name=f"t{i}")
+            for i in range(4)
+        ]
+        config = small_config(sessions=6)  # overridden by explicit traces
+        report = asyncio.run(loadtest_against_traces(service, config, traces))
+        assert report.sessions_completed == len(traces)
+        assert report.decisions == len(traces) * config.chunks_per_session
+
+    def test_report_dict_schema(self):
+        service = DecisionService(LADDER, table=make_test_table())
+        report = asyncio.run(
+            loadtest_against(service, small_config(sessions=2, chunks_per_session=3))
+        )
+        d = report.to_dict()
+        assert set(d) == {
+            "decisions", "errors", "degraded", "sessions_completed",
+            "wall_s", "throughput_dps", "sources", "reasons", "latency_us",
+        }
+        assert "decisions/s" in report.describe()
+
+
+async def loadtest_against_traces(service, config, traces):
+    server = DecisionServer(service, port=0)
+    await server.start()
+    try:
+        return await run_loadtest(
+            "127.0.0.1", server.bound_port, config, traces=traces
+        )
+    finally:
+        await server.close()
+
+
+class TestVirtualPlayer:
+    def make_player(self):
+        trace = Trace([0.0, 30.0], [1000.0, 2000.0], duration_s=60.0, name="t")
+        return _VirtualPlayer("s", trace, small_config())
+
+    def test_first_request_uses_trace_start(self):
+        player = self.make_player()
+        request = player.next_request()
+        assert request.predicted_kbps == pytest.approx(1000.0)
+        assert request.prev_level is None
+        assert request.buffer_s == 0.0
+
+    def test_harmonic_mean_prediction(self):
+        player = self.make_player()
+        player.next_request()
+        player.apply_decision(0)  # measures 1000 kbps at t=0
+        player._measured.clear()
+        player._measured.extend([500.0, 2000.0])
+        predicted = player.next_request().predicted_kbps
+        assert predicted == pytest.approx(2.0 / (1 / 500.0 + 1 / 2000.0))
+
+    def test_buffer_dynamics(self):
+        player = self.make_player()
+        player.next_request()
+        player.apply_decision(0)
+        # Chunk of 4 s * 400 kbps = 1600 kb at 1000 kbps -> 1.6 s download;
+        # buffer gains one chunk duration.
+        assert player.wall_s == pytest.approx(1.6)
+        assert player.buffer_s == pytest.approx(4.0)
+        assert player.prev_level == 0
+
+    def test_buffer_respects_capacity(self):
+        player = self.make_player()
+        for _ in range(40):
+            player.next_request()
+            player.apply_decision(0)
+        assert player.buffer_s <= player.config.buffer_capacity_s
+
+    def test_decision_clamped_to_ladder(self):
+        player = self.make_player()
+        player.next_request()
+        player.apply_decision(99)
+        assert player.prev_level == len(LADDER) - 1
+
+    def test_errors_recorded_for_robust_requests(self):
+        player = self.make_player()
+        player.next_request()
+        player.apply_decision(1)
+        request = player.next_request()
+        assert len(request.past_errors) == 1
+
+
+class TestLoadTestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTestConfig(sessions=0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(concurrency=0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(prediction_window=0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(ladder_kbps=())

@@ -1,0 +1,151 @@
+"""Wire-format round-trips and validation for the decision protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SOURCE_FALLBACK,
+    SOURCE_TABLE,
+    DecisionRequest,
+    DecisionResponse,
+    ProtocolError,
+)
+
+
+class TestDecisionRequest:
+    def test_json_roundtrip(self):
+        request = DecisionRequest(
+            session_id="abc",
+            buffer_s=12.5,
+            predicted_kbps=1800.0,
+            prev_level=2,
+            past_errors=(0.1, -0.2),
+        )
+        back = DecisionRequest.from_json(request.to_json())
+        assert back == request
+
+    def test_optional_fields_omitted(self):
+        request = DecisionRequest(session_id="s", buffer_s=0.0, predicted_kbps=500.0)
+        payload = request.to_dict()
+        assert "prev_level" not in payload
+        assert "past_errors" not in payload
+        assert payload["v"] == PROTOCOL_VERSION
+        back = DecisionRequest.from_json(request.to_json())
+        assert back.prev_level is None
+        assert back.past_errors == ()
+
+    def test_missing_version_accepted(self):
+        # A body without "v" is treated as the current version.
+        body = json.dumps(
+            {"session_id": "s", "buffer_s": 1.0, "predicted_kbps": 100.0}
+        ).encode()
+        assert DecisionRequest.from_json(body).session_id == "s"
+
+    def test_wrong_version_rejected(self):
+        body = json.dumps(
+            {"v": 99, "session_id": "s", "buffer_s": 1.0, "predicted_kbps": 100.0}
+        ).encode()
+        with pytest.raises(ProtocolError):
+            DecisionRequest.from_json(body)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"session_id": ""},
+            {"session_id": 7},
+            {"buffer_s": -1.0},
+            {"buffer_s": "deep"},
+            {"buffer_s": float("nan")},
+            {"buffer_s": True},
+            {"predicted_kbps": 0.0},
+            {"predicted_kbps": None},
+            {"prev_level": -1},
+            {"prev_level": 1.5},
+            {"prev_level": True},
+            {"past_errors": "oops"},
+            {"past_errors": [0.1, "x"]},
+            {"past_errors": [0.0] * 65},
+        ],
+    )
+    def test_invalid_fields_rejected(self, mutation):
+        payload = {
+            "session_id": "s",
+            "buffer_s": 5.0,
+            "predicted_kbps": 1000.0,
+            "prev_level": 1,
+            "past_errors": [0.1],
+        }
+        payload.update(mutation)
+        with pytest.raises(ProtocolError):
+            DecisionRequest.from_dict(payload)
+
+    @pytest.mark.parametrize("blob", [b"", b"{", b"[1,2]", b"null", b"\xff\xfe"])
+    def test_non_object_bodies_rejected(self, blob):
+        with pytest.raises(ProtocolError):
+            DecisionRequest.from_json(blob)
+
+    @given(
+        buffer_s=st.floats(0.0, 60.0),
+        predicted=st.floats(1.0, 10_000.0),
+        prev=st.one_of(st.none(), st.integers(0, 10)),
+        errors=st.lists(st.floats(-0.9, 5.0), max_size=8),
+    )
+    def test_roundtrip_property(self, buffer_s, predicted, prev, errors):
+        request = DecisionRequest(
+            session_id="prop",
+            buffer_s=buffer_s,
+            predicted_kbps=predicted,
+            prev_level=prev,
+            past_errors=tuple(errors),
+        )
+        assert DecisionRequest.from_json(request.to_json()) == request
+
+
+class TestDecisionResponse:
+    def test_json_roundtrip(self):
+        response = DecisionResponse(
+            session_id="abc",
+            level_index=3,
+            bitrate_kbps=1850.0,
+            source=SOURCE_TABLE,
+            server_latency_us=42.5,
+        )
+        back = DecisionResponse.from_json(response.to_json())
+        assert back.session_id == "abc"
+        assert back.level_index == 3
+        assert back.source == SOURCE_TABLE
+        assert not back.degraded
+        assert back.reason is None
+
+    def test_degraded_roundtrip(self):
+        response = DecisionResponse(
+            session_id="abc",
+            level_index=0,
+            bitrate_kbps=300.0,
+            source=SOURCE_FALLBACK,
+            degraded=True,
+            reason="no-table",
+        )
+        back = DecisionResponse.from_json(response.to_json())
+        assert back.degraded
+        assert back.reason == "no-table"
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ProtocolError):
+            DecisionResponse("s", 0, 300.0, source="oracle")
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ProtocolError):
+            DecisionResponse("s", -1, 300.0, source=SOURCE_TABLE)
+
+    def test_malformed_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            DecisionResponse.from_json(b'{"level_index": 1}')
+        with pytest.raises(ProtocolError):
+            DecisionResponse.from_json(b"not json")
