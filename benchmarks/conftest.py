@@ -25,6 +25,13 @@ from repro.video import envivio
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items) -> None:
+    # Everything under benchmarks/ is a paper-exhibit pipeline, minutes
+    # not milliseconds: mark it all so `-m "not bench"` skips the lot.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def bench_traces_per_dataset() -> int:
     return int(os.environ.get("REPRO_BENCH_TRACES", "40"))
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test suite plus a smoke chaos run.
+#
+# Usage: scripts/check.sh [extra pytest args]
+# Runs from any cwd; uses the repo's src/ tree directly (no install).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+echo "== smoke chaos run (resets profile) =="
+python -m repro.cli chaos resets --sessions 4 --chunks 8 --concurrency 2 --bins 10
+
+echo "check.sh: all green"

@@ -15,6 +15,10 @@ Subcommands map one-to-one onto the paper's artifacts:
                         tables behind an HTTP boundary; docs/service.md).
 * ``loadtest``        — closed-loop trace-driven load generation against
                         a running decision server.
+* ``chaos``           — run the load generator under a named fault
+                        profile (injected resets, 500s, slow responses,
+                        trace blackouts) and compare completion, fallback
+                        rate, and QoE against a clean run.
 """
 
 from __future__ import annotations
@@ -196,6 +200,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
     p.add_argument("--deadline", type=float, default=2.0, help="per-request s")
     p.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+
+    p = sub.add_parser(
+        "chaos",
+        help="load test under a named fault profile, compared to a clean run",
+    )
+    p.add_argument(
+        "profile",
+        help=(
+            "fault profile name (clean, blackouts, lossy-link, resets, "
+            "flaky-server, meltdown)"
+        ),
+    )
+    p.add_argument("--sessions", type=int, default=16, help="virtual players")
+    p.add_argument("--chunks", type=int, default=30, help="decisions per session")
+    p.add_argument("--concurrency", type=int, default=4, help="connections")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="fcc")
+    p.add_argument("--seed", type=int, default=0, help="traces + chaos + jitter")
+    p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
+    p.add_argument("--deadline", type=float, default=2.0, help="per-request s")
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="client retry attempts beyond the first (0 disables retries)",
+    )
+    p.add_argument(
+        "--bins", type=int, default=25,
+        help="decision-table discretization for the in-process server",
+    )
+    p.add_argument("--json", metavar="PATH", help="also write both reports as JSON")
 
     return parser
 
@@ -447,6 +479,124 @@ def _cmd_loadtest(args) -> int:
     return 1 if report.errors else 0
 
 
+def _cmd_chaos(args) -> int:
+    """In-process chaos run: clean baseline, then the same workload under
+    the profile's trace faults + server chaos, and the delta between them.
+
+    Both runs use the same generated traces, table, and load shape; the
+    only differences are the compiled-in bandwidth faults on the players'
+    traces and the chaos policy on the server — so every gap in the
+    comparison is attributable to the injected faults.
+    """
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from .core.fastmpc import FastMPCConfig, build_decision_table
+    from .faults import ChaosPolicy, apply_trace_faults, get_profile
+    from .service import (
+        DecisionServer,
+        DecisionService,
+        LoadTestConfig,
+        RetryPolicy,
+        run_loadtest,
+    )
+
+    profile = get_profile(args.profile).with_seed(args.seed)
+    manifest = envivio()
+    table = build_decision_table(
+        manifest.ladder.levels_kbps,
+        manifest.chunk_duration_s,
+        30.0,
+        QoEWeights.balanced(),
+        config=FastMPCConfig(
+            buffer_bins=args.bins, throughput_bins=args.bins, horizon=5
+        ),
+        cache_dir=args.cache_dir,
+    )
+    retry = (
+        RetryPolicy(
+            max_attempts=args.retries + 1,
+            base_delay_s=0.02,
+            max_delay_s=0.25,
+            budget_s=args.deadline,
+            seed=args.seed,
+        )
+        if args.retries > 0
+        else None
+    )
+    config = LoadTestConfig(
+        sessions=args.sessions,
+        chunks_per_session=args.chunks,
+        concurrency=args.concurrency,
+        dataset=args.dataset,
+        seed=args.seed,
+        trace_duration_s=args.duration,
+        deadline_s=args.deadline,
+        retry=retry,
+    )
+    traces = make_generator(args.dataset, seed=args.seed).generate_many(
+        args.sessions, args.duration
+    )
+    faulted = [apply_trace_faults(t, profile.trace_faults) for t in traces]
+
+    async def run_one(chaos_policy, trace_list):
+        service = DecisionService(manifest.ladder.levels_kbps, table=table)
+        server = DecisionServer(service, "127.0.0.1", 0, chaos=chaos_policy)
+        await server.start()
+        try:
+            report = await run_loadtest(
+                "127.0.0.1", server.bound_port, config, traces=trace_list
+            )
+            return report, service.metrics.snapshot()
+        finally:
+            await server.close()
+
+    clean_report, _ = asyncio.run(run_one(None, traces))
+    policy = ChaosPolicy(profile.chaos) if profile.chaos.any_enabled else None
+    chaos_report, server_metrics = asyncio.run(run_one(policy, faulted))
+
+    completion = chaos_report.sessions_completed / args.sessions
+    fallback_decisions = chaos_report.local_fallbacks + chaos_report.degraded
+    fallback_rate = (
+        fallback_decisions / chaos_report.decisions if chaos_report.decisions else 0.0
+    )
+    qoe_delta = chaos_report.qoe_mean - clean_report.qoe_mean
+
+    print(f"profile {profile.name!r}: {profile.description}")
+    print(f"--- clean ---\n{clean_report.describe()}")
+    print(f"--- {profile.name} ---\n{chaos_report.describe()}")
+    print(
+        f"completion {chaos_report.sessions_completed}/{args.sessions}"
+        f" ({completion:.0%}) | fallback rate {fallback_rate:.1%}"
+        f" | QoE delta {qoe_delta:+.1f} vs clean"
+    )
+    injected = server_metrics.get("chaos_injected", {})
+    if injected:
+        print(f"injected by server: {injected}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "profile": profile.name,
+                    "seed": args.seed,
+                    "clean": clean_report.to_dict(),
+                    "chaos": chaos_report.to_dict(),
+                    "chaos_injected": injected,
+                    "completion_rate": completion,
+                    "fallback_rate": fallback_rate,
+                    "qoe_delta": qoe_delta,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"saved {args.json}")
+    # The acceptance bar: every session rides out the faults.
+    return 0 if chaos_report.sessions_completed == args.sessions else 1
+
+
 _COMMANDS = {
     "generate-traces": _cmd_generate_traces,
     "run": _cmd_run,
@@ -456,6 +606,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "chaos": _cmd_chaos,
 }
 
 

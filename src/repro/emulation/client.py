@@ -57,9 +57,12 @@ class EmulatedClient:
         startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
         fixed_startup_delay_s: float = 0.0,
         start_time_s: float = 0.0,
+        max_chunk_retries: int = 3,
     ) -> None:
         if rtt_s < 0:
             raise ValueError("RTT must be >= 0")
+        if max_chunk_retries < 0:
+            raise ValueError("max chunk retries must be >= 0")
         self.client_id = client_id
         self.algorithm = algorithm
         self.manifest = manifest
@@ -71,6 +74,12 @@ class EmulatedClient:
         self.startup_policy = startup_policy
         self.fixed_startup_delay_s = fixed_startup_delay_s
         self.start_time_s = start_time_s
+        self.max_chunk_retries = max_chunk_retries
+        #: Failed download attempts over the whole session (fault runs).
+        self.download_retries = 0
+        #: Chunks that fell back to the local rate-based level after
+        #: exhausting their retry budget.
+        self.fallback_chunks = 0
 
         self._buffer_s = 0.0
         self._playback_start_s = (
@@ -83,6 +92,7 @@ class EmulatedClient:
         self._records: List[DownloadResult] = []
         self._chunk_request_time = 0.0
         self._pending_level = 0
+        self._chunk_failures = 0
         self._finished = False
 
         algorithm.prepare(manifest, config)
@@ -144,14 +154,58 @@ class EmulatedClient:
             )
         self._pending_level = level
         self._chunk_request_time = now
-        # Request travels one RTT/2, the server processes, the response
-        # header arrives after another RTT/2; then bytes flow on the link.
-        request = ChunkRequest(self.client_id, k, level, now)
+        self._chunk_failures = 0
+        self._issue_request(level)
+
+    def _issue_request(self, level: int) -> None:
+        """Send one GET for the pending chunk at ``level``.
+
+        Request travels one RTT/2, the server processes, the response
+        header arrives after another RTT/2; then bytes flow on the link.
+        Retries after a failed download come back through here, paying
+        the full request latency again.
+        """
+        k = self._next_chunk_index()
+        request = ChunkRequest(self.client_id, k, level, self.queue.now)
         size, processing = self.server.handle_request(request)
         self.queue.schedule_in(
             self.rtt_s + processing,
-            lambda: self.link.start_transfer(size, self._on_chunk_delivered),
+            lambda: self.link.start_transfer(
+                size, self._on_chunk_delivered, on_fail=self._on_chunk_failed
+            ),
         )
+
+    def _fallback_level(self) -> int:
+        """The local rate-based rule over the last measured throughput —
+        the level a degraded chunk retries at (lowest level when no
+        measurement exists yet, matching real players' cold start)."""
+        if not self._records:
+            return 0
+        return self.manifest.ladder.highest_at_most(
+            self._records[-1].throughput_kbps
+        )
+
+    def _on_chunk_failed(self, failure) -> None:
+        """A download attempt died (injected chunk failure): retry.
+
+        The chunk is re-requested at the same level up to
+        ``max_chunk_retries`` times; after that the client degrades to
+        the local rate-based fallback level and keeps retrying there, so
+        a session always completes once the fault window passes.  Wall
+        time spent on dead attempts stays inside the chunk's download
+        interval, so the measured throughput (and with it the predictor
+        and the rebuffer accounting) sees the outage honestly.
+        """
+        self._chunk_failures += 1
+        self.download_retries += 1
+        level = self._pending_level
+        if self._chunk_failures > self.max_chunk_retries:
+            fallback = self._fallback_level()
+            if fallback != level:
+                self.fallback_chunks += 1
+                level = fallback
+                self._pending_level = level
+        self._issue_request(level)
 
     def _on_chunk_delivered(self, transfer: Transfer) -> None:
         now = self.queue.now

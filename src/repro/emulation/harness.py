@@ -66,6 +66,39 @@ class NetworkProfile:
             raise ValueError("processing delay must be >= 0")
 
 
+def _build_link(
+    trace: Trace,
+    queue: EventQueue,
+    network: NetworkProfile,
+    faults: Optional[Sequence] = None,
+    fault_seed: int = 0,
+):
+    """The shared bottleneck, optionally wrapped with fault injection.
+
+    Bandwidth faults are compiled into the trace itself (exact segment
+    surgery); per-transfer faults wrap the link.  With ``faults`` empty
+    or ``None`` this is byte-for-byte the clean link.
+    """
+    if faults:
+        # Imported lazily: the faults package is optional equipment and
+        # itself imports this package's link module.
+        from ..faults import FaultyLink, apply_trace_faults, link_faults
+
+        trace = apply_trace_faults(trace, faults)
+        link = SharedTraceLink(
+            trace,
+            queue,
+            rtt_s=max(network.rtt_s, 1e-3),
+            slow_start=network.slow_start,
+        )
+        if link_faults(faults):
+            return FaultyLink(link, faults, seed=fault_seed)
+        return link
+    return SharedTraceLink(
+        trace, queue, rtt_s=max(network.rtt_s, 1e-3), slow_start=network.slow_start
+    )
+
+
 def emulate_session(
     algorithm: ABRAlgorithm,
     trace: Trace,
@@ -74,15 +107,22 @@ def emulate_session(
     network: Optional[NetworkProfile] = None,
     startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
     fixed_startup_delay_s: float = 0.0,
+    faults: Optional[Sequence] = None,
+    fault_seed: int = 0,
 ) -> SessionResult:
     """Run one player through the byte-level testbed; same result type as
-    the simulator, so harness code is backend-agnostic."""
+    the simulator, so harness code is backend-agnostic.
+
+    ``faults`` takes :class:`~repro.faults.spec.FaultSpec` objects
+    (blackouts, clamps, latency spikes, chunk failures); the session
+    still always completes — the client retries failed downloads and
+    degrades to its local rate-based fallback level when the retry
+    budget runs out (see ``docs/robustness.md``).
+    """
     config = config if config is not None else SessionConfig()
     network = network if network is not None else NetworkProfile()
     queue = EventQueue()
-    link = SharedTraceLink(
-        trace, queue, rtt_s=max(network.rtt_s, 1e-3), slow_start=network.slow_start
-    )
+    link = _build_link(trace, queue, network, faults, fault_seed)
     server = ChunkServer(
         manifest,
         header_kilobits=network.header_kilobits,
@@ -111,6 +151,8 @@ def emulate_shared_link(
     config: Optional[SessionConfig] = None,
     network: Optional[NetworkProfile] = None,
     start_stagger_s: float = 0.0,
+    faults: Optional[Sequence] = None,
+    fault_seed: int = 0,
 ) -> SharedLinkResult:
     """Multiple players compete on one bottleneck (Section 8 extension).
 
@@ -127,9 +169,7 @@ def emulate_shared_link(
     config = config if config is not None else SessionConfig()
     network = network if network is not None else NetworkProfile()
     queue = EventQueue()
-    link = SharedTraceLink(
-        trace, queue, rtt_s=max(network.rtt_s, 1e-3), slow_start=network.slow_start
-    )
+    link = _build_link(trace, queue, network, faults, fault_seed)
     server = ChunkServer(
         manifest,
         header_kilobits=network.header_kilobits,

@@ -150,10 +150,18 @@ class SharedTraceLink:
         return len(self._transfers)
 
     def start_transfer(
-        self, size_kilobits: float, on_complete: Callable[[Transfer], None]
+        self,
+        size_kilobits: float,
+        on_complete: Callable[[Transfer], None],
+        on_fail: Optional[Callable] = None,
     ) -> Transfer:
         """Begin delivering ``size_kilobits``; ``on_complete`` fires at the
-        exact virtual completion time."""
+        exact virtual completion time.
+
+        ``on_fail`` is part of the link interface shared with
+        :class:`~repro.faults.link.FaultyLink`; the clean link never
+        fails a transfer, so it is accepted and ignored here.
+        """
         if size_kilobits <= 0:
             raise ValueError("transfer size must be positive")
         self._apply_progress()

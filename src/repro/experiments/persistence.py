@@ -16,6 +16,7 @@ from __future__ import annotations
 import csv
 import hashlib
 import json
+import logging
 import os
 import struct
 from pathlib import Path
@@ -45,6 +46,8 @@ __all__ = [
 ]
 
 PathLike = Union[str, os.PathLike]
+
+logger = logging.getLogger(__name__)
 
 _METRIC_FIELDS = (
     "num_chunks",
@@ -246,6 +249,20 @@ def _entry_path(root: Path, subdir: str, key_repr: str, suffix: str) -> Path:
     return root / subdir / f"{digest}{suffix}"
 
 
+def _discard_corrupt(path: Path, error: Exception) -> None:
+    """Warn about and drop a cache entry that failed to parse.
+
+    Left in place, a corrupt entry would fail the same way on every
+    later run while looking like a cache hit on disk.  The unlink is
+    best-effort — a read-only cache still just misses.
+    """
+    logger.warning("discarding corrupt cache entry %s: %s", path, error)
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
 def _atomic_write(path: Path, payload: bytes) -> None:
     # Best-effort, like loads: an unwritable cache (read-only mount, a
     # file where the directory should be) must not abort the computation
@@ -300,11 +317,18 @@ def load_cached_table(
         return None
     try:
         (key_len,) = struct.unpack_from("<I", blob, 0)
+        if len(blob) < 4 + key_len:
+            raise ValueError(
+                f"truncated entry: {len(blob)} bytes, key claims {key_len}"
+            )
         stored = blob[4 : 4 + key_len].decode()
         if stored != key_repr:
+            # A different key hashed to this path (collision or stale
+            # format): an honest miss, not corruption — leave it alone.
             return None
         return DecisionTable.from_bytes(blob[4 + key_len :])
-    except Exception:
+    except (struct.error, ValueError, IndexError) as exc:
+        _discard_corrupt(path, exc)
         return None
 
 
@@ -379,11 +403,19 @@ def cached_fluid_upper_bound(
     )
     path = _entry_path(root, _BOUND_SUBDIR, key_repr, ".json")
     try:
-        payload = json.loads(path.read_text())
-        if payload.get("key") == key_repr:
-            return float(payload["value"])
-    except (OSError, ValueError):
-        pass
+        text: Optional[str] = path.read_text()
+    except OSError:
+        text = None  # no entry (or unreadable): plain miss
+    if text is not None:
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("bound entry is not a JSON object")
+            if payload.get("key") == key_repr:
+                return float(payload["value"])
+            # Valid entry for a different key: miss; recompute overwrites.
+        except (ValueError, TypeError, KeyError) as exc:
+            _discard_corrupt(path, exc)
     value = compute()
     _atomic_write(
         path, json.dumps({"key": key_repr, "value": value}).encode()

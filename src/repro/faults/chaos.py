@@ -1,0 +1,110 @@
+"""Chaos mode for the decision service — injected, never monkeypatched.
+
+:class:`ChaosPolicy` is handed to
+:class:`~repro.service.server.DecisionServer` at construction; the
+server consults it once per ``/v1/decide`` request and applies whichever
+mischief it returns:
+
+* ``reset`` — the connection is aborted before any response bytes
+  (a peer reset mid-request, the failure the client's retry path and
+  the load generator's local fallback must survive);
+* ``error-500`` — a well-formed HTTP 500 (the classic overloaded or
+  crashing backend);
+* ``slow`` — the response is withheld for ``slow_delay_s`` before being
+  sent, a slow-loris server that trips client deadlines;
+* ``table-swap`` — the service's table is swapped mid-flight (unloaded
+  if loaded, restored otherwise), exercising the warm/cold swap path
+  under live traffic.
+
+Outcomes come from one seeded RNG drawn once per request in arrival
+order, so a single-connection workload replays identically for a fixed
+seed — the determinism the chaos integration test asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosPolicy",
+    "CHAOS_NONE",
+    "CHAOS_RESET",
+    "CHAOS_ERROR",
+    "CHAOS_SLOW",
+    "CHAOS_TABLE_SWAP",
+]
+
+#: Action names, as counted in the server's ``/metrics`` document.
+CHAOS_NONE = "none"
+CHAOS_RESET = "reset"
+CHAOS_ERROR = "error-500"
+CHAOS_SLOW = "slow"
+CHAOS_TABLE_SWAP = "table-swap"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-request misbehaviour probabilities (independent; at most one
+    action fires per request, tested in the order reset, error, slow,
+    table-swap over a single uniform draw)."""
+
+    reset_rate: float = 0.0
+    error_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_delay_s: float = 0.5
+    table_swap_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.reset_rate,
+            self.error_rate,
+            self.slow_rate,
+            self.table_swap_rate,
+        )
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("chaos rates must be in [0, 1]")
+        if sum(rates) > 1.0 + 1e-9:
+            raise ValueError("chaos rates must sum to at most 1")
+        if self.slow_delay_s < 0:
+            raise ValueError("slow delay must be >= 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.reset_rate > 0
+            or self.error_rate > 0
+            or self.slow_rate > 0
+            or self.table_swap_rate > 0
+        )
+
+
+class ChaosPolicy:
+    """Seeded per-request action source for the server's chaos mode."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.actions_drawn = 0
+
+    def next_action(self) -> str:
+        """The action for the next decide request (one RNG draw)."""
+        self.actions_drawn += 1
+        r = self._rng.random()
+        config = self.config
+        edge = config.reset_rate
+        if r < edge:
+            return CHAOS_RESET
+        edge += config.error_rate
+        if r < edge:
+            return CHAOS_ERROR
+        edge += config.slow_rate
+        if r < edge:
+            return CHAOS_SLOW
+        edge += config.table_swap_rate
+        if r < edge:
+            return CHAOS_TABLE_SWAP
+        return CHAOS_NONE

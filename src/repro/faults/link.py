@@ -1,0 +1,144 @@
+"""Per-transfer fault enforcement around the emulation link.
+
+:class:`FaultyLink` wraps a :class:`~repro.emulation.link.SharedTraceLink`
+and applies the link-level fault specs — latency spikes delay a
+transfer's first byte, chunk failures abort a transfer outright — while
+delegating all byte accounting to the wrapped link, so the exact
+integration and fair-sharing semantics are untouched.  Randomised
+outcomes come from one seeded :class:`random.Random`, consumed once per
+at-risk transfer in start order: the same (faults, seed, workload)
+triple always reproduces the same failure sequence.
+
+A failure is reported through the ``on_fail`` callback with a
+:class:`FailedTransfer` record.  Callers that pass no ``on_fail`` (a
+client that predates the hardening) are never broken: the failure
+degrades to a latency spike of ``detect_delay_s`` followed by a normal
+delivery, because losing a chunk with nobody to retry it would deadlock
+the session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..emulation.link import SharedTraceLink, Transfer
+from .spec import ChunkFailure, FaultSpec, LatencySpike, link_faults
+
+__all__ = ["FailedTransfer", "FaultyLink"]
+
+
+@dataclass(frozen=True)
+class FailedTransfer:
+    """What the client learns about a transfer that did not complete."""
+
+    size_kilobits: float
+    started_at_s: float
+    failed_at_s: float
+
+    @property
+    def wasted_s(self) -> float:
+        return self.failed_at_s - self.started_at_s
+
+
+class FaultyLink:
+    """A :class:`SharedTraceLink` with link-level faults injected.
+
+    Exposes the same surface the emulated client uses (``trace``,
+    ``queue``, ``active_transfers``, ``start_transfer``), so it drops in
+    wherever the clean link does.  Bandwidth faults belong in the
+    wrapped link's trace (see
+    :func:`~repro.faults.trace.apply_trace_faults`); this wrapper only
+    handles the per-transfer kinds.
+    """
+
+    def __init__(
+        self,
+        inner: SharedTraceLink,
+        faults: Iterable[FaultSpec],
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        specs = link_faults(faults)
+        self._failures: List[ChunkFailure] = [
+            s for s in specs if isinstance(s, ChunkFailure)
+        ]
+        self._spikes: List[LatencySpike] = [
+            s for s in specs if isinstance(s, LatencySpike)
+        ]
+        self._rng = random.Random(seed)
+        self.transfers_started = 0
+        self.transfers_failed = 0
+
+    # ------------------------------------------------------------------
+    # SharedTraceLink surface
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self):
+        return self.inner.trace
+
+    @property
+    def queue(self):
+        return self.inner.queue
+
+    @property
+    def active_transfers(self) -> int:
+        return self.inner.active_transfers
+
+    def start_transfer(
+        self,
+        size_kilobits: float,
+        on_complete: Callable[[Transfer], None],
+        on_fail: Optional[Callable[[FailedTransfer], None]] = None,
+    ) -> Optional[Transfer]:
+        """Begin a transfer, subject to the injected faults.
+
+        Returns the underlying :class:`Transfer` when the transfer
+        starts immediately and cleanly; ``None`` when it was delayed or
+        failed (the outcome arrives through the callbacks either way).
+        """
+        now = self.queue.now
+        self.transfers_started += 1
+
+        failure = self._draw_failure(now)
+        if failure is not None:
+            self.transfers_failed += 1
+            delay = failure.detect_delay_s
+            if on_fail is not None:
+                started = now
+                record = FailedTransfer(
+                    size_kilobits, started, started + delay
+                )
+                self.queue.schedule_in(delay, lambda: on_fail(record))
+                return None
+            # No failure handler: degrade to a delay so the session
+            # cannot deadlock on a lost chunk.
+            self.queue.schedule_in(
+                delay,
+                lambda: self.inner.start_transfer(size_kilobits, on_complete),
+            )
+            return None
+
+        extra = sum(
+            s.extra_delay_s for s in self._spikes if s.active_at(now)
+        )
+        if extra > 0:
+            self.queue.schedule_in(
+                extra,
+                lambda: self.inner.start_transfer(size_kilobits, on_complete),
+            )
+            return None
+        return self.inner.start_transfer(size_kilobits, on_complete)
+
+    # ------------------------------------------------------------------
+
+    def _draw_failure(self, now: float) -> Optional[ChunkFailure]:
+        """One Bernoulli draw per at-risk transfer, in start order."""
+        for spec in self._failures:
+            if spec.rate <= 0 or not spec.active_at(now):
+                continue
+            if self._rng.random() < spec.rate:
+                return spec
+        return None

@@ -1,0 +1,130 @@
+"""Named fault profiles — reusable chaos scenarios for CLI and tests.
+
+A :class:`FaultProfile` bundles the three injection points into one
+named, seedable scenario: bandwidth/link faults for the traces players
+replay, and a :class:`~repro.faults.chaos.ChaosConfig` for the decision
+server.  ``repro-abr chaos --profile NAME`` runs the load generator
+under one of these and compares against the clean run.
+
+Profiles are deliberately modest in size — they describe *shapes* of
+misbehaviour (periodic blackouts, 20% resets, a slow-loris server), not
+calibrated reproductions of any particular outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .chaos import ChaosConfig
+from .spec import Blackout, ChunkFailure, FaultSpec, LatencySpike, ThroughputClamp
+
+__all__ = ["FaultProfile", "PROFILES", "get_profile", "periodic_blackouts"]
+
+
+def periodic_blackouts(
+    period_s: float,
+    blackout_s: float,
+    total_s: float,
+    first_start_s: float = 30.0,
+) -> List[Blackout]:
+    """One ``blackout_s`` outage every ``period_s`` over ``total_s``."""
+    if period_s <= blackout_s:
+        raise ValueError("period must exceed the blackout length")
+    out: List[Blackout] = []
+    start = first_start_s
+    while start + blackout_s < total_s:
+        out.append(Blackout(start, blackout_s))
+        start += period_s
+    return out
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One named end-to-end fault scenario."""
+
+    name: str
+    description: str
+    trace_faults: Tuple[FaultSpec, ...] = ()
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
+
+    def with_seed(self, seed: int) -> "FaultProfile":
+        """The same profile with its chaos RNG re-seeded."""
+        return FaultProfile(
+            name=self.name,
+            description=self.description,
+            trace_faults=self.trace_faults,
+            chaos=ChaosConfig(
+                reset_rate=self.chaos.reset_rate,
+                error_rate=self.chaos.error_rate,
+                slow_rate=self.chaos.slow_rate,
+                slow_delay_s=self.chaos.slow_delay_s,
+                table_swap_rate=self.chaos.table_swap_rate,
+                seed=seed,
+            ),
+        )
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    p.name: p
+    for p in (
+        FaultProfile(
+            name="clean",
+            description="no faults at all — the baseline the others are judged against",
+        ),
+        FaultProfile(
+            name="blackouts",
+            description="5 s connectivity loss every 60 s plus one deep 30 s throughput clamp",
+            trace_faults=tuple(periodic_blackouts(60.0, 5.0, 320.0))
+            + (ThroughputClamp(150.0, 30.0, cap_kbps=50.0),),
+        ),
+        FaultProfile(
+            name="lossy-link",
+            description="10% of chunk downloads fail; occasional latency spikes",
+            trace_faults=(
+                ChunkFailure(rate=0.10, detect_delay_s=0.25),
+                LatencySpike(90.0, 20.0, extra_delay_s=0.4),
+                LatencySpike(240.0, 20.0, extra_delay_s=0.4),
+            ),
+        ),
+        FaultProfile(
+            name="resets",
+            description="the server resets 20% of decision connections mid-request",
+            chaos=ChaosConfig(reset_rate=0.20),
+        ),
+        FaultProfile(
+            name="flaky-server",
+            description="10% HTTP 500s, 5% slow-loris responses, occasional mid-flight table swaps",
+            chaos=ChaosConfig(
+                error_rate=0.10,
+                slow_rate=0.05,
+                slow_delay_s=0.3,
+                table_swap_rate=0.02,
+            ),
+        ),
+        FaultProfile(
+            name="meltdown",
+            description="blackouts on the link and resets + 500s + slow-loris on the server",
+            trace_faults=tuple(periodic_blackouts(80.0, 5.0, 320.0))
+            + (ChunkFailure(rate=0.05, detect_delay_s=0.25),),
+            chaos=ChaosConfig(
+                reset_rate=0.10,
+                error_rate=0.10,
+                slow_rate=0.05,
+                slow_delay_s=0.3,
+                table_swap_rate=0.02,
+            ),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a named profile; raises with the catalogue on a miss."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; available: "
+            + ", ".join(sorted(PROFILES))
+        ) from None

@@ -1,6 +1,11 @@
 """Throughput predictors and prediction-error tracking."""
 
-from .base import ThroughputObservation, ThroughputPredictor, TraceAware
+from .base import (
+    OBSERVATION_FLOOR_KBPS,
+    ThroughputObservation,
+    ThroughputPredictor,
+    TraceAware,
+)
 from .harmonic import HarmonicMeanPredictor
 from .simple import (
     EWMAPredictor,
@@ -12,6 +17,7 @@ from .oracle import NoisyOraclePredictor, OraclePredictor
 from .errors import PredictionErrorTracker, percentage_error
 
 __all__ = [
+    "OBSERVATION_FLOOR_KBPS",
     "ThroughputObservation",
     "ThroughputPredictor",
     "TraceAware",

@@ -17,24 +17,48 @@ informs them of the wall clock before each decision.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional
 
-__all__ = ["ThroughputObservation", "ThroughputPredictor", "TraceAware"]
+__all__ = [
+    "OBSERVATION_FLOOR_KBPS",
+    "ThroughputObservation",
+    "ThroughputPredictor",
+    "TraceAware",
+]
+
+#: Smallest throughput an observation can carry.  A chunk downloaded
+#: through a connectivity blackout measures (arbitrarily close to) zero
+#: throughput — a legitimate outcome, not bad input — but a literal zero
+#: poisons every downstream consumer that divides by the measurement
+#: (harmonic means, percentage errors, robust bounds).  Observations are
+#: therefore clamped to this floor at the boundary: 0.001 kbps ≈ one bit
+#: per second, far below any level a ladder could ever pick, so the clamp
+#: never changes a decision — it only keeps the arithmetic finite.
+OBSERVATION_FLOOR_KBPS = 1e-3
 
 
 @dataclass(frozen=True)
 class ThroughputObservation:
-    """One completed chunk download, as seen by the predictor."""
+    """One completed chunk download, as seen by the predictor.
+
+    Non-positive measured throughput (a fully stalled download) is
+    clamped to :data:`OBSERVATION_FLOOR_KBPS` rather than rejected;
+    negative, NaN, and infinite-duration inputs remain errors — those
+    are caller bugs, not network conditions.
+    """
 
     throughput_kbps: float
     duration_s: float = 0.0
     chunk_index: int = -1
 
     def __post_init__(self) -> None:
-        if self.throughput_kbps <= 0:
-            raise ValueError("observed throughput must be positive")
+        if math.isnan(self.throughput_kbps) or self.throughput_kbps < 0:
+            raise ValueError("observed throughput must be a number >= 0")
+        if self.throughput_kbps < OBSERVATION_FLOOR_KBPS:
+            object.__setattr__(self, "throughput_kbps", OBSERVATION_FLOOR_KBPS)
         if self.duration_s < 0:
             raise ValueError("duration must be >= 0")
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List
 
+from .base import OBSERVATION_FLOOR_KBPS
+
 __all__ = ["PredictionErrorTracker", "percentage_error"]
 
 
@@ -51,8 +53,17 @@ class PredictionErrorTracker:
         self._all.clear()
 
     def record(self, predicted_kbps: float, actual_kbps: float) -> float:
-        """Record one chunk's prediction/outcome pair; returns the error."""
-        err = percentage_error(predicted_kbps, actual_kbps)
+        """Record one chunk's prediction/outcome pair; returns the error.
+
+        ``actual_kbps`` is clamped to the observation floor before the
+        division: a chunk that measured zero throughput (downloaded
+        through a blackout) is a real outcome the tracker must absorb
+        without raising, and the clamped error stays finite — it simply
+        reports a very large over-estimation, which is the truth.
+        """
+        err = percentage_error(
+            predicted_kbps, max(actual_kbps, OBSERVATION_FLOOR_KBPS)
+        )
         self._recent.append(err)
         self._all.append(err)
         return err

@@ -29,7 +29,7 @@ from .protocol import (
 )
 from .metrics import LatencyHistogram, ServiceMetrics
 from .server import DecisionServer, DecisionService, ServiceConfig
-from .client import ServiceClient
+from .client import DecisionClient, RetryPolicy, ServiceClient, ServiceUnavailable
 from .loadgen import LoadTestConfig, LoadTestReport, run_loadtest, run_loadtest_sync
 
 __all__ = [
@@ -42,7 +42,10 @@ __all__ = [
     "ServiceConfig",
     "DecisionService",
     "DecisionServer",
+    "DecisionClient",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceUnavailable",
     "LoadTestConfig",
     "LoadTestReport",
     "run_loadtest",

@@ -5,22 +5,71 @@ player integration would use (one control connection per stream
 session), and what the load generator multiplies to model concurrency.
 Requests carry a client-side deadline; a dead connection is re-dialed
 once per call before the error propagates.
+
+On top of the per-exchange deadline sits an optional
+:class:`RetryPolicy`: bounded attempts with exponential backoff and
+seeded jitter, all under one overall time budget, so a flaky server
+(resets, 5xx, slow-loris) is ridden out without ever stalling the
+caller indefinitely.  Seeded jitter keeps chaos runs replayable.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple, Union
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Tuple, TypeVar, Union
 
 from ..core.table import DecisionTable
 from .protocol import DecisionRequest, DecisionResponse, ProtocolError
 
-__all__ = ["ServiceClient", "ServiceUnavailable"]
+__all__ = ["RetryPolicy", "ServiceClient", "DecisionClient", "ServiceUnavailable"]
+
+_T = TypeVar("_T")
 
 
 class ServiceUnavailable(ConnectionError):
     """The server could not be reached or answered unparseably."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff under a time budget.
+
+    Attempt ``n`` (0-based) that fails waits
+    ``min(base_delay_s * multiplier**n, max_delay_s)``, shrunk by up to
+    ``jitter`` (a fraction in [0, 1]) with a seeded RNG — deterministic
+    for a fixed seed, which chaos tests rely on.  No retry ever starts
+    if its backoff would overrun ``budget_s`` measured from the first
+    attempt: the caller is guaranteed an answer or an error within the
+    budget plus one request deadline.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    budget_s: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay_s <= 0 or self.max_delay_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.budget_s <= 0:
+            raise ValueError("retry budget must be positive")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """The jittered wait after 0-based ``attempt`` failed."""
+        delay = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        return delay * (1.0 - self.jitter * rng.random())
 
 
 class ServiceClient:
@@ -33,13 +82,19 @@ class ServiceClient:
     """
 
     def __init__(
-        self, host: str, port: int, deadline_s: float = 2.0
+        self,
+        host: str,
+        port: int,
+        deadline_s: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if deadline_s <= 0:
             raise ValueError("deadline must be positive")
         self.host = host
         self.port = port
         self.deadline_s = deadline_s
+        self.retry = retry
+        self._retry_rng = random.Random(retry.seed) if retry is not None else None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -109,7 +164,7 @@ class ServiceClient:
             await self.close()
         return status, payload
 
-    async def request(
+    async def _request_with_redial(
         self, method: str, path: str, body: bytes = b""
     ) -> Tuple[int, bytes]:
         """One HTTP exchange under the client deadline.
@@ -154,20 +209,73 @@ class ServiceClient:
                 deadline_handle.cancel()
         raise ServiceUnavailable(f"retry failed: {last_error}") from None
 
+    async def _with_retry(
+        self, op: Callable[[], Awaitable[_T]]
+    ) -> _T:
+        """Run ``op`` under the client's :class:`RetryPolicy` (if any).
+
+        Each failed attempt backs off exponentially with seeded jitter;
+        a retry whose backoff would overrun the overall budget is not
+        attempted — the last error propagates instead.
+        """
+        if self.retry is None:
+            return await op()
+        policy = self.retry
+        assert self._retry_rng is not None
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        last_error: Optional[ServiceUnavailable] = None
+        attempts = 0
+        for attempt in range(policy.max_attempts):
+            attempts += 1
+            try:
+                return await op()
+            except ServiceUnavailable as exc:
+                last_error = exc
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                delay = policy.backoff_s(attempt, self._retry_rng)
+                if loop.time() - started + delay > policy.budget_s:
+                    break  # the budget is an overall deadline, not per-try
+                await asyncio.sleep(delay)
+        raise ServiceUnavailable(
+            f"gave up after {attempts} attempt(s): {last_error}"
+        ) from None
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange, retried per the client's retry policy."""
+        return await self._with_retry(
+            lambda: self._request_with_redial(method, path, body)
+        )
+
     # ------------------------------------------------------------------
     # Protocol-level calls
     # ------------------------------------------------------------------
 
-    async def decide(self, request: DecisionRequest) -> DecisionResponse:
-        """One bitrate decision; raises :class:`ServiceUnavailable` only
-        for transport failures — degraded answers come back normally."""
-        status, body = await self.request("POST", "/v1/decide", request.to_json())
+    async def _decide_once(self, request: DecisionRequest) -> DecisionResponse:
+        status, body = await self._request_with_redial(
+            "POST", "/v1/decide", request.to_json()
+        )
         if status != 200:
             raise ServiceUnavailable(f"decide returned HTTP {status}: {body!r}")
         try:
             return DecisionResponse.from_json(body)
         except ProtocolError as exc:
             raise ServiceUnavailable(str(exc)) from None
+
+    async def decide(self, request: DecisionRequest) -> DecisionResponse:
+        """One bitrate decision; raises :class:`ServiceUnavailable` only
+        after transport failures and 5xx answers exhaust the retry
+        policy — degraded answers come back normally.
+
+        Unlike the generic :meth:`request`, retries here cover the whole
+        exchange including HTTP-level failures (an injected 500 is as
+        retryable as a reset), which is what lets a player ride out a
+        flaky decision backend.
+        """
+        return await self._with_retry(lambda: self._decide_once(request))
 
     async def metrics(self) -> dict:
         status, body = await self.request("GET", "/metrics")
@@ -191,3 +299,8 @@ class ServiceClient:
                 f"table swap rejected: HTTP {status} {payload.get('error', '')}"
             )
         return payload
+
+
+#: The name the service docs use for the player-facing client; the
+#: transport object is the same either way.
+DecisionClient = ServiceClient

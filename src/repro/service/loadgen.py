@@ -23,13 +23,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..qoe import compute_qoe
 from ..traces.trace import Trace
 from ..video.presets import (
     DEFAULT_BUFFER_CAPACITY_S,
     ENVIVIO_CHUNK_SECONDS,
     ENVIVIO_LADDER_KBPS,
 )
-from .client import ServiceClient, ServiceUnavailable
+from .client import RetryPolicy, ServiceClient, ServiceUnavailable
 from .metrics import LatencyHistogram
 from .protocol import DecisionRequest
 
@@ -52,6 +53,12 @@ class LoadTestConfig:
     ladder_kbps: Tuple[float, ...] = ENVIVIO_LADDER_KBPS
     chunk_duration_s: float = ENVIVIO_CHUNK_SECONDS
     buffer_capacity_s: float = DEFAULT_BUFFER_CAPACITY_S
+    #: Client-side retry policy (None = single attempt per decision).
+    retry: Optional[RetryPolicy] = None
+    #: Serve a decision locally (rate-based rule) when the server cannot
+    #: — sessions then always run to completion, the availability story
+    #: a real player needs when the decision backend dies mid-stream.
+    local_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.sessions < 1 or self.chunks_per_session < 1:
@@ -72,10 +79,16 @@ class LoadTestReport:
     errors: int = 0
     degraded: int = 0
     sessions_completed: int = 0
+    #: Decisions the client had to serve itself (server unreachable /
+    #: exhausted retries); also counted in ``decisions`` under the
+    #: ``local`` source.
+    local_fallbacks: int = 0
     wall_s: float = 0.0
     sources: Dict[str, int] = field(default_factory=dict)
     reasons: Dict[str, int] = field(default_factory=dict)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    qoe_sum: float = 0.0
+    qoe_count: int = 0
 
     @property
     def throughput_dps(self) -> float:
@@ -94,17 +107,24 @@ class LoadTestReport:
     def p99_us(self) -> float:
         return self.latency.quantile(0.99)
 
+    @property
+    def qoe_mean(self) -> float:
+        """Mean Eq. 5 QoE over completed sessions (0 when none)."""
+        return self.qoe_sum / self.qoe_count if self.qoe_count else 0.0
+
     def to_dict(self) -> dict:
         return {
             "decisions": self.decisions,
             "errors": self.errors,
             "degraded": self.degraded,
             "sessions_completed": self.sessions_completed,
+            "local_fallbacks": self.local_fallbacks,
             "wall_s": self.wall_s,
             "throughput_dps": self.throughput_dps,
             "sources": dict(self.sources),
             "reasons": dict(self.reasons),
             "latency_us": self.latency.to_dict(),
+            "qoe_mean": self.qoe_mean,
         }
 
     def describe(self) -> str:
@@ -115,8 +135,11 @@ class LoadTestReport:
             f" | p99 {self.p99_us:,.0f} us",
             f"sources {self.sources} | degraded {self.degraded}"
             f" | errors {self.errors}",
-            f"sessions completed {self.sessions_completed}",
+            f"sessions completed {self.sessions_completed}"
+            f" | mean QoE {self.qoe_mean:.1f}",
         ]
+        if self.local_fallbacks:
+            lines.append(f"local fallbacks {self.local_fallbacks}")
         if self.reasons:
             lines.append(f"degradation reasons {self.reasons}")
         return "\n".join(lines)
@@ -132,6 +155,8 @@ class _VirtualPlayer:
         self.wall_s = 0.0
         self.buffer_s = 0.0
         self.prev_level: Optional[int] = None
+        self.bitrates_kbps: List[float] = []
+        self.rebuffer_s = 0.0
         self._measured: deque = deque(maxlen=config.prediction_window)
         self._errors: deque = deque(maxlen=config.prediction_window)
         self._last_predicted: Optional[float] = None
@@ -152,13 +177,31 @@ class _VirtualPlayer:
             past_errors=tuple(self._errors) if self.config.robust else (),
         )
 
+    def local_level(self, predicted_kbps: float) -> int:
+        """The paper's rate-based rule, computed client-side — the same
+        decision the server's fallback path would have produced."""
+        level = 0
+        for i, rate in enumerate(self.config.ladder_kbps):
+            if rate <= predicted_kbps:
+                level = i
+        return level
+
     def apply_decision(self, level_index: int) -> None:
-        """Advance the session model through one chunk download."""
+        """Advance the session model through one chunk download.
+
+        Download time integrates the trace exactly (Eq. 1's d_k/C_k), so
+        a chunk that starts inside a fault-compiled blackout window pays
+        the outage's length and then finishes at the restored bandwidth,
+        instead of dividing by an instantaneous (near-)zero sample.
+        """
         config = self.config
         level = min(max(level_index, 0), len(config.ladder_kbps) - 1)
         size_kilobits = config.chunk_duration_s * config.ladder_kbps[level]
-        actual_kbps = max(self.trace.bandwidth_at(self.wall_s), 1e-3)
-        download_s = size_kilobits / actual_kbps
+        download_s = max(
+            self.trace.time_to_download(self.wall_s, size_kilobits), 1e-9
+        )
+        actual_kbps = max(size_kilobits / download_s, 1e-3)
+        self.rebuffer_s += max(download_s - self.buffer_s, 0.0)
         self.buffer_s = min(
             max(self.buffer_s - download_s, 0.0) + config.chunk_duration_s,
             config.buffer_capacity_s,
@@ -169,7 +212,14 @@ class _VirtualPlayer:
                 (self._last_predicted - actual_kbps) / actual_kbps
             )
         self._measured.append(actual_kbps)
+        self.bitrates_kbps.append(config.ladder_kbps[level])
         self.prev_level = level
+
+    def qoe(self) -> float:
+        """Eq. 5 total for the session so far (default weights)."""
+        if not self.bitrates_kbps:
+            return 0.0
+        return compute_qoe(self.bitrates_kbps, self.rebuffer_s).total
 
 
 def _make_traces(config: LoadTestConfig) -> List[Trace]:
@@ -188,8 +238,19 @@ async def _session_worker(
     config: LoadTestConfig,
     report: LoadTestReport,
 ) -> None:
-    """One connection draining sessions until the queue is empty."""
-    async with ServiceClient(host, port, deadline_s=config.deadline_s) as client:
+    """One connection draining sessions until the queue is empty.
+
+    The worker never dials eagerly: the connection is established (and
+    re-established) inside each request, so a server that is down when
+    the worker starts — or dies mid-run — costs decisions, not the
+    whole worker.  With ``config.local_fallback`` on, every decision the
+    service cannot serve is answered locally with the rate-based rule
+    and the session runs to completion regardless.
+    """
+    client = ServiceClient(
+        host, port, deadline_s=config.deadline_s, retry=config.retry
+    )
+    try:
         while True:
             try:
                 player = queue.get_nowait()
@@ -203,8 +264,16 @@ async def _session_worker(
                     response = await client.decide(request)
                 except ServiceUnavailable:
                     report.errors += 1
-                    completed = False
-                    break
+                    if not config.local_fallback:
+                        completed = False
+                        break
+                    report.local_fallbacks += 1
+                    report.decisions += 1
+                    report.sources["local"] = report.sources.get("local", 0) + 1
+                    player.apply_decision(
+                        player.local_level(request.predicted_kbps)
+                    )
+                    continue
                 latency_us = (time.perf_counter() - started) * 1e6
                 report.latency.observe(latency_us)
                 report.decisions += 1
@@ -218,6 +287,10 @@ async def _session_worker(
                 player.apply_decision(response.level_index)
             if completed:
                 report.sessions_completed += 1
+                report.qoe_sum += player.qoe()
+                report.qoe_count += 1
+    finally:
+        await client.close()
 
 
 async def run_loadtest(

@@ -148,6 +148,8 @@ class ServiceMetrics:
         self.table_swaps_total = 0
         self.connections_opened = 0
         self.connections_active = 0
+        self.connections_reset = 0
+        self.chaos_injected: Dict[str, int] = {}
         self.latency = LatencyHistogram(bounds_us)
         self._sessions_seen: set = set()
 
@@ -181,6 +183,14 @@ class ServiceMetrics:
     def record_table_swap(self) -> None:
         self.table_swaps_total += 1
 
+    def record_disconnect(self) -> None:
+        """A connection died mid-request (peer reset, chaos abort)."""
+        self.connections_reset += 1
+
+    def record_chaos(self, kind: str) -> None:
+        """One injected misbehaviour of the given kind (chaos mode)."""
+        self.chaos_injected[kind] = self.chaos_injected.get(kind, 0) + 1
+
     @property
     def sessions_seen(self) -> int:
         return len(self._sessions_seen)
@@ -203,6 +213,8 @@ class ServiceMetrics:
             "connections": {
                 "opened": self.connections_opened,
                 "active": self.connections_active,
+                "reset": self.connections_reset,
             },
+            "chaos_injected": dict(self.chaos_injected),
             "latency_us": self.latency.to_dict(),
         }

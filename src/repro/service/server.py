@@ -34,6 +34,14 @@ from struct import error as struct_error
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..core.table import DecisionTable
+from ..faults.chaos import (
+    CHAOS_ERROR,
+    CHAOS_NONE,
+    CHAOS_RESET,
+    CHAOS_SLOW,
+    CHAOS_TABLE_SWAP,
+    ChaosPolicy,
+)
 from ..video.manifest import BitrateLadder
 from .metrics import ServiceMetrics
 from .protocol import (
@@ -272,6 +280,7 @@ _STATUS_LINES = {
     404: b"HTTP/1.1 404 Not Found\r\n",
     405: b"HTTP/1.1 405 Method Not Allowed\r\n",
     413: b"HTTP/1.1 413 Payload Too Large\r\n",
+    500: b"HTTP/1.1 500 Internal Server Error\r\n",
 }
 
 
@@ -289,6 +298,13 @@ class DecisionServer:
     body do not arrive within ``request_deadline_s`` closes only that
     connection.  The server binds with ``port=0`` for an ephemeral port
     (see :attr:`bound_port`).
+
+    ``chaos`` hands the server an injected misbehaviour source (see
+    :mod:`repro.faults.chaos`): the policy is consulted once per
+    ``/v1/decide`` request and the drawn action — connection reset,
+    HTTP 500, slow-loris delay, or a mid-flight table swap — is applied
+    through the server's own code paths, never by monkeypatching.  Every
+    injection is counted under ``chaos_injected`` in ``/metrics``.
     """
 
     def __init__(
@@ -296,10 +312,13 @@ class DecisionServer:
         service: DecisionService,
         host: str = "127.0.0.1",
         port: int = 0,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.chaos = chaos
+        self._stashed_table: Optional[DecisionTable] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
 
@@ -379,7 +398,17 @@ class DecisionServer:
                         writer, 400, {"error": "headers too large"}, close=True
                     )
                     break
-                keep_alive = await self._handle_request(reader, writer, header_blob)
+                try:
+                    keep_alive = await self._handle_request(
+                        reader, writer, header_blob
+                    )
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    # Peer reset between headers and body (or while we were
+                    # writing the response): close this connection cleanly
+                    # and count it — an exception here must never tear down
+                    # the handler task uncounted.
+                    metrics.record_disconnect()
+                    break
                 last_active = loop.time()
                 if not keep_alive:
                     break
@@ -445,9 +474,15 @@ class DecisionServer:
                     body = await asyncio.wait_for(
                         reader.readexactly(length), config.request_deadline_s
                     )
-            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            except asyncio.IncompleteReadError:
+                # Peer vanished between headers and body: a disconnect,
+                # not a protocol error on our side.
                 metrics.record_error()
+                metrics.record_disconnect()
                 return False  # cannot answer a half-received request
+            except asyncio.TimeoutError:
+                metrics.record_error()
+                return False  # body never arrived within the deadline
 
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
 
@@ -456,6 +491,24 @@ class DecisionServer:
                 metrics.record_error()
                 await self._respond(writer, 405, {"error": "POST required"})
                 return keep_alive
+            action = CHAOS_NONE if self.chaos is None else self.chaos.next_action()
+            if action != CHAOS_NONE:
+                metrics.record_chaos(action)
+                if action == CHAOS_RESET:
+                    # Abort the transport outright: the client sees a peer
+                    # reset with no response bytes, the failure its retry
+                    # path exists for.
+                    metrics.record_error()
+                    writer.transport.abort()
+                    return False
+                if action == CHAOS_ERROR:
+                    metrics.record_error()
+                    await self._respond(writer, 500, {"error": "injected failure"})
+                    return keep_alive
+                if action == CHAOS_SLOW:
+                    await asyncio.sleep(self.chaos.config.slow_delay_s)
+                elif action == CHAOS_TABLE_SWAP:
+                    self._chaos_table_swap()
             response = self.service.decide_payload(body)
             await self._respond_raw(writer, 200, response.to_json(), keep_alive)
             return keep_alive
@@ -499,6 +552,20 @@ class DecisionServer:
         await self._respond(writer, 404, {"error": f"no route {path}"})
         return keep_alive
 
+    def _chaos_table_swap(self) -> None:
+        """Flip the service's table state mid-flight (injected).
+
+        Unloads the active table (stashing it) or restores the stashed
+        one — both through the service's own swap path, so the exercise
+        is exactly the operational warm/cold swap under live traffic.
+        """
+        if self.service.table_loaded:
+            self._stashed_table = self.service.table
+            self.service.unload_table()
+        elif self._stashed_table is not None:
+            table, self._stashed_table = self._stashed_table, None
+            self.service.swap_table(table)
+
     # ------------------------------------------------------------------
 
     async def _respond(
@@ -529,7 +596,7 @@ class DecisionServer:
         try:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
+            self.service.metrics.record_disconnect()
 
 
 def _parse_head(blob: bytes) -> Tuple[str, str, dict]:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import logging
+import struct
+
 import pytest
 
 from repro.core import fastmpc
@@ -165,6 +169,85 @@ class TestBoundDiskCache:
         # but nothing is written.
         assert value == pytest.approx(fluid_upper_bound(trace, manifest))
         assert not (tmp_path / "bounds").exists()
+
+
+class TestCorruptEntryHygiene:
+    """Parse failures are warned about and unlinked; honest misses are
+    left alone — a corrupt entry must not look like a hit forever."""
+
+    KEY = ("ladder", 4.0, 30.0, "balanced")
+
+    def entry_path(self, tmp_path):
+        return persistence._entry_path(
+            tmp_path, "tables", repr(self.KEY), ".table"
+        )
+
+    def test_truncated_table_blob_warns_and_unlinks(self, tmp_path, caplog):
+        path = self.entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        # Header claims a 500-byte key; the blob ends long before that.
+        path.write_bytes(struct.pack("<I", 500) + b"short")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.persistence"):
+            assert persistence.load_cached_table(self.KEY, cache_dir=tmp_path) is None
+        assert not path.exists()
+        assert "discarding corrupt cache entry" in caplog.text
+
+    def test_unparseable_table_blob_warns_and_unlinks(self, tmp_path, caplog):
+        path = self.entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        key_bytes = repr(self.KEY).encode()
+        # Valid key frame, garbage table payload.
+        path.write_bytes(struct.pack("<I", len(key_bytes)) + key_bytes + b"garbage")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.persistence"):
+            assert persistence.load_cached_table(self.KEY, cache_dir=tmp_path) is None
+        assert not path.exists()
+        assert "discarding corrupt cache entry" in caplog.text
+
+    def test_key_mismatch_is_a_miss_not_corruption(self, tmp_path, caplog):
+        """A parseable entry for a different key (collision / stale
+        format) is someone else's data: miss, but leave the file alone."""
+        path = self.entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        other = repr(("some", "other", "key")).encode()
+        path.write_bytes(struct.pack("<I", len(other)) + other + b"payload")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.persistence"):
+            assert persistence.load_cached_table(self.KEY, cache_dir=tmp_path) is None
+        assert path.exists()
+        assert "discarding corrupt" not in caplog.text
+
+    def test_corrupt_bound_json_warns_unlinks_and_recomputes(self, tmp_path, caplog):
+        trace = FCCTraceGenerator(seed=11).generate_many(1, 320.0)[0]
+        manifest = envivio()
+        value = persistence.cached_fluid_upper_bound(
+            trace, manifest, cache_dir=tmp_path
+        )
+        (entry,) = (tmp_path / "bounds").iterdir()
+        entry.write_text("not json at all")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.persistence"):
+            again = persistence.cached_fluid_upper_bound(
+                trace, manifest, cache_dir=tmp_path
+            )
+        assert again == value
+        assert "discarding corrupt cache entry" in caplog.text
+        # The recompute rewrote a healthy entry in its place.
+        payload = json.loads(entry.read_text())
+        assert payload["value"] == value
+
+    def test_bound_entry_missing_value_field_is_discarded(self, tmp_path, caplog):
+        trace = FCCTraceGenerator(seed=12).generate_many(1, 320.0)[0]
+        manifest = envivio()
+        value = persistence.cached_fluid_upper_bound(
+            trace, manifest, cache_dir=tmp_path
+        )
+        (entry,) = (tmp_path / "bounds").iterdir()
+        stored_key = json.loads(entry.read_text())["key"]
+        entry.write_text(json.dumps({"key": stored_key}))  # value lost
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.persistence"):
+            again = persistence.cached_fluid_upper_bound(
+                trace, manifest, cache_dir=tmp_path
+            )
+        assert again == value
+        assert "discarding corrupt cache entry" in caplog.text
 
 
 class TestClearDiskCache:

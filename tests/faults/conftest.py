@@ -1,0 +1,24 @@
+"""Shared fixtures for the fault-injection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.table import Binning, DecisionTable
+
+#: Ladder matching the synthetic table below (same shape the service
+#: tests use: decision == previous level, distinguishable from fallback).
+LADDER = (400.0, 800.0, 1600.0)
+
+
+def make_test_table() -> DecisionTable:
+    buffer_bins = Binning(0.0, 30.0, 4)
+    throughput_bins = Binning(100.0, 4000.0, 6, spacing="log")
+    n = buffer_bins.count * len(LADDER) * throughput_bins.count
+    decisions = [(i // throughput_bins.count) % len(LADDER) for i in range(n)]
+    return DecisionTable(buffer_bins, len(LADDER), throughput_bins, decisions)
+
+
+@pytest.fixture
+def test_table() -> DecisionTable:
+    return make_test_table()

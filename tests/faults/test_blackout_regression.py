@@ -1,0 +1,98 @@
+"""Regression: a blackout mid-session must not crash the pipeline.
+
+Before the hardening, a chunk downloaded through a zero-bandwidth window
+produced a non-positive throughput observation and the predictor raised.
+Now the observation clamps to ``OBSERVATION_FLOOR_KBPS`` and everything
+downstream — predictors, the RobustMPC error tracker, QoE — stays finite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.robust import RobustMPCController
+from repro.emulation import NetworkProfile, emulate_session
+from repro.faults import Blackout, ChunkFailure
+from repro.prediction import (
+    OBSERVATION_FLOOR_KBPS,
+    HarmonicMeanPredictor,
+    PredictionErrorTracker,
+)
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+class TestObservationClamp:
+    def test_predictor_absorbs_a_stalled_chunk(self):
+        predictor = HarmonicMeanPredictor(window=3)
+        predictor.observe_kbps(1000.0)
+        predictor.observe_kbps(0.0)  # blackout chunk: clamped, not fatal
+        prediction = predictor.current_estimate()
+        assert math.isfinite(prediction)
+        assert prediction > 0.0
+        assert all(math.isfinite(v) for v in predictor.predict(horizon=5))
+
+    def test_error_tracker_absorbs_a_stalled_chunk(self):
+        tracker = PredictionErrorTracker(window=5)
+        err = tracker.record(predicted_kbps=1000.0, actual_kbps=0.0)
+        assert math.isfinite(err)
+        assert err == pytest.approx(
+            (1000.0 - OBSERVATION_FLOOR_KBPS) / OBSERVATION_FLOOR_KBPS
+        )
+        assert math.isfinite(tracker.robust_lower_bound(1000.0))
+        assert tracker.robust_lower_bound(1000.0) > 0.0
+
+
+class TestBlackoutSession:
+    def make_trace(self) -> Trace:
+        return Trace.constant(1500.0, 240.0, name="steady")
+
+    def test_session_through_blackout_completes_finite(self):
+        manifest = short_test_video(num_chunks=8, num_levels=3)
+        # Blackout long enough to drain any buffer built up by t=5.
+        session = emulate_session(
+            RobustMPCController(),
+            self.make_trace(),
+            manifest,
+            network=NetworkProfile(slow_start=False),
+            faults=[Blackout(5.0, 40.0)],
+        )
+        assert len(session.records) == manifest.num_chunks
+        for record in session.records:
+            assert math.isfinite(record.throughput_kbps)
+            assert record.throughput_kbps >= 0.0
+        assert math.isfinite(session.total_rebuffer_s)
+        # The outage is paid for honestly: the session rebuffers.
+        assert session.total_rebuffer_s > 0.0
+        assert math.isfinite(session.qoe().total)
+
+    def test_clean_run_is_unchanged_by_the_fault_machinery(self):
+        """faults=[] routes through the identical clean code path."""
+        manifest = short_test_video(num_chunks=8, num_levels=3)
+        plain = emulate_session(
+            RobustMPCController(), self.make_trace(), manifest,
+            network=NetworkProfile(slow_start=False),
+        )
+        with_empty = emulate_session(
+            RobustMPCController(), self.make_trace(), manifest,
+            network=NetworkProfile(slow_start=False), faults=[],
+        )
+        assert [r.level_index for r in plain.records] == [
+            r.level_index for r in with_empty.records
+        ]
+        assert plain.total_wall_time_s == with_empty.total_wall_time_s
+
+    def test_chunk_failures_are_retried_to_completion(self):
+        manifest = short_test_video(num_chunks=8, num_levels=3)
+        session = emulate_session(
+            RobustMPCController(),
+            self.make_trace(),
+            manifest,
+            network=NetworkProfile(slow_start=False),
+            faults=[ChunkFailure(rate=0.3, detect_delay_s=0.2)],
+            fault_seed=3,
+        )
+        assert len(session.records) == manifest.num_chunks
+        assert math.isfinite(session.qoe().total)

@@ -1,0 +1,94 @@
+"""The chaos acceptance test: loadgen vs a server injecting resets.
+
+Every session completes (via retries and local fallback), no exception
+escapes, and the whole run is deterministic for a fixed seed —
+``concurrency=1`` makes request arrival sequential, so the server's
+seeded chaos draws replay identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.faults import ChaosConfig, ChaosPolicy
+from repro.service import (
+    DecisionServer,
+    DecisionService,
+    LoadTestConfig,
+    RetryPolicy,
+    run_loadtest,
+)
+
+from .conftest import LADDER, make_test_table
+
+pytestmark = pytest.mark.slow
+
+RESET_CHAOS = ChaosConfig(reset_rate=0.20, seed=11)
+
+
+def chaos_config(**overrides) -> LoadTestConfig:
+    fields = dict(
+        sessions=4,
+        chunks_per_session=6,
+        concurrency=1,  # sequential arrivals -> deterministic chaos draws
+        dataset="synthetic",
+        seed=7,
+        trace_duration_s=60.0,
+        ladder_kbps=LADDER,
+        deadline_s=1.0,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.05,
+            budget_s=1.0, seed=5,
+        ),
+    )
+    fields.update(overrides)
+    return LoadTestConfig(**fields)
+
+
+async def run_under_chaos(config):
+    service = DecisionService(LADDER, table=make_test_table())
+    server = DecisionServer(service, port=0, chaos=ChaosPolicy(RESET_CHAOS))
+    await server.start()
+    try:
+        report = await run_loadtest("127.0.0.1", server.bound_port, config)
+        return report, service.metrics.snapshot()
+    finally:
+        await server.close()
+
+
+def deterministic_fields(report) -> dict:
+    """The report minus wall-clock-dependent measurements."""
+    d = report.to_dict()
+    for key in ("wall_s", "throughput_dps", "latency_us"):
+        d.pop(key)
+    return d
+
+
+class TestChaosIntegration:
+    def test_every_session_completes_under_injected_resets(self):
+        config = chaos_config()
+        report, metrics = asyncio.run(run_under_chaos(config))
+        expected = config.sessions * config.chunks_per_session
+        # The acceptance bar: nothing raised (we got here), nothing lost.
+        assert report.sessions_completed == config.sessions
+        assert report.decisions == expected
+        # The server really did sabotage the run (counted as injected,
+        # not as a peer reset — the server aborted its own transport).
+        assert metrics["chaos_injected"].get("reset", 0) > 0
+        # Remote answers + local rescues account for every decision.
+        served = sum(report.sources.values())
+        assert served == expected
+
+    def test_fixed_seed_is_deterministic_run_to_run(self):
+        first, first_metrics = asyncio.run(run_under_chaos(chaos_config()))
+        second, second_metrics = asyncio.run(run_under_chaos(chaos_config()))
+        assert deterministic_fields(first) == deterministic_fields(second)
+        assert first_metrics["chaos_injected"] == second_metrics["chaos_injected"]
+
+    def test_resets_without_retries_still_complete_via_local_fallback(self):
+        config = chaos_config(retry=None)
+        report, _ = asyncio.run(run_under_chaos(config))
+        assert report.sessions_completed == config.sessions
+        assert report.decisions == config.sessions * config.chunks_per_session

@@ -1,0 +1,78 @@
+"""ChaosConfig validation and the seeded per-request action draw."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CHAOS_ERROR,
+    CHAOS_NONE,
+    CHAOS_RESET,
+    CHAOS_SLOW,
+    CHAOS_TABLE_SWAP,
+    ChaosConfig,
+    ChaosPolicy,
+)
+
+
+class TestChaosConfig:
+    def test_defaults_are_inert(self):
+        config = ChaosConfig()
+        assert not config.any_enabled
+
+    def test_any_single_rate_enables(self):
+        for field in ("reset_rate", "error_rate", "slow_rate", "table_swap_rate"):
+            assert ChaosConfig(**{field: 0.1}).any_enabled
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(reset_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(error_rate=1.5)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        ChaosConfig(reset_rate=0.5, error_rate=0.5)  # exactly 1: fine
+        with pytest.raises(ValueError):
+            ChaosConfig(reset_rate=0.6, error_rate=0.6)
+
+    def test_negative_slow_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(slow_delay_s=-0.1)
+
+
+class TestChaosPolicy:
+    def test_certain_rates_always_fire(self):
+        for field, action in (
+            ("reset_rate", CHAOS_RESET),
+            ("error_rate", CHAOS_ERROR),
+            ("slow_rate", CHAOS_SLOW),
+            ("table_swap_rate", CHAOS_TABLE_SWAP),
+        ):
+            policy = ChaosPolicy(ChaosConfig(**{field: 1.0}))
+            assert [policy.next_action() for _ in range(5)] == [action] * 5
+
+    def test_zero_rates_never_fire(self):
+        policy = ChaosPolicy(ChaosConfig())
+        assert [policy.next_action() for _ in range(20)] == [CHAOS_NONE] * 20
+
+    def test_same_seed_replays_identically(self):
+        config = ChaosConfig(
+            reset_rate=0.2, error_rate=0.2, slow_rate=0.2,
+            table_swap_rate=0.2, seed=42,
+        )
+        a = ChaosPolicy(config)
+        b = ChaosPolicy(config)
+        seq_a = [a.next_action() for _ in range(100)]
+        seq_b = [b.next_action() for _ in range(100)]
+        assert seq_a == seq_b
+        assert a.actions_drawn == 100
+        # Each enabled action appears over 100 draws at rate 0.2.
+        for action in (CHAOS_RESET, CHAOS_ERROR, CHAOS_SLOW, CHAOS_TABLE_SWAP, CHAOS_NONE):
+            assert action in seq_a
+
+    def test_different_seeds_diverge(self):
+        policy_1 = ChaosPolicy(ChaosConfig(reset_rate=0.5, seed=1))
+        policy_2 = ChaosPolicy(ChaosConfig(reset_rate=0.5, seed=2))
+        seq_1 = [policy_1.next_action() for _ in range(50)]
+        seq_2 = [policy_2.next_action() for _ in range(50)]
+        assert seq_1 != seq_2

@@ -1,0 +1,130 @@
+"""Fault specifications, the family partition helpers, and profiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import (
+    Blackout,
+    ChunkFailure,
+    FaultProfile,
+    LatencySpike,
+    PROFILES,
+    ThroughputClamp,
+    bandwidth_faults,
+    get_profile,
+    link_faults,
+    periodic_blackouts,
+)
+
+
+class TestWindowedFaultValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Blackout(-1.0, 5.0)
+
+    def test_nan_start_rejected(self):
+        with pytest.raises(ValueError):
+            Blackout(math.nan, 5.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Blackout(10.0, 0.0)
+        with pytest.raises(ValueError):
+            Blackout(10.0, -2.0)
+        with pytest.raises(ValueError):
+            Blackout(10.0, math.inf)
+
+    def test_window_is_half_open(self):
+        fault = Blackout(10.0, 5.0)
+        assert fault.end_s == 15.0
+        assert fault.active_at(10.0)
+        assert fault.active_at(14.999)
+        assert not fault.active_at(15.0)
+        assert not fault.active_at(9.999)
+
+    def test_clamp_cap_validation(self):
+        assert ThroughputClamp(0.0, 1.0, cap_kbps=0.0).cap_kbps == 0.0
+        with pytest.raises(ValueError):
+            ThroughputClamp(0.0, 1.0, cap_kbps=-1.0)
+        with pytest.raises(ValueError):
+            ThroughputClamp(0.0, 1.0, cap_kbps=math.inf)
+
+    def test_latency_spike_validation(self):
+        with pytest.raises(ValueError):
+            LatencySpike(0.0, 1.0, extra_delay_s=0.0)
+        with pytest.raises(ValueError):
+            LatencySpike(0.0, 1.0, extra_delay_s=math.inf)
+
+
+class TestChunkFailureValidation:
+    def test_rate_bounds(self):
+        assert ChunkFailure(rate=0.0).rate == 0.0
+        assert ChunkFailure(rate=1.0).rate == 1.0
+        with pytest.raises(ValueError):
+            ChunkFailure(rate=-0.1)
+        with pytest.raises(ValueError):
+            ChunkFailure(rate=1.1)
+
+    def test_negative_detect_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkFailure(detect_delay_s=-0.1)
+
+    def test_default_window_is_whole_session(self):
+        fault = ChunkFailure(rate=0.5)
+        assert fault.active_at(0.0)
+        assert fault.active_at(1e9)
+
+    def test_bounded_window(self):
+        fault = ChunkFailure(rate=0.5, start_s=10.0, duration_s=5.0)
+        assert not fault.active_at(9.0)
+        assert fault.active_at(12.0)
+        assert not fault.active_at(15.0)
+
+
+class TestFamilyPartition:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        faults = [
+            Blackout(0.0, 1.0),
+            ThroughputClamp(0.0, 1.0, cap_kbps=100.0),
+            LatencySpike(0.0, 1.0),
+            ChunkFailure(rate=0.1),
+        ]
+        bw = bandwidth_faults(faults)
+        link = link_faults(faults)
+        assert bw == faults[:2]
+        assert link == faults[2:]
+
+
+class TestProfiles:
+    def test_catalogue_contents(self):
+        assert {"clean", "blackouts", "lossy-link", "resets",
+                "flaky-server", "meltdown"} <= set(PROFILES)
+
+    def test_get_profile_miss_lists_catalogue(self):
+        with pytest.raises(ValueError, match="resets"):
+            get_profile("nope")
+
+    def test_clean_profile_is_inert(self):
+        clean = get_profile("clean")
+        assert clean.trace_faults == ()
+        assert not clean.chaos.any_enabled
+
+    def test_with_seed_reseeds_only_the_chaos_rng(self):
+        resets = get_profile("resets")
+        reseeded = resets.with_seed(99)
+        assert isinstance(reseeded, FaultProfile)
+        assert reseeded.chaos.seed == 99
+        assert reseeded.chaos.reset_rate == resets.chaos.reset_rate
+        assert reseeded.trace_faults == resets.trace_faults
+
+    def test_periodic_blackouts_spacing(self):
+        outages = periodic_blackouts(60.0, 5.0, 320.0, first_start_s=30.0)
+        assert [b.start_s for b in outages] == [30.0, 90.0, 150.0, 210.0, 270.0]
+        assert all(b.duration_s == 5.0 for b in outages)
+
+    def test_periodic_blackouts_rejects_always_dark(self):
+        with pytest.raises(ValueError):
+            periodic_blackouts(5.0, 5.0, 320.0)

@@ -1,0 +1,135 @@
+"""Compiling bandwidth faults into traces: exact segment surgery.
+
+The two load-bearing properties (also stated in ``docs/robustness.md``):
+an empty fault list returns the *identical* trace object, and byte
+integration outside fault windows is bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import (
+    Blackout,
+    ChunkFailure,
+    LatencySpike,
+    ThroughputClamp,
+    apply_trace_faults,
+)
+from repro.traces import Trace
+
+
+def step_trace() -> Trace:
+    return Trace(
+        [0.0, 100.0, 160.0],
+        [2000.0, 400.0, 2000.0],
+        duration_s=600.0,
+        name="step",
+    )
+
+
+class TestIdentity:
+    def test_empty_fault_list_returns_same_object(self):
+        trace = step_trace()
+        assert apply_trace_faults(trace, []) is trace
+
+    def test_link_only_faults_return_same_object(self):
+        """Per-transfer faults are the link's business, not the trace's."""
+        trace = step_trace()
+        faults = [ChunkFailure(rate=0.5), LatencySpike(10.0, 5.0)]
+        assert apply_trace_faults(trace, faults) is trace
+
+    def test_fault_entirely_past_trace_end_is_clipped_away(self):
+        trace = step_trace()
+        assert apply_trace_faults(trace, [Blackout(700.0, 5.0)]) is trace
+
+
+class TestBlackout:
+    def test_window_pins_capacity_to_zero(self):
+        faulted = apply_trace_faults(step_trace(), [Blackout(50.0, 10.0)])
+        assert faulted.bandwidth_at(49.999) == 2000.0
+        assert faulted.bandwidth_at(50.0) == 0.0
+        assert faulted.bandwidth_at(55.0) == 0.0
+        assert faulted.bandwidth_at(60.0) == 2000.0
+
+    def test_integration_outside_window_unchanged(self):
+        clean = step_trace()
+        faulted = apply_trace_faults(clean, [Blackout(50.0, 10.0)])
+        for t0, t1 in ((0.0, 50.0), (60.0, 100.0), (100.0, 160.0), (160.0, 300.0)):
+            assert faulted.kilobits_between(t0, t1) == pytest.approx(
+                clean.kilobits_between(t0, t1), rel=1e-12
+            )
+
+    def test_window_delivers_exactly_nothing(self):
+        faulted = apply_trace_faults(step_trace(), [Blackout(50.0, 10.0)])
+        assert faulted.kilobits_between(50.0, 60.0) == 0.0
+        # 0-100 s: 90 s of 2000 kbps around a 10 s hole.
+        assert faulted.kilobits_between(0.0, 100.0) == pytest.approx(90 * 2000.0)
+
+    def test_time_to_download_pays_the_full_outage(self):
+        """From t=45, 14000 kb is 5 s at 2000, the 10 s hole, then 2 s."""
+        faulted = apply_trace_faults(step_trace(), [Blackout(50.0, 10.0)])
+        assert faulted.time_to_download(45.0, 14000.0) == pytest.approx(17.0)
+
+    def test_windows_wrap_with_the_trace(self):
+        faulted = apply_trace_faults(step_trace(), [Blackout(50.0, 10.0)])
+        assert faulted.bandwidth_at(600.0 + 55.0) == 0.0
+
+
+class TestThroughputClamp:
+    def test_cap_applies_only_where_it_binds(self):
+        clean = step_trace()
+        # 1000-cap over 90..110: binds on the 2000 side, not the 400 side.
+        faulted = apply_trace_faults(
+            clean, [ThroughputClamp(90.0, 20.0, cap_kbps=1000.0)]
+        )
+        assert faulted.bandwidth_at(95.0) == 1000.0
+        assert faulted.bandwidth_at(105.0) == 400.0
+        assert faulted.kilobits_between(90.0, 110.0) == pytest.approx(
+            10 * 1000.0 + 10 * 400.0
+        )
+
+    def test_overlapping_faults_compose(self):
+        faulted = apply_trace_faults(
+            step_trace(),
+            [ThroughputClamp(40.0, 30.0, cap_kbps=1000.0), Blackout(50.0, 10.0)],
+        )
+        assert faulted.bandwidth_at(45.0) == 1000.0
+        assert faulted.bandwidth_at(55.0) == 0.0
+        assert faulted.bandwidth_at(65.0) == 1000.0
+        assert faulted.bandwidth_at(75.0) == 2000.0
+
+    def test_name_labels_the_faulted_trace(self):
+        faulted = apply_trace_faults(step_trace(), [Blackout(1.0, 1.0)])
+        assert faulted.name == "step+faults"
+        named = apply_trace_faults(
+            step_trace(), [Blackout(1.0, 1.0)], name="custom"
+        )
+        assert named.name == "custom"
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=500.0),
+    duration=st.floats(min_value=0.5, max_value=80.0),
+)
+def test_integration_equality_outside_any_window(start, duration):
+    """For arbitrary windows, every interval disjoint from the (wrapped)
+    fault window integrates identically on clean and faulted traces."""
+    clean = step_trace()
+    fault = Blackout(start, duration)
+    faulted = apply_trace_faults(clean, [fault])
+    probes = [
+        (t0, t1)
+        for t0, t1 in ((0.0, 40.0), (110.0, 150.0), (300.0, 420.0), (500.0, 580.0))
+        if t1 <= fault.start_s or t0 >= min(fault.end_s, clean.duration_s)
+    ]
+    for t0, t1 in probes:
+        assert faulted.kilobits_between(t0, t1) == pytest.approx(
+            clean.kilobits_between(t0, t1), rel=1e-12
+        )
+    # Total capacity never increases under a blackout.
+    assert faulted.kilobits_between(0.0, 600.0) <= clean.kilobits_between(
+        0.0, 600.0
+    ) + 1e-9

@@ -7,6 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.prediction import HarmonicMeanPredictor, SlidingMeanPredictor
+from repro.prediction.base import OBSERVATION_FLOOR_KBPS
 
 
 class TestHarmonicMean:
@@ -53,9 +54,17 @@ class TestHarmonicMean:
         with pytest.raises(ValueError):
             HarmonicMeanPredictor().predict(0)
 
-    def test_rejects_nonpositive_observation(self):
+    def test_stalled_observation_clamps_to_floor(self):
+        # A chunk downloaded through a blackout measures 0 kbps; the
+        # observation boundary clamps it instead of raising, and the
+        # harmonic mean stays finite (and tiny — the honest forecast).
+        p = HarmonicMeanPredictor()
+        p.observe_kbps(0.0)
+        assert p.predict(1)[0] == pytest.approx(OBSERVATION_FLOOR_KBPS)
+
+    def test_rejects_negative_observation(self):
         with pytest.raises(ValueError):
-            HarmonicMeanPredictor().observe_kbps(0.0)
+            HarmonicMeanPredictor().observe_kbps(-1.0)
 
 
 @given(samples=st.lists(st.floats(10.0, 10_000.0), min_size=1, max_size=5))

@@ -17,6 +17,9 @@ from repro.traces import Trace
 
 from .conftest import LADDER, make_test_table
 
+# Live-server suites: each load test drives a real socket + event loop.
+pytestmark = pytest.mark.slow
+
 
 def small_config(**overrides) -> LoadTestConfig:
     fields = dict(
@@ -68,10 +71,25 @@ class TestLoadTest:
         assert report.degraded == expected
         assert report.reasons == {"no-table": expected}
 
-    def test_unreachable_server_reports_errors_not_exceptions(self):
+    def test_unreachable_server_completes_sessions_via_local_fallback(self):
+        """The availability acceptance: server down -> every session
+        still completes, served by the client-side rate-based rule."""
         config = small_config(sessions=2, chunks_per_session=2, deadline_s=0.2)
         report = asyncio.run(run_loadtest("127.0.0.1", 1, config))
+        expected = config.sessions * config.chunks_per_session
+        assert report.errors == expected  # every remote attempt failed
+        assert report.local_fallbacks == expected
+        assert report.decisions == expected
+        assert report.sessions_completed == config.sessions
+        assert report.sources == {"local": expected}
+
+    def test_unreachable_server_without_fallback_reports_errors(self):
+        config = small_config(
+            sessions=2, chunks_per_session=2, deadline_s=0.2, local_fallback=False
+        )
+        report = asyncio.run(run_loadtest("127.0.0.1", 1, config))
         assert report.errors > 0
+        assert report.local_fallbacks == 0
         assert report.sessions_completed == 0
 
     def test_explicit_traces_drive_session_count(self):
@@ -93,9 +111,11 @@ class TestLoadTest:
         d = report.to_dict()
         assert set(d) == {
             "decisions", "errors", "degraded", "sessions_completed",
-            "wall_s", "throughput_dps", "sources", "reasons", "latency_us",
+            "local_fallbacks", "wall_s", "throughput_dps", "sources",
+            "reasons", "latency_us", "qoe_mean",
         }
         assert "decisions/s" in report.describe()
+        assert report.qoe_mean != 0.0  # completed sessions were scored
 
 
 async def loadtest_against_traces(service, config, traces):

@@ -135,7 +135,20 @@ class TestServiceMetrics:
         m.connections_active += 1
         snap = m.snapshot()
         assert snap["table_swaps_total"] == 1
-        assert snap["connections"] == {"opened": 1, "active": 1}
+        assert snap["connections"] == {"opened": 1, "active": 1, "reset": 0}
+
+    def test_disconnects_and_chaos(self):
+        m = ServiceMetrics()
+        m.record_disconnect()
+        m.record_disconnect()
+        m.record_chaos("reset")
+        m.record_chaos("slow")
+        m.record_chaos("reset")
+        snap = m.snapshot()
+        assert snap["connections"]["reset"] == 2
+        assert snap["chaos_injected"] == {"reset": 2, "slow": 1}
+        # Disconnects are connection-level events, not served requests.
+        assert snap["requests_total"] == 0
 
     def test_snapshot_schema_locked(self):
         # docs/service.md documents exactly these keys.
@@ -143,9 +156,10 @@ class TestServiceMetrics:
         assert set(snap) == {
             "requests_total", "decisions", "degraded_total",
             "fallback_reasons", "sessions_seen", "table_swaps_total",
-            "connections", "latency_us",
+            "connections", "chaos_injected", "latency_us",
         }
         assert set(snap["decisions"]) == {"table", "fallback", "error"}
+        assert set(snap["connections"]) == {"opened", "active", "reset"}
 
     def test_default_bounds_strictly_increasing(self):
         bounds = list(DEFAULT_BUCKET_BOUNDS_US)

@@ -18,6 +18,9 @@ from repro.service.client import ServiceUnavailable
 from repro.service.protocol import SOURCE_FALLBACK, SOURCE_TABLE
 from repro.service.server import REASON_MALFORMED, REASON_NO_TABLE
 
+# Every test here binds a real socket and runs a live event loop.
+pytestmark = pytest.mark.slow
+
 from .conftest import LADDER, make_test_table
 
 
