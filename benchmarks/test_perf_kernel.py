@@ -191,10 +191,50 @@ def test_disk_cache_skips_rebuild(benchmark, cache_measurements):
     assert speedup > 5.0
 
 
-def test_write_bench_json(measurements, cache_measurements, report_sink):
+@pytest.fixture(scope="module")
+def tracing_overhead():
+    """Disabled-tracer overhead of the batched solver, min-of-N interleaved.
+
+    ``tracer=None`` (the untouched fast path) vs ``NULL_TRACER`` (a real
+    tracer with ``enabled=False``): the observability hooks must reduce
+    to one boolean check, so the two runs are the same to within noise.
+    """
+    from repro.obs import NULL_TRACER
+
+    problems = make_problems(200, 5)
+    solve_horizon_batch(problems)  # warm caches before timing
+    baseline_s = float("inf")
+    disabled_s = float("inf")
+    for _ in range(9):
+        _, t_none = timed(lambda: solve_horizon_batch(problems, tracer=None))
+        _, t_null = timed(
+            lambda: solve_horizon_batch(problems, tracer=NULL_TRACER)
+        )
+        baseline_s = min(baseline_s, t_none)
+        disabled_s = min(disabled_s, t_null)
+    return {
+        "tracing_baseline_s": baseline_s,
+        "tracing_disabled_s": disabled_s,
+        "tracing_disabled_overhead": disabled_s / baseline_s - 1.0,
+    }
+
+
+def test_disabled_tracing_overhead_below_five_percent(
+    benchmark, tracing_overhead
+):
+    overhead = run_once(
+        benchmark, lambda: tracing_overhead["tracing_disabled_overhead"]
+    )
+    assert overhead < 0.05
+
+
+def test_write_bench_json(
+    measurements, cache_measurements, tracing_overhead, report_sink
+):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = dict(measurements)
     payload.update(cache_measurements)
+    payload.update(tracing_overhead)
     path = RESULTS_DIR / "BENCH_kernel.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     lines = [

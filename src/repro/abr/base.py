@@ -113,6 +113,11 @@ class ABRAlgorithm(ABC):
 
     name = "base"
 
+    #: Optional :class:`repro.obs.Tracer` for profiling hooks (solver
+    #: wall-time, table-lookup depth).  Sessions attach theirs before
+    #: driving the algorithm; ``None`` keeps every hook a no-op.
+    tracer = None
+
     def prepare(self, manifest: VideoManifest, config: SessionConfig) -> None:
         """Bind to a video/session; called once before each session.
 

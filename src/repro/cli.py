@@ -11,6 +11,10 @@ Subcommands map one-to-one onto the paper's artifacts:
                         fig11e-levels, fig12a, fig12b).
 * ``table1``          — FastMPC table-size report.
 * ``overhead``        — the Section 7.4 CPU/memory microbenchmark.
+* ``trace``           — like ``run`` but records the full structured
+                        event timeline as JSONL and verifies that the
+                        replayed QoE matches the live session exactly
+                        (docs/observability.md).
 * ``serve``           — run the asyncio ABR decision service (FastMPC
                         tables behind an HTTP boundary; docs/service.md).
 * ``loadtest``        — closed-loop trace-driven load generation against
@@ -110,6 +114,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default="balanced",
     )
 
+    p = sub.add_parser(
+        "trace", help="run one session and write its event timeline as JSONL"
+    )
+    p.add_argument("algorithm", choices=available())
+    p.add_argument(
+        "--output", "-o", default="session-timeline.jsonl",
+        help="JSONL timeline path (default session-timeline.jsonl)",
+    )
+    p.add_argument("--trace-file", help="CSV trace to play against")
+    p.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="fcc",
+        help="generate a trace from this dataset when no file is given",
+    )
+    p.add_argument("--trace-index", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=("sim", "emulation"), default="sim")
+    p.add_argument("--buffer", type=float, default=30.0, help="Bmax seconds")
+    p.add_argument(
+        "--weights",
+        choices=("balanced", "avoid-instability", "avoid-rebuffering"),
+        default="balanced",
+    )
+
     p = sub.add_parser("compare", help="the Figure 8 matrix")
     _add_common_trace_args(p)
     p.add_argument("--backend", choices=("sim", "emulation"), default="sim")
@@ -185,6 +212,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--idle-timeout", type=float, default=60.0,
         help="seconds before an idle keep-alive connection is reaped",
+    )
+    p.add_argument(
+        "--trace", metavar="PATH", dest="trace_jsonl",
+        help="stream one request-span JSONL event per request to PATH",
     )
 
     p = sub.add_parser(
@@ -269,6 +300,40 @@ def _cmd_run(args) -> int:
         f" - {breakdown.weights.startup:g} x startup {breakdown.startup_seconds:.2f}s"
     )
     return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one traced session, write the timeline, verify exact replay."""
+    from .obs import JsonlSink, Tracer, read_timeline, replay_session
+
+    manifest = envivio()
+    if args.trace_file:
+        trace = load_trace_csv(args.trace_file)
+    else:
+        generator = make_generator(args.dataset, seed=args.seed)
+        trace = generator.generate(
+            manifest.total_duration_s + 60.0, index=args.trace_index
+        )
+    algorithm = create(args.algorithm)
+    config = _make_config(args)
+    tracer = Tracer([JsonlSink(args.output)])
+    run = simulate_session if args.backend == "sim" else emulate_session
+    session = run(algorithm, trace, manifest, config, tracer=tracer)
+    tracer.close()
+
+    live_qoe = session.qoe().total
+    replayed = replay_session(read_timeline(args.output))
+    drift = replayed.mismatches()
+    exact = replayed.qoe.total == live_qoe and not drift
+    print(
+        f"{tracer.events_emitted} events -> {args.output}"
+        f" | live QoE {live_qoe:.6f}"
+        f" | replayed QoE {replayed.qoe.total:.6f}"
+        f" | {'exact match' if exact else 'MISMATCH'}"
+    )
+    for problem in drift:
+        print(f"  drift: {problem}")
+    return 0 if exact else 1
 
 
 def _datasets_from_args(args):
@@ -436,7 +501,12 @@ def _cmd_serve(args) -> int:
             idle_timeout_s=args.idle_timeout,
         ),
     )
-    server = DecisionServer(service, args.host, args.port)
+    tracer = None
+    if args.trace_jsonl:
+        from .obs import JsonlSink, Tracer
+
+        tracer = Tracer([JsonlSink(args.trace_jsonl, flush_every=1)])
+    server = DecisionServer(service, args.host, args.port, tracer=tracer)
 
     async def _serve() -> None:
         await server.start()
@@ -451,6 +521,9 @@ def _cmd_serve(args) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        if tracer is not None:
+            tracer.close()
     return 0
 
 
@@ -600,6 +673,7 @@ def _cmd_chaos(args) -> int:
 _COMMANDS = {
     "generate-traces": _cmd_generate_traces,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "table1": _cmd_table1,

@@ -299,6 +299,11 @@ class FastMPCController(ABRAlgorithm):
         if self.robust:
             query = raw / (1.0 + self.error_tracker.max_recent_abs_error())
         prev = observation.prev_level_index if observation.prev_level_index is not None else 0
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return self.table.lookup_traced(
+                observation.buffer_level_s, prev, query, tracer
+            )
         return self.table.lookup(observation.buffer_level_s, prev, query)
 
     def on_download_complete(self, result) -> None:

@@ -37,9 +37,12 @@ Instance batches are chunked internally so scratch stays bounded
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs.events import SolverCall
 
 from .horizon import (
     _ENUMERATION_LIMIT,
@@ -234,6 +237,7 @@ def _solve_rows(
 def solve_horizon_batch(
     problems: Iterable[HorizonProblem],
     evaluator: Optional[_BatchEvaluator] = None,
+    tracer=None,
 ) -> List[HorizonSolution]:
     """Solve many ``QOE_MAX_STEADY`` instances in one vectorised pass.
 
@@ -248,7 +252,11 @@ def solve_horizon_batch(
 
     Instances whose plan space exceeds the enumeration limit are solved
     with the exact Pareto DP, matching ``solve_horizon``'s dispatch.
+
+    A :class:`repro.obs.Tracer` records one ``solver-call`` event per
+    structural group (batch size, plan count, wall time).
     """
+    tracing = tracer is not None and tracer.enabled
     problem_list = list(problems)
     if not problem_list:
         return []
@@ -274,6 +282,8 @@ def solve_horizon_batch(
 
     for key, idxs in groups.items():
         quality_values, horizon, num_levels, lam, mu, duration, capacity = key
+        if tracing:
+            _t0 = time.perf_counter()
         plans = _plan_matrix(num_levels, horizon)
         members = [problem_list[i] for i in idxs]
         sizes = np.asarray(
@@ -303,6 +313,17 @@ def solve_horizon_batch(
                 rebuffer_s=float(rebuf[row]),
                 final_buffer_s=float(fin[row]),
             )
+        if tracing:
+            tracer.emit(
+                SolverCall(
+                    session_id="",
+                    t_mono=tracer.now(),
+                    op="solve-horizon-batch",
+                    instances=len(idxs),
+                    plans=int(plans.shape[0]),
+                    wall_s=time.perf_counter() - _t0,
+                )
+            )
     assert all(s is not None for s in solutions)
     return solutions  # type: ignore[return-value]
 
@@ -318,6 +339,7 @@ def build_table_decisions(
     chunk_duration_s: float,
     buffer_capacity_s: float,
     evaluator: Optional[_BatchEvaluator] = None,
+    tracer=None,
 ) -> np.ndarray:
     """FastMPC's offline enumeration over the whole binned state space.
 
@@ -336,6 +358,9 @@ def build_table_decisions(
     table resolution the (sub-ULP) difference cannot flip a decision
     except on exact ties between plans that already share a first level.
     """
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        _t0 = time.perf_counter()
     sizes = np.asarray(level_sizes_kilobits, dtype=np.float64)
     quality = np.asarray(quality_values, dtype=np.float64)
     b_centers = np.asarray(buffer_centers, dtype=np.float64)
@@ -396,4 +421,15 @@ def build_table_decisions(
             column = static - first_switch[:, prev]  # (M,)
             np.add(rebuf_v, column[None, :, None], out=score_v)
             decisions[lo:hi, prev, :] = plan_first[np.argmax(score_v, axis=1)]
+    if tracing:
+        tracer.emit(
+            SolverCall(
+                session_id="",
+                t_mono=tracer.now(),
+                op="table-build",
+                instances=int(decisions.size),
+                plans=m,
+                wall_s=time.perf_counter() - _t0,
+            )
+        )
     return decisions

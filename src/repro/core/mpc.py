@@ -16,9 +16,11 @@ with an :class:`~repro.prediction.oracle.OraclePredictor` plugged in.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Tuple
 
 from ..abr.base import ABRAlgorithm, DownloadResult, PlayerObservation
+from ..obs.events import SolverCall
 from ..prediction.base import ThroughputPredictor
 from ..prediction.errors import PredictionErrorTracker
 from ..prediction.harmonic import HarmonicMeanPredictor
@@ -155,12 +157,30 @@ class MPCController(ABRAlgorithm):
         self._pending_raw_prediction = raw[0]
         predictions = self._transform_predictions(list(raw))
         problem = self._build_problem(observation, predictions)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            _t0 = time.perf_counter()
         if self.optimize_startup and not observation.playback_started:
             solution = solve_startup(problem, evaluator=self._evaluator)
             self._startup_wait_s = solution.startup_wait_s
-            return solution
-        self._startup_wait_s = 0.0
-        return solve_horizon(problem, evaluator=self._evaluator)
+            op = "solve-startup"
+        else:
+            self._startup_wait_s = 0.0
+            solution = solve_horizon(problem, evaluator=self._evaluator)
+            op = "solve-horizon"
+        if tracing:
+            tracer.emit(
+                SolverCall(
+                    session_id="",
+                    t_mono=tracer.now(),
+                    op=op,
+                    instances=1,
+                    plans=len(problem.quality_values) ** len(problem.chunk_sizes_kilobits),
+                    wall_s=time.perf_counter() - _t0,
+                )
+            )
+        return solution
 
 
 def make_mpc_opt(horizon: int = DEFAULT_HORIZON) -> MPCController:

@@ -20,10 +20,13 @@ from __future__ import annotations
 import bisect
 import math
 import struct
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
+
+from ..obs.events import TableLookup
 
 __all__ = ["Binning", "RunLengthEncodedTable", "DecisionTable", "TableSizeReport"]
 
@@ -157,6 +160,27 @@ class RunLengthEncodedTable:
         run = bisect.bisect_right(self._run_ends, index)
         return self._run_values[run]
 
+    def lookup_profiled(self, index: int) -> Tuple[int, int]:
+        """Like :meth:`lookup` but also counts binary-search probes.
+
+        Returns ``(value, depth)`` where ``depth`` is the number of run
+        ends examined — the profiling signal behind the observability
+        layer's table-lookup events.  The search is the same
+        ``bisect_right`` recurrence, hand-rolled so probes are countable.
+        """
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range 0..{self._length - 1}")
+        lo, hi, depth = 0, len(self._run_ends), 0
+        ends = self._run_ends
+        while lo < hi:
+            mid = (lo + hi) // 2
+            depth += 1
+            if index < ends[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self._run_values[lo], depth
+
     def __len__(self) -> int:
         return self._length
 
@@ -264,6 +288,43 @@ class DecisionTable:
         if self._full is not None:
             return int(self._full[flat])
         return self._rle.lookup(flat)
+
+    def lookup_traced(
+        self,
+        buffer_level_s: float,
+        prev_level: int,
+        predicted_kbps: float,
+        tracer,
+        session_id: str = "",
+    ) -> int:
+        """:meth:`lookup` plus a :class:`repro.obs.TableLookup` event.
+
+        Returns the same level as :meth:`lookup` on the same inputs; the
+        event records the quantized bins, the RLE search depth (0 when
+        the full table answered), and the lookup wall time.
+        """
+        t0 = time.perf_counter()
+        b = self.buffer_bins.index_of(buffer_level_s)
+        c = self.throughput_bins.index_of(predicted_kbps)
+        flat = self._flat_index(b, prev_level, c)
+        if self._full is not None:
+            level, depth = int(self._full[flat]), 0
+        else:
+            level, depth = self._rle.lookup_profiled(flat)
+        tracer.emit(
+            TableLookup(
+                session_id=session_id,
+                t_mono=tracer.now(),
+                buffer_bin=b,
+                prev_level=prev_level,
+                throughput_bin=c,
+                level=level,
+                num_runs=self._rle.num_runs,
+                depth=depth,
+                wall_s=time.perf_counter() - t0,
+            )
+        )
+        return level
 
     @property
     def num_entries(self) -> int:

@@ -16,6 +16,7 @@ experiment harness.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional
 
 from ..abr.base import (
@@ -24,6 +25,8 @@ from ..abr.base import (
     PlayerObservation,
     SessionConfig,
 )
+from ..obs.events import ChunkDecision, ChunkDownload, Rebuffer, SessionSummary
+from ..obs.tracer import Tracer
 from ..prediction.base import TraceAware
 from ..sim.session import SessionResult, StartupPolicy
 from ..video.manifest import VideoManifest
@@ -58,6 +61,8 @@ class EmulatedClient:
         fixed_startup_delay_s: float = 0.0,
         start_time_s: float = 0.0,
         max_chunk_retries: int = 3,
+        tracer: Optional[Tracer] = None,
+        session_id: str = "",
     ) -> None:
         if rtt_s < 0:
             raise ValueError("RTT must be >= 0")
@@ -94,6 +99,13 @@ class EmulatedClient:
         self._pending_level = 0
         self._chunk_failures = 0
         self._finished = False
+        self._tracing = tracer is not None and tracer.enabled
+        self.tracer = tracer
+        self.session_id = session_id or (
+            f"{algorithm.name}:{link.trace.name}#client{client_id}"
+        )
+        if self._tracing:
+            algorithm.tracer = tracer
 
         algorithm.prepare(manifest, config)
         for predictor in algorithm.predictors():
@@ -147,10 +159,26 @@ class EmulatedClient:
             wall_time_s=now,
             playback_started=now >= self._playback_start_s,
         )
+        if self._tracing:
+            _decide_t0 = time.perf_counter()
         level = self.algorithm.select_bitrate(observation)
         if not 0 <= level < len(self.manifest.ladder):
             raise ValueError(
                 f"{self.algorithm.name} returned invalid level {level}"
+            )
+        if self._tracing:
+            self.tracer.emit(
+                ChunkDecision(
+                    session_id=self.session_id,
+                    t_mono=self.tracer.now(),
+                    chunk_index=k,
+                    buffer_s=observation.buffer_level_s,
+                    prev_level=self._prev_level,
+                    level=level,
+                    bitrate_kbps=self.manifest.ladder[level],
+                    wall_time_s=now,
+                    decide_wall_s=time.perf_counter() - _decide_t0,
+                )
             )
         self._pending_level = level
         self._chunk_request_time = now
@@ -270,10 +298,56 @@ class EmulatedClient:
             buffer_before_s=max(self._buffer_s - L, 0.0),
         )
         self._records.append(result)
+        if self._tracing:
+            self.tracer.emit(
+                ChunkDownload(
+                    session_id=self.session_id,
+                    t_mono=self.tracer.now(),
+                    chunk_index=k,
+                    level=level,
+                    bitrate_kbps=result.bitrate_kbps,
+                    size_kilobits=size_kilobits,
+                    download_time_s=download_time,
+                    throughput_kbps=result.throughput_kbps,
+                    rebuffer_s=rebuffer,
+                    buffer_before_s=result.buffer_before_s,
+                    buffer_after_s=self._buffer_s,
+                    wall_time_end_s=result.wall_time_end_s,
+                    waited_s=waited,
+                )
+            )
+            if rebuffer > 0:
+                self.tracer.emit(
+                    Rebuffer(
+                        session_id=self.session_id,
+                        t_mono=self.tracer.now(),
+                        chunk_index=k,
+                        duration_s=rebuffer,
+                        wall_time_s=now,
+                    )
+                )
         self.algorithm.on_download_complete(result)
         self._prev_level = level
 
         if len(self._records) >= self.manifest.num_chunks:
             self._finished = True
+            if self._tracing:
+                session = self.result()
+                self.tracer.emit(
+                    SessionSummary(
+                        session_id=self.session_id,
+                        t_mono=self.tracer.now(),
+                        algorithm=self.algorithm.name,
+                        trace_name=self.link.trace.name,
+                        num_chunks=len(self._records),
+                        startup_delay_s=session.startup_delay_s,
+                        total_rebuffer_s=session.total_rebuffer_s,
+                        total_wall_time_s=session.total_wall_time_s,
+                        qoe_total=session.qoe().total,
+                        weight_switching=self.config.weights.switching,
+                        weight_rebuffering=self.config.weights.rebuffering,
+                        weight_startup=self.config.weights.startup,
+                    )
+                )
             return
         self.queue.schedule_at(now + waited, self._request_next_chunk)

@@ -52,6 +52,9 @@ class FairnessReport:
     average_bitrates_kbps: Tuple[float, ...]
     jain_index: float
     unfairness: float
+    #: Sessions excluded from the index because they downloaded nothing
+    #: (e.g. a client killed by a fault before its first chunk).
+    num_zero_chunk_sessions: int = 0
 
     @property
     def num_clients(self) -> int:
@@ -59,20 +62,43 @@ class FairnessReport:
 
     def describe(self) -> str:
         rates = ", ".join(f"{r:.0f}" for r in self.average_bitrates_kbps)
-        return (
+        line = (
             f"{self.num_clients} clients | avg bitrates [{rates}] kbps"
             f" | Jain {self.jain_index:.3f}"
             f" | unfairness {self.unfairness:.3f}"
         )
+        if self.num_zero_chunk_sessions:
+            line += f" | {self.num_zero_chunk_sessions} zero-chunk excluded"
+        return line
 
 
 def fairness_report(sessions: Sequence) -> FairnessReport:
-    """Fairness over finished sessions (anything with ``metrics()``)."""
+    """Fairness over finished sessions (anything with ``metrics()``).
+
+    Sessions whose ``metrics()`` raises :class:`ValueError` — i.e. they
+    finished with zero chunks, which happens under fault injection —
+    are excluded from the index and counted in
+    :attr:`FairnessReport.num_zero_chunk_sessions`.  All sessions being
+    empty (or the list itself) is an error: there is no allocation to
+    measure fairness over.
+    """
     if not sessions:
         raise ValueError("need at least one session")
-    rates = tuple(s.metrics().average_bitrate_kbps for s in sessions)
+    rates = []
+    zero_chunk = 0
+    for session in sessions:
+        try:
+            rates.append(float(session.metrics().average_bitrate_kbps))
+        except ValueError:
+            zero_chunk += 1
+    if not rates:
+        raise ValueError(
+            f"all {zero_chunk} sessions finished with zero chunks;"
+            " no bitrates to measure fairness over"
+        )
     return FairnessReport(
-        average_bitrates_kbps=rates,
+        average_bitrates_kbps=tuple(rates),
         jain_index=jain_fairness_index(rates),
         unfairness=unfairness(rates),
+        num_zero_chunk_sessions=zero_chunk,
     )

@@ -109,6 +109,8 @@ def emulate_session(
     fixed_startup_delay_s: float = 0.0,
     faults: Optional[Sequence] = None,
     fault_seed: int = 0,
+    tracer=None,
+    session_id: str = "",
 ) -> SessionResult:
     """Run one player through the byte-level testbed; same result type as
     the simulator, so harness code is backend-agnostic.
@@ -118,6 +120,9 @@ def emulate_session(
     still always completes — the client retries failed downloads and
     degrades to its local rate-based fallback level when the retry
     budget runs out (see ``docs/robustness.md``).
+
+    A :class:`repro.obs.Tracer` makes the client emit the same per-chunk
+    event timeline as the simulator (see ``docs/observability.md``).
     """
     config = config if config is not None else SessionConfig()
     network = network if network is not None else NetworkProfile()
@@ -139,6 +144,8 @@ def emulate_session(
         rtt_s=network.rtt_s,
         startup_policy=startup_policy,
         fixed_startup_delay_s=fixed_startup_delay_s,
+        tracer=tracer,
+        session_id=session_id,
     )
     queue.run_until_idle()
     return client.result()
@@ -153,6 +160,7 @@ def emulate_shared_link(
     start_stagger_s: float = 0.0,
     faults: Optional[Sequence] = None,
     fault_seed: int = 0,
+    tracer=None,
 ) -> SharedLinkResult:
     """Multiple players compete on one bottleneck (Section 8 extension).
 
@@ -160,7 +168,8 @@ def emulate_shared_link(
     session starts (players rarely begin simultaneously in practice).
     Returns one session result per player, in input order, as a
     :class:`SharedLinkResult` — call ``.fairness()`` on it for Jain's
-    index and the multiplayer unfairness measure.
+    index and the multiplayer unfairness measure.  A shared ``tracer``
+    receives every player's events, distinguished by session id.
     """
     if not algorithms:
         raise ValueError("need at least one player")
@@ -186,6 +195,7 @@ def emulate_shared_link(
             server=server,
             rtt_s=network.rtt_s,
             start_time_s=i * start_stagger_s,
+            tracer=tracer,
         )
         for i, algorithm in enumerate(algorithms)
     ]

@@ -45,7 +45,14 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 def render_distribution_summary(
     label: str, values: Sequence[float], unit: str = ""
 ) -> str:
-    """p10/p50/p90 one-liner for a per-session distribution."""
+    """p10/p50/p90 one-liner for a per-session distribution.
+
+    An empty distribution (a run where every session was dropped, e.g.
+    under fault injection) renders as ``(no values)`` rather than
+    crashing the whole report.
+    """
+    if not values:
+        return f"{label:>28}: (no values)"
     suffix = f" {unit}" if unit else ""
     return (
         f"{label:>28}: p10 {percentile(values, 10):10.3f}"
@@ -59,15 +66,20 @@ def render_result_set(results: ResultSet) -> str:
     rows = []
     for algorithm in results.algorithms():
         nqoe = results.n_qoe_values(algorithm)
-        rows.append(
-            [
-                algorithm,
-                round(percentile(nqoe, 10), 4),
-                round(median(nqoe), 4),
-                round(percentile(nqoe, 90), 4),
-                round(fraction_below(nqoe, 0.0), 4),
-            ]
-        )
+        if nqoe:
+            rows.append(
+                [
+                    algorithm,
+                    round(percentile(nqoe, 10), 4),
+                    round(median(nqoe), 4),
+                    round(percentile(nqoe, 90), 4),
+                    round(fraction_below(nqoe, 0.0), 4),
+                ]
+            )
+        else:
+            # No surviving sessions for this algorithm: keep the row so
+            # the table stays complete, but mark it instead of crashing.
+            rows.append([algorithm, "n/a", "n/a", "n/a", "n/a"])
     title = f"normalized QoE ({results.dataset})" if results.dataset else "normalized QoE"
     table = render_table(
         ["algorithm", "p10", "median", "p90", "frac n-QoE<0"], rows
@@ -79,16 +91,19 @@ def render_figure7(characteristics: Mapping[str, DatasetCharacteristics]) -> str
     """Dataset characteristics summary (Figure 7)."""
     rows = []
     for name, ch in characteristics.items():
-        rows.append(
-            [
-                name,
-                round(median(ch.mean_kbps), 1),
-                round(median(ch.std_kbps), 1),
-                round(median(ch.mean_abs_prediction_error), 4),
-                round(max(ch.worst_abs_prediction_error), 4),
-                round(median(ch.overestimation_fraction), 4),
-            ]
-        )
+        if ch.mean_kbps:
+            rows.append(
+                [
+                    name,
+                    round(median(ch.mean_kbps), 1),
+                    round(median(ch.std_kbps), 1),
+                    round(median(ch.mean_abs_prediction_error), 4),
+                    round(max(ch.worst_abs_prediction_error), 4),
+                    round(median(ch.overestimation_fraction), 4),
+                ]
+            )
+        else:
+            rows.append([name, "n/a", "n/a", "n/a", "n/a", "n/a"])
     return render_table(
         [
             "dataset",
@@ -116,8 +131,10 @@ def render_detail_series(detail: DetailSeries) -> str:
             lines.append(render_distribution_summary(algorithm, values, unit))
         if title == "total rebuffer":
             for algorithm, values in series.items():
+                share = (
+                    f"{fraction_at_most(values, 1e-9):.0%}" if values else "n/a"
+                )
                 lines.append(
-                    f"{algorithm:>28}: zero-rebuffer sessions "
-                    f"{fraction_at_most(values, 1e-9):.0%}"
+                    f"{algorithm:>28}: zero-rebuffer sessions {share}"
                 )
     return "\n".join(lines)

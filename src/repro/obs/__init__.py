@@ -1,0 +1,64 @@
+"""Observability layer: structured decision tracing, profiling, replay.
+
+Public surface:
+
+* :mod:`repro.obs.events` — the typed event vocabulary and its lossless
+  JSONL encoding;
+* :mod:`repro.obs.tracer` — :class:`Tracer`, bounded
+  :class:`RingBufferSink`, streaming :class:`JsonlSink`, and spans;
+* :mod:`repro.obs.replay` — recompute a session's Eq. 5 QoE from its
+  timeline; must match the live run exactly.
+
+See ``docs/observability.md`` for the event vocabulary and the
+trace-replay contract.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    ChunkDecision,
+    ChunkDownload,
+    Event,
+    Rebuffer,
+    RequestSpan,
+    SessionSummary,
+    SolverCall,
+    TableLookup,
+    event_from_dict,
+    event_from_json,
+    event_to_dict,
+    event_to_json,
+)
+from .replay import (
+    ReplayedSession,
+    read_timeline,
+    replay_session,
+    split_sessions,
+    verify_timeline,
+)
+from .tracer import NULL_TRACER, JsonlSink, RingBufferSink, Span, Tracer
+
+__all__ = [
+    "Event",
+    "ChunkDecision",
+    "ChunkDownload",
+    "Rebuffer",
+    "SolverCall",
+    "TableLookup",
+    "RequestSpan",
+    "SessionSummary",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+    "event_to_json",
+    "event_from_json",
+    "Tracer",
+    "Span",
+    "RingBufferSink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "read_timeline",
+    "split_sessions",
+    "replay_session",
+    "verify_timeline",
+    "ReplayedSession",
+]

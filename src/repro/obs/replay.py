@@ -1,0 +1,153 @@
+"""Recompute session outcomes from a recorded timeline.
+
+The trace-replay contract (see ``docs/observability.md``): a timeline
+produced by the instrumented simulator, emulator, or ``repro-abr trace``
+contains every term of the Eq. 5 accounting, so replaying it must
+reproduce the live session's QoE **exactly** — the same floats, not
+approximately.  That holds because the per-chunk events carry the very
+values the live run accumulated, in order, and floating-point addition
+of the same values in the same order is deterministic.
+
+:func:`replay_session` rebuilds the bitrate sequence, rebuffer total and
+startup delay from one session's events and re-scores Eq. 5;
+:func:`verify_timeline` cross-checks the replay against the recorded
+:class:`~repro.obs.events.SessionSummary` and reports any drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..qoe import QoEBreakdown, QoEWeights, compute_qoe
+from .events import ChunkDownload, Event, SessionSummary, event_from_json
+
+__all__ = [
+    "read_timeline",
+    "split_sessions",
+    "ReplayedSession",
+    "replay_session",
+    "verify_timeline",
+]
+
+
+def read_timeline(source: Union[str, IO[str]]) -> List[Event]:
+    """Load a JSONL timeline (path or open text stream); skips blank lines."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            lines = stream.readlines()
+    else:
+        lines = list(source)
+    return [event_from_json(line) for line in lines if line.strip()]
+
+
+def split_sessions(events: Iterable[Event]) -> Dict[str, List[Event]]:
+    """Group a mixed timeline by ``session_id``, preserving event order."""
+    sessions: Dict[str, List[Event]] = {}
+    for event in events:
+        sessions.setdefault(event.session_id, []).append(event)
+    return sessions
+
+
+@dataclass(frozen=True)
+class ReplayedSession:
+    """One session re-scored from its timeline."""
+
+    session_id: str
+    level_indices: Tuple[int, ...]
+    bitrates_kbps: Tuple[float, ...]
+    total_rebuffer_s: float
+    startup_delay_s: float
+    qoe: QoEBreakdown
+    summary: Optional[SessionSummary]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.bitrates_kbps)
+
+    def mismatches(self) -> List[str]:
+        """Exact-equality drift between the replay and the recorded
+        summary (empty when the timeline is self-consistent)."""
+        if self.summary is None:
+            return ["timeline has no session-summary event"]
+        problems = []
+        if self.num_chunks != self.summary.num_chunks:
+            problems.append(
+                f"chunks: replay {self.num_chunks} != summary {self.summary.num_chunks}"
+            )
+        if self.total_rebuffer_s != self.summary.total_rebuffer_s:
+            problems.append(
+                f"rebuffer: replay {self.total_rebuffer_s!r}"
+                f" != summary {self.summary.total_rebuffer_s!r}"
+            )
+        if self.qoe.total != self.summary.qoe_total:
+            problems.append(
+                f"qoe: replay {self.qoe.total!r} != summary {self.summary.qoe_total!r}"
+            )
+        return problems
+
+
+def replay_session(
+    events: Sequence[Event],
+    weights: Optional[QoEWeights] = None,
+    quality=None,
+) -> ReplayedSession:
+    """Re-score one session's Eq. 5 QoE from its per-chunk events.
+
+    ``weights`` defaults to the weights recorded in the session's
+    :class:`~repro.obs.events.SessionSummary`; ``quality`` defaults to
+    identity — the contract covers identity-quality sessions (the CLI's
+    default); pass the session's quality function for anything else.
+
+    The rebuffer total is summed over the download events *in event
+    order*, which is bit-identical to the live accumulation.
+    """
+    downloads = [e for e in events if isinstance(e, ChunkDownload)]
+    if not downloads:
+        raise ValueError("timeline contains no chunk-download events")
+    summaries = [e for e in events if isinstance(e, SessionSummary)]
+    summary = summaries[-1] if summaries else None
+    session_id = downloads[0].session_id
+
+    total_rebuffer = 0.0
+    for d in downloads:
+        total_rebuffer += d.rebuffer_s
+    startup = summary.startup_delay_s if summary is not None else 0.0
+    if weights is None:
+        weights = (
+            QoEWeights(
+                switching=summary.weight_switching,
+                rebuffering=summary.weight_rebuffering,
+                startup=summary.weight_startup,
+            )
+            if summary is not None
+            else QoEWeights.balanced()
+        )
+    bitrates = tuple(d.bitrate_kbps for d in downloads)
+    qoe = compute_qoe(list(bitrates), total_rebuffer, startup, weights, quality)
+    return ReplayedSession(
+        session_id=session_id,
+        level_indices=tuple(d.level for d in downloads),
+        bitrates_kbps=bitrates,
+        total_rebuffer_s=total_rebuffer,
+        startup_delay_s=startup,
+        qoe=qoe,
+        summary=summary,
+    )
+
+
+def verify_timeline(events: Iterable[Event]) -> Dict[str, List[str]]:
+    """Replay every session in a timeline and collect drift per session.
+
+    Returns ``{session_id: [mismatch, ...]}`` containing only sessions
+    with problems — an empty dict means the whole timeline replays to
+    exactly its recorded outcomes.
+    """
+    problems: Dict[str, List[str]] = {}
+    for session_id, session_events in split_sessions(events).items():
+        if not any(isinstance(e, ChunkDownload) for e in session_events):
+            continue  # service/solver-only sessions carry no playback
+        drift = replay_session(session_events).mismatches()
+        if drift:
+            problems[session_id] = drift
+    return problems

@@ -1,0 +1,218 @@
+"""The tracer: event routing, bounded sinks, spans, and the no-op path.
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  Instrumented call sites follow one pattern —
+   ``if tracer is not None and tracer.enabled:`` — so the disabled path
+   is a single attribute check and no event object is ever built.  The
+   module-level :data:`NULL_TRACER` is a permanently disabled tracer for
+   call sites that want an object rather than ``None``.
+
+2. **Bounded memory.**  :class:`RingBufferSink` keeps the most recent
+   ``capacity`` events and counts what it dropped; a tracer left running
+   on a production server can never grow without bound.
+
+3. **Plain JSONL on disk.**  :class:`JsonlSink` streams one event per
+   line through :func:`repro.obs.events.event_to_json`; the files are
+   greppable, diffable, and replayable (:mod:`repro.obs.replay`).
+
+Timestamps come from the tracer's monotonic clock (:meth:`Tracer.now`),
+which additionally enforces non-decreasing readings, so every timeline
+is sortable by ``t_mono`` within a process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, IO, Iterable, List, Optional, Tuple, Union
+
+from .events import Event, RequestSpan, event_to_json
+
+__all__ = [
+    "RingBufferSink",
+    "JsonlSink",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+]
+
+
+class RingBufferSink:
+    """Keep the newest ``capacity`` events; drop-oldest beyond that."""
+
+    __slots__ = ("capacity", "_events", "_start", "dropped")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: List[Event] = []
+        self._start = 0  # index of the oldest live event (circular)
+        #: Events evicted so far (monotone counter).
+        self.dropped = 0
+
+    def emit(self, event: Event) -> None:
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self._start] = event
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> Tuple[Event, ...]:
+        """Live events, oldest first."""
+        return tuple(self._events[self._start:] + self._events[: self._start])
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._start = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def close(self) -> None:  # sink protocol; nothing to release
+        pass
+
+
+class JsonlSink:
+    """Stream events as JSON Lines to a path or an open text stream."""
+
+    def __init__(self, target: Union[str, IO[str]], flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._flush_every = flush_every
+        self._since_flush = 0
+        self.emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._stream.write(event_to_json(event) + "\n")
+        self.emitted += 1
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._stream.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class Span:
+    """One in-flight measured operation (see :meth:`Tracer.span`).
+
+    Mutate :attr:`status` / :attr:`chaos` while the span is open; both
+    are recorded on the :class:`~repro.obs.events.RequestSpan` event the
+    context manager emits on exit.
+    """
+
+    __slots__ = ("tracer", "name", "session_id", "trace_id", "status", "chaos", "_t0", "wall_s")
+
+    def __init__(self, tracer: "Tracer", name: str, session_id: str, trace_id: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.session_id = session_id
+        self.trace_id = trace_id
+        self.status = "ok"
+        self.chaos: Optional[str] = None
+        self._t0 = time.perf_counter()
+        self.wall_s = 0.0
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        if exc_type is not None and self.status == "ok":
+            self.status = "exception"
+        self.tracer.emit(
+            RequestSpan(
+                session_id=self.session_id,
+                t_mono=self.tracer.now(),
+                trace_id=self.trace_id,
+                name=self.name,
+                wall_s=self.wall_s,
+                status=self.status,
+                chaos=self.chaos,
+            )
+        )
+
+
+class Tracer:
+    """Routes events to sinks; stamps empty session ids; never raises
+    into instrumented code paths from the disabled state.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with ``emit(event)`` (and optionally ``close()``); see
+        :class:`RingBufferSink` / :class:`JsonlSink`.
+    session_id:
+        Default session attribution: events emitted with an empty
+        ``session_id`` are re-stamped with this value (profiling hooks
+        deep in the solver do not know which session drove them).
+    clock:
+        Monotonic time source, injectable for tests.
+    enabled:
+        The master switch; a disabled tracer is inert and call sites are
+        expected to skip event construction entirely.
+    """
+
+    def __init__(
+        self,
+        sinks: Iterable[object] = (),
+        session_id: str = "",
+        clock: Callable[[], float] = time.monotonic,
+        enabled: bool = True,
+    ) -> None:
+        self._sinks = list(sinks)
+        self.session_id = session_id
+        self._clock = clock
+        self.enabled = enabled
+        self._last_t = float("-inf")
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """A non-decreasing monotonic-clock reading."""
+        t = self._clock()
+        if t < self._last_t:
+            t = self._last_t
+        self._last_t = t
+        return t
+
+    def add_sink(self, sink: object) -> None:
+        self._sinks.append(sink)
+
+    def emit(self, event: Event) -> None:
+        """Deliver one event to every sink (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if not event.session_id and self.session_id:
+            event = replace(event, session_id=self.session_id)
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def span(self, name: str, session_id: str = "", trace_id: str = "") -> Span:
+        """A context manager measuring one operation on the wall clock."""
+        return Span(self, name, session_id or self.session_id, trace_id)
+
+    def close(self) -> None:
+        """Close every sink that has a ``close`` method."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+#: A permanently disabled tracer for call sites that want an object.
+NULL_TRACER = Tracer(enabled=False)

@@ -151,6 +151,10 @@ class ServiceMetrics:
         self.connections_reset = 0
         self.chaos_injected: Dict[str, int] = {}
         self.latency = LatencyHistogram(bounds_us)
+        #: Per-span-name request-phase histograms (observability layer);
+        #: bucket bounds are shared with the request latency histogram.
+        self.spans: Dict[str, LatencyHistogram] = {}
+        self._bounds_us = tuple(bounds_us)
         self._sessions_seen: set = set()
 
     # ------------------------------------------------------------------
@@ -191,6 +195,13 @@ class ServiceMetrics:
         """One injected misbehaviour of the given kind (chaos mode)."""
         self.chaos_injected[kind] = self.chaos_injected.get(kind, 0) + 1
 
+    def record_span(self, name: str, latency_us: float) -> None:
+        """One measured request span (e.g. ``decide``, ``table-swap``)."""
+        histogram = self.spans.get(name)
+        if histogram is None:
+            histogram = self.spans[name] = LatencyHistogram(self._bounds_us)
+        histogram.observe(latency_us)
+
     @property
     def sessions_seen(self) -> int:
         return len(self._sessions_seen)
@@ -217,4 +228,8 @@ class ServiceMetrics:
             },
             "chaos_injected": dict(self.chaos_injected),
             "latency_us": self.latency.to_dict(),
+            "spans_us": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.spans.items())
+            },
         }

@@ -34,6 +34,8 @@ from struct import error as struct_error
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..core.table import DecisionTable
+from ..obs.events import RequestSpan
+from ..obs.tracer import Tracer
 from ..faults.chaos import (
     CHAOS_ERROR,
     CHAOS_NONE,
@@ -305,6 +307,13 @@ class DecisionServer:
     HTTP 500, slow-loris delay, or a mid-flight table swap — is applied
     through the server's own code paths, never by monkeypatching.  Every
     injection is counted under ``chaos_injected`` in ``/metrics``.
+
+    ``tracer`` streams one :class:`repro.obs.RequestSpan` per request
+    through the observability layer; independent of the tracer, every
+    span is folded into the ``spans_us`` histograms of ``/metrics``.
+    Each ``/v1/decide`` request gets a server-assigned trace id, and a
+    drawn chaos action is stamped onto the request's span, making chaos
+    runs attributable request by request.
     """
 
     def __init__(
@@ -313,11 +322,14 @@ class DecisionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         chaos: Optional[ChaosPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.chaos = chaos
+        self.tracer = tracer
+        self._trace_seq = 0
         self._stashed_table: Optional[DecisionTable] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
@@ -491,7 +503,10 @@ class DecisionServer:
                 metrics.record_error()
                 await self._respond(writer, 405, {"error": "POST required"})
                 return keep_alive
+            trace_id = self._next_trace_id()
+            started = time.perf_counter()
             action = CHAOS_NONE if self.chaos is None else self.chaos.next_action()
+            chaos_tag = None if action == CHAOS_NONE else action
             if action != CHAOS_NONE:
                 metrics.record_chaos(action)
                 if action == CHAOS_RESET:
@@ -500,10 +515,14 @@ class DecisionServer:
                     # path exists for.
                     metrics.record_error()
                     writer.transport.abort()
+                    self._finish_span("decide", trace_id, started, "reset", chaos_tag)
                     return False
                 if action == CHAOS_ERROR:
                     metrics.record_error()
                     await self._respond(writer, 500, {"error": "injected failure"})
+                    self._finish_span(
+                        "decide", trace_id, started, "error-500", chaos_tag
+                    )
                     return keep_alive
                 if action == CHAOS_SLOW:
                     await asyncio.sleep(self.chaos.config.slow_delay_s)
@@ -511,6 +530,14 @@ class DecisionServer:
                     self._chaos_table_swap()
             response = self.service.decide_payload(body)
             await self._respond_raw(writer, 200, response.to_json(), keep_alive)
+            self._finish_span(
+                "decide",
+                trace_id,
+                started,
+                "degraded" if response.degraded else "ok",
+                chaos_tag,
+                session_id=response.session_id,
+            )
             return keep_alive
         if path == "/metrics":
             await self._respond(writer, 200, metrics.snapshot(), close=not keep_alive)
@@ -533,13 +560,20 @@ class DecisionServer:
                 metrics.record_error()
                 await self._respond(writer, 405, {"error": "POST required"})
                 return keep_alive
+            swap_started = time.perf_counter()
             try:
                 table = DecisionTable.from_bytes(body)
                 self.service.swap_table(table)
             except (ValueError, IndexError, struct_error) as exc:
                 metrics.record_error()
                 await self._respond(writer, 400, {"error": f"bad table: {exc}"})
+                self._finish_span(
+                    "table-swap", self._next_trace_id(), swap_started, "bad-table", None
+                )
                 return keep_alive
+            self._finish_span(
+                "table-swap", self._next_trace_id(), swap_started, "ok", None
+            )
             await self._respond(
                 writer,
                 200,
@@ -551,6 +585,36 @@ class DecisionServer:
         metrics.record_error()
         await self._respond(writer, 404, {"error": f"no route {path}"})
         return keep_alive
+
+    def _next_trace_id(self) -> str:
+        self._trace_seq += 1
+        return f"t-{self._trace_seq:08d}"
+
+    def _finish_span(
+        self,
+        name: str,
+        trace_id: str,
+        started: float,
+        status: str,
+        chaos: Optional[str],
+        session_id: str = "",
+    ) -> None:
+        """Record one request span into /metrics and (if on) the tracer."""
+        wall_s = time.perf_counter() - started
+        self.service.metrics.record_span(name, wall_s * 1e6)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                RequestSpan(
+                    session_id=session_id,
+                    t_mono=tracer.now(),
+                    trace_id=trace_id,
+                    name=name,
+                    wall_s=wall_s,
+                    status=status,
+                    chaos=chaos,
+                )
+            )
 
     def _chaos_table_swap(self) -> None:
         """Flip the service's table state mid-flight (injected).

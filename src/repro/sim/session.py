@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -37,6 +38,8 @@ from ..abr.base import (
     SessionConfig,
 )
 from ..core.qoe import QoEBreakdown, compute_qoe
+from ..obs.events import ChunkDecision, ChunkDownload, Rebuffer, SessionSummary
+from ..obs.tracer import Tracer
 from ..prediction.base import TraceAware
 from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
@@ -108,6 +111,8 @@ def simulate_session(
     config: Optional[SessionConfig] = None,
     startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
     fixed_startup_delay_s: float = 0.0,
+    tracer: Optional[Tracer] = None,
+    session_id: str = "",
 ) -> SessionResult:
     """Play the whole video once and return the session log.
 
@@ -120,10 +125,26 @@ def simulate_session(
         ``FIRST_CHUNK`` starts playback when the first chunk arrives plus
         the algorithm's optional extra wait; ``FIXED`` starts at the given
         wall-clock delay exactly (Section 7.3's startup experiment).
+    tracer / session_id:
+        When a :class:`repro.obs.Tracer` is given, the session emits the
+        full per-chunk event timeline (decision, download, rebuffer) plus
+        a closing summary, and attaches itself to the algorithm so solver
+        and table profiling hooks fire too.  ``session_id`` defaults to
+        ``"<algorithm>:<trace>"``.
     """
     config = config if config is not None else SessionConfig()
     if startup_policy is StartupPolicy.FIXED and fixed_startup_delay_s < 0:
         raise ValueError("fixed startup delay must be >= 0")
+    tracing = tracer is not None and tracer.enabled
+    if tracing and not session_id:
+        session_id = f"{algorithm.name}:{trace.name}"
+    if tracing and not tracer.session_id:
+        # Attribute solver/table profiling events (which are emitted with
+        # an empty session id) to this session.  Reuse a fresh tracer per
+        # session, or pre-set ``tracer.session_id``, when that matters.
+        tracer.session_id = session_id
+    if tracer is not None:
+        algorithm.tracer = tracer
     algorithm.prepare(manifest, config)
     _bind_trace_aware(algorithm, trace, manifest)
 
@@ -147,10 +168,26 @@ def simulate_session(
             wall_time_s=t,
             playback_started=t >= playback_start_s,
         )
+        if tracing:
+            _decide_t0 = time.perf_counter()
         level = algorithm.select_bitrate(observation)
         if not 0 <= level < len(manifest.ladder):
             raise ValueError(
                 f"{algorithm.name} returned invalid level {level} for chunk {k}"
+            )
+        if tracing:
+            tracer.emit(
+                ChunkDecision(
+                    session_id=session_id,
+                    t_mono=tracer.now(),
+                    chunk_index=k,
+                    buffer_s=observation.buffer_level_s,
+                    prev_level=prev_level,
+                    level=level,
+                    bitrate_kbps=manifest.ladder[level],
+                    wall_time_s=observation.wall_time_s,
+                    decide_wall_s=time.perf_counter() - _decide_t0,
+                )
             )
         size = manifest.chunk_size_kilobits(k, level)
         download_time = trace.time_to_download(t, size)
@@ -214,11 +251,39 @@ def simulate_session(
             buffer_before_s=observation.buffer_level_s,
         )
         records.append(result)
+        if tracing:
+            tracer.emit(
+                ChunkDownload(
+                    session_id=session_id,
+                    t_mono=tracer.now(),
+                    chunk_index=k,
+                    level=level,
+                    bitrate_kbps=result.bitrate_kbps,
+                    size_kilobits=size,
+                    download_time_s=download_time,
+                    throughput_kbps=result.throughput_kbps,
+                    rebuffer_s=rebuffer,
+                    buffer_before_s=result.buffer_before_s,
+                    buffer_after_s=buffer_s,
+                    wall_time_end_s=t,
+                    waited_s=waited,
+                )
+            )
+            if rebuffer > 0:
+                tracer.emit(
+                    Rebuffer(
+                        session_id=session_id,
+                        t_mono=tracer.now(),
+                        chunk_index=k,
+                        duration_s=rebuffer,
+                        wall_time_s=t,
+                    )
+                )
         algorithm.on_download_complete(result)
         prev_level = level
 
     startup_delay = playback_start_s if playback_start_s != _INFINITY else t
-    return SessionResult(
+    session = SessionResult(
         algorithm_name=algorithm.name,
         trace_name=trace.name,
         records=tuple(records),
@@ -227,3 +292,21 @@ def simulate_session(
         total_wall_time_s=t,
         config=config,
     )
+    if tracing:
+        tracer.emit(
+            SessionSummary(
+                session_id=session_id,
+                t_mono=tracer.now(),
+                algorithm=algorithm.name,
+                trace_name=trace.name,
+                num_chunks=len(records),
+                startup_delay_s=startup_delay,
+                total_rebuffer_s=total_rebuffer,
+                total_wall_time_s=t,
+                qoe_total=session.qoe().total,
+                weight_switching=config.weights.switching,
+                weight_rebuffering=config.weights.rebuffering,
+                weight_startup=config.weights.startup,
+            )
+        )
+    return session

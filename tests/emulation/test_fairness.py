@@ -124,3 +124,59 @@ class TestSharedLinkIntegration:
         assert 0.5 <= report.jain_index <= 1.0
         # Identical algorithms on a fat link should split nearly evenly.
         assert report.unfairness < 0.5
+
+
+class TestZeroChunkSessions:
+    """Fault-injected runs can leave clients with zero chunks; the index
+    must skip them (and say so) instead of crashing mid-report."""
+
+    class _Good:
+        def __init__(self, rate):
+            self._rate = rate
+
+        def metrics(self):
+            class M:
+                pass
+
+            m = M()
+            m.average_bitrate_kbps = self._rate
+            return m
+
+    class _ZeroChunk:
+        def metrics(self):
+            raise ValueError("session has no chunks")
+
+    def test_zero_chunk_sessions_are_excluded_and_counted(self):
+        report = fairness_report(
+            [self._Good(800.0), self._ZeroChunk(), self._Good(800.0)]
+        )
+        assert report.num_clients == 2
+        assert report.num_zero_chunk_sessions == 1
+        assert report.jain_index == pytest.approx(1.0)
+        assert "1 zero-chunk excluded" in report.describe()
+
+    def test_no_zero_chunk_sessions_keeps_describe_unchanged(self):
+        report = fairness_report([self._Good(800.0), self._Good(1200.0)])
+        assert report.num_zero_chunk_sessions == 0
+        assert "zero-chunk" not in report.describe()
+
+    def test_all_zero_chunk_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="zero chunks"):
+            fairness_report([self._ZeroChunk(), self._ZeroChunk()])
+
+    def test_real_zero_chunk_session_result_is_excluded(self):
+        from repro.abr.base import SessionConfig
+        from repro.sim.session import SessionResult
+
+        empty = SessionResult(
+            algorithm_name="mpc",
+            trace_name="t",
+            records=(),
+            startup_delay_s=0.0,
+            total_rebuffer_s=0.0,
+            total_wall_time_s=0.0,
+            config=SessionConfig(),
+        )
+        report = fairness_report([self._Good(640.0), empty])
+        assert report.average_bitrates_kbps == (640.0,)
+        assert report.num_zero_chunk_sessions == 1

@@ -1,0 +1,107 @@
+"""Empty-session / zero-chunk guards in the summary-statistics paths.
+
+Fault injection (PR 3) made runs with dropped or zero-chunk sessions a
+normal outcome, so the reporting layer must render something useful
+instead of crashing — while the low-level CDF helpers keep their strict
+"at least one value" contract (an empty percentile has no meaning)."""
+
+import pytest
+
+from repro.experiments.cdf import (
+    cdf_at,
+    ecdf,
+    fraction_at_most,
+    fraction_below,
+    median,
+    percentile,
+)
+from repro.experiments.figures import DatasetCharacteristics, DetailSeries
+from repro.experiments.report import (
+    render_distribution_summary,
+    render_detail_series,
+    render_figure7,
+    render_result_set,
+)
+
+
+class TestCdfContractStaysStrict:
+    """The primitives keep raising: callers decide how to render "empty"."""
+
+    def test_percentile_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            percentile([], 50)
+
+    def test_median_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_fractions_reject_empty(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 0.0)
+        with pytest.raises(ValueError):
+            fraction_at_most([], 0.0)
+
+    def test_ecdf_and_grid_reject_empty(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+        with pytest.raises(ValueError):
+            cdf_at([], [0.0, 1.0])
+
+
+class TestDistributionSummary:
+    def test_empty_values_render_placeholder(self):
+        line = render_distribution_summary("mpc", [])
+        assert "(no values)" in line
+        assert "mpc" in line
+
+    def test_non_empty_still_renders_percentiles(self):
+        line = render_distribution_summary("mpc", [1.0, 2.0, 3.0], "kbps")
+        assert "median" in line and "kbps" in line
+
+
+class _StubResults:
+    """Quacks like ResultSet for rendering: one algorithm lost all its
+    sessions (e.g. every run hit a fault) and has no values."""
+
+    dataset = "synthetic"
+
+    def algorithms(self):
+        return ["mpc", "ghost"]
+
+    def n_qoe_values(self, algorithm):
+        return [0.8, 0.9, 1.0] if algorithm == "mpc" else []
+
+
+def test_result_set_rendering_marks_empty_algorithm():
+    text = render_result_set(_StubResults())
+    assert "ghost" in text
+    assert "n/a" in text
+    assert "0.9" in text  # the populated algorithm still gets real numbers
+
+
+def test_figure7_rendering_marks_empty_dataset():
+    empty = DatasetCharacteristics(
+        dataset="void",
+        mean_kbps=(),
+        std_kbps=(),
+        mean_abs_prediction_error=(),
+        mean_signed_prediction_error=(),
+        overestimation_fraction=(),
+        worst_abs_prediction_error=(),
+    )
+    text = render_figure7({"void": empty})
+    assert "void" in text
+    assert "n/a" in text
+
+
+def test_detail_series_rendering_survives_empty_algorithm():
+    detail = DetailSeries(
+        dataset="synthetic",
+        average_bitrate_kbps={"mpc": (1200.0,), "ghost": ()},
+        average_bitrate_change_kbps={"mpc": (80.0,), "ghost": ()},
+        total_rebuffer_s={"mpc": (0.0,), "ghost": ()},
+    )
+    text = render_detail_series(detail)
+    assert "(no values)" in text
+    assert "zero-rebuffer sessions n/a" in text
+    assert "zero-rebuffer sessions 100%" in text

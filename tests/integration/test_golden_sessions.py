@@ -1,0 +1,103 @@
+"""Golden-session regression sweep.
+
+``tests/golden/<algorithm>.jsonl`` holds one committed timeline per
+registered ABR, recorded by :mod:`repro.obs` over the two fixed
+synthetic traces defined in ``scripts/regen_golden.py``.  These tests
+re-run every session live and fail on any decision or QoE drift against
+the committed timeline.  An *intentional* behaviour change regenerates
+the fixtures::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+Volatile wall-clock fields are zeroed at recording time, so a live
+re-run on the same code is expected to reproduce the fixture's decision
+sequence exactly and its QoE to float precision.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.abr.registry import available
+from repro.obs import (
+    ChunkDecision,
+    SessionSummary,
+    read_timeline,
+    replay_session,
+    split_sessions,
+    verify_timeline,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+
+_spec = importlib.util.spec_from_file_location(
+    "regen_golden", os.path.join(REPO_ROOT, "scripts", "regen_golden.py")
+)
+regen_golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen_golden)
+
+ALGORITHMS = sorted(available())
+
+
+def _fixture_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.jsonl")
+
+
+def _decisions(events):
+    return [e.level for e in events if isinstance(e, ChunkDecision)]
+
+
+def _summary(events, session_id):
+    for event in events:
+        if isinstance(event, SessionSummary):
+            return event
+    raise AssertionError(f"fixture session {session_id!r} has no summary")
+
+
+def test_every_registered_algorithm_has_a_fixture():
+    missing = [n for n in ALGORITHMS if not os.path.exists(_fixture_path(n))]
+    assert missing == [], (
+        f"no golden fixture for {missing}; run scripts/regen_golden.py"
+    )
+
+
+def test_fixtures_cover_both_golden_traces():
+    trace_names = [t.name for t in regen_golden.golden_traces()]
+    assert len(trace_names) == 2
+    for name in ALGORITHMS:
+        sessions = split_sessions(read_timeline(_fixture_path(name)))
+        assert sorted(sessions) == sorted(
+            f"{name}:{t}" for t in trace_names
+        )
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_fixture_is_self_consistent(name):
+    """Replaying the committed timeline reproduces its own summary."""
+    assert verify_timeline(read_timeline(_fixture_path(name))) == {}
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_live_run_matches_golden_fixture(name):
+    fixture = split_sessions(read_timeline(_fixture_path(name)))
+    for trace in regen_golden.golden_traces():
+        session_id = f"{name}:{trace.name}"
+        golden = fixture[session_id]
+        live = regen_golden.run_golden_session(name, trace)
+
+        # Decision drift: the per-chunk bitrate choices must be identical.
+        assert _decisions(live) == _decisions(golden), (
+            f"decision drift in {session_id}; if intentional, regenerate "
+            f"fixtures with scripts/regen_golden.py"
+        )
+
+        # QoE drift: the replayed score must match the committed one.
+        golden_summary = _summary(golden, session_id)
+        live_qoe = replay_session(live).qoe.total
+        assert live_qoe == pytest.approx(golden_summary.qoe_total, rel=1e-9), (
+            f"QoE drift in {session_id}: "
+            f"{live_qoe!r} != {golden_summary.qoe_total!r}"
+        )
+        assert replay_session(golden).qoe.total == golden_summary.qoe_total

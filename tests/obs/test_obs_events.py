@@ -1,0 +1,150 @@
+"""Unit tests for the event vocabulary and its JSONL codec."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    ChunkDecision,
+    ChunkDownload,
+    Rebuffer,
+    RequestSpan,
+    SessionSummary,
+    SolverCall,
+    TableLookup,
+    event_from_dict,
+    event_from_json,
+    event_to_dict,
+    event_to_json,
+)
+
+
+def _one_of_each():
+    return [
+        ChunkDecision(
+            session_id="s",
+            t_mono=1.0,
+            chunk_index=0,
+            buffer_s=4.0,
+            prev_level=None,
+            level=2,
+            bitrate_kbps=1200.0,
+            wall_time_s=0.0,
+            decide_wall_s=0.001,
+        ),
+        ChunkDownload(
+            session_id="s",
+            t_mono=2.0,
+            chunk_index=0,
+            level=2,
+            bitrate_kbps=1200.0,
+            size_kilobits=4800.0,
+            download_time_s=1.5,
+            throughput_kbps=3200.0,
+            rebuffer_s=0.25,
+            buffer_before_s=4.0,
+            buffer_after_s=6.25,
+            wall_time_end_s=1.5,
+            waited_s=0.0,
+        ),
+        Rebuffer(session_id="s", t_mono=2.5, chunk_index=0, duration_s=0.25, wall_time_s=1.5),
+        SolverCall(
+            session_id="s", t_mono=3.0, op="solve-horizon", instances=1, plans=3125, wall_s=0.02
+        ),
+        TableLookup(
+            session_id="s",
+            t_mono=4.0,
+            buffer_bin=3,
+            prev_level=1,
+            throughput_bin=17,
+            level=2,
+            num_runs=211,
+            depth=8,
+            wall_s=1e-5,
+        ),
+        RequestSpan(
+            session_id="s",
+            t_mono=5.0,
+            trace_id="t-00000001",
+            name="decide",
+            wall_s=0.0004,
+            status="ok",
+            chaos=None,
+        ),
+        SessionSummary(
+            session_id="s",
+            t_mono=6.0,
+            algorithm="mpc",
+            trace_name="fcc-0000",
+            num_chunks=48,
+            startup_delay_s=1.2,
+            total_rebuffer_s=0.25,
+            total_wall_time_s=192.0,
+            qoe_total=38000.5,
+            weight_switching=1.0,
+            weight_rebuffering=3000.0,
+            weight_startup=3000.0,
+        ),
+    ]
+
+
+def test_registry_covers_every_event_type():
+    classes = {type(e) for e in _one_of_each()}
+    assert set(EVENT_TYPES.values()) == classes
+    for kind, cls in EVENT_TYPES.items():
+        assert cls.kind == kind
+
+
+@pytest.mark.parametrize("event", _one_of_each(), ids=lambda e: e.kind)
+def test_json_round_trip_is_lossless(event):
+    line = event_to_json(event)
+    assert "\n" not in line
+    restored = event_from_json(line)
+    assert restored == event
+    assert type(restored) is type(event)
+
+
+def test_round_trip_preserves_awkward_floats():
+    event = SolverCall(
+        session_id="s",
+        t_mono=0.1 + 0.2,  # the classic non-representable sum
+        op="solve-horizon",
+        instances=1,
+        plans=1,
+        wall_s=math.inf,
+    )
+    restored = event_from_json(event_to_json(event))
+    assert restored.t_mono == event.t_mono
+    assert restored.wall_s == math.inf
+
+
+def test_dict_encoding_leads_with_kind():
+    payload = event_to_dict(_one_of_each()[0])
+    assert next(iter(payload)) == "kind"
+    assert payload["kind"] == "chunk-decision"
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        event_from_dict({"kind": "nope", "session_id": "s", "t_mono": 0.0})
+
+
+def test_unknown_field_rejected():
+    payload = event_to_dict(_one_of_each()[2])
+    payload["bogus"] = 1
+    with pytest.raises(ValueError, match="unknown fields"):
+        event_from_dict(payload)
+
+
+def test_non_object_payload_rejected():
+    with pytest.raises(ValueError):
+        event_from_dict([1, 2, 3])
+    with pytest.raises(ValueError, match="not a valid JSONL"):
+        event_from_json("{broken")
+
+
+def test_events_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        _one_of_each()[0].level = 1

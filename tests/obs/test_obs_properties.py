@@ -1,0 +1,157 @@
+"""Hypothesis properties of the observability layer.
+
+The three invariants the issue names:
+
+* per-session timestamps are monotonic (non-decreasing) in every
+  timeline a tracer produces, whatever the underlying clock does;
+* ring-buffer sinks never exceed their capacity and evict oldest-first;
+* the JSONL codec round-trips every event type losslessly.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.obs.events import (
+    ChunkDecision,
+    ChunkDownload,
+    Rebuffer,
+    RequestSpan,
+    SessionSummary,
+    SolverCall,
+    TableLookup,
+    event_from_json,
+    event_to_json,
+)
+from repro.obs.tracer import RingBufferSink, Tracer
+
+# NaN never compares equal so it cannot round-trip "losslessly" by ==;
+# every other float (including infinities and subnormals) must survive.
+finite_or_inf = st.floats(allow_nan=False)
+nonneg = st.floats(min_value=0.0, allow_nan=False, allow_infinity=False)
+ints = st.integers(min_value=0, max_value=10**9)
+names = st.text(min_size=0, max_size=40)
+opt_int = st.one_of(st.none(), st.integers(min_value=0, max_value=50))
+
+EVENT_STRATEGIES = st.one_of(
+    st.builds(
+        ChunkDecision,
+        session_id=names, t_mono=finite_or_inf, chunk_index=ints,
+        buffer_s=nonneg, prev_level=opt_int, level=ints,
+        bitrate_kbps=finite_or_inf, wall_time_s=nonneg, decide_wall_s=nonneg,
+    ),
+    st.builds(
+        ChunkDownload,
+        session_id=names, t_mono=finite_or_inf, chunk_index=ints, level=ints,
+        bitrate_kbps=finite_or_inf, size_kilobits=nonneg,
+        download_time_s=nonneg, throughput_kbps=finite_or_inf,
+        rebuffer_s=nonneg, buffer_before_s=nonneg, buffer_after_s=nonneg,
+        wall_time_end_s=nonneg, waited_s=nonneg,
+    ),
+    st.builds(
+        Rebuffer,
+        session_id=names, t_mono=finite_or_inf, chunk_index=ints,
+        duration_s=nonneg, wall_time_s=nonneg,
+    ),
+    st.builds(
+        SolverCall,
+        session_id=names, t_mono=finite_or_inf, op=names,
+        instances=ints, plans=ints, wall_s=nonneg,
+    ),
+    st.builds(
+        TableLookup,
+        session_id=names, t_mono=finite_or_inf, buffer_bin=ints,
+        prev_level=ints, throughput_bin=ints, level=ints,
+        num_runs=ints, depth=ints, wall_s=nonneg,
+    ),
+    st.builds(
+        RequestSpan,
+        session_id=names, t_mono=finite_or_inf, trace_id=names, name=names,
+        wall_s=nonneg, status=names, chaos=st.one_of(st.none(), names),
+    ),
+    st.builds(
+        SessionSummary,
+        session_id=names, t_mono=finite_or_inf, algorithm=names,
+        trace_name=names, num_chunks=ints, startup_delay_s=nonneg,
+        total_rebuffer_s=nonneg, total_wall_time_s=nonneg,
+        qoe_total=finite_or_inf, weight_switching=nonneg,
+        weight_rebuffering=nonneg, weight_startup=nonneg,
+    ),
+)
+
+
+@given(EVENT_STRATEGIES)
+def test_jsonl_round_trip_lossless(event):
+    restored = event_from_json(event_to_json(event))
+    assert restored == event
+    assert type(restored) is type(event)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e9, allow_nan=False), max_size=50)
+)
+def test_tracer_timestamps_monotonic_per_session(readings):
+    """Whatever the clock returns, the stamped timeline is sortable."""
+    clock_values = iter(readings)
+    tracer = Tracer(
+        [sink := RingBufferSink()],
+        session_id="s",
+        clock=lambda: next(clock_values),
+    )
+    for _ in range(len(readings)):
+        tracer.emit(
+            Rebuffer(session_id="", t_mono=tracer.now(), chunk_index=0,
+                     duration_s=0.0, wall_time_s=0.0)
+        )
+    stamps = [e.t_mono for e in sink.events()]
+    assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+    if readings:
+        assert stamps[0] == readings[0]
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    count=st.integers(min_value=0, max_value=200),
+)
+def test_ring_buffer_bounded_and_drop_oldest(capacity, count):
+    sink = RingBufferSink(capacity=capacity)
+    events = [
+        SolverCall(session_id="s", t_mono=float(i), op="x",
+                   instances=1, plans=i, wall_s=0.0)
+        for i in range(count)
+    ]
+    for event in events:
+        sink.emit(event)
+        assert len(sink) <= capacity  # never exceeds capacity at any point
+    kept = sink.events()
+    assert list(kept) == events[max(0, count - capacity):]  # oldest dropped
+    assert sink.dropped == max(0, count - capacity)
+    assert len(kept) == min(count, capacity)
+
+
+@given(st.data())
+def test_ring_buffer_matches_list_model(data):
+    """Interleaved emit/clear agrees with a plain-list reference model."""
+    capacity = data.draw(st.integers(min_value=1, max_value=8))
+    sink = RingBufferSink(capacity=capacity)
+    model = []
+    operations = data.draw(
+        st.lists(st.one_of(st.just("clear"), st.integers(0, 1000)), max_size=60)
+    )
+    for op in operations:
+        if op == "clear":
+            sink.clear()
+            model.clear()
+        else:
+            event = SolverCall(session_id="s", t_mono=0.0, op="x",
+                               instances=1, plans=op, wall_s=0.0)
+            sink.emit(event)
+            model.append(event)
+            del model[:-capacity]
+    assert list(sink.events()) == model
+
+
+def test_infinity_survives_json():
+    event = SolverCall(session_id="s", t_mono=math.inf, op="x",
+                       instances=0, plans=0, wall_s=0.0)
+    assert event_from_json(event_to_json(event)).t_mono == math.inf

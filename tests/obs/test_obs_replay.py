@@ -1,0 +1,130 @@
+"""Trace-replay contract: a timeline re-scores to the live QoE exactly."""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.abr.registry import available, create
+from repro.emulation.harness import emulate_session
+from repro.obs import (
+    ChunkDownload,
+    JsonlSink,
+    RingBufferSink,
+    SessionSummary,
+    Tracer,
+    read_timeline,
+    replay_session,
+    split_sessions,
+    verify_timeline,
+)
+from repro.sim.session import simulate_session
+
+
+def _traced_sim(algorithm_name, trace, manifest, config=None):
+    sink = RingBufferSink(capacity=100_000)
+    tracer = Tracer([sink])
+    session = simulate_session(
+        create(algorithm_name), trace, manifest, config, tracer=tracer
+    )
+    return session, list(sink.events())
+
+
+def test_replay_matches_live_qoe_exactly(short_manifest, step_trace):
+    session, events = _traced_sim("mpc", step_trace, short_manifest)
+    replayed = replay_session(events)
+    assert replayed.qoe.total == session.qoe().total  # bitwise equality
+    assert replayed.total_rebuffer_s == session.total_rebuffer_s
+    assert list(replayed.level_indices) == session.level_indices
+    assert replayed.mismatches() == []
+
+
+@pytest.mark.parametrize("name", sorted(available()))
+def test_every_registered_abr_replays_exactly(name, short_manifest, constant_trace):
+    session, events = _traced_sim(name, constant_trace, short_manifest)
+    replayed = replay_session(events)
+    assert replayed.qoe.total == session.qoe().total
+    assert replayed.mismatches() == []
+
+
+def test_emulation_backend_replays_exactly(short_manifest, constant_trace):
+    sink = RingBufferSink()
+    tracer = Tracer([sink])
+    session = emulate_session(
+        create("fastmpc"), constant_trace, short_manifest, tracer=tracer
+    )
+    replayed = replay_session(list(sink.events()))
+    assert replayed.qoe.total == session.qoe().total
+    assert replayed.mismatches() == []
+
+
+def test_replay_through_jsonl_file(tmp_path, short_manifest, constant_trace):
+    path = str(tmp_path / "timeline.jsonl")
+    tracer = Tracer([JsonlSink(path)])
+    session = simulate_session(
+        create("robust-mpc"), constant_trace, short_manifest, tracer=tracer
+    )
+    tracer.close()
+    events = read_timeline(path)
+    assert verify_timeline(events) == {}
+    assert replay_session(events).qoe.total == session.qoe().total
+
+
+def test_read_timeline_accepts_stream_and_blank_lines():
+    stream = io.StringIO(
+        '{"kind":"rebuffer","session_id":"s","t_mono":0.0,'
+        '"chunk_index":1,"duration_s":0.5,"wall_time_s":9.0}\n'
+        "\n"
+    )
+    events = read_timeline(stream)
+    assert len(events) == 1
+    assert events[0].duration_s == 0.5
+
+
+def test_verify_timeline_flags_tampered_rebuffer(short_manifest, step_trace):
+    _, events = _traced_sim("bb", step_trace, short_manifest)
+    tampered = [
+        dataclasses.replace(e, rebuffer_s=e.rebuffer_s + 1.0)
+        if isinstance(e, ChunkDownload) and e.chunk_index == 2
+        else e
+        for e in events
+    ]
+    problems = verify_timeline(tampered)
+    assert list(problems) == ["bb:step"]
+    assert any("rebuffer" in p for p in problems["bb:step"])
+    assert any("qoe" in p for p in problems["bb:step"])
+
+
+def test_verify_timeline_flags_missing_summary(short_manifest, constant_trace):
+    _, events = _traced_sim("rb", constant_trace, short_manifest)
+    without_summary = [e for e in events if not isinstance(e, SessionSummary)]
+    problems = verify_timeline(without_summary)
+    assert problems == {"rb:constant-1500": ["timeline has no session-summary event"]}
+
+
+def test_split_sessions_preserves_order(short_manifest, constant_trace):
+    _, a = _traced_sim("rb", constant_trace, short_manifest)
+    _, b = _traced_sim("bb", constant_trace, short_manifest)
+    mixed = [x for pair in zip(a, b) for x in pair]
+    sessions = split_sessions(mixed)
+    assert sessions["rb:constant-1500"] == a
+    assert sessions["bb:constant-1500"] == b
+
+
+def test_replay_rejects_empty_timeline():
+    with pytest.raises(ValueError, match="no chunk-download"):
+        replay_session([])
+
+
+def test_session_events_cover_eq_accounting(short_manifest, step_trace):
+    """Per-chunk events carry the Eq. 1-4 quantities self-consistently."""
+    session, events = _traced_sim("mpc", step_trace, short_manifest)
+    downloads = [e for e in events if isinstance(e, ChunkDownload)]
+    assert len(downloads) == short_manifest.num_chunks
+    for event, record in zip(downloads, session.records):
+        assert event.chunk_index == record.chunk_index
+        assert event.level == record.level_index
+        assert event.size_kilobits == record.size_kilobits
+        assert event.download_time_s == record.download_time_s
+        assert event.rebuffer_s == record.rebuffer_s
+        assert event.buffer_after_s == record.buffer_after_s

@@ -1,0 +1,163 @@
+"""Unit tests for the tracer, its sinks, and spans."""
+
+import io
+
+import pytest
+
+from repro.obs.events import Rebuffer, RequestSpan, SolverCall, event_from_json
+from repro.obs.tracer import NULL_TRACER, JsonlSink, RingBufferSink, Tracer
+
+
+def _event(i: int, session_id: str = "s") -> SolverCall:
+    return SolverCall(
+        session_id=session_id, t_mono=float(i), op="solve-horizon",
+        instances=1, plans=i, wall_s=0.0,
+    )
+
+
+class TestRingBufferSink:
+    def test_below_capacity_keeps_everything(self):
+        sink = RingBufferSink(capacity=8)
+        for i in range(5):
+            sink.emit(_event(i))
+        assert len(sink) == 5
+        assert sink.dropped == 0
+        assert [e.plans for e in sink.events()] == [0, 1, 2, 3, 4]
+
+    def test_above_capacity_drops_oldest(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(_event(i))
+        assert len(sink) == 3
+        assert sink.dropped == 7
+        assert [e.plans for e in sink.events()] == [7, 8, 9]
+
+    def test_clear_resets_contents_not_counter(self):
+        sink = RingBufferSink(capacity=2)
+        for i in range(4):
+            sink.emit(_event(i))
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.events() == ()
+        assert sink.dropped == 2
+        sink.emit(_event(9))
+        assert [e.plans for e in sink.events()] == [9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        sink = JsonlSink(path)
+        events = [_event(i) for i in range(3)]
+        for e in events:
+            sink.emit(e)
+        sink.close()
+        lines = open(path).read().splitlines()
+        assert [event_from_json(line) for line in lines] == events
+        assert sink.emitted == 3
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream, flush_every=1)
+        sink.emit(_event(1))
+        sink.close()
+        assert not stream.closed  # caller owns the stream
+        assert event_from_json(stream.getvalue().strip()) == _event(1)
+
+    def test_flush_every_validated(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), flush_every=0)
+
+
+class TestTracer:
+    def test_emit_fans_out_to_all_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer([a])
+        tracer.add_sink(b)
+        tracer.emit(_event(1))
+        assert len(a) == len(b) == 1
+        assert tracer.events_emitted == 1
+
+    def test_disabled_tracer_is_inert(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink], enabled=False)
+        tracer.emit(_event(1))
+        assert len(sink) == 0
+        assert tracer.events_emitted == 0
+
+    def test_null_tracer_exists_and_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_restamps_empty_session_id(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink], session_id="attributed")
+        tracer.emit(_event(1, session_id=""))
+        tracer.emit(_event(2, session_id="explicit"))
+        got = [e.session_id for e in sink.events()]
+        assert got == ["attributed", "explicit"]
+
+    def test_now_is_non_decreasing_even_with_bad_clock(self):
+        readings = iter([5.0, 4.0, 6.0])
+        tracer = Tracer(clock=lambda: next(readings))
+        values = [tracer.now() for _ in range(3)]
+        assert values == [5.0, 5.0, 6.0]
+
+    def test_close_closes_sinks(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer([sink])
+        tracer.emit(_event(1))
+        tracer.close()
+        assert len(open(path).read().splitlines()) == 1
+
+
+class TestSpan:
+    def test_span_emits_request_span(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink], session_id="svc")
+        with tracer.span("decide", trace_id="t-1") as span:
+            span.chaos = "slow"
+        (event,) = sink.events()
+        assert isinstance(event, RequestSpan)
+        assert event.name == "decide"
+        assert event.trace_id == "t-1"
+        assert event.session_id == "svc"
+        assert event.status == "ok"
+        assert event.chaos == "slow"
+        assert event.wall_s >= 0.0
+
+    def test_span_records_exception_status(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("decide"):
+                raise RuntimeError("boom")
+        (event,) = sink.events()
+        assert event.status == "exception"
+
+    def test_explicit_status_survives_exception(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("decide") as span:
+                span.status = "reset"
+                raise RuntimeError("boom")
+        (event,) = sink.events()
+        assert event.status == "reset"
+
+
+def test_rebuffer_event_through_full_stack(tmp_path):
+    """One event through tracer -> jsonl -> decode keeps identity."""
+    path = str(tmp_path / "e.jsonl")
+    tracer = Tracer([JsonlSink(path)], session_id="s")
+    event = Rebuffer(session_id="", t_mono=tracer.now(), chunk_index=3,
+                     duration_s=0.75, wall_time_s=12.0)
+    tracer.emit(event)
+    tracer.close()
+    restored = event_from_json(open(path).read().strip())
+    assert restored.session_id == "s"
+    assert restored.duration_s == 0.75

@@ -1,0 +1,39 @@
+"""Zero-session load-test reports must summarise cleanly.
+
+A load test aborted before any decision completes (server refuses every
+connection, chaos kills every session) still produces a report; every
+derived statistic must be defined at the zero state instead of dividing
+by zero."""
+
+from repro.service.loadgen import LoadTestReport
+
+
+def test_zero_state_properties_are_defined():
+    report = LoadTestReport()
+    assert report.decisions == 0
+    assert report.throughput_dps == 0.0
+    assert report.qoe_mean == 0.0
+    assert report.p50_us == 0.0
+    assert report.p95_us == 0.0
+    assert report.p99_us == 0.0
+
+
+def test_zero_state_describe_renders():
+    text = LoadTestReport().describe()
+    assert "decisions 0" in text
+    assert "sessions completed 0" in text
+    assert "mean QoE 0.0" in text
+
+
+def test_zero_state_to_dict_round_trips_through_json():
+    import json
+
+    payload = json.loads(json.dumps(LoadTestReport().to_dict()))
+    assert payload["throughput_dps"] == 0.0
+    assert payload["qoe_mean"] == 0.0
+    assert payload["latency_us"]["count"] == 0
+
+
+def test_zero_wall_time_with_decisions_does_not_divide_by_zero():
+    report = LoadTestReport(decisions=5, wall_s=0.0)
+    assert report.throughput_dps == 0.0

@@ -156,10 +156,21 @@ class TestServiceMetrics:
         assert set(snap) == {
             "requests_total", "decisions", "degraded_total",
             "fallback_reasons", "sessions_seen", "table_swaps_total",
-            "connections", "chaos_injected", "latency_us",
+            "connections", "chaos_injected", "latency_us", "spans_us",
         }
         assert set(snap["decisions"]) == {"table", "fallback", "error"}
         assert set(snap["connections"]) == {"opened", "active", "reset"}
+        assert snap["spans_us"] == {}  # per-span histograms appear lazily
+
+    def test_record_span_builds_named_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_span("decide", 120.0)
+        metrics.record_span("decide", 240.0)
+        metrics.record_span("table-swap", 90.0)
+        snap = metrics.snapshot()
+        assert sorted(snap["spans_us"]) == ["decide", "table-swap"]
+        assert snap["spans_us"]["decide"]["count"] == 2
+        assert snap["spans_us"]["table-swap"]["count"] == 1
 
     def test_default_bounds_strictly_increasing(self):
         bounds = list(DEFAULT_BUCKET_BOUNDS_US)

@@ -1,0 +1,93 @@
+"""Request spans, trace ids, and chaos stamping on the decision server."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.faults.chaos import CHAOS_ERROR, ChaosConfig, ChaosPolicy
+from repro.obs import RequestSpan, RingBufferSink, Tracer
+from repro.service import (
+    DecisionRequest,
+    DecisionServer,
+    DecisionService,
+    ServiceClient,
+)
+from repro.service.client import ServiceUnavailable
+
+pytestmark = pytest.mark.slow
+
+from .conftest import LADDER
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_request(**overrides) -> DecisionRequest:
+    fields = dict(
+        session_id="s1", buffer_s=10.0, predicted_kbps=1500.0, prev_level=2
+    )
+    fields.update(overrides)
+    return DecisionRequest(**fields)
+
+
+async def with_traced_server(service, inner, **server_kwargs):
+    sink = RingBufferSink()
+    server = DecisionServer(
+        service, port=0, tracer=Tracer([sink], session_id="svc"), **server_kwargs
+    )
+    await server.start()
+    try:
+        await inner(server)
+    finally:
+        await server.close()
+    return list(sink.events())
+
+
+def test_decide_emits_span_with_fresh_trace_ids(test_table):
+    service = DecisionService(LADDER, table=test_table)
+
+    async def inner(server):
+        async with ServiceClient("127.0.0.1", server.bound_port) as client:
+            await client.decide(make_request())
+            await client.decide(make_request(session_id="s2"))
+
+    events = run(with_traced_server(service, inner))
+    spans = [e for e in events if isinstance(e, RequestSpan)]
+    assert [s.name for s in spans] == ["decide", "decide"]
+    assert [s.status for s in spans] == ["ok", "ok"]
+    assert spans[0].trace_id != spans[1].trace_id
+    assert all(s.wall_s >= 0.0 for s in spans)
+    # Request spans carry the player's session id for correlation.
+    assert [s.session_id for s in spans] == ["s1", "s2"]
+
+
+def test_degraded_decide_span_reports_degraded_status(test_table):
+    service = DecisionService(LADDER, table=None)  # no table -> fallback
+
+    async def inner(server):
+        async with ServiceClient("127.0.0.1", server.bound_port) as client:
+            response = await client.decide(make_request())
+            assert response.degraded
+
+    events = run(with_traced_server(service, inner))
+    (span,) = [e for e in events if isinstance(e, RequestSpan)]
+    assert span.status == "degraded"
+    assert span.chaos is None
+
+
+def test_chaos_error_is_stamped_on_the_span(test_table):
+    service = DecisionService(LADDER, table=test_table)
+    chaos = ChaosPolicy(ChaosConfig(error_rate=1.0, seed=11))
+
+    async def inner(server):
+        async with ServiceClient("127.0.0.1", server.bound_port) as client:
+            with pytest.raises(ServiceUnavailable):
+                await client.decide(make_request())
+
+    events = run(with_traced_server(service, inner, chaos=chaos))
+    (span,) = [e for e in events if isinstance(e, RequestSpan)]
+    assert span.status == "error-500"
+    assert span.chaos == CHAOS_ERROR
