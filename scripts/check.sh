@@ -15,4 +15,9 @@ python -m pytest -x -q "$@"
 echo "== smoke chaos run (resets profile) =="
 python -m repro.cli chaos resets --sessions 4 --chunks 8 --concurrency 2 --bins 10
 
+if [[ "${SKIP_SOAK:-0}" != "1" ]]; then
+    echo "== cluster soak (SKIP_SOAK=1 to skip) =="
+    python -m pytest -q -m "soak and slow" tests/service/test_cluster_soak.py
+fi
+
 echo "check.sh: all green"

@@ -16,7 +16,9 @@ Subcommands map one-to-one onto the paper's artifacts:
                         replayed QoE matches the live session exactly
                         (docs/observability.md).
 * ``serve``           — run the asyncio ABR decision service (FastMPC
-                        tables behind an HTTP boundary; docs/service.md).
+                        tables behind an HTTP boundary; docs/service.md);
+                        ``--workers N`` scales it out to a supervised
+                        multi-process cluster (docs/scaling.md).
 * ``loadtest``        — closed-loop trace-driven load generation against
                         a running decision server.
 * ``chaos``           — run the load generator under a named fault
@@ -187,6 +189,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8008, help="0 = ephemeral")
     p.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes; >1 runs the sharded cluster: one published"
+            " mmap-backed table, SO_REUSEPORT (or a round-robin frontend),"
+            " supervised restarts, aggregated /metrics (docs/scaling.md)"
+        ),
+    )
+    p.add_argument(
+        "--control-port", type=int, default=None, metavar="PORT",
+        help=(
+            "cluster-mode supervisor endpoint for aggregated /metrics and"
+            " /healthz (default: an ephemeral port, printed at startup)"
+        ),
+    )
+    p.add_argument(
         "--bins", type=int, default=100,
         help="buffer and throughput bins of the served table (default 100)",
     )
@@ -225,7 +242,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8008)
     p.add_argument("--sessions", type=int, default=64, help="virtual players")
     p.add_argument("--chunks", type=int, default=65, help="decisions per session")
-    p.add_argument("--concurrency", type=int, default=16, help="connections")
+    p.add_argument(
+        "--concurrency", type=int, default=16, help="sessions in flight"
+    )
+    p.add_argument(
+        "--connections", type=int, default=None,
+        help=(
+            "TCP connection pool size (default: one per session worker);"
+            " bounds wire fan-out independently of --concurrency"
+        ),
+    )
     p.add_argument("--dataset", choices=DATASET_NAMES, default="fcc")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
@@ -501,6 +527,8 @@ def _cmd_serve(args) -> int:
             idle_timeout_s=args.idle_timeout,
         ),
     )
+    if args.workers > 1:
+        return _serve_cluster(args, manifest, table)
     tracer = None
     if args.trace_jsonl:
         from .obs import JsonlSink, Tracer
@@ -527,6 +555,64 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_cluster(args, manifest, table) -> int:
+    """``serve --workers N``: the sharded multi-process cluster."""
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from .experiments import publish_table
+    from .service import ClusterConfig, ClusterSupervisor, ServiceConfig
+
+    table_path = None
+    tmpdir = None
+    if table is not None:
+        # Published once; every worker maps it read-only (zero copies).
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        table_path = str(Path(tmpdir.name) / "decision-table.rprotbl")
+        publish_table(table, table_path)
+    config = ClusterConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        control_port=args.control_port if args.control_port is not None else 0,
+        service=ServiceConfig(
+            lookup_budget_s=args.lookup_budget_ms / 1000.0,
+            idle_timeout_s=args.idle_timeout,
+        ),
+    )
+    supervisor = ClusterSupervisor(
+        manifest.ladder.levels_kbps, table_path=table_path, config=config
+    )
+
+    async def _serve() -> None:
+        await supervisor.start()
+        try:
+            mode = "table published" if table_path else "COLD (fallback only)"
+            sharding = (
+                "SO_REUSEPORT" if supervisor.reuse_port else "round-robin frontend"
+            )
+            print(
+                f"decision cluster on {args.host}:{supervisor.bound_port}"
+                f" [{args.workers} workers, {sharding}, {mode}]"
+                f" | control {args.host}:{supervisor.control_bound_port}",
+                flush=True,
+            )
+            while True:  # supervised forever; ^C unwinds through finally
+                await asyncio.sleep(3600)
+        finally:
+            await supervisor.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down cluster")
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    return 0
+
+
 def _cmd_loadtest(args) -> int:
     import json
     from pathlib import Path
@@ -537,6 +623,7 @@ def _cmd_loadtest(args) -> int:
         sessions=args.sessions,
         chunks_per_session=args.chunks,
         concurrency=args.concurrency,
+        connections=args.connections,
         dataset=args.dataset,
         seed=args.seed,
         trace_duration_s=args.duration,

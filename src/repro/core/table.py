@@ -13,6 +13,14 @@ optimisations from Section 5.2 live here:
   under lossless run-length encoding; lookups on the compressed form use
   binary search (:class:`RunLengthEncodedTable`).  Table 1 of the paper
   reports the resulting sizes; :class:`TableSizeReport` reproduces them.
+
+A third, deployment-facing representation backs the sharded decision
+service: :meth:`DecisionTable.from_buffer` wraps a *serialized* table —
+typically an ``mmap`` of a published table file — without decoding it.
+The run records are binary-searched in place (:class:`MappedRunLengthTable`),
+so many worker processes can serve one read-only table file with zero
+per-process copies; the serialized form is position-independent, which
+is what makes that sharing safe.
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ import numpy as np
 
 from ..obs.events import TableLookup
 
-__all__ = ["Binning", "RunLengthEncodedTable", "DecisionTable", "TableSizeReport"]
+__all__ = [
+    "Binning",
+    "RunLengthEncodedTable",
+    "MappedRunLengthTable",
+    "DecisionTable",
+    "TableSizeReport",
+]
 
 
 class Binning:
@@ -210,6 +224,133 @@ class RunLengthEncodedTable:
             ends.append(end)
             values.append(value)
         return cls(ends, values)
+
+
+#: Serialized RLE layout: ``u32 run count`` then one ``(u32 end, u8 value)``
+#: record per run — 5 bytes, unaligned, little-endian.
+_RLE_HEADER = struct.Struct("<I")
+_RLE_RECORD = struct.Struct("<IB")
+
+
+class MappedRunLengthTable:
+    """Zero-copy lookups over a *serialized* RLE blob (mmap-friendly).
+
+    Wraps the exact byte layout :meth:`RunLengthEncodedTable.to_bytes`
+    produces — a ``u32`` run count followed by ``(u32 end, u8 value)``
+    records — and binary-searches the records in place with
+    ``struct.unpack_from``, so the backing buffer (typically an ``mmap``
+    of a published table file) is never decoded or copied.  The layout is
+    position-independent: any process that can see the bytes can serve
+    lookups from them, which is what lets a cluster of worker processes
+    share one read-only table file.
+
+    Construction validates the run structure (strictly increasing ends)
+    in one O(runs) scan — runs number in the thousands where entries
+    number in the millions, so the scan does not compromise the
+    zero-copy story.  The memoryview held here keeps the underlying
+    buffer (and any ``mmap`` behind it) alive.
+    """
+
+    __slots__ = ("_view", "_num_runs", "_length", "_max_value")
+
+    def __init__(self, buffer) -> None:
+        view = memoryview(buffer)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        if len(view) < _RLE_HEADER.size:
+            raise ValueError("buffer too small for an RLE header")
+        (count,) = _RLE_HEADER.unpack_from(view, 0)
+        if count < 1:
+            raise ValueError("table must not be empty")
+        need = _RLE_HEADER.size + _RLE_RECORD.size * count
+        if len(view) < need:
+            raise ValueError(
+                f"truncated RLE blob: {len(view)} bytes, {count} runs need {need}"
+            )
+        self._view = view[:need]
+        prev = 0
+        max_value = 0
+        for run in range(count):
+            end, value = _RLE_RECORD.unpack_from(
+                view, _RLE_HEADER.size + _RLE_RECORD.size * run
+            )
+            if end <= prev:
+                raise ValueError("run ends must be strictly increasing and positive")
+            prev = end
+            if value > max_value:
+                max_value = value
+        self._num_runs = count
+        self._length = prev
+        self._max_value = max_value
+
+    def _run_at(self, run: int) -> Tuple[int, int]:
+        return _RLE_RECORD.unpack_from(
+            self._view, _RLE_HEADER.size + _RLE_RECORD.size * run
+        )
+
+    def lookup(self, index: int) -> int:
+        """Value at a flat index via in-place binary search over run ends."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range 0..{self._length - 1}")
+        lo, hi = 0, self._num_runs
+        view = self._view
+        header, record = _RLE_HEADER.size, _RLE_RECORD.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            (end,) = _RLE_HEADER.unpack_from(view, header + record * mid)
+            if index < end:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self._run_at(lo)[1]
+
+    def lookup_profiled(self, index: int) -> Tuple[int, int]:
+        """Like :meth:`lookup` but also counts binary-search probes —
+        the same ``(value, depth)`` contract as
+        :meth:`RunLengthEncodedTable.lookup_profiled`."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range 0..{self._length - 1}")
+        lo, hi, depth = 0, self._num_runs, 0
+        view = self._view
+        header, record = _RLE_HEADER.size, _RLE_RECORD.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            depth += 1
+            (end,) = _RLE_HEADER.unpack_from(view, header + record * mid)
+            if index < end:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self._run_at(lo)[1], depth
+
+    def decode(self) -> np.ndarray:
+        """Expand to the full vector (parity checks / tests only)."""
+        out = np.empty(self._length, dtype=np.int64)
+        start = 0
+        for run in range(self._num_runs):
+            end, value = self._run_at(run)
+            out[start:end] = value
+            start = end
+        return out
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_runs(self) -> int:
+        return self._num_runs
+
+    @property
+    def max_value(self) -> int:
+        """Largest decision value across all runs (scanned at init)."""
+        return self._max_value
+
+    def size_bytes(self, index_bytes: int = 4, value_bytes: int = 1) -> int:
+        return self._num_runs * (index_bytes + value_bytes)
+
+    def to_bytes(self) -> bytes:
+        """The wrapped serialization — a copy of the viewed bytes."""
+        return bytes(self._view)
 
 
 @dataclass(frozen=True)
@@ -403,4 +544,74 @@ class DecisionTable:
             throughput_bins,
             rle.decode(),
             keep_full=bool(keep_full),
+        )
+
+    @classmethod
+    def from_buffer(cls, buffer) -> "DecisionTable":
+        """Zero-copy view over a serialized table (the :meth:`to_bytes`
+        layout), typically an ``mmap`` of a published table file.
+
+        Unlike :meth:`from_bytes`, the decision vector is never decoded:
+        lookups binary-search the serialized run records in place through
+        a :class:`MappedRunLengthTable`, so N worker processes mapping
+        the same file share one copy of the table in page cache.  Only
+        the fixed-size header (binnings, ladder size) and the O(runs)
+        structure validation read the buffer up front.
+
+        ``lookup``/``lookup_traced`` answers are identical to the
+        in-memory table's — :meth:`same_decisions` (or the Hypothesis
+        parity suite) checks that end to end.
+        """
+        view = memoryview(buffer)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        magic_len = len(cls._MAGIC)
+        if bytes(view[:magic_len]) != cls._MAGIC:
+            raise ValueError("not a serialized DecisionTable")
+        offset = magic_len
+        buffer_bins, offset = cls._unpack_binning(view, offset)
+        throughput_bins, offset = cls._unpack_binning(view, offset)
+        num_levels, _keep_full = struct.unpack_from("<IB", view, offset)
+        offset += struct.calcsize("<IB")
+        if num_levels < 1:
+            raise ValueError("need at least one ladder level")
+        rle = MappedRunLengthTable(view[offset:])
+        expected = buffer_bins.count * num_levels * throughput_bins.count
+        if len(rle) != expected:
+            raise ValueError(
+                f"{len(rle)} decisions but the index space has {expected}"
+            )
+        if rle.max_value >= num_levels:
+            raise ValueError("decisions must be valid ladder level indices")
+        table = object.__new__(cls)
+        table.buffer_bins = buffer_bins
+        table.num_levels = num_levels
+        table.throughput_bins = throughput_bins
+        table._rle = rle
+        table._full = None
+        return table
+
+    def same_decisions(self, other: "DecisionTable") -> bool:
+        """True when ``other`` answers every lookup identically.
+
+        Compares the binnings, ladder size, and the run-length encoding
+        byte for byte (the RLE is canonical: one encoding per decision
+        vector), ignoring storage details like ``keep_full`` or whether
+        either side is buffer-backed.  This is the parity check the
+        cluster runs after mapping a published table file.
+        """
+        return (
+            self.num_levels == other.num_levels
+            and self._same_binning(self.buffer_bins, other.buffer_bins)
+            and self._same_binning(self.throughput_bins, other.throughput_bins)
+            and self._rle.to_bytes() == other._rle.to_bytes()
+        )
+
+    @staticmethod
+    def _same_binning(a: Binning, b: Binning) -> bool:
+        return (
+            a.low == b.low
+            and a.high == b.high
+            and a.count == b.count
+            and a.spacing == b.spacing
         )

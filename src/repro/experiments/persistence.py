@@ -41,6 +41,8 @@ __all__ = [
     "cache_root",
     "save_cached_table",
     "load_cached_table",
+    "publish_table",
+    "map_published_table",
     "cached_fluid_upper_bound",
     "clear_disk_cache",
 ]
@@ -330,6 +332,61 @@ def load_cached_table(
     except (struct.error, ValueError, IndexError) as exc:
         _discard_corrupt(path, exc)
         return None
+
+
+# ---------------------------------------------------------------------------
+# Table publication: the read-only file worker processes mmap
+# ---------------------------------------------------------------------------
+#
+# The cluster's scale-out story (docs/scaling.md): the supervisor writes
+# the decision table to disk exactly once, and every worker maps the file
+# read-only with DecisionTable.from_buffer — zero copies, one page-cache
+# residency shared by all workers.  Unlike the content-addressed cache
+# above, publication is *not* best-effort: a worker that cannot see the
+# table must fail loudly, not silently degrade every decision.
+
+
+def publish_table(table: DecisionTable, path: PathLike) -> Path:
+    """Atomically write a decision table for read-only worker mapping.
+
+    Same-directory temp file + ``os.replace``, so a worker that races the
+    publication sees either the complete previous file or the complete
+    new one, never a torn write.  Unlike the disk cache's writes, errors
+    propagate — publication failing must not look like success.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(table.to_bytes())
+    os.replace(tmp, path)
+    return path
+
+
+def map_published_table(
+    path: PathLike, expect: Optional[DecisionTable] = None
+) -> DecisionTable:
+    """Map a published table file read-only, zero-copy.
+
+    Returns a :class:`~repro.core.table.DecisionTable` whose lookups
+    binary-search the mapped bytes in place; the mapping stays alive for
+    the table's lifetime (the buffer view pins it).  With ``expect``,
+    the mapped table is parity-checked against the in-memory table it
+    was published from and a mismatch (torn/corrupt/wrong file) raises
+    instead of serving wrong decisions.
+    """
+    import mmap
+
+    path = Path(path)
+    with path.open("rb") as fh:
+        mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        table = DecisionTable.from_buffer(mapped)
+    except (ValueError, IndexError, struct.error) as exc:
+        mapped.close()
+        raise ValueError(f"{path}: not a valid published table: {exc}") from None
+    if expect is not None and not table.same_decisions(expect):
+        raise ValueError(f"{path}: mapped table does not match the published one")
+    return table
 
 
 def _quality_key(quality) -> Optional[str]:

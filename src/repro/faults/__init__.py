@@ -36,6 +36,7 @@ from .trace import apply_trace_faults
 from .link import FailedTransfer, FaultyLink
 from .chaos import (
     CHAOS_ERROR,
+    CHAOS_KILL,
     CHAOS_NONE,
     CHAOS_RESET,
     CHAOS_SLOW,
@@ -59,6 +60,7 @@ __all__ = [
     "FailedTransfer",
     "FaultyLink",
     "CHAOS_ERROR",
+    "CHAOS_KILL",
     "CHAOS_NONE",
     "CHAOS_RESET",
     "CHAOS_SLOW",

@@ -16,6 +16,12 @@ mischief it returns:
   if loaded, restored otherwise), exercising the warm/cold swap path
   under live traffic.
 
+* ``worker-kill`` — the serving process dies abruptly mid-request (the
+  connection is aborted, then the server's kill hook fires — in a
+  cluster worker that hook is ``os._exit``, a crash the supervisor must
+  detect and repair; a standalone server with no hook installed only
+  aborts the connection, so the action degrades to a ``reset``).
+
 Outcomes come from one seeded RNG drawn once per request in arrival
 order, so a single-connection workload replays identically for a fixed
 seed — the determinism the chaos integration test asserts.
@@ -34,6 +40,7 @@ __all__ = [
     "CHAOS_ERROR",
     "CHAOS_SLOW",
     "CHAOS_TABLE_SWAP",
+    "CHAOS_KILL",
 ]
 
 #: Action names, as counted in the server's ``/metrics`` document.
@@ -42,19 +49,23 @@ CHAOS_RESET = "reset"
 CHAOS_ERROR = "error-500"
 CHAOS_SLOW = "slow"
 CHAOS_TABLE_SWAP = "table-swap"
+CHAOS_KILL = "worker-kill"
 
 
 @dataclass(frozen=True)
 class ChaosConfig:
     """Per-request misbehaviour probabilities (independent; at most one
     action fires per request, tested in the order reset, error, slow,
-    table-swap over a single uniform draw)."""
+    table-swap, worker-kill over a single uniform draw — kill last, so
+    adding ``kill_rate`` to an existing profile never perturbs the other
+    actions' draw sequence for a fixed seed)."""
 
     reset_rate: float = 0.0
     error_rate: float = 0.0
     slow_rate: float = 0.0
     slow_delay_s: float = 0.5
     table_swap_rate: float = 0.0
+    kill_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -63,6 +74,7 @@ class ChaosConfig:
             self.error_rate,
             self.slow_rate,
             self.table_swap_rate,
+            self.kill_rate,
         )
         for rate in rates:
             if not 0.0 <= rate <= 1.0:
@@ -79,6 +91,7 @@ class ChaosConfig:
             or self.error_rate > 0
             or self.slow_rate > 0
             or self.table_swap_rate > 0
+            or self.kill_rate > 0
         )
 
 
@@ -107,4 +120,7 @@ class ChaosPolicy:
         edge += config.table_swap_rate
         if r < edge:
             return CHAOS_TABLE_SWAP
+        edge += config.kill_rate
+        if r < edge:
+            return CHAOS_KILL
         return CHAOS_NONE

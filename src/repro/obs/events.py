@@ -142,7 +142,10 @@ class RequestSpan(Event):
 
     ``status`` is ``ok`` for a served decision, or names the failure;
     ``chaos`` stamps the injected misbehaviour (if any) onto the span so
-    chaos runs are attributable request by request.
+    chaos runs are attributable request by request.  ``worker`` is the
+    cluster worker index that served the request (``None`` outside a
+    cluster), so a sharded deployment's spans attribute load and tail
+    latency shard by shard.
     """
 
     kind = "request-span"
@@ -152,6 +155,7 @@ class RequestSpan(Event):
     wall_s: float
     status: str = "ok"
     chaos: Optional[str] = None
+    worker: Optional[int] = None
 
 
 @dataclass(frozen=True)

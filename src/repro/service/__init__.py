@@ -15,6 +15,10 @@ step the ROADMAP asks for and puts the table behind a serving boundary:
 * :mod:`client` — a keep-alive asyncio client speaking the protocol.
 * :mod:`loadgen` — a closed-loop, trace-driven load generator that
   replays virtual player sessions against a running server.
+* :mod:`cluster` — :class:`ClusterSupervisor`, the multi-process
+  scale-out tier: N workers share one published (mmap-backed) table and
+  one ``SO_REUSEPORT`` port, supervised with restart backoff and
+  cluster-wide aggregated ``/metrics`` (see ``docs/scaling.md``).
 
 Everything here is standard library + the existing ``repro`` core; the
 only numerics are one table lookup (or the rate-based fallback) per
@@ -31,6 +35,13 @@ from .metrics import LatencyHistogram, ServiceMetrics
 from .server import DecisionServer, DecisionService, ServiceConfig
 from .client import DecisionClient, RetryPolicy, ServiceClient, ServiceUnavailable
 from .loadgen import LoadTestConfig, LoadTestReport, run_loadtest, run_loadtest_sync
+from .metrics import merge_metrics_snapshots
+from .cluster import (
+    ClusterConfig,
+    ClusterError,
+    ClusterSupervisor,
+    supports_reuse_port,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -50,4 +61,9 @@ __all__ = [
     "LoadTestReport",
     "run_loadtest",
     "run_loadtest_sync",
+    "merge_metrics_snapshots",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterSupervisor",
+    "supports_reuse_port",
 ]

@@ -5,9 +5,20 @@ would: it predicts with the harmonic mean of its last measured chunks
 (the paper's predictor), asks the server for a level, "downloads" the
 chunk at the trace's bandwidth, advances its buffer, and only then
 issues the next request — closed-loop, so offered load tracks service
-capacity instead of overrunning it.  ``concurrency`` connections each
+capacity instead of overrunning it.  ``concurrency`` session workers
 drain sessions from a shared queue, which is exactly the many-players /
 one-backend shape the multiplayer follow-up paper measures.
+
+Sessions in flight and connections on the wire are independent knobs:
+the ``connections`` pool bounds how many TCP connections the generator
+holds (``concurrency`` workers lease a pooled keep-alive client per
+request), so driving 64 concurrent sessions no longer implies 64
+connections — raising session concurrency used to silently raise the
+connection fan-out with it, which both overstated the per-connection
+capacity of a sharded server and made the offered rate depend on the
+session count.  With ``connections=c`` against a server whose per-request
+service time is ``s``, the closed loop's offered rate is ``c / s`` —
+the invariant the cluster scale tests pin down.
 
 The report carries client-observed latency (histogram + quantiles),
 decision-source and degradation breakdowns, throughput in decisions per
@@ -44,6 +55,9 @@ class LoadTestConfig:
     sessions: int = 32
     chunks_per_session: int = 65
     concurrency: int = 8
+    #: TCP connections the generator keeps open (the client pool size);
+    #: ``None`` means one per session worker, the historical behaviour.
+    connections: Optional[int] = None
     dataset: str = "fcc"
     seed: int = 0
     trace_duration_s: float = 320.0
@@ -65,6 +79,8 @@ class LoadTestConfig:
             raise ValueError("need at least one session and one chunk")
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if self.connections is not None and self.connections < 1:
+            raise ValueError("connections must be >= 1")
         if self.prediction_window < 1:
             raise ValueError("prediction window must be >= 1")
         if not self.ladder_kbps:
@@ -231,66 +247,90 @@ def _make_traces(config: LoadTestConfig) -> List[Trace]:
     return generator.generate_many(config.sessions, config.trace_duration_s)
 
 
+class _ClientPool:
+    """A fixed-size pool of keep-alive clients leased one request at a
+    time, so connection fan-out is bounded independently of how many
+    sessions are in flight."""
+
+    def __init__(self, host: str, port: int, size: int, config: LoadTestConfig) -> None:
+        self.size = size
+        self._clients = [
+            ServiceClient(
+                host, port, deadline_s=config.deadline_s, retry=config.retry
+            )
+            for _ in range(size)
+        ]
+        self._free: "asyncio.Queue[ServiceClient]" = asyncio.Queue()
+        for client in self._clients:
+            self._free.put_nowait(client)
+
+    async def decide(self, request: DecisionRequest):
+        client = await self._free.get()
+        try:
+            return await client.decide(request)
+        finally:
+            self._free.put_nowait(client)
+
+    async def close(self) -> None:
+        for client in self._clients:
+            await client.close()
+
+
 async def _session_worker(
-    host: str,
-    port: int,
+    pool: _ClientPool,
     queue: "asyncio.Queue[_VirtualPlayer]",
     config: LoadTestConfig,
     report: LoadTestReport,
 ) -> None:
-    """One connection draining sessions until the queue is empty.
+    """One session worker draining the queue until it is empty.
 
-    The worker never dials eagerly: the connection is established (and
-    re-established) inside each request, so a server that is down when
-    the worker starts — or dies mid-run — costs decisions, not the
+    The pooled clients never dial eagerly: a connection is established
+    (and re-established) inside each request, so a server that is down
+    when the run starts — or dies mid-run — costs decisions, not the
     whole worker.  With ``config.local_fallback`` on, every decision the
     service cannot serve is answered locally with the rate-based rule
-    and the session runs to completion regardless.
+    and the session runs to completion regardless.  Reported latency is
+    client-observed end to end — a lease that waits on a saturated pool
+    is real queueing delay, so it counts.
     """
-    client = ServiceClient(
-        host, port, deadline_s=config.deadline_s, retry=config.retry
-    )
-    try:
-        while True:
+    while True:
+        try:
+            player = queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return
+        completed = True
+        for _ in range(config.chunks_per_session):
+            request = player.next_request()
+            started = time.perf_counter()
             try:
-                player = queue.get_nowait()
-            except asyncio.QueueEmpty:
-                return
-            completed = True
-            for _ in range(config.chunks_per_session):
-                request = player.next_request()
-                started = time.perf_counter()
-                try:
-                    response = await client.decide(request)
-                except ServiceUnavailable:
-                    report.errors += 1
-                    if not config.local_fallback:
-                        completed = False
-                        break
-                    report.local_fallbacks += 1
-                    report.decisions += 1
-                    report.sources["local"] = report.sources.get("local", 0) + 1
-                    player.apply_decision(
-                        player.local_level(request.predicted_kbps)
-                    )
-                    continue
-                latency_us = (time.perf_counter() - started) * 1e6
-                report.latency.observe(latency_us)
+                response = await pool.decide(request)
+            except ServiceUnavailable:
+                report.errors += 1
+                if not config.local_fallback:
+                    completed = False
+                    break
+                report.local_fallbacks += 1
                 report.decisions += 1
-                report.sources[response.source] = (
-                    report.sources.get(response.source, 0) + 1
+                report.sources["local"] = report.sources.get("local", 0) + 1
+                player.apply_decision(
+                    player.local_level(request.predicted_kbps)
                 )
-                if response.degraded:
-                    report.degraded += 1
-                    key = response.reason or "unknown"
-                    report.reasons[key] = report.reasons.get(key, 0) + 1
-                player.apply_decision(response.level_index)
-            if completed:
-                report.sessions_completed += 1
-                report.qoe_sum += player.qoe()
-                report.qoe_count += 1
-    finally:
-        await client.close()
+                continue
+            latency_us = (time.perf_counter() - started) * 1e6
+            report.latency.observe(latency_us)
+            report.decisions += 1
+            report.sources[response.source] = (
+                report.sources.get(response.source, 0) + 1
+            )
+            if response.degraded:
+                report.degraded += 1
+                key = response.reason or "unknown"
+                report.reasons[key] = report.reasons.get(key, 0) + 1
+            player.apply_decision(response.level_index)
+        if completed:
+            report.sessions_completed += 1
+            report.qoe_sum += player.qoe()
+            report.qoe_count += 1
 
 
 async def run_loadtest(
@@ -316,15 +356,20 @@ async def run_loadtest(
 
     report = LoadTestReport()
     workers = min(config.concurrency, queue.qsize())
+    pool_size = config.connections if config.connections is not None else workers
+    pool = _ClientPool(host, port, pool_size, config)
     started = time.perf_counter()
-    results = await asyncio.gather(
-        *(
-            _session_worker(host, port, queue, config, report)
-            for _ in range(workers)
-        ),
-        return_exceptions=True,
-    )
-    report.wall_s = time.perf_counter() - started
+    try:
+        results = await asyncio.gather(
+            *(
+                _session_worker(pool, queue, config, report)
+                for _ in range(workers)
+            ),
+            return_exceptions=True,
+        )
+    finally:
+        report.wall_s = time.perf_counter() - started
+        await pool.close()
     for outcome in results:
         if isinstance(outcome, ServiceUnavailable):
             report.errors += 1

@@ -17,7 +17,12 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKET_BOUNDS_US"]
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "merge_metrics_snapshots",
+    "DEFAULT_BUCKET_BOUNDS_US",
+]
 
 #: Upper bounds (microseconds) of the default latency buckets.  Spans the
 #: table-lookup regime (tens of µs) through badly overloaded (>100 ms);
@@ -127,6 +132,38 @@ class LatencyHistogram:
             "p99_us": self.quantile(0.99),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Reconstruct a histogram from its :meth:`to_dict` document.
+
+        The per-bucket counts, total count, sum, and max round-trip
+        exactly (JSON floats serialise via ``repr``), so a snapshot
+        shipped across a process boundary merges losslessly — the
+        mechanism behind the cluster-wide ``/metrics`` aggregation.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("histogram payload must be a JSON object")
+        try:
+            bounds = payload["bounds_us"]
+            counts = [int(c) for c in payload["counts"]]
+            count = int(payload["count"])
+            sum_us = float(payload["sum_us"])
+            max_us = float(payload["max_us"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed histogram payload: {exc}") from None
+        histogram = cls(bounds)
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                f"{len(counts)} bucket counts for {len(bounds)} bounds"
+            )
+        if any(c < 0 for c in counts) or count != sum(counts):
+            raise ValueError("bucket counts must be >= 0 and sum to the count")
+        histogram._counts = counts
+        histogram._count = count
+        histogram._sum_us = sum_us
+        histogram._max_us = max_us
+        return histogram
+
 
 class ServiceMetrics:
     """Counters + latency histogram for one server instance.
@@ -233,3 +270,62 @@ class ServiceMetrics:
                 for name, histogram in sorted(self.spans.items())
             },
         }
+
+
+def _sum_counter_dicts(dicts: List[Dict[str, int]]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for d in dicts:
+        for key, value in d.items():
+            out[key] = out.get(key, 0) + int(value)
+    return out
+
+
+def _merge_histogram_dicts(payloads: List[dict]) -> dict:
+    merged = LatencyHistogram.from_dict(payloads[0])
+    for payload in payloads[1:]:
+        merged.merge(LatencyHistogram.from_dict(payload))
+    return merged.to_dict()
+
+
+def merge_metrics_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-worker :meth:`ServiceMetrics.snapshot` documents into one
+    cluster-wide document with the same schema.
+
+    Counters sum; the latency and per-span histograms merge bucket by
+    bucket, which is lossless — the merged counts equal what a single
+    shared histogram would have observed, so cluster p50/p99 estimates
+    carry exactly the same per-bucket error bound as a single worker's.
+    ``sessions_seen`` sums too: a session's requests all ride one
+    keep-alive connection, which pins them to one worker, so workers see
+    disjoint session sets (a re-dialed session mid-failover may be
+    double-counted — an upper bound, never an undercount).
+
+    Raises ``ValueError`` on an empty list or a snapshot whose histogram
+    buckets disagree (workers must share one bucket layout to merge
+    losslessly).
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    merged = {
+        "requests_total": sum(int(s["requests_total"]) for s in snapshots),
+        "decisions": _sum_counter_dicts([s["decisions"] for s in snapshots]),
+        "degraded_total": sum(int(s["degraded_total"]) for s in snapshots),
+        "fallback_reasons": _sum_counter_dicts(
+            [s["fallback_reasons"] for s in snapshots]
+        ),
+        "sessions_seen": sum(int(s["sessions_seen"]) for s in snapshots),
+        "table_swaps_total": sum(int(s["table_swaps_total"]) for s in snapshots),
+        "connections": _sum_counter_dicts([s["connections"] for s in snapshots]),
+        "chaos_injected": _sum_counter_dicts(
+            [s["chaos_injected"] for s in snapshots]
+        ),
+        "latency_us": _merge_histogram_dicts([s["latency_us"] for s in snapshots]),
+    }
+    span_names = sorted({name for s in snapshots for name in s.get("spans_us", {})})
+    merged["spans_us"] = {
+        name: _merge_histogram_dicts(
+            [s["spans_us"][name] for s in snapshots if name in s.get("spans_us", {})]
+        )
+        for name in span_names
+    }
+    return merged

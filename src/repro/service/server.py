@@ -38,6 +38,7 @@ from ..obs.events import RequestSpan
 from ..obs.tracer import Tracer
 from ..faults.chaos import (
     CHAOS_ERROR,
+    CHAOS_KILL,
     CHAOS_NONE,
     CHAOS_RESET,
     CHAOS_SLOW,
@@ -314,6 +315,16 @@ class DecisionServer:
     Each ``/v1/decide`` request gets a server-assigned trace id, and a
     drawn chaos action is stamped onto the request's span, making chaos
     runs attributable request by request.
+
+    Cluster integration (see :mod:`repro.service.cluster`):
+    ``reuse_port`` binds with ``SO_REUSEPORT`` so N worker processes can
+    listen on one shared port and let the kernel spread connections;
+    ``worker_id`` stamps every request span and ``/healthz`` document
+    with the worker's index; ``kill_hook`` is what the ``worker-kill``
+    chaos action calls after aborting the connection — a cluster worker
+    installs ``os._exit`` there, so the injected crash is a real process
+    death the supervisor must repair (with no hook the action only
+    aborts the connection).
     """
 
     def __init__(
@@ -323,12 +334,18 @@ class DecisionServer:
         port: int = 0,
         chaos: Optional[ChaosPolicy] = None,
         tracer: Optional[Tracer] = None,
+        reuse_port: bool = False,
+        worker_id: Optional[int] = None,
+        kill_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.chaos = chaos
         self.tracer = tracer
+        self.reuse_port = reuse_port
+        self.worker_id = worker_id
+        self.kill_hook = kill_hook
         self._trace_seq = 0
         self._stashed_table: Optional[DecisionTable] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -337,8 +354,9 @@ class DecisionServer:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
 
     @property
@@ -524,6 +542,18 @@ class DecisionServer:
                         "decide", trace_id, started, "error-500", chaos_tag
                     )
                     return keep_alive
+                if action == CHAOS_KILL:
+                    # The worker dies mid-request: abort the transport so
+                    # the client sees a reset, then fire the kill hook (a
+                    # cluster worker exits the process here — the crash
+                    # its supervisor exists to repair).  Without a hook
+                    # the abort alone stands in for the crash.
+                    metrics.record_error()
+                    writer.transport.abort()
+                    self._finish_span("decide", trace_id, started, "killed", chaos_tag)
+                    if self.kill_hook is not None:
+                        self.kill_hook()
+                    return False
                 if action == CHAOS_SLOW:
                     await asyncio.sleep(self.chaos.config.slow_delay_s)
                 elif action == CHAOS_TABLE_SWAP:
@@ -543,17 +573,15 @@ class DecisionServer:
             await self._respond(writer, 200, metrics.snapshot(), close=not keep_alive)
             return keep_alive
         if path == "/healthz":
-            await self._respond(
-                writer,
-                200,
-                {
-                    "status": "ok",
-                    "protocol_version": PROTOCOL_VERSION,
-                    "table_loaded": self.service.table_loaded,
-                    "num_levels": len(self.service.ladder),
-                },
-                close=not keep_alive,
-            )
+            health = {
+                "status": "ok",
+                "protocol_version": PROTOCOL_VERSION,
+                "table_loaded": self.service.table_loaded,
+                "num_levels": len(self.service.ladder),
+            }
+            if self.worker_id is not None:
+                health["worker_id"] = self.worker_id
+            await self._respond(writer, 200, health, close=not keep_alive)
             return keep_alive
         if path == "/v1/table":
             if method != "POST":
@@ -613,6 +641,7 @@ class DecisionServer:
                     wall_s=wall_s,
                     status=status,
                     chaos=chaos,
+                    worker=self.worker_id,
                 )
             )
 

@@ -1,0 +1,410 @@
+"""Scale tests for the multi-process sharded decision service.
+
+The bar these tests pin down (see docs/scaling.md):
+
+* sharding is invisible — an N-worker cluster answers a golden request
+  stream with byte-identical decisions to a single-process server over
+  the same published table, in both port-sharing modes;
+* supervision works — a SIGKILLed worker is detected and replaced, and
+  a retrying client rides through the crash with zero failed sessions;
+* telemetry is lossless — cluster ``/metrics`` equals the sum of the
+  workers' counters, with exact histogram counts.
+
+Every test forks real processes and binds real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.core.table import Binning, DecisionTable
+from repro.experiments import publish_table
+from repro.faults import ChaosConfig
+from repro.service import (
+    ClusterConfig,
+    ClusterSupervisor,
+    DecisionRequest,
+    DecisionServer,
+    DecisionService,
+    LoadTestConfig,
+    RetryPolicy,
+    ServiceClient,
+    run_loadtest,
+)
+from repro.service.cluster import supports_reuse_port
+from repro.traces import make_generator
+
+from .conftest import LADDER
+
+pytestmark = pytest.mark.slow
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_varied_table() -> DecisionTable:
+    """A table whose decision depends on all three coordinates, so any
+    routing or mapping mistake shows up as a wrong level."""
+    buffer_bins = Binning(0.0, 30.0, 7)
+    throughput_bins = Binning(100.0, 4000.0, 9, spacing="log")
+    n = buffer_bins.count * len(LADDER) * throughput_bins.count
+    t = throughput_bins.count
+    decisions = [
+        ((i // (t * len(LADDER))) + (i // t) % len(LADDER) * 2 + i % t)
+        % len(LADDER)
+        for i in range(n)
+    ]
+    return DecisionTable(buffer_bins, len(LADDER), throughput_bins, decisions)
+
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+
+def golden_request_stream() -> list:
+    """A deterministic request stream derived from the golden session
+    timelines: each chunk decision's (buffer, prev_level) paired with
+    the preceding download's measured throughput as the prediction."""
+    requests = []
+    for timeline in sorted(GOLDEN_DIR.glob("*.jsonl")):
+        predicted = 1200.0
+        with timeline.open() as fh:
+            for line in fh:
+                event = json.loads(line)
+                if event["kind"] == "chunk-decision":
+                    prev = event["prev_level"]
+                    if prev is not None:
+                        prev = min(prev, len(LADDER) - 1)
+                    requests.append(
+                        DecisionRequest(
+                            session_id=f"golden-{timeline.stem}",
+                            buffer_s=event["buffer_s"],
+                            predicted_kbps=predicted,
+                            prev_level=prev,
+                        )
+                    )
+                elif event["kind"] == "chunk-download":
+                    predicted = event["throughput_kbps"]
+    assert len(requests) >= 200, "golden timelines unexpectedly short"
+    return requests
+
+
+def response_key(response) -> tuple:
+    """The deterministic part of a response (latency excluded)."""
+    return (
+        response.level_index,
+        response.bitrate_kbps,
+        response.source,
+        response.degraded,
+        response.reason,
+    )
+
+
+async def decide_all(port: int, requests) -> list:
+    async with ServiceClient("127.0.0.1", port) as client:
+        return [response_key(await client.decide(r)) for r in requests]
+
+
+def publish_test_table(tmp_path, table=None) -> str:
+    table = table if table is not None else make_varied_table()
+    return str(publish_table(table, tmp_path / "table.rprotbl"))
+
+
+async def wait_for_restarts(sup: ClusterSupervisor, n: int, timeout_s=10.0):
+    """Block until the monitor has detected ``n`` deaths (SIGKILL is
+    asynchronous — right after ``kill_worker`` the process may not have
+    died yet, let alone been noticed)."""
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while sup.restarts_total < n:
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(
+                f"monitor saw {sup.restarts_total}/{n} deaths in {timeout_s}s"
+            )
+        await asyncio.sleep(0.02)
+
+
+class TestClusterParity:
+    """Sharding must not change a single decision."""
+
+    @pytest.mark.parametrize(
+        "reuse",
+        [
+            pytest.param(
+                True,
+                marks=pytest.mark.skipif(
+                    not supports_reuse_port(), reason="no SO_REUSEPORT"
+                ),
+            ),
+            False,
+        ],
+        ids=["reuse-port", "frontend"],
+    )
+    def test_golden_stream_identical_to_single_process(self, tmp_path, reuse):
+        table = make_varied_table()
+        path = publish_test_table(tmp_path, table)
+        requests = golden_request_stream()
+
+        async def single():
+            service = DecisionService(LADDER, table=table)
+            server = DecisionServer(service, port=0)
+            await server.start()
+            try:
+                return await decide_all(server.bound_port, requests)
+            finally:
+                await server.close()
+
+        async def clustered():
+            config = ClusterConfig(workers=3, reuse_port=reuse)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=config
+            ) as sup:
+                # Spread the stream over several connections so more
+                # than one worker actually serves it.
+                chunks = [requests[i::4] for i in range(4)]
+                results = await asyncio.gather(
+                    *(decide_all(sup.bound_port, chunk) for chunk in chunks)
+                )
+                merged = [None] * len(requests)
+                for i, chunk_result in enumerate(results):
+                    merged[i::4] = chunk_result
+                metrics = await sup.metrics()
+                return merged, metrics
+
+        expected = run(single())
+        got, metrics = run(clustered())
+        assert got == expected
+        assert metrics["requests_total"] == len(requests)
+        assert metrics["decisions"].get("table", 0) == len(requests)
+        assert metrics["cluster"]["alive"] == 3
+
+    def test_mapped_table_parity_is_checked_at_worker_startup(self, tmp_path):
+        # A worker that maps a table disagreeing with nothing still
+        # parity-checks structurally: corrupt bytes must not come up.
+        path = tmp_path / "table.rprotbl"
+        publish_table(make_varied_table(), path)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # corrupt inside the RLE payload
+        path.write_bytes(bytes(blob))
+
+        async def attempt():
+            config = ClusterConfig(workers=1, ready_timeout_s=5.0)
+            sup = ClusterSupervisor(LADDER, table_path=str(path), config=config)
+            with pytest.raises(Exception) as excinfo:
+                await sup.start()
+            await sup.stop()
+            return excinfo
+
+        excinfo = run(attempt())
+        assert "before ready" in str(excinfo.value)
+
+
+class TestSupervision:
+    def test_sigkilled_worker_is_replaced(self, tmp_path):
+        path = publish_test_table(tmp_path)
+
+        async def inner():
+            config = ClusterConfig(workers=2, poll_interval_s=0.02)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=config
+            ) as sup:
+                before = list(sup.worker_pids())
+                sup.kill_worker(0, signal.SIGKILL)
+                await wait_for_restarts(sup, 1)
+                await sup.wait_healthy(timeout_s=10.0)
+                after = list(sup.worker_pids())
+                health = sup.health()
+                return before, after, sup.restarts_total, health
+
+        before, after, restarts, health = run(inner())
+        assert after[0] != before[0], "worker 0 was not replaced"
+        assert after[1] == before[1], "worker 1 should be untouched"
+        assert restarts == 1
+        assert health["status"] == "ok"
+        assert health["alive"] == 2
+
+    def test_retrying_client_rides_through_a_kill(self, tmp_path):
+        """Every session finishes with zero failures while a worker dies
+        mid-run — the cluster-level availability bar."""
+        path = publish_test_table(tmp_path)
+        traces = make_generator("fcc", seed=7).generate_many(6, 120.0)
+        config = LoadTestConfig(
+            sessions=6,
+            chunks_per_session=25,
+            concurrency=6,
+            connections=3,
+            ladder_kbps=LADDER,
+            deadline_s=5.0,
+            retry=RetryPolicy(
+                max_attempts=6, base_delay_s=0.02, max_delay_s=0.5, seed=11
+            ),
+            local_fallback=False,
+        )
+
+        async def inner():
+            cluster = ClusterConfig(workers=2, poll_interval_s=0.02)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=cluster
+            ) as sup:
+                load = asyncio.ensure_future(
+                    run_loadtest("127.0.0.1", sup.bound_port, config, traces=traces)
+                )
+                await asyncio.sleep(0.15)
+                sup.kill_worker(0, signal.SIGKILL)
+                report = await load
+                await wait_for_restarts(sup, 1)
+                await sup.wait_healthy(timeout_s=10.0)
+                return report
+
+        report = run(inner())
+        assert report.sessions_completed == config.sessions
+        assert report.errors == 0
+        assert report.local_fallbacks == 0
+        assert report.decisions == config.sessions * config.chunks_per_session
+
+    def test_worker_kill_chaos_is_repaired(self, tmp_path):
+        """The injected worker-kill action really kills the process, and
+        the supervisor + retrying clients absorb it."""
+        path = publish_test_table(tmp_path)
+        traces = make_generator("fcc", seed=3).generate_many(4, 120.0)
+        config = LoadTestConfig(
+            sessions=4,
+            chunks_per_session=20,
+            concurrency=4,
+            connections=2,
+            ladder_kbps=LADDER,
+            deadline_s=5.0,
+            retry=RetryPolicy(
+                max_attempts=6, base_delay_s=0.02, max_delay_s=0.5, seed=5
+            ),
+        )
+
+        async def inner():
+            cluster = ClusterConfig(
+                workers=2,
+                poll_interval_s=0.02,
+                # High enough that ~0 kills over the run's ~80 requests
+                # is astronomically unlikely whatever the kernel's
+                # connection spreading does (0.92^80 ~ 1e-3).
+                chaos=ChaosConfig(kill_rate=0.08, seed=1),
+            )
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=cluster
+            ) as sup:
+                report = await run_loadtest(
+                    "127.0.0.1", sup.bound_port, config, traces=traces
+                )
+                await sup.wait_healthy(timeout_s=10.0)
+                return report, sup.restarts_total
+
+        report, restarts = run(inner())
+        assert restarts >= 1, "kill chaos never fired; raise kill_rate"
+        assert report.sessions_completed == config.sessions
+        assert report.errors == 0
+
+
+class TestClusterTelemetry:
+    def test_control_endpoint_serves_aggregated_metrics(self, tmp_path):
+        path = publish_test_table(tmp_path)
+        requests = golden_request_stream()[:30]
+
+        async def fetch(port: int, route: str) -> dict:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                f"GET {route} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+        async def inner():
+            config = ClusterConfig(workers=2)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=config
+            ) as sup:
+                await decide_all(sup.bound_port, requests)
+                port = sup.control_bound_port
+                return await fetch(port, "/metrics"), await fetch(
+                    port, "/healthz"
+                ), await fetch(port, "/nope")
+
+        metrics, health, missing = run(inner())
+        assert metrics["requests_total"] == len(requests)
+        assert metrics["latency_us"]["count"] == len(requests)
+        roster = metrics["cluster"]["workers_detail"]
+        assert [w["worker"] for w in roster] == [0, 1]
+        assert all(w["status"] == "ok" for w in roster)
+        assert health["status"] == "ok"
+        assert "error" in missing
+
+    def test_metrics_survive_a_restart_roster(self, tmp_path):
+        """After a kill + repair, the roster reports the restart and the
+        merged counters only cover what live workers have seen."""
+        path = publish_test_table(tmp_path)
+        requests = golden_request_stream()[:20]
+
+        async def inner():
+            config = ClusterConfig(workers=2, poll_interval_s=0.02)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=config
+            ) as sup:
+                await decide_all(sup.bound_port, requests)
+                sup.kill_worker(1, signal.SIGKILL)
+                await wait_for_restarts(sup, 1)
+                await sup.wait_healthy(timeout_s=10.0)
+                return await sup.metrics()
+
+        metrics = run(inner())
+        roster = metrics["cluster"]["workers_detail"]
+        assert metrics["cluster"]["restarts_total"] == 1
+        assert roster[1]["restarts"] == 1
+        assert all(w["status"] == "ok" for w in roster)
+        # A single keep-alive connection pins to one worker, so the
+        # merged total is either everything (survivor served it) or
+        # nothing (the killed worker did) — never a partial mix.
+        assert metrics["requests_total"] in (0, len(requests))
+
+
+class TestOfferedRate:
+    def test_closed_loop_offered_rate_reaches_ideal(self, tmp_path):
+        """With every response slowed a fixed 50 ms and a 4-connection
+        pool, the closed loop's ideal offered rate is connections/delay;
+        the bounded fan-out must achieve it within 10%."""
+        path = publish_test_table(tmp_path)
+        delay_s = 0.05
+        connections = 4
+        traces = make_generator("fcc", seed=0).generate_many(8, 120.0)
+        config = LoadTestConfig(
+            sessions=8,
+            chunks_per_session=20,
+            concurrency=8,
+            connections=connections,
+            ladder_kbps=LADDER,
+            deadline_s=5.0,
+        )
+
+        async def inner():
+            cluster = ClusterConfig(
+                workers=4,
+                chaos=ChaosConfig(slow_rate=1.0, slow_delay_s=delay_s, seed=2),
+            )
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=cluster
+            ) as sup:
+                return await run_loadtest(
+                    "127.0.0.1", sup.bound_port, config, traces=traces
+                )
+
+        report = run(inner())
+        ideal_dps = connections / delay_s
+        assert report.errors == 0
+        assert report.sessions_completed == config.sessions
+        assert report.throughput_dps >= 0.9 * ideal_dps
+        # The pool really bounds fan-out: the loop cannot beat the
+        # physical ceiling of `connections` in-flight requests.
+        assert report.throughput_dps <= 1.1 * ideal_dps

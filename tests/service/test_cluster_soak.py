@@ -1,0 +1,100 @@
+"""Cluster soak: sustained load + repeated worker deaths, zero failures.
+
+Opt-in (``-m soak``; ``scripts/check.sh`` runs it as its own stage): the
+cluster serves a continuous closed-loop workload for ~20 seconds while
+workers are killed both by injected ``worker-kill`` chaos and by an
+explicit SIGKILL every few seconds.  The bar is absolute: every session
+of every round completes with zero client-visible errors, every death
+is repaired, and the aggregated metrics stay mergeable throughout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+import pytest
+
+from repro.faults import ChaosConfig
+from repro.service import (
+    ClusterConfig,
+    ClusterSupervisor,
+    LoadTestConfig,
+    RetryPolicy,
+    run_loadtest,
+)
+from repro.traces import make_generator
+
+from .conftest import LADDER
+from .test_cluster import publish_test_table
+
+pytestmark = [pytest.mark.slow, pytest.mark.soak]
+
+SOAK_SECONDS = 20.0
+KILL_EVERY_S = 4.0
+
+
+def test_cluster_survives_sustained_load_and_kills(tmp_path):
+    path = publish_test_table(tmp_path)
+    traces = make_generator("fcc", seed=17).generate_many(8, 120.0)
+    config = LoadTestConfig(
+        sessions=8,
+        chunks_per_session=30,
+        concurrency=8,
+        connections=4,
+        ladder_kbps=LADDER,
+        deadline_s=5.0,
+        retry=RetryPolicy(
+            max_attempts=8, base_delay_s=0.02, max_delay_s=0.5, seed=23
+        ),
+        local_fallback=False,
+    )
+
+    async def soak():
+        cluster = ClusterConfig(
+            workers=3,
+            poll_interval_s=0.02,
+            chaos=ChaosConfig(kill_rate=0.002, seed=29),
+        )
+        rounds = 0
+        decisions = 0
+        explicit_kills = 0
+        async with ClusterSupervisor(
+            LADDER, table_path=path, config=cluster
+        ) as sup:
+            started = time.perf_counter()
+            last_kill = started
+            victim = 0
+            while time.perf_counter() - started < SOAK_SECONDS:
+                load = asyncio.ensure_future(
+                    run_loadtest("127.0.0.1", sup.bound_port, config, traces=traces)
+                )
+                while not load.done():
+                    await asyncio.sleep(0.05)
+                    now = time.perf_counter()
+                    if now - last_kill >= KILL_EVERY_S:
+                        last_kill = now
+                        try:
+                            sup.kill_worker(victim % cluster.workers, signal.SIGKILL)
+                            explicit_kills += 1
+                        except Exception:
+                            pass  # victim already mid-restart; chaos got it
+                        victim += 1
+                report = await load
+                rounds += 1
+                decisions += report.decisions
+                assert report.errors == 0, f"round {rounds} saw errors"
+                assert report.sessions_completed == config.sessions
+                # The telemetry plane must stay coherent mid-carnage.
+                metrics = await sup.metrics()
+                assert metrics["cluster"]["workers"] == cluster.workers
+                assert metrics["latency_us"]["counts"] is not None
+            await sup.wait_healthy(timeout_s=15.0)
+            return rounds, decisions, explicit_kills, sup.restarts_total
+
+    rounds, decisions, explicit_kills, restarts = asyncio.run(soak())
+    assert rounds >= 2, "soak finished too few rounds to mean anything"
+    assert decisions >= 2 * 8 * 30
+    assert explicit_kills >= 2
+    assert restarts >= explicit_kills

@@ -1,0 +1,91 @@
+"""Unit tests for cluster-wide metrics aggregation (the merge path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    merge_metrics_snapshots,
+)
+
+
+def metrics_with(requests: int = 0, errors: int = 0, chaos: int = 0) -> ServiceMetrics:
+    metrics = ServiceMetrics()
+    for i in range(requests):
+        metrics.record_decision("table", 50.0 * (i + 1), False, None, f"s{i}")
+    for _ in range(errors):
+        metrics.record_error()
+    for _ in range(chaos):
+        metrics.record_chaos("slow")
+    return metrics
+
+
+class TestMergeSnapshots:
+    def test_counters_sum(self):
+        a = metrics_with(requests=3, errors=1, chaos=2)
+        b = metrics_with(requests=5, chaos=1)
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["requests_total"] == 9  # 8 decisions + 1 error
+        assert merged["decisions"] == {"table": 8, "fallback": 0, "error": 1}
+        assert merged["chaos_injected"] == {"slow": 3}
+        assert merged["latency_us"]["count"] == 8
+        assert merged["sessions_seen"] == 8
+
+    def test_single_snapshot_is_identity_on_counters(self):
+        snapshot = metrics_with(requests=4, errors=2).snapshot()
+        merged = merge_metrics_snapshots([snapshot])
+        assert merged["requests_total"] == snapshot["requests_total"]
+        assert merged["decisions"] == snapshot["decisions"]
+        assert merged["latency_us"] == snapshot["latency_us"]
+
+    def test_span_histograms_union(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.record_span("decide", 100.0)
+        a.record_span("decide", 300.0)
+        b.record_span("decide", 200.0)
+        b.record_span("table-swap", 900.0)
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["spans_us"]["decide"]["count"] == 3
+        assert merged["spans_us"]["table-swap"]["count"] == 1
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_metrics_snapshots([])
+
+    def test_mismatched_buckets_rejected(self):
+        a = ServiceMetrics().snapshot()
+        b = ServiceMetrics(bounds_us=(100.0, 1000.0)).snapshot()
+        with pytest.raises(ValueError):
+            merge_metrics_snapshots([a, b])
+
+    def test_fallback_reason_counters_sum(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.record_decision("fallback", 10.0, True, "no-table")
+        b.record_decision("fallback", 10.0, True, "no-table")
+        b.record_decision("fallback", 10.0, True, "budget")
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["degraded_total"] == 3
+        assert merged["fallback_reasons"] == {"no-table": 2, "budget": 1}
+
+
+class TestHistogramFromDict:
+    def test_roundtrip(self):
+        histogram = LatencyHistogram()
+        for sample in (10.0, 250.0, 9000.0, 1e6):
+            histogram.observe(sample)
+        restored = LatencyHistogram.from_dict(histogram.to_dict())
+        assert restored.to_dict() == histogram.to_dict()
+        assert restored.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_rejects_wrong_shape(self):
+        good = LatencyHistogram().to_dict()
+        for corrupt in (
+            {**good, "counts": good["counts"][:-1]},
+            {**good, "count": 5},
+            {**good, "counts": [-1] + good["counts"][1:]},
+            {"nonsense": True},
+        ):
+            with pytest.raises(ValueError):
+                LatencyHistogram.from_dict(corrupt)
