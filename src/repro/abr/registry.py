@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..core.fastmpc import FastMPCController
-from ..core.mdp import MDPController
+
+try:  # the MDP extension needs NumPy; the rest of the zoo does not
+    from ..core.mdp import MDPController
+except ImportError:  # pragma: no cover - exercised by the no-numpy test
+    MDPController = None  # type: ignore[assignment, misc]
 from ..core.mpc import MPCController, make_mpc_opt
 from ..core.robust import RobustMPCController
 from .base import ABRAlgorithm
@@ -35,10 +39,11 @@ _FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
     "fastmpc": FastMPCController,
     "robust-fastmpc": lambda: FastMPCController(robust=True),
     "mpc-opt": make_mpc_opt,
-    "mdp": MDPController,
     "lowest": lambda: ConstantLevelAlgorithm(0),
     "highest": lambda: ConstantLevelAlgorithm(-1),
 }
+if MDPController is not None:
+    _FACTORIES["mdp"] = MDPController
 
 
 def register(name: str, factory: Callable[[], ABRAlgorithm]) -> None:

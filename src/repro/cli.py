@@ -256,6 +256,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
     p.add_argument("--deadline", type=float, default=2.0, help="per-request s")
+    p.add_argument(
+        "--protocol", choices=("json", "binary"), default="json",
+        help=(
+            "wire encoding; binary coalesces concurrent sessions into"
+            " multi-record frames (falls back to json against an older"
+            " server)"
+        ),
+    )
     p.add_argument("--json", metavar="PATH", help="also write the report as JSON")
 
     p = sub.add_parser(
@@ -628,6 +636,7 @@ def _cmd_loadtest(args) -> int:
         seed=args.seed,
         trace_duration_s=args.duration,
         deadline_s=args.deadline,
+        protocol=args.protocol,
     )
     report = run_loadtest_sync(args.host, args.port, config)
     print(report.describe())

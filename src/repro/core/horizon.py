@@ -29,8 +29,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from .npcompat import HAVE_NUMPY, np
 from ..qoe import QoEWeights
 from ..video.quality import QualityFunction
 
@@ -129,12 +128,13 @@ class HorizonSolution:
 
 
 @lru_cache(maxsize=64)
-def _plan_matrix(num_levels: int, horizon: int) -> np.ndarray:
+def _plan_matrix(num_levels: int, horizon: int):
     """All ``num_levels**horizon`` plans, lexicographic row order.
 
     The returned array is shared by every caller (it is memoised), so it
     is marked read-only — a consumer mutating it in place would silently
-    corrupt every other caller's plan space.
+    corrupt every other caller's plan space.  Without NumPy the plans
+    come back as an (immutable) tuple of tuples in the same order.
     """
     if num_levels**horizon > 2_000_000:
         raise ValueError(
@@ -142,6 +142,8 @@ def _plan_matrix(num_levels: int, horizon: int) -> np.ndarray:
             "reduce the horizon or ladder size"
         )
     ranges = [range(num_levels)] * horizon
+    if not HAVE_NUMPY:
+        return tuple(itertools.product(*ranges))
     plans = np.array(list(itertools.product(*ranges)), dtype=np.int64)
     plans.setflags(write=False)
     return plans
@@ -324,7 +326,10 @@ def solve_startup(
         raise ValueError("max wait must be >= 0")
     mu_s = problem.weights.startup
     steps = int(round(max_wait_s / wait_step_s))
-    waits = np.minimum(np.arange(steps + 1) * wait_step_s, max_wait_s)
+    if HAVE_NUMPY:
+        waits = np.minimum(np.arange(steps + 1) * wait_step_s, max_wait_s)
+    else:
+        waits = [min(i * wait_step_s, max_wait_s) for i in range(steps + 1)]
 
     best: Optional[HorizonSolution] = None
     if problem.num_levels**problem.horizon > _ENUMERATION_LIMIT:
@@ -347,25 +352,40 @@ def solve_startup(
 
     from .kernel import _BatchEvaluator, _solve_rows
 
-    if evaluator is None:
-        evaluator = _BatchEvaluator()
     plans = _plan_matrix(problem.num_levels, problem.horizon)
-    sizes = np.asarray(problem.chunk_sizes_kilobits, dtype=np.float64)
-    preds = np.asarray(problem.predicted_kbps, dtype=np.float64)
-    quality = np.asarray(problem.quality_values, dtype=np.float64)
-    buffer0 = problem.buffer_level_s + waits
-    prev = (
-        None
-        if problem.prev_quality is None
-        else np.full(waits.shape, problem.prev_quality)
-    )
+    if HAVE_NUMPY:
+        if evaluator is None:
+            evaluator = _BatchEvaluator()
+        sizes = np.asarray(problem.chunk_sizes_kilobits, dtype=np.float64)
+        preds = np.asarray(problem.predicted_kbps, dtype=np.float64)
+        quality = np.asarray(problem.quality_values, dtype=np.float64)
+        buffer0 = problem.buffer_level_s + waits
+        prev = (
+            None
+            if problem.prev_quality is None
+            else np.full(waits.shape, problem.prev_quality)
+        )
+    else:
+        evaluator = None
+        sizes = problem.chunk_sizes_kilobits
+        preds = problem.predicted_kbps
+        quality = problem.quality_values
+        buffer0 = [problem.buffer_level_s + w for w in waits]
+        prev = (
+            None
+            if problem.prev_quality is None
+            else [problem.prev_quality] * len(waits)
+        )
     best_idx, qoe, rebuf, fin = _solve_rows(
         evaluator, plans, sizes, preds, buffer0, prev, quality,
         problem.weights.switching, problem.weights.rebuffering,
         problem.chunk_duration_s, problem.buffer_capacity_s,
     )
-    adjusted = qoe - mu_s * waits
-    for j in range(waits.shape[0]):
+    if HAVE_NUMPY:
+        adjusted = qoe - mu_s * waits
+    else:
+        adjusted = [q - mu_s * w for q, w in zip(qoe, waits)]
+    for j in range(len(waits)):
         if best is None or adjusted[j] > best.qoe + 1e-12:
             best = HorizonSolution(
                 plan=tuple(int(x) for x in plans[best_idx[j]]),

@@ -1,0 +1,38 @@
+"""Optional-NumPy shim for the decision hot path.
+
+The vectorized fast paths (the batched horizon kernel, flat-array table
+lookups, service micro-batches) are NumPy computations, but nothing in
+the *serving* story fundamentally needs NumPy: a published decision
+table is quantize + lookup, and the wire protocol is ``struct``.  Every
+module on that path imports NumPy through this shim instead of
+directly, so an environment without NumPy still imports, serves, and
+solves — it just runs the pure-Python fallbacks (bit-identical
+decisions, scalar speed).
+
+Usage::
+
+    from .npcompat import HAVE_NUMPY, np
+
+    if HAVE_NUMPY:
+        ...vectorized path over np arrays...
+    else:
+        ...pure-Python fallback...
+
+``np`` is ``None`` when NumPy is absent; guard every use with
+``HAVE_NUMPY`` (or a ``np is not None`` check).  Code outside the hot
+path — the MDP extension, figure pipelines — may keep importing NumPy
+directly; :mod:`repro.core`'s package init degrades those symbols to
+``None`` instead of failing the whole package import.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the no-numpy subprocess test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "np"]

@@ -6,13 +6,20 @@ optimisations from Section 5.2 live here:
 
 * **Compaction via binning** — buffer and throughput values are coarsened
   into bins; row keys need not be stored because they are computed from
-  bin indices (:class:`Binning`).
+  bin indices (:class:`Binning`).  Quantisation is *flat-array index
+  arithmetic*: one inverse-scale multiply plus clamp (with an exact
+  edge-correction step), not a per-value binary search — the same
+  precomputed scale backs the scalar :meth:`Binning.index_of` and the
+  vectorized :meth:`Binning.index_of_batch`, so they cannot drift.
 
 * **Table compression** — the optimal decisions for neighbouring scenarios
   are usually identical, so the decision vector compresses extremely well
   under lossless run-length encoding; lookups on the compressed form use
   binary search (:class:`RunLengthEncodedTable`).  Table 1 of the paper
   reports the resulting sizes; :class:`TableSizeReport` reproduces them.
+  Batch lookups (:meth:`RunLengthEncodedTable.lookup_batch`) replace the
+  per-value bisect with one vectorized ``searchsorted`` over the run
+  ends — identical answers, amortised cost.
 
 A third, deployment-facing representation backs the sharded decision
 service: :meth:`DecisionTable.from_buffer` wraps a *serialized* table —
@@ -21,6 +28,15 @@ The run records are binary-searched in place (:class:`MappedRunLengthTable`),
 so many worker processes can serve one read-only table file with zero
 per-process copies; the serialized form is position-independent, which
 is what makes that sharing safe.
+
+NumPy is optional here (see :mod:`repro.core.npcompat`): every scalar
+path — quantisation, single lookups, (de)serialization — is pure
+Python, so a serving process without NumPy still answers identically;
+only the batch methods degrade to per-value loops.  One caveat: NumPy's
+``geomspace`` and ``math.pow`` can disagree by 1 ULP on log-spaced bin
+edges, so a value landing *within 1 ULP of a log bin edge* may quantize
+differently across the two environments (linear edges are bit-identical
+by construction).
 """
 
 from __future__ import annotations
@@ -30,11 +46,10 @@ import math
 import struct
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from ..obs.events import TableLookup
+from .npcompat import HAVE_NUMPY, np
 
 __all__ = [
     "Binning",
@@ -45,15 +60,57 @@ __all__ = [
 ]
 
 
+def _compute_edges(low: float, high: float, count: int, spacing: str) -> List[float]:
+    """Bin edges as a plain list.
+
+    With NumPy this is ``linspace``/``geomspace`` (the historical edge
+    values — published tables and disk caches key on them).  Without, a
+    pure-Python replica: bit-identical for linear spacing; within 1 ULP
+    for log spacing (``pow`` rounding differs between libm entry points).
+    """
+    if HAVE_NUMPY:
+        if spacing == "linear":
+            return np.linspace(low, high, count + 1).tolist()
+        return np.geomspace(low, high, count + 1).tolist()
+    if spacing == "linear":
+        step = (high - low) / count
+        edges = [i * step + low for i in range(count + 1)]
+        edges[-1] = high
+        return edges
+    log_low, log_high = math.log10(low), math.log10(high)
+    step = (log_high - log_low) / count
+    edges = [10.0 ** (i * step + log_low) for i in range(count + 1)]
+    edges[0], edges[-1] = low, high
+    return edges
+
+
 class Binning:
     """Fixed bins over ``[low, high]`` with linear or logarithmic spacing.
 
     Values outside the range clamp to the edge bins, so any observed state
     maps to *some* table row — the paper's "key value closest to the
     current state".
+
+    Quantisation is O(1) index arithmetic: ``idx = (f(value) - offset) *
+    scale`` (``f`` = identity or ``log``) followed by an exact correction
+    against the true edge values, which repairs any floating-point
+    off-by-one so the result always equals the reference
+    ``bisect_right(edges, value) - 1``.  The same precomputed
+    ``(offset, scale)`` pair and the same edge array back both the scalar
+    and the batch path.
     """
 
-    __slots__ = ("low", "high", "count", "spacing", "_edges", "_centers", "_edges_list")
+    __slots__ = (
+        "low",
+        "high",
+        "count",
+        "spacing",
+        "_edges",
+        "_centers",
+        "_edges_list",
+        "_offset",
+        "_scale",
+    )
 
     def __init__(self, low: float, high: float, count: int, spacing: str = "linear") -> None:
         if count < 1:
@@ -68,38 +125,91 @@ class Binning:
         self.high = float(high)
         self.count = count
         self.spacing = spacing
+        edges_list = _compute_edges(self.low, self.high, count, spacing)
         if spacing == "linear":
-            edges = np.linspace(low, high, count + 1)
+            centers_list = [
+                (edges_list[i] + edges_list[i + 1]) / 2.0 for i in range(count)
+            ]
         else:
-            edges = np.geomspace(low, high, count + 1)
+            centers_list = [
+                math.sqrt(edges_list[i] * edges_list[i + 1]) for i in range(count)
+            ]  # geometric mid
+        # The flat-lookup scale: one multiply maps a value to (almost) its
+        # bin; the correction loops in index_of make it exact.
         if spacing == "linear":
-            centers = (edges[:-1] + edges[1:]) / 2.0
+            self._offset = self.low
+            self._scale = count / (self.high - self.low)
         else:
-            centers = np.sqrt(edges[:-1] * edges[1:])  # geometric mid
-        # Shared read-only views: hot-loop callers (table builds, kernels)
-        # access these per call, so handing out defensive copies would be
-        # a per-access allocation; read-only flags keep sharing safe.
-        edges.setflags(write=False)
-        centers.setflags(write=False)
-        self._edges = edges
-        self._centers = centers
-        # Scalar lookups (one per online decision; the service's hot
-        # path) use bisect over a plain list — an order of magnitude
-        # cheaper than np.searchsorted on a single value.
-        self._edges_list = edges.tolist()
+            self._offset = math.log(self.low)
+            self._scale = count / (math.log(self.high) - math.log(self.low))
+        # Scalar lookups compare against the plain list (no per-access
+        # NumPy scalar boxing); batch lookups use the shared array views.
+        self._edges_list = edges_list
+        if HAVE_NUMPY:
+            edges = np.asarray(edges_list, dtype=np.float64)
+            centers = np.asarray(centers_list, dtype=np.float64)
+            # Shared read-only views: hot-loop callers (table builds,
+            # kernels) access these per call, so handing out defensive
+            # copies would be a per-access allocation; read-only flags
+            # keep sharing safe.
+            edges.setflags(write=False)
+            centers.setflags(write=False)
+            self._edges = edges
+            self._centers = centers
+        else:
+            self._edges = tuple(edges_list)
+            self._centers = tuple(centers_list)
 
     @property
-    def edges(self) -> np.ndarray:
+    def edges(self):
         """Bin edge values — a shared *read-only* view, not a copy."""
         return self._edges
 
     @property
-    def centers(self) -> np.ndarray:
+    def centers(self):
         """Bin centre values — a shared *read-only* view, not a copy."""
         return self._centers
 
     def index_of(self, value: float) -> int:
-        """Bin index for a value, clamping out-of-range values."""
+        """Bin index for a value, clamping out-of-range values.
+
+        Equivalent to (and regression-tested against)
+        ``bisect_right(edges, value) - 1`` clamped to ``[0, count - 1]``
+        — but via the precomputed inverse scale: one multiply, one
+        truncation, and an edge correction that moves at most a step or
+        two when floating point lands the raw index one bin off.
+        """
+        if math.isnan(value):
+            raise ValueError("cannot bin NaN")
+        if value <= self.low:
+            return 0
+        if value >= self.high:
+            return self.count - 1
+        x = value if self.spacing == "linear" else math.log(value)
+        idx = int((x - self._offset) * self._scale)
+        last = self.count - 1
+        if idx < 0:
+            idx = 0
+        elif idx > last:
+            idx = last
+        edges = self._edges_list
+        # Exact correction: settle on the largest idx with edges[idx] <=
+        # value.  The raw index is within one bin of the answer, so each
+        # loop runs 0 or 1 iterations in practice (bounded by the edge
+        # monotonicity either way).
+        while idx > 0 and value < edges[idx]:
+            idx -= 1
+        while idx < last and value >= edges[idx + 1]:
+            idx += 1
+        return idx
+
+    def index_of_reference(self, value: float) -> int:
+        """The bisect reference implementation of :meth:`index_of`.
+
+        Kept (and exported) purely as the parity oracle for tests: the
+        arithmetic path must agree with this on every input, including
+        exact bin edges and out-of-range clamps.
+        """
         if math.isnan(value):
             raise ValueError("cannot bin NaN")
         if value <= self.low:
@@ -108,6 +218,39 @@ class Binning:
             return self.count - 1
         idx = bisect.bisect_right(self._edges_list, value) - 1
         return min(max(idx, 0), self.count - 1)
+
+    def index_of_batch(self, values):
+        """Vectorized :meth:`index_of` over an array of values.
+
+        Returns an ``int64`` array (a list without NumPy).  Same clamp
+        and NaN semantics as the scalar path, computed from the same
+        precomputed scale and corrected against the same edges — the
+        two paths cannot disagree on any input.
+        """
+        if not HAVE_NUMPY:
+            return [self.index_of(float(v)) for v in values]
+        v = np.asarray(values, dtype=np.float64)
+        if np.isnan(v).any():
+            raise ValueError("cannot bin NaN")
+        vc = np.clip(v, self.low, self.high)
+        x = vc if self.spacing == "linear" else np.log(vc)
+        idx = ((x - self._offset) * self._scale).astype(np.int64)
+        np.clip(idx, 0, self.count - 1, out=idx)
+        edges = self._edges
+        last = self.count - 1
+        # vc >= edges[0] after the clip, so the down-correction can never
+        # push below 0; the up-correction is bounded by `last`.
+        while True:
+            mask = vc < edges[idx]
+            if not mask.any():
+                break
+            idx[mask] -= 1
+        while True:
+            mask = (idx < last) & (vc >= edges[np.minimum(idx + 1, self.count)])
+            if not mask.any():
+                break
+            idx[mask] += 1
+        return idx
 
     def center(self, index: int) -> float:
         if not 0 <= index < self.count:
@@ -127,9 +270,11 @@ class RunLengthEncodedTable:
     Storage is two parallel arrays: the *exclusive end index* of each run
     and the run's value.  ``lookup(i)`` binary-searches the end-index array
     — exactly the online procedure Section 5.2 describes.
+    ``lookup_batch`` answers many indices with one ``searchsorted`` over
+    the same run ends (bitwise-identical results).
     """
 
-    __slots__ = ("_run_ends", "_run_values", "_length")
+    __slots__ = ("_run_ends", "_run_values", "_length", "_ends_arr", "_values_arr")
 
     def __init__(self, run_ends: Sequence[int], run_values: Sequence[int]) -> None:
         if len(run_ends) != len(run_values):
@@ -144,28 +289,50 @@ class RunLengthEncodedTable:
         self._run_ends = list(int(e) for e in run_ends)
         self._run_values = list(int(v) for v in run_values)
         self._length = self._run_ends[-1]
+        self._ends_arr = None  # lazy batch-lookup arrays (immutable table)
+        self._values_arr = None
 
     @classmethod
     def encode(cls, values: Sequence[int]) -> "RunLengthEncodedTable":
         """Compress a flat vector of small non-negative ints."""
         if len(values) == 0:
             raise ValueError("cannot encode an empty vector")
-        arr = np.asarray(values)
-        if arr.ndim != 1:
-            raise ValueError("values must be one-dimensional")
-        change = np.flatnonzero(np.diff(arr)) + 1
-        starts = np.concatenate(([0], change))
-        ends = np.concatenate((change, [len(arr)]))
-        return cls(ends.tolist(), arr[starts].tolist())
+        if HAVE_NUMPY:
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError("values must be one-dimensional")
+            change = np.flatnonzero(np.diff(arr)) + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [len(arr)]))
+            return cls(ends.tolist(), arr[starts].tolist())
+        run_ends: List[int] = []
+        run_values: List[int] = []
+        previous: Optional[int] = None
+        for i, raw in enumerate(values):
+            v = int(raw)
+            if previous is None or v != previous:
+                if previous is not None:
+                    run_ends.append(i)
+                run_values.append(v)
+                previous = v
+        run_ends.append(len(values))
+        return cls(run_ends, run_values)
 
-    def decode(self) -> np.ndarray:
+    def decode(self):
         """Expand back to the full vector (tests / full-table mode)."""
-        out = np.empty(self._length, dtype=np.int64)
+        if HAVE_NUMPY:
+            out = np.empty(self._length, dtype=np.int64)
+            start = 0
+            for end, value in zip(self._run_ends, self._run_values):
+                out[start:end] = value
+                start = end
+            return out
+        flat: List[int] = []
         start = 0
         for end, value in zip(self._run_ends, self._run_values):
-            out[start:end] = value
+            flat.extend([value] * (end - start))
             start = end
-        return out
+        return flat
 
     def lookup(self, index: int) -> int:
         """Value at a flat index via binary search over run ends."""
@@ -173,6 +340,25 @@ class RunLengthEncodedTable:
             raise IndexError(f"index {index} out of range 0..{self._length - 1}")
         run = bisect.bisect_right(self._run_ends, index)
         return self._run_values[run]
+
+    def lookup_batch(self, indices):
+        """Values at many flat indices — one vectorized ``searchsorted``.
+
+        ``side='right'`` over the run ends is exactly the scalar
+        ``bisect_right`` recurrence, so batch and scalar answers are
+        identical on every index.  Degrades to a scalar loop without
+        NumPy.  Raises ``IndexError`` when any index is out of range.
+        """
+        if not HAVE_NUMPY:
+            return [self.lookup(int(i)) for i in indices]
+        flat = np.asarray(indices, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self._length):
+            raise IndexError(f"batch index out of range 0..{self._length - 1}")
+        if self._ends_arr is None:
+            self._ends_arr = np.asarray(self._run_ends, dtype=np.int64)
+            self._values_arr = np.asarray(self._run_values, dtype=np.int64)
+        runs = np.searchsorted(self._ends_arr, flat, side="right")
+        return self._values_arr[runs]
 
     def lookup_profiled(self, index: int) -> Tuple[int, int]:
         """Like :meth:`lookup` but also counts binary-search probes.
@@ -244,14 +430,18 @@ class MappedRunLengthTable:
     lookups from them, which is what lets a cluster of worker processes
     share one read-only table file.
 
+    Batch lookups read the run records *once* into two small arrays (runs
+    number in the thousands where entries number in the millions) and
+    then answer every batch with one ``searchsorted`` — the big mmap'd
+    decision vector itself is still never expanded.
+
     Construction validates the run structure (strictly increasing ends)
-    in one O(runs) scan — runs number in the thousands where entries
-    number in the millions, so the scan does not compromise the
-    zero-copy story.  The memoryview held here keeps the underlying
-    buffer (and any ``mmap`` behind it) alive.
+    in one O(runs) scan — the scan does not compromise the zero-copy
+    story.  The memoryview held here keeps the underlying buffer (and
+    any ``mmap`` behind it) alive.
     """
 
-    __slots__ = ("_view", "_num_runs", "_length", "_max_value")
+    __slots__ = ("_view", "_num_runs", "_length", "_max_value", "_ends_arr", "_values_arr")
 
     def __init__(self, buffer) -> None:
         view = memoryview(buffer)
@@ -282,6 +472,8 @@ class MappedRunLengthTable:
         self._num_runs = count
         self._length = prev
         self._max_value = max_value
+        self._ends_arr = None  # lazy batch-lookup arrays
+        self._values_arr = None
 
     def _run_at(self, run: int) -> Tuple[int, int]:
         return _RLE_RECORD.unpack_from(
@@ -304,6 +496,32 @@ class MappedRunLengthTable:
                 lo = mid + 1
         return self._run_at(lo)[1]
 
+    def _ensure_arrays(self) -> None:
+        # One zero-copy structured read of the packed (u32 end, u8 value)
+        # records; `end` is widened for searchsorted, `value` copied out
+        # of the view so the arrays are standalone.
+        records = np.frombuffer(
+            self._view,
+            dtype=np.dtype([("end", "<u4"), ("value", "u1")]),
+            count=self._num_runs,
+            offset=_RLE_HEADER.size,
+        )
+        self._ends_arr = records["end"].astype(np.int64)
+        self._values_arr = records["value"].astype(np.int64)
+
+    def lookup_batch(self, indices):
+        """Batch variant of :meth:`lookup` — same answers, one
+        ``searchsorted`` over the (cached) run-end array."""
+        if not HAVE_NUMPY:
+            return [self.lookup(int(i)) for i in indices]
+        flat = np.asarray(indices, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self._length):
+            raise IndexError(f"batch index out of range 0..{self._length - 1}")
+        if self._ends_arr is None:
+            self._ensure_arrays()
+        runs = np.searchsorted(self._ends_arr, flat, side="right")
+        return self._values_arr[runs]
+
     def lookup_profiled(self, index: int) -> Tuple[int, int]:
         """Like :meth:`lookup` but also counts binary-search probes —
         the same ``(value, depth)`` contract as
@@ -323,15 +541,23 @@ class MappedRunLengthTable:
                 lo = mid + 1
         return self._run_at(lo)[1], depth
 
-    def decode(self) -> np.ndarray:
+    def decode(self):
         """Expand to the full vector (parity checks / tests only)."""
-        out = np.empty(self._length, dtype=np.int64)
+        if HAVE_NUMPY:
+            out = np.empty(self._length, dtype=np.int64)
+            start = 0
+            for run in range(self._num_runs):
+                end, value = self._run_at(run)
+                out[start:end] = value
+                start = end
+            return out
+        flat: List[int] = []
         start = 0
         for run in range(self._num_runs):
             end, value = self._run_at(run)
-            out[start:end] = value
+            flat.extend([value] * (end - start))
             start = end
-        return out
+        return flat
 
     def __len__(self) -> int:
         return self._length
@@ -401,14 +627,21 @@ class DecisionTable:
             raise ValueError(
                 f"{len(decisions_flat)} decisions but the index space has {expected}"
             )
-        arr = np.asarray(decisions_flat, dtype=np.int64)
-        if arr.min() < 0 or arr.max() >= num_levels:
-            raise ValueError("decisions must be valid ladder level indices")
         self.buffer_bins = buffer_bins
         self.num_levels = num_levels
         self.throughput_bins = throughput_bins
-        self._rle = RunLengthEncodedTable.encode(arr)
-        self._full = arr.astype(np.uint8) if keep_full else None
+        if HAVE_NUMPY:
+            arr = np.asarray(decisions_flat, dtype=np.int64)
+            if arr.min() < 0 or arr.max() >= num_levels:
+                raise ValueError("decisions must be valid ladder level indices")
+            self._rle = RunLengthEncodedTable.encode(arr)
+            self._full = arr.astype(np.uint8) if keep_full else None
+        else:
+            flat = [int(v) for v in decisions_flat]
+            if min(flat) < 0 or max(flat) >= num_levels:
+                raise ValueError("decisions must be valid ladder level indices")
+            self._rle = RunLengthEncodedTable.encode(flat)
+            self._full = bytearray(flat) if keep_full else None
 
     # ------------------------------------------------------------------
 
@@ -422,13 +655,38 @@ class DecisionTable:
     def lookup(
         self, buffer_level_s: float, prev_level: int, predicted_kbps: float
     ) -> int:
-        """The online step: quantize the state, then one binary search."""
+        """The online step: quantize the state, then one run lookup."""
         b = self.buffer_bins.index_of(buffer_level_s)
         c = self.throughput_bins.index_of(predicted_kbps)
         flat = self._flat_index(b, prev_level, c)
         if self._full is not None:
             return int(self._full[flat])
         return self._rle.lookup(flat)
+
+    def lookup_batch(self, buffer_levels_s, prev_levels, predicted_kbps):
+        """Vectorized :meth:`lookup` over equal-length state arrays.
+
+        ``prev_levels`` must already be valid ladder indices (the
+        decision service validates per request and degrades invalid ones
+        to the fallback *before* batching).  Returns an ``int64`` array
+        of level indices (a list without NumPy).  Answers are identical
+        to per-element :meth:`lookup` calls: both paths share the
+        binnings' index arithmetic and the RLE run search.
+        """
+        if not HAVE_NUMPY:
+            return [
+                self.lookup(float(b), int(p), float(c))
+                for b, p, c in zip(buffer_levels_s, prev_levels, predicted_kbps)
+            ]
+        b = self.buffer_bins.index_of_batch(buffer_levels_s)
+        c = self.throughput_bins.index_of_batch(predicted_kbps)
+        prev = np.asarray(prev_levels, dtype=np.int64)
+        if prev.size and (prev.min() < 0 or prev.max() >= self.num_levels):
+            raise IndexError("prev level out of range")
+        flat = (b * self.num_levels + prev) * self.throughput_bins.count + c
+        if self._full is not None:
+            return np.asarray(self._full)[flat].astype(np.int64)
+        return self._rle.lookup_batch(flat)
 
     def lookup_traced(
         self,

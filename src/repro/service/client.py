@@ -22,7 +22,14 @@ from dataclasses import dataclass
 from typing import Awaitable, Callable, Optional, Tuple, TypeVar, Union
 
 from ..core.table import DecisionTable
-from .protocol import DecisionRequest, DecisionResponse, ProtocolError
+from .protocol import (
+    CONTENT_TYPE_BINARY,
+    DecisionRequest,
+    DecisionResponse,
+    ProtocolError,
+    decode_response_batch,
+    encode_request_batch,
+)
 
 __all__ = ["RetryPolicy", "ServiceClient", "DecisionClient", "ServiceUnavailable"]
 
@@ -79,6 +86,14 @@ class ServiceClient:
 
         async with ServiceClient("127.0.0.1", 8008) as client:
             response = await client.decide(request)
+
+    ``protocol`` selects the wire encoding for ``/v1/decide``:
+    ``"json"`` (default) or ``"binary"`` — the struct-packed fast path,
+    which also unlocks :meth:`decide_many` batching one HTTP exchange
+    over many decisions.  Negotiation is per connection and implicit: a
+    binary client simply POSTs binary; if the server answers JSON (a
+    pre-binary server), the client downgrades itself to JSON and resends
+    once — so ``protocol="binary"`` is always safe to request.
     """
 
     def __init__(
@@ -87,16 +102,21 @@ class ServiceClient:
         port: int,
         deadline_s: float = 2.0,
         retry: Optional[RetryPolicy] = None,
+        protocol: str = "json",
     ) -> None:
         if deadline_s <= 0:
             raise ValueError("deadline must be positive")
+        if protocol not in ("json", "binary"):
+            raise ValueError(f"unknown protocol {protocol!r}")
         self.host = host
         self.port = port
         self.deadline_s = deadline_s
         self.retry = retry
+        self.protocol = protocol
         self._retry_rng = random.Random(retry.seed) if retry is not None else None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._last_content_type: str = ""
 
     async def __aenter__(self) -> "ServiceClient":
         await self.connect()
@@ -136,12 +156,14 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     async def _request_once(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, content_type: str = ""
     ) -> Tuple[int, bytes]:
         assert self._reader is not None and self._writer is not None
+        type_header = f"Content-Type: {content_type}\r\n" if content_type else ""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}\r\n"
+            f"{type_header}"
             f"Content-Length: {len(body)}\r\n"
             "Connection: keep-alive\r\n\r\n"
         ).encode()
@@ -152,20 +174,27 @@ class ServiceClient:
         status = int(lines[0].split(" ")[1])
         length = 0
         close_after = False
+        response_type = ""
         for line in lines[1:]:
             name, _, value = line.partition(":")
             key = name.strip().lower()
             if key == "content-length":
                 length = int(value.strip())
+            elif key == "content-type":
+                response_type = value.strip()
             elif key == "connection" and value.strip().lower() == "close":
                 close_after = True
         payload = await self._reader.readexactly(length) if length else b""
+        # Stashed rather than returned: requests on one client are
+        # serialized, and only the decide paths consult it (to detect a
+        # JSON answer to a binary request — the downgrade signal).
+        self._last_content_type = response_type
         if close_after:
             await self.close()
         return status, payload
 
     async def _request_with_redial(
-        self, method: str, path: str, body: bytes = b""
+        self, method: str, path: str, body: bytes = b"", content_type: str = ""
     ) -> Tuple[int, bytes]:
         """One HTTP exchange under the client deadline.
 
@@ -190,7 +219,7 @@ class ServiceClient:
 
             deadline_handle = loop.call_later(self.deadline_s, _abort)
             try:
-                return await self._request_once(method, path, body)
+                return await self._request_once(method, path, body, content_type)
             except (
                 ConnectionResetError,
                 BrokenPipeError,
@@ -255,6 +284,22 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     async def _decide_once(self, request: DecisionRequest) -> DecisionResponse:
+        if self.protocol == "binary":
+            status, body = await self._request_with_redial(
+                "POST", "/v1/decide", request.to_binary(), CONTENT_TYPE_BINARY
+            )
+            if status != 200:
+                raise ServiceUnavailable(
+                    f"decide returned HTTP {status}: {body!r}"
+                )
+            if self._last_content_type == CONTENT_TYPE_BINARY:
+                try:
+                    return DecisionResponse.from_binary(body)
+                except ProtocolError as exc:
+                    raise ServiceUnavailable(str(exc)) from None
+            # The server answered JSON: it predates the binary protocol.
+            # Downgrade this client and resend the request as JSON.
+            self.protocol = "json"
         status, body = await self._request_with_redial(
             "POST", "/v1/decide", request.to_json()
         )
@@ -264,6 +309,31 @@ class ServiceClient:
             return DecisionResponse.from_json(body)
         except ProtocolError as exc:
             raise ServiceUnavailable(str(exc)) from None
+
+    async def _decide_many_once(self, requests) -> list:
+        if self.protocol == "binary":
+            status, body = await self._request_with_redial(
+                "POST",
+                "/v1/decide",
+                encode_request_batch(requests),
+                CONTENT_TYPE_BINARY,
+            )
+            if status != 200:
+                raise ServiceUnavailable(
+                    f"decide returned HTTP {status}: {body!r}"
+                )
+            if self._last_content_type == CONTENT_TYPE_BINARY:
+                try:
+                    responses = decode_response_batch(body)
+                except ProtocolError as exc:
+                    raise ServiceUnavailable(str(exc)) from None
+                if len(responses) != len(requests):
+                    raise ServiceUnavailable(
+                        f"{len(responses)} responses for {len(requests)} requests"
+                    )
+                return responses
+            self.protocol = "json"  # downgrade, then fall through
+        return [await self._decide_once(request) for request in requests]
 
     async def decide(self, request: DecisionRequest) -> DecisionResponse:
         """One bitrate decision; raises :class:`ServiceUnavailable` only
@@ -276,6 +346,22 @@ class ServiceClient:
         flaky decision backend.
         """
         return await self._with_retry(lambda: self._decide_once(request))
+
+    async def decide_many(self, requests) -> list:
+        """Decide a whole batch in one exchange (binary protocol).
+
+        Under ``protocol="binary"`` the batch rides a single multi-record
+        frame and one HTTP round-trip — the client-side half of the
+        service's micro-batching, and the shape the load generator uses
+        to amortise per-exchange costs.  Under JSON (or after a
+        negotiation downgrade) the batch degrades to sequential single
+        exchanges on the keep-alive connection; either way responses come
+        back in request order with identical decision semantics.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        return await self._with_retry(lambda: self._decide_many_once(requests))
 
     async def metrics(self) -> dict:
         status, body = await self.request("GET", "/metrics")

@@ -43,7 +43,7 @@ from ..video.presets import (
 )
 from .client import RetryPolicy, ServiceClient, ServiceUnavailable
 from .metrics import LatencyHistogram
-from .protocol import DecisionRequest
+from .protocol import MAX_BATCH_RECORDS, DecisionRequest
 
 __all__ = ["LoadTestConfig", "LoadTestReport", "run_loadtest", "run_loadtest_sync"]
 
@@ -67,6 +67,11 @@ class LoadTestConfig:
     ladder_kbps: Tuple[float, ...] = ENVIVIO_LADDER_KBPS
     chunk_duration_s: float = ENVIVIO_CHUNK_SECONDS
     buffer_capacity_s: float = DEFAULT_BUFFER_CAPACITY_S
+    #: Wire encoding: ``"json"`` (one request per HTTP exchange) or
+    #: ``"binary"`` (compact frames; concurrent workers' requests are
+    #: coalesced into multi-record frames, the client half of the
+    #: server's micro-batching).
+    protocol: str = "json"
     #: Client-side retry policy (None = single attempt per decision).
     retry: Optional[RetryPolicy] = None
     #: Serve a decision locally (rate-based rule) when the server cannot
@@ -85,6 +90,8 @@ class LoadTestConfig:
             raise ValueError("prediction window must be >= 1")
         if not self.ladder_kbps:
             raise ValueError("ladder must be non-empty")
+        if self.protocol not in ("json", "binary"):
+            raise ValueError("protocol must be 'json' or 'binary'")
 
 
 @dataclass
@@ -250,26 +257,74 @@ def _make_traces(config: LoadTestConfig) -> List[Trace]:
 class _ClientPool:
     """A fixed-size pool of keep-alive clients leased one request at a
     time, so connection fan-out is bounded independently of how many
-    sessions are in flight."""
+    sessions are in flight.
+
+    In binary mode the pool also coalesces: session workers that ask
+    for a decision in the same event-loop tick are merged into one
+    multi-record frame sent over a single leased connection (the client
+    half of the server's micro-batching), so ``n`` concurrent sessions
+    cost one HTTP exchange per tick instead of ``n``.
+    """
 
     def __init__(self, host: str, port: int, size: int, config: LoadTestConfig) -> None:
         self.size = size
         self._clients = [
             ServiceClient(
-                host, port, deadline_s=config.deadline_s, retry=config.retry
+                host,
+                port,
+                deadline_s=config.deadline_s,
+                retry=config.retry,
+                protocol=config.protocol,
             )
             for _ in range(size)
         ]
         self._free: "asyncio.Queue[ServiceClient]" = asyncio.Queue()
         for client in self._clients:
             self._free.put_nowait(client)
+        self._coalesce = config.protocol == "binary"
+        self._pending: List[Tuple[DecisionRequest, "asyncio.Future"]] = []
+        self._flush_scheduled = False
 
     async def decide(self, request: DecisionRequest):
-        client = await self._free.get()
-        try:
-            return await client.decide(request)
-        finally:
-            self._free.put_nowait(client)
+        if not self._coalesce:
+            client = await self._free.get()
+            try:
+                return await client.decide(request)
+            finally:
+                self._free.put_nowait(client)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending.append((request, future))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_soon(self._spawn_flush)
+        return await future
+
+    def _spawn_flush(self) -> None:
+        self._flush_scheduled = False
+        asyncio.ensure_future(self._flush())
+
+    async def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        # A frame carries at most MAX_BATCH_RECORDS records; overflow
+        # (only possible with thousands of workers) ships separately.
+        for start in range(0, len(pending), MAX_BATCH_RECORDS):
+            chunk = pending[start : start + MAX_BATCH_RECORDS]
+            client = await self._free.get()
+            try:
+                responses = await client.decide_many([r for r, _ in chunk])
+            except BaseException as exc:
+                for _, future in chunk:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            finally:
+                self._free.put_nowait(client)
+            for (_, future), response in zip(chunk, responses):
+                if not future.done():
+                    future.set_result(response)
 
     async def close(self) -> None:
         for client in self._clients:

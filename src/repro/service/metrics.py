@@ -187,6 +187,13 @@ class ServiceMetrics:
         self.connections_active = 0
         self.connections_reset = 0
         self.chaos_injected: Dict[str, int] = {}
+        #: Micro-batch occupancy: batch size -> number of batches flushed
+        #: at that size (keys are strings so the dict round-trips JSON
+        #: unchanged).  Sizes sum-weighted give decisions served batched.
+        self.batch_occupancy: Dict[str, int] = {}
+        #: Wire-encoding negotiation outcomes: "json"/"binary" -> number
+        #: of /v1/decide exchanges served in that encoding.
+        self.protocol_requests: Dict[str, int] = {}
         self.latency = LatencyHistogram(bounds_us)
         #: Per-span-name request-phase histograms (observability layer);
         #: bucket bounds are shared with the request latency histogram.
@@ -232,6 +239,17 @@ class ServiceMetrics:
         """One injected misbehaviour of the given kind (chaos mode)."""
         self.chaos_injected[kind] = self.chaos_injected.get(kind, 0) + 1
 
+    def record_batch(self, size: int) -> None:
+        """One micro-batch flush that served ``size`` decisions."""
+        key = str(size)
+        self.batch_occupancy[key] = self.batch_occupancy.get(key, 0) + 1
+
+    def record_protocol(self, protocol: str, count: int = 1) -> None:
+        """One /v1/decide exchange served in the given wire encoding."""
+        self.protocol_requests[protocol] = (
+            self.protocol_requests.get(protocol, 0) + count
+        )
+
     def record_span(self, name: str, latency_us: float) -> None:
         """One measured request span (e.g. ``decide``, ``table-swap``)."""
         histogram = self.spans.get(name)
@@ -264,6 +282,8 @@ class ServiceMetrics:
                 "reset": self.connections_reset,
             },
             "chaos_injected": dict(self.chaos_injected),
+            "batch_occupancy": dict(self.batch_occupancy),
+            "protocol_requests": dict(self.protocol_requests),
             "latency_us": self.latency.to_dict(),
             "spans_us": {
                 name: histogram.to_dict()
@@ -318,6 +338,15 @@ def merge_metrics_snapshots(snapshots: Sequence[dict]) -> dict:
         "connections": _sum_counter_dicts([s["connections"] for s in snapshots]),
         "chaos_injected": _sum_counter_dicts(
             [s["chaos_injected"] for s in snapshots]
+        ),
+        # Per-size batch counts and per-encoding request counts sum
+        # losslessly exactly like the other counter dicts (.get: the
+        # keys postdate the first snapshot schema).
+        "batch_occupancy": _sum_counter_dicts(
+            [s.get("batch_occupancy", {}) for s in snapshots]
+        ),
+        "protocol_requests": _sum_counter_dicts(
+            [s.get("protocol_requests", {}) for s in snapshots]
         ),
         "latency_us": _merge_histogram_dicts([s["latency_us"] for s in snapshots]),
     }

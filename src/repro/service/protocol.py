@@ -1,11 +1,25 @@
 """Wire format of the decision service.
 
-One request per bitrate decision, JSON over HTTP.  The request carries
-exactly the state FastMPC's table is keyed on — the Section 3.3 inputs
-``(B_k, R_{k-1}, C_hat)`` — plus the recent prediction errors RobustMPC
-needs for its ``C_hat / (1 + err)`` lower bound, and a ``session_id`` so
-the server can attribute decisions and per-session counters without
-holding player state.
+One request per bitrate decision over HTTP, in one of two on-the-wire
+encodings.  The request carries exactly the state FastMPC's table is
+keyed on — the Section 3.3 inputs ``(B_k, R_{k-1}, C_hat)`` — plus the
+recent prediction errors RobustMPC needs for its ``C_hat / (1 + err)``
+lower bound, and a ``session_id`` so the server can attribute decisions
+and per-session counters without holding player state.
+
+**JSON** (the default) is the debuggable, curl-able encoding.  **Binary**
+is the opt-in fast path: struct-packed little-endian frames that a client
+selects per connection simply by POSTing with the binary content type
+(:data:`CONTENT_TYPE_BINARY`).  A binary-aware server answers in kind; a
+server that predates the binary protocol answers the usual degraded JSON
+fallback, which the client detects from the response content type and
+downgrades the connection to JSON — no separate handshake round-trip.
+Binary frames natively carry *batches* (a record count then that many
+records), which is what lets a batching client amortise a whole HTTP
+exchange over many decisions.  Field-level semantics are identical in
+both encodings; the only intended difference is that binary carries
+``server_latency_us`` at full float64 precision where JSON rounds it to
+3 decimals.
 
 Responses always come back well-formed: when the server cannot serve a
 table decision (missing table, malformed request, lookup over budget) it
@@ -16,8 +30,9 @@ never see a hard error for a recoverable condition.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -26,9 +41,20 @@ __all__ = [
     "DecisionResponse",
     "SOURCE_TABLE",
     "SOURCE_FALLBACK",
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_BINARY",
+    "MAX_BATCH_RECORDS",
+    "encode_request_batch",
+    "decode_request_batch",
+    "encode_response_batch",
+    "decode_response_batch",
 ]
 
 PROTOCOL_VERSION = 1
+
+#: HTTP content types selecting the wire encoding, per connection.
+CONTENT_TYPE_JSON = "application/json"
+CONTENT_TYPE_BINARY = "application/x-repro-decision"
 
 #: Decision provenance values carried in every response.
 SOURCE_TABLE = "table"
@@ -146,6 +172,20 @@ class DecisionRequest:
             raise ProtocolError(f"request body is not valid JSON: {exc}") from None
         return cls.from_dict(payload)
 
+    def to_binary(self) -> bytes:
+        """This request as a single-record binary frame."""
+        return encode_request_batch((self,))
+
+    @classmethod
+    def from_binary(cls, blob: bytes) -> "DecisionRequest":
+        """Decode a single-record binary frame."""
+        requests = decode_request_batch(blob)
+        if len(requests) != 1:
+            raise ProtocolError(
+                f"expected one request record, frame has {len(requests)}"
+            )
+        return requests[0]
+
 
 @dataclass(frozen=True)
 class DecisionResponse:
@@ -208,3 +248,240 @@ class DecisionResponse:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed response payload: {exc}") from None
+
+    def to_binary(self) -> bytes:
+        """This response as a single-record binary frame."""
+        return encode_response_batch((self,))
+
+    @classmethod
+    def from_binary(cls, blob: bytes) -> "DecisionResponse":
+        """Decode a single-record binary frame."""
+        responses = decode_response_batch(blob)
+        if len(responses) != 1:
+            raise ProtocolError(
+                f"expected one response record, frame has {len(responses)}"
+            )
+        return responses[0]
+
+
+# ----------------------------------------------------------------------
+# Binary frames
+# ----------------------------------------------------------------------
+#
+# Frame = header + `count` records, little-endian, unaligned:
+#
+#   request header   "DQ" u8 version  u8 flags  u16 count
+#   request record   u8 sid_len, sid utf-8,
+#                    f64 buffer_s, f64 predicted_kbps,
+#                    i16 prev_level (-1 = none), u8 num_errors,
+#                    f64 x num_errors past_errors
+#
+#   response header  "DS" u8 version  u8 flags  u16 count
+#   response record  u8 sid_len, sid utf-8,
+#                    u16 level_index, f64 bitrate_kbps,
+#                    u8 source, u8 degraded, u8 reason,
+#                    f64 server_latency_us,
+#                    [u8 len + utf-8 reason string iff reason == 255]
+#
+# `flags` is reserved (must be 0).  `source` is 0=table 1=fallback.
+# `reason` is a code for the small closed set of degradation reasons the
+# server emits; 255 escapes to an explicit string so unknown reasons
+# survive the encoding instead of being dropped.
+
+#: Upper bound on records per frame — a u16 carries up to 65535, but a
+#: batch beyond this is a client bug, not a use case.
+MAX_BATCH_RECORDS = 4096
+
+_REQ_HEADER = struct.Struct("<2sBBH")
+_REQ_FIXED = struct.Struct("<ddhB")
+_RESP_HEADER = struct.Struct("<2sBBH")
+_RESP_FIXED = struct.Struct("<HdBBBd")
+_REQ_MAGIC = b"DQ"
+_RESP_MAGIC = b"DS"
+
+_SOURCE_CODES = {SOURCE_TABLE: 0, SOURCE_FALLBACK: 1}
+_SOURCE_NAMES = {v: k for k, v in _SOURCE_CODES.items()}
+#: The degradation reasons the server emits (see repro.service.server).
+_REASON_CODES = {None: 0, "no-table": 1, "malformed": 2, "over-budget": 3}
+_REASON_NAMES = {v: k for k, v in _REASON_CODES.items()}
+_REASON_OTHER = 255
+
+
+def _pack_sid(session_id: str) -> bytes:
+    sid = session_id.encode("utf-8")
+    if len(sid) > 255:
+        raise ProtocolError("session_id longer than 255 bytes")
+    return struct.pack("<B", len(sid)) + sid
+
+
+def _unpack_str(blob, offset: int, what: str) -> Tuple[str, int]:
+    try:
+        (length,) = struct.unpack_from("<B", blob, offset)
+        raw = bytes(blob[offset + 1 : offset + 1 + length])
+        if len(raw) != length:
+            raise struct.error("short read")
+    except struct.error:
+        raise ProtocolError(f"truncated frame while reading {what}") from None
+    try:
+        return raw.decode("utf-8"), offset + 1 + length
+    except UnicodeDecodeError:
+        raise ProtocolError(f"{what} is not valid UTF-8") from None
+
+
+def _check_header(
+    blob, magic: bytes, header: struct.Struct, what: str
+) -> int:
+    try:
+        got_magic, version, flags, count = header.unpack_from(blob, 0)
+    except struct.error:
+        raise ProtocolError(f"truncated {what} frame header") from None
+    if got_magic != magic:
+        raise ProtocolError(f"not a binary {what} frame")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if flags != 0:
+        raise ProtocolError(f"unknown {what} frame flags {flags:#x}")
+    if not 1 <= count <= MAX_BATCH_RECORDS:
+        raise ProtocolError(
+            f"{what} frame record count {count} outside 1..{MAX_BATCH_RECORDS}"
+        )
+    return count
+
+
+def encode_request_batch(requests: Sequence[DecisionRequest]) -> bytes:
+    """Pack requests into one binary frame (1..MAX_BATCH_RECORDS records)."""
+    if not 1 <= len(requests) <= MAX_BATCH_RECORDS:
+        raise ProtocolError(
+            f"batch of {len(requests)} outside 1..{MAX_BATCH_RECORDS}"
+        )
+    parts = [_REQ_HEADER.pack(_REQ_MAGIC, PROTOCOL_VERSION, 0, len(requests))]
+    for request in requests:
+        parts.append(_pack_sid(request.session_id))
+        prev = -1 if request.prev_level is None else request.prev_level
+        if prev > 32767:
+            raise ProtocolError("prev_level too large for the binary frame")
+        errors = request.past_errors
+        parts.append(
+            _REQ_FIXED.pack(
+                request.buffer_s, request.predicted_kbps, prev, len(errors)
+            )
+        )
+        if errors:
+            parts.append(struct.pack(f"<{len(errors)}d", *errors))
+    return b"".join(parts)
+
+
+def decode_request_batch(blob) -> List[DecisionRequest]:
+    """Inverse of :func:`encode_request_batch`, with full validation.
+
+    Decoded requests pass the same checks as the JSON path (finite
+    buffer/prediction, non-empty session, bounded error window); a
+    truncated or over-long frame raises :class:`ProtocolError`.
+    """
+    count = _check_header(blob, _REQ_MAGIC, _REQ_HEADER, "request")
+    offset = _REQ_HEADER.size
+    requests: List[DecisionRequest] = []
+    for _ in range(count):
+        session_id, offset = _unpack_str(blob, offset, "session_id")
+        try:
+            buffer_s, predicted_kbps, prev, num_errors = _REQ_FIXED.unpack_from(
+                blob, offset
+            )
+            offset += _REQ_FIXED.size
+            errors = struct.unpack_from(f"<{num_errors}d", blob, offset)
+            offset += 8 * num_errors
+        except struct.error:
+            raise ProtocolError("truncated request frame") from None
+        for name, value in (("buffer_s", buffer_s), ("predicted_kbps", predicted_kbps)):
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ProtocolError(f"{name!r} must be finite")
+        requests.append(
+            DecisionRequest(
+                session_id=session_id,
+                buffer_s=buffer_s,
+                predicted_kbps=predicted_kbps,
+                prev_level=None if prev == -1 else prev,
+                past_errors=errors,
+            )
+        )
+    if offset != len(blob):
+        raise ProtocolError(
+            f"{len(blob) - offset} trailing bytes after {count} request record(s)"
+        )
+    return requests
+
+
+def encode_response_batch(responses: Sequence[DecisionResponse]) -> bytes:
+    """Pack responses into one binary frame, order-preserving."""
+    if not 1 <= len(responses) <= MAX_BATCH_RECORDS:
+        raise ProtocolError(
+            f"batch of {len(responses)} outside 1..{MAX_BATCH_RECORDS}"
+        )
+    parts = [_RESP_HEADER.pack(_RESP_MAGIC, PROTOCOL_VERSION, 0, len(responses))]
+    for response in responses:
+        parts.append(_pack_sid(response.session_id))
+        if response.level_index > 65535:
+            raise ProtocolError("level_index too large for the binary frame")
+        reason_code = _REASON_CODES.get(response.reason, _REASON_OTHER)
+        parts.append(
+            _RESP_FIXED.pack(
+                response.level_index,
+                response.bitrate_kbps,
+                _SOURCE_CODES[response.source],
+                int(response.degraded),
+                reason_code,
+                response.server_latency_us,
+            )
+        )
+        if reason_code == _REASON_OTHER:
+            reason = response.reason or ""
+            raw = reason.encode("utf-8")
+            if len(raw) > 255:
+                raise ProtocolError("reason string longer than 255 bytes")
+            parts.append(struct.pack("<B", len(raw)) + raw)
+    return b"".join(parts)
+
+
+def decode_response_batch(blob) -> List[DecisionResponse]:
+    """Inverse of :func:`encode_response_batch`, with full validation."""
+    count = _check_header(blob, _RESP_MAGIC, _RESP_HEADER, "response")
+    offset = _RESP_HEADER.size
+    responses: List[DecisionResponse] = []
+    for _ in range(count):
+        session_id, offset = _unpack_str(blob, offset, "session_id")
+        try:
+            (
+                level_index,
+                bitrate_kbps,
+                source_code,
+                degraded,
+                reason_code,
+                latency_us,
+            ) = _RESP_FIXED.unpack_from(blob, offset)
+            offset += _RESP_FIXED.size
+        except struct.error:
+            raise ProtocolError("truncated response frame") from None
+        if source_code not in _SOURCE_NAMES:
+            raise ProtocolError(f"unknown decision source code {source_code}")
+        if reason_code == _REASON_OTHER:
+            reason, offset = _unpack_str(blob, offset, "reason")
+        elif reason_code in _REASON_NAMES:
+            reason = _REASON_NAMES[reason_code]
+        else:
+            raise ProtocolError(f"unknown reason code {reason_code}")
+        responses.append(
+            DecisionResponse(
+                session_id=session_id,
+                level_index=level_index,
+                bitrate_kbps=bitrate_kbps,
+                source=_SOURCE_NAMES[source_code],
+                degraded=bool(degraded),
+                reason=reason,
+                server_latency_us=latency_us,
+            )
+        )
+    if offset != len(blob):
+        raise ProtocolError(
+            f"{len(blob) - offset} trailing bytes after {count} response record(s)"
+        )
+    return responses

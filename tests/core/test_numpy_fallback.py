@@ -1,0 +1,136 @@
+"""The pure-Python fallback: everything works without NumPy, identically.
+
+The vectorized kernel and flat-array lookups are opt-in accelerations —
+``repro.core.npcompat`` degrades to a pure-Python implementation when
+NumPy is missing, and that fallback is required to produce *the same
+decisions* (and the same serialized table bytes for linear binnings),
+not merely similar ones.  A subprocess with ``sys.modules['numpy'] =
+None`` (which makes ``import numpy`` raise ImportError) plays the
+numpy-less host; its answers are compared against the in-process
+numpy-backed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_CHILD_SCRIPT = r"""
+import hashlib, json, sys
+sys.modules["numpy"] = None  # make `import numpy` raise ImportError
+
+from repro.core.npcompat import HAVE_NUMPY
+assert not HAVE_NUMPY, "numpy import should have been blocked"
+
+from repro.core.fastmpc import FastMPCConfig, build_decision_table
+from repro.core.horizon import HorizonProblem, solve_horizon, solve_startup
+from repro.qoe import QoEWeights
+
+ladder = (300.0, 750.0, 1200.0, 1850.0)
+weights = QoEWeights(1.0, 4.3, 4.3)
+config = FastMPCConfig(buffer_bins=12, throughput_bins=12, horizon=4)
+table = build_decision_table(
+    ladder, 4.0, 30.0, weights, config=config, use_cache=False
+)
+digest = hashlib.sha256(table.to_bytes()).hexdigest()
+
+quality = tuple(float(r) for r in ladder)
+sizes = tuple(tuple(4.0 * r for r in ladder) for _ in range(4))
+plans = []
+startups = []
+for step in range(16):
+    predicted = tuple(
+        150.0 + 333.7 * (((step + i) * 7) % 11) for i in range(4)
+    )
+    problem = HorizonProblem(
+        buffer_level_s=(step * 2.3) % 28.0,
+        prev_quality=None if step == 0 else quality[step % len(ladder)],
+        chunk_sizes_kilobits=sizes,
+        quality_values=quality,
+        predicted_kbps=predicted,
+        chunk_duration_s=4.0,
+        buffer_capacity_s=30.0,
+        weights=weights,
+    )
+    solution = solve_horizon(problem)
+    plans.append([list(solution.plan), solution.qoe.hex()])
+    if step % 5 == 0:
+        s = solve_startup(problem)
+        startups.append([list(s.plan), s.startup_wait_s, s.qoe.hex()])
+
+print(json.dumps({
+    "table_sha256": digest,
+    "decisions": {"plans": plans, "startups": startups},
+}))
+"""
+
+
+def _run_child(block_numpy: bool) -> dict:
+    script = _CHILD_SCRIPT
+    if not block_numpy:
+        script = script.replace('sys.modules["numpy"] = None', "pass")
+        script = script.replace("assert not HAVE_NUMPY", "assert HAVE_NUMPY")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return _run_child(block_numpy=True), _run_child(block_numpy=False)
+
+
+def test_package_usable_without_numpy(runs):
+    without, _ = runs
+    assert len(without["decisions"]["plans"]) == 16
+    assert len(without["decisions"]["startups"]) == 4
+
+
+def test_decisions_identical_without_numpy(runs):
+    without, with_np = runs
+    assert without["decisions"] == with_np["decisions"]
+
+
+def test_table_bytes_identical_without_numpy(runs):
+    # Linear binnings replicate numpy's linspace exactly, so the whole
+    # serialized table (header, edges, RLE payload) is byte-identical.
+    without, with_np = runs
+    assert without["table_sha256"] == with_np["table_sha256"]
+
+
+def test_registry_skips_mdp_without_numpy():
+    # The MDP baseline genuinely needs numpy; the registry must register
+    # it only when numpy is importable, instead of failing at import.
+    script = (
+        "import sys; sys.modules['numpy'] = None\n"
+        "from repro.abr.registry import available\n"
+        "names = set(available())\n"
+        "assert 'mdp' not in names, names\n"
+        "assert {'fastmpc', 'mpc', 'robust-mpc'} <= names, names\n"
+        "print('ok')"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"

@@ -156,7 +156,8 @@ class TestServiceMetrics:
         assert set(snap) == {
             "requests_total", "decisions", "degraded_total",
             "fallback_reasons", "sessions_seen", "table_swaps_total",
-            "connections", "chaos_injected", "latency_us", "spans_us",
+            "connections", "chaos_injected", "batch_occupancy",
+            "protocol_requests", "latency_us", "spans_us",
         }
         assert set(snap["decisions"]) == {"table", "fallback", "error"}
         assert set(snap["connections"]) == {"opened", "active", "reset"}

@@ -60,6 +60,30 @@ class TestMergeSnapshots:
         with pytest.raises(ValueError):
             merge_metrics_snapshots([a, b])
 
+    def test_batch_occupancy_and_protocol_counters_sum(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.record_batch(1)
+        a.record_batch(8)
+        a.record_protocol("json", 2)
+        b.record_batch(8)
+        b.record_batch(256)
+        b.record_protocol("binary")
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["batch_occupancy"] == {"1": 1, "8": 2, "256": 1}
+        assert merged["protocol_requests"] == {"json": 2, "binary": 1}
+
+    def test_merge_tolerates_snapshots_predating_new_keys(self):
+        # A cluster can mix workers from before and after the batching
+        # counters existed; missing keys merge as empty, not KeyError.
+        old = ServiceMetrics().snapshot()
+        del old["batch_occupancy"], old["protocol_requests"]
+        new = ServiceMetrics()
+        new.record_batch(4)
+        new.record_protocol("binary")
+        merged = merge_metrics_snapshots([old, new.snapshot()])
+        assert merged["batch_occupancy"] == {"4": 1}
+        assert merged["protocol_requests"] == {"binary": 1}
+
     def test_fallback_reason_counters_sum(self):
         a, b = ServiceMetrics(), ServiceMetrics()
         a.record_decision("fallback", 10.0, True, "no-table")
