@@ -1,0 +1,195 @@
+"""Fleet Monte Carlo benchmark — population throughput vs the scalar loop.
+
+Runs the full fleet pipeline (seeded scenario sampling over all seven
+supported controllers x three datasets x three QoE presets, vectorized
+batch stepping, lossless histogram aggregation) at
+``REPRO_BENCH_FLEET_SESSIONS`` sessions (default 100k) and compares its
+sessions/second against a one-at-a-time ``simulate_session`` loop over
+the first ``REPRO_BENCH_FLEET_BASELINE`` scenarios of the *same* stream.
+
+Two gates, in order:
+
+* **parity before the clock** — for every supported controller the
+  vector engine must reproduce the scalar reference bit for bit on a
+  probe batch; a fast wrong stepper must fail here, not get timed;
+* **speed** — the fleet must clear ``MIN_SPEEDUP`` (10x) over the scalar
+  loop.  Measured runs land two orders of magnitude above the bar.
+
+Results append to ``benchmarks/results/BENCH_fleet.json`` with the
+per-controller population QoE percentiles, so the recorded trajectory
+carries the *answers* (which controller wins at population scale) along
+with the throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import RESULTS_DIR, run_once
+
+from repro.core.fastmpc import FastMPCConfig
+from repro.fleet import (
+    FleetConfig,
+    ScenarioSpace,
+    SUPPORTED_CONTROLLERS,
+    run_batch,
+    run_fleet,
+    sample_scenarios,
+)
+from repro.fleet.controllers import make_scalar_algorithm
+from repro.fleet.scenarios import manifest_for, session_config_for, trace_pools
+from repro.sim.session import simulate_session
+from repro.traces import SyntheticTraceGenerator
+
+pytestmark = pytest.mark.slow
+
+SESSIONS = int(os.environ.get("REPRO_BENCH_FLEET_SESSIONS", "100000"))
+BASELINE_SESSIONS = int(os.environ.get("REPRO_BENCH_FLEET_BASELINE", "1000"))
+SEED = 2015
+
+#: The speed bar: the fleet path must beat the one-at-a-time loop 10x.
+MIN_SPEEDUP = 10.0
+
+#: Modest table so the offline builds (3 presets) stay out of the story;
+#: both the fleet and the baseline use the same discretization.
+TABLE_CONFIG = FastMPCConfig(buffer_bins=60, throughput_bins=60, horizon=5)
+
+SPACE = ScenarioSpace(table_config=TABLE_CONFIG)
+
+CONFIG = FleetConfig(sessions=SESSIONS, seed=SEED, shard_size=8192, space=SPACE)
+
+
+@pytest.fixture(scope="module")
+def parity_probe():
+    """Exact vector-vs-scalar parity for every controller, pre-clock."""
+    traces = SyntheticTraceGenerator(seed=77).generate_many(6, 320.0)
+    manifest = manifest_for("envivio", SPACE.num_chunks)
+    mismatches = []
+    for controller in SUPPORTED_CONTROLLERS:
+        vec = run_batch(
+            controller, traces, manifest,
+            table_config=TABLE_CONFIG, engine="vector",
+        )
+        sca = run_batch(
+            controller, traces, manifest,
+            table_config=TABLE_CONFIG, engine="scalar",
+        )
+        for i in range(len(traces)):
+            if vec.session_levels(i) != [int(x) for x in sca.levels[i]] or (
+                float(vec.qoe_total[i]) != float(sca.qoe_total[i])
+            ):
+                mismatches.append((controller, i))
+    return mismatches
+
+
+@pytest.fixture(scope="module")
+def fleet_run(parity_probe):
+    assert not parity_probe, f"parity broke before timing: {parity_probe}"
+    # Pre-warm the per-process caches (trace pools, decision tables) so
+    # the clock measures steady-state stepping, matching how a long fleet
+    # amortizes them; the baseline loop gets the same warm start.
+    run_fleet(FleetConfig(sessions=64, seed=SEED, shard_size=64, space=SPACE))
+    t0 = time.perf_counter()
+    result = run_fleet(CONFIG, workers=1)
+    wall_s = time.perf_counter() - t0
+    return {"result": result, "wall_s": wall_s, "rate": result.sessions / wall_s}
+
+
+@pytest.fixture(scope="module")
+def baseline_run(fleet_run):
+    # The exact sessions the fleet ran first, replayed one at a time
+    # through the reference simulator — the loop the fleet replaces.
+    scenarios = sample_scenarios(SPACE, BASELINE_SESSIONS, SEED)
+    pools = trace_pools(SPACE)
+    t0 = time.perf_counter()
+    for scenario in scenarios:
+        algorithm = make_scalar_algorithm(
+            scenario.controller, table_config=TABLE_CONFIG
+        )
+        simulate_session(
+            algorithm,
+            pools[scenario.dataset][scenario.trace_index],
+            manifest_for(scenario.ladder, SPACE.num_chunks),
+            session_config_for(scenario.preset),
+        )
+    wall_s = time.perf_counter() - t0
+    return {"sessions": len(scenarios), "wall_s": wall_s,
+            "rate": len(scenarios) / wall_s}
+
+
+def test_parity_gate_is_clean(parity_probe):
+    assert parity_probe == []
+
+
+def test_fleet_accounts_every_session(benchmark, fleet_run):
+    outcome = run_once(benchmark, lambda: fleet_run)
+    result = outcome["result"]
+    assert result.sessions == SESSIONS
+    assert sum(arm.sessions for arm in result.arms.values()) == SESSIONS
+    rollup = result.controller_rollup()
+    assert set(rollup) == set(SUPPORTED_CONTROLLERS)
+
+
+def test_fleet_beats_scalar_loop(fleet_run, baseline_run):
+    speedup = fleet_run["rate"] / baseline_run["rate"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"fleet {fleet_run['rate']:,.0f} sessions/s vs scalar loop "
+        f"{baseline_run['rate']:,.0f} sessions/s = {speedup:.1f}x "
+        f"< {MIN_SPEEDUP}x"
+    )
+
+
+def test_append_bench_json(fleet_run, baseline_run, report_sink):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_fleet.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if isinstance(history, dict):
+            history = [history]
+    result = fleet_run["result"]
+    rollup = result.controller_rollup()
+    record = {
+        "timestamp": time.time(),
+        "cpu_count": os.cpu_count(),
+        "sessions": result.sessions,
+        "wall_s": fleet_run["wall_s"],
+        "sessions_per_s": fleet_run["rate"],
+        "baseline": {
+            "sessions": baseline_run["sessions"],
+            "wall_s": baseline_run["wall_s"],
+            "sessions_per_s": baseline_run["rate"],
+        },
+        "speedup_vs_scalar_loop": fleet_run["rate"] / baseline_run["rate"],
+        "shard_size": CONFIG.shard_size,
+        "seed": SEED,
+        "controllers": {
+            name: {
+                "sessions": aggregate.sessions,
+                "qoe_per_chunk": aggregate.qoe_percentiles(),
+                "rebuffer_mean_s": aggregate.rebuffer_s.mean,
+                "mean_bitrate_kbps": aggregate.mean_bitrate_kbps.mean,
+            }
+            for name, aggregate in sorted(rollup.items())
+        },
+    }
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    lines = [
+        f"{result.sessions:,} sessions in {fleet_run['wall_s']:.1f}s = "
+        f"{fleet_run['rate']:,.0f} sessions/s "
+        f"({record['speedup_vs_scalar_loop']:.0f}x the scalar loop at "
+        f"{baseline_run['rate']:,.0f}/s)"
+    ]
+    for name, stats in sorted(record["controllers"].items()):
+        p = stats["qoe_per_chunk"]
+        lines.append(
+            f"{name:>15}: {stats['sessions']:>7,} sessions | QoE/chunk "
+            f"p5 {p['p5']:>8,.0f} p50 {p['p50']:>8,.0f} p95 {p['p95']:>8,.0f}"
+            f" | rebuf {stats['rebuffer_mean_s']:.2f}s"
+            f" | {stats['mean_bitrate_kbps']:,.0f} kbps"
+        )
+    report_sink("BENCH_fleet", "\n".join(lines))

@@ -25,6 +25,11 @@ Subcommands map one-to-one onto the paper's artifacts:
                         profile (injected resets, 500s, slow responses,
                         trace blackouts) and compare completion, fallback
                         rate, and QoE against a clean run.
+* ``fleet``           — fleet-scale Monte Carlo: sample seeded scenarios
+                        (controller x dataset x QoE preset x ladder),
+                        step them through the vectorized batch simulator,
+                        and print per-controller population QoE
+                        percentiles (docs/fleet.md).
 """
 
 from __future__ import annotations
@@ -265,6 +270,56 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+
+    p = sub.add_parser(
+        "fleet", help="fleet-scale Monte Carlo over sampled scenarios"
+    )
+    p.add_argument(
+        "--sessions", type=int, default=100_000, help="population size"
+    )
+    p.add_argument("--seed", type=int, default=7, help="scenario-sampler seed")
+    p.add_argument(
+        "--shard-size", type=int, default=4096,
+        help="sessions per shard (fixed; worker count never changes results)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="shard worker processes"
+    )
+    p.add_argument(
+        "--controllers", nargs="*", default=None,
+        help="subset of the batch-steppable controllers (default: all)",
+    )
+    p.add_argument(
+        "--datasets", nargs="*", choices=DATASET_NAMES, default=None,
+        help="trace datasets to sample from (default: all three)",
+    )
+    p.add_argument(
+        "--presets", nargs="*", default=None,
+        help="QoE presets to sample from (default: all three)",
+    )
+    p.add_argument(
+        "--ladders", nargs="*", default=None,
+        help="named bitrate ladders to sample from (default: envivio)",
+    )
+    p.add_argument("--chunks", type=int, default=65, help="chunks per session")
+    p.add_argument(
+        "--traces", type=int, default=100, help="traces per dataset pool"
+    )
+    p.add_argument(
+        "--duration", type=float, default=320.0, help="trace seconds"
+    )
+    p.add_argument("--trace-seed", type=int, default=0, help="trace-pool seed")
+    p.add_argument(
+        "--bins", type=int, default=100,
+        help="FastMPC table discretization (default 100, the paper's)",
+    )
+    p.add_argument(
+        "--engine", choices=("auto", "vector", "scalar"), default="auto",
+        help="batch stepper engine (auto: vector when NumPy is available)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="also write the merged aggregates as JSON"
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -766,6 +821,93 @@ def _cmd_chaos(args) -> int:
     return 0 if chaos_report.sessions_completed == args.sessions else 1
 
 
+def _cmd_fleet(args) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from .core.fastmpc import FastMPCConfig
+    from .fleet import FleetConfig, ScenarioSpace, run_fleet
+    from .fleet.scenarios import LADDER_NAMES, PRESET_NAMES
+    from .fleet.controllers import SUPPORTED_CONTROLLERS
+
+    space = ScenarioSpace(
+        controllers=tuple(args.controllers or SUPPORTED_CONTROLLERS),
+        datasets=tuple(args.datasets or DATASET_NAMES),
+        presets=tuple(args.presets or PRESET_NAMES),
+        ladders=tuple(args.ladders or ("envivio",)),
+        num_chunks=args.chunks,
+        traces_per_dataset=args.traces,
+        trace_duration_s=args.duration,
+        trace_seed=args.trace_seed,
+        table_config=FastMPCConfig(
+            buffer_bins=args.bins, throughput_bins=args.bins, horizon=5
+        ),
+    )
+    config = FleetConfig(
+        sessions=args.sessions,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        space=space,
+        cache_dir=args.cache_dir,
+        engine=args.engine,
+    )
+    t0 = time.perf_counter()
+    result = run_fleet(config, workers=args.workers)
+    wall_s = time.perf_counter() - t0
+    rate = result.sessions / wall_s if wall_s > 0 else 0.0
+
+    rows = []
+    for name, arm in sorted(result.controller_rollup().items()):
+        pct = arm.qoe_percentiles()
+        rows.append(
+            [
+                name,
+                arm.sessions,
+                round(pct["p5"], 1),
+                round(pct["p50"], 1),
+                round(pct["p95"], 1),
+                round(arm.rebuffer_s.mean, 2),
+                round(arm.mean_bitrate_kbps.mean, 0),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "controller",
+                "sessions",
+                "QoE/chunk p5",
+                "p50",
+                "p95",
+                "rebuf mean s",
+                "bitrate kbps",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"{result.sessions} sessions in {wall_s:.1f}s"
+        f" ({rate:.0f} sessions/s, {args.workers} workers,"
+        f" {len(result.arms)} arms, seed {args.seed})"
+    )
+    if args.json:
+        payload = {
+            "sessions": result.sessions,
+            "seed": args.seed,
+            "shard_size": args.shard_size,
+            "workers": args.workers,
+            "wall_s": wall_s,
+            "sessions_per_s": rate,
+            "ladders": sorted(set(space.ladders) & set(LADDER_NAMES)),
+            "result": result.to_dict(),
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "generate-traces": _cmd_generate_traces,
     "run": _cmd_run,
@@ -777,6 +919,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
 }
 
 

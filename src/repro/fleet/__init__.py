@@ -1,0 +1,52 @@
+"""repro.fleet — fleet-scale Monte Carlo over ABR sessions.
+
+Two layers:
+
+* the **batch session stepper** (:func:`run_batch`) advances thousands
+  of sessions per call through vectorized Eq. 1–4 dynamics, exactly
+  parity-equal per session to :func:`repro.sim.session.simulate_session`;
+* the **fleet driver** (:func:`run_fleet`) samples seeded scenarios over
+  traces × ladders × QoE presets × controllers, shards them across a
+  process pool, and merges per-arm QoE/rebuffer/bitrate histograms
+  losslessly.
+
+See ``docs/fleet.md`` for the architecture and the BENCH_fleet.json
+schema.
+"""
+
+from .aggregate import (
+    BITRATE_BOUNDS_KBPS,
+    QOE_PER_CHUNK_BOUNDS,
+    REBUFFER_BOUNDS_S,
+    ArmAggregate,
+    FleetResult,
+)
+from .controllers import (
+    SUPPORTED_CONTROLLERS,
+    make_batch_controller,
+    make_scalar_algorithm,
+    supported_controllers,
+)
+from .driver import FleetConfig, run_fleet
+from .scenarios import Scenario, ScenarioSpace, sample_scenarios
+from .stepper import BatchResult, TraceBank, run_batch
+
+__all__ = [
+    "ArmAggregate",
+    "BatchResult",
+    "BITRATE_BOUNDS_KBPS",
+    "FleetConfig",
+    "FleetResult",
+    "QOE_PER_CHUNK_BOUNDS",
+    "REBUFFER_BOUNDS_S",
+    "Scenario",
+    "ScenarioSpace",
+    "SUPPORTED_CONTROLLERS",
+    "TraceBank",
+    "make_batch_controller",
+    "make_scalar_algorithm",
+    "run_batch",
+    "run_fleet",
+    "sample_scenarios",
+    "supported_controllers",
+]

@@ -1,0 +1,182 @@
+"""Streaming population aggregates — per-arm histograms, lossless merge.
+
+An *arm* is one (controller, dataset, QoE preset, ladder) cell of the
+scenario space.  Per arm the fleet keeps three fixed-bucket histograms
+(per-chunk QoE, total rebuffer seconds, session mean bitrate) built on
+:class:`repro.core.histmerge.FixedBucketHistogram` — the same primitive
+behind the cluster ``/metrics`` merge — so shard results merge
+*losslessly*: merged bucket counts (and hence quantiles) equal what one
+shared histogram would have observed, however the sessions were
+partitioned.  Per-shard float sums are ``math.fsum``-exact, so for a
+*fixed* shard partition the merged sums do not depend on who ran the
+shards — which is what lets the determinism test demand bit-identical
+fleet results for 1 vs N workers.
+
+Bucket bounds are module constants shared by every producer, a merge
+precondition.  Empty fleets produce well-formed empty aggregates (zero
+counts, empty quantiles) rather than raising.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.histmerge import FixedBucketHistogram
+
+__all__ = [
+    "QOE_PER_CHUNK_BOUNDS",
+    "REBUFFER_BOUNDS_S",
+    "BITRATE_BOUNDS_KBPS",
+    "ArmAggregate",
+    "FleetResult",
+]
+
+#: Per-chunk QoE (Eq. 5 total / chunk count).  With the paper's ladders
+#: the per-chunk quality term tops out near 4300 kbps; heavy rebuffering
+#: under mu=6000 drives sessions far negative, hence the wide left tail.
+QOE_PER_CHUNK_BOUNDS = tuple(float(-6000 + 250 * i) for i in range(39))
+
+#: Total rebuffer seconds per session; geometric, since most sessions
+#: stall 0 s (the underflow bucket) and the tail is long.
+REBUFFER_BOUNDS_S = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Session mean bitrate; 100-kbps bins spanning every named ladder.
+BITRATE_BOUNDS_KBPS = tuple(float(100 * i) for i in range(1, 46))
+
+_METRICS = ("qoe_per_chunk", "rebuffer_s", "mean_bitrate_kbps")
+_BOUNDS = {
+    "qoe_per_chunk": QOE_PER_CHUNK_BOUNDS,
+    "rebuffer_s": REBUFFER_BOUNDS_S,
+    "mean_bitrate_kbps": BITRATE_BOUNDS_KBPS,
+}
+
+
+class ArmAggregate:
+    """Histogrammed population metrics for one scenario-space arm."""
+
+    __slots__ = ("sessions", "qoe_per_chunk", "rebuffer_s", "mean_bitrate_kbps")
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.qoe_per_chunk = FixedBucketHistogram(QOE_PER_CHUNK_BOUNDS)
+        self.rebuffer_s = FixedBucketHistogram(REBUFFER_BOUNDS_S)
+        self.mean_bitrate_kbps = FixedBucketHistogram(BITRATE_BOUNDS_KBPS)
+
+    def observe_sessions(
+        self,
+        qoe_per_chunk: Sequence[float],
+        rebuffer_s: Sequence[float],
+        mean_bitrate_kbps: Sequence[float],
+    ) -> None:
+        if not (len(qoe_per_chunk) == len(rebuffer_s) == len(mean_bitrate_kbps)):
+            raise ValueError("per-session metric sequences must align")
+        self.sessions += len(qoe_per_chunk)
+        self.qoe_per_chunk.observe_many(qoe_per_chunk)
+        self.rebuffer_s.observe_many(rebuffer_s)
+        self.mean_bitrate_kbps.observe_many(mean_bitrate_kbps)
+
+    def merge(self, other: "ArmAggregate") -> None:
+        self.sessions += other.sessions
+        self.qoe_per_chunk.merge(other.qoe_per_chunk)
+        self.rebuffer_s.merge(other.rebuffer_s)
+        self.mean_bitrate_kbps.merge(other.mean_bitrate_kbps)
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "qoe_per_chunk": self.qoe_per_chunk.to_dict(),
+            "rebuffer_s": self.rebuffer_s.to_dict(),
+            "mean_bitrate_kbps": self.mean_bitrate_kbps.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArmAggregate":
+        if not isinstance(payload, dict):
+            raise ValueError("arm payload must be a JSON object")
+        arm = cls()
+        try:
+            arm.sessions = int(payload["sessions"])
+            for metric in _METRICS:
+                histogram = FixedBucketHistogram.from_dict(payload[metric])
+                if histogram.bounds != _BOUNDS[metric]:
+                    raise ValueError(f"{metric} bucket bounds do not match")
+                setattr(arm, metric, histogram)
+        except KeyError as exc:
+            raise ValueError(f"malformed arm payload: missing {exc}") from None
+        return arm
+
+    def qoe_percentiles(self) -> Dict[str, float]:
+        """The population QoE summary recorded in BENCH_fleet.json."""
+        h = self.qoe_per_chunk
+        return {
+            "p5": h.quantile(0.05),
+            "p25": h.quantile(0.25),
+            "p50": h.quantile(0.50),
+            "p75": h.quantile(0.75),
+            "p95": h.quantile(0.95),
+        }
+
+
+class FleetResult:
+    """All arms of one fleet run (or one shard of it).
+
+    Arms are keyed ``"controller|dataset|preset|ladder"``
+    (:attr:`Scenario.arm_key`).  ``merge`` folds shard results in shard
+    order; every field is associative, so the outcome is independent of
+    worker count.
+    """
+
+    __slots__ = ("sessions", "arms")
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.arms: Dict[str, ArmAggregate] = {}
+
+    @classmethod
+    def empty(cls) -> "FleetResult":
+        return cls()
+
+    def arm(self, key: str) -> ArmAggregate:
+        """The aggregate for ``key``, created on first touch."""
+        aggregate = self.arms.get(key)
+        if aggregate is None:
+            aggregate = self.arms[key] = ArmAggregate()
+        return aggregate
+
+    def merge(self, other: "FleetResult") -> None:
+        self.sessions += other.sessions
+        for key in sorted(other.arms):
+            self.arm(key).merge(other.arms[key])
+
+    def controller_rollup(self) -> Dict[str, ArmAggregate]:
+        """Arms merged down to one aggregate per controller."""
+        rollup: Dict[str, ArmAggregate] = {}
+        for key in sorted(self.arms):
+            controller = key.split("|", 1)[0]
+            aggregate = rollup.get(controller)
+            if aggregate is None:
+                aggregate = rollup[controller] = ArmAggregate()
+            aggregate.merge(self.arms[key])
+        return rollup
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "arms": {key: self.arms[key].to_dict() for key in sorted(self.arms)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetResult":
+        if not isinstance(payload, dict):
+            raise ValueError("fleet payload must be a JSON object")
+        result = cls()
+        try:
+            result.sessions = int(payload["sessions"])
+            arms = payload["arms"]
+        except KeyError as exc:
+            raise ValueError(f"malformed fleet payload: missing {exc}") from None
+        if not isinstance(arms, dict):
+            raise ValueError("fleet payload arms must be a JSON object")
+        for key in sorted(arms):
+            result.arms[key] = ArmAggregate.from_dict(arms[key])
+        return result

@@ -1,0 +1,374 @@
+"""Vectorized batch controllers — one decision call for N sessions.
+
+Each class here is the array-of-sessions twin of one registry algorithm,
+and the pairing is *exact*: for every session in the batch, the level
+sequence produced through the batch interface is bit-identical to what
+the scalar algorithm would have chosen inside
+:func:`repro.sim.session.simulate_session` (same arithmetic, same
+operation order, same tie-breaks).  That parity is what lets the fleet
+stepper claim its results ARE the reference simulator's results, just
+computed thousands of sessions at a time.
+
+How exactness is preserved, per mechanism:
+
+* Elementwise float64 NumPy arithmetic (add/sub/mul/div/maximum) is
+  IEEE-754 identical to the equivalent Python-float expression, so every
+  formula below replicates its scalar twin's operation order literally.
+* The harmonic-mean window sums reciprocals with an explicit sequential
+  chain of elementwise adds (oldest sample first, zero-padded tail) —
+  the same order as Python's ``sum`` over the predictor's deque, without
+  relying on NumPy reduction internals.
+* Max-of-window reductions (the RobustMPC error bound) are
+  order-independent, so ``np.max`` is safe.
+* FastMPC decisions go through ``DecisionTable.lookup_batch``, which is
+  pinned scalar-equal to ``lookup`` by the PR-6 fast-path test suite,
+  against the *same* table ``FastMPCController.prepare`` would build.
+* BOLA's first-wins epsilon argmax and the ladder's ``highest_at_most``
+  scan are replicated as comparison-only loops/searches (no arithmetic,
+  hence no rounding to diverge).
+
+The module is NumPy-only by design: without NumPy the fleet stepper runs
+sessions through the reference simulator itself (see
+:mod:`repro.fleet.stepper`), which is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..abr.base import SessionConfig
+from ..abr.bola import BolaAlgorithm
+from ..abr.buffer_based import BufferBasedAlgorithm
+from ..abr.fixed import ConstantLevelAlgorithm
+from ..abr.rate_based import RateBasedAlgorithm
+from ..core.fastmpc import FastMPCConfig, FastMPCController, build_decision_table
+from ..core.npcompat import HAVE_NUMPY, np
+from ..prediction.base import OBSERVATION_FLOOR_KBPS
+from ..video.manifest import VideoManifest
+
+__all__ = [
+    "SUPPORTED_CONTROLLERS",
+    "supported_controllers",
+    "make_batch_controller",
+    "make_scalar_algorithm",
+]
+
+#: Registry names with an exact vectorized twin.  The remaining registry
+#: algorithms (mpc, robust-mpc, festive, dashjs, mdp) run a per-chunk
+#: solver or stateful heuristics that have no array form yet; the fleet
+#: driver rejects them up front rather than silently falling back.
+SUPPORTED_CONTROLLERS = (
+    "lowest",
+    "highest",
+    "rb",
+    "bb",
+    "bola",
+    "fastmpc",
+    "robust-fastmpc",
+)
+
+
+def supported_controllers() -> tuple:
+    """Controller names the batch stepper can run (registry-compatible)."""
+    return SUPPORTED_CONTROLLERS
+
+
+def make_scalar_algorithm(
+    name: str,
+    cache_dir: Optional[str] = None,
+    table_config: Optional[FastMPCConfig] = None,
+):
+    """The reference (scalar) algorithm a batch controller is pinned to.
+
+    Mirrors the registry factories exactly, with the fleet's ``cache_dir``
+    and optional table-discretization override threaded through.
+    """
+    if name == "lowest":
+        return ConstantLevelAlgorithm(0)
+    if name == "highest":
+        return ConstantLevelAlgorithm(-1)
+    if name == "rb":
+        return RateBasedAlgorithm()
+    if name == "bb":
+        return BufferBasedAlgorithm()
+    if name == "bola":
+        return BolaAlgorithm()
+    if name == "fastmpc":
+        return FastMPCController(config=table_config, cache_dir=cache_dir)
+    if name == "robust-fastmpc":
+        return FastMPCController(
+            config=table_config, robust=True, cache_dir=cache_dir
+        )
+    raise ValueError(
+        f"unsupported fleet controller {name!r}; expected one of "
+        f"{SUPPORTED_CONTROLLERS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared vectorized predictor state
+# ----------------------------------------------------------------------
+
+
+class _BatchHarmonic:
+    """N independent harmonic-mean windows advancing in lockstep.
+
+    Sessions in a batch observe one throughput per chunk simultaneously,
+    so the fill level is a single integer shared by all rows.  Samples
+    are stored as reciprocals, oldest first, with a zero tail while the
+    window warms up: adding a trailing ``+0.0`` never changes a positive
+    partial sum, so the explicit sequential add chain below reproduces
+    ``len(samples) / sum(1.0 / s for s in samples)`` exactly.
+    """
+
+    __slots__ = ("window", "cold_start_kbps", "_recip", "_filled")
+
+    def __init__(self, n: int, window: int = 5, cold_start_kbps: float = 100.0):
+        self.window = window
+        self.cold_start_kbps = cold_start_kbps
+        self._recip = np.zeros((n, window), dtype=np.float64)
+        self._filled = 0
+
+    def estimate(self):
+        if self._filled == 0:
+            return np.full(self._recip.shape[0], self.cold_start_kbps)
+        total = self._recip[:, 0].copy()
+        for j in range(1, self.window):
+            total += self._recip[:, j]
+        return self._filled / total
+
+    def observe(self, throughput_kbps) -> None:
+        clamped = np.maximum(throughput_kbps, OBSERVATION_FLOOR_KBPS)
+        if self._filled < self.window:
+            self._recip[:, self._filled] = 1.0 / clamped
+            self._filled += 1
+        else:
+            self._recip[:, :-1] = self._recip[:, 1:]
+            self._recip[:, -1] = 1.0 / clamped
+
+
+class _BatchErrorTracker:
+    """N :class:`PredictionErrorTracker` windows in lockstep."""
+
+    __slots__ = ("window", "_errors", "_filled")
+
+    def __init__(self, n: int, window: int = 5):
+        self.window = window
+        self._errors = np.zeros((n, window), dtype=np.float64)
+        self._filled = 0
+
+    def record(self, predicted_kbps, actual_kbps) -> None:
+        actual = np.maximum(actual_kbps, OBSERVATION_FLOOR_KBPS)
+        err = (predicted_kbps - actual) / actual
+        if self._filled < self.window:
+            self._errors[:, self._filled] = err
+            self._filled += 1
+        else:
+            self._errors[:, :-1] = self._errors[:, 1:]
+            self._errors[:, -1] = err
+
+    def max_recent_abs_error(self):
+        if self._filled == 0:
+            return np.zeros(self._errors.shape[0])
+        # max is order-independent, so the reduction is safe to vectorize.
+        return np.max(np.abs(self._errors[:, : self._filled]), axis=1)
+
+
+def _highest_at_most_batch(ladder_array, budgets):
+    """Vectorized ``BitrateLadder.highest_at_most``: the largest index
+    whose level is <= the budget, or 0 when none fit (comparisons only,
+    so batch and scalar agree on every input)."""
+    idx = np.searchsorted(ladder_array, budgets, side="right") - 1
+    return np.maximum(idx, 0)
+
+
+# ----------------------------------------------------------------------
+# Batch controllers
+# ----------------------------------------------------------------------
+
+
+class _BatchController:
+    """Array-of-sessions decision interface driven by the stepper."""
+
+    def prepare(self, manifest: VideoManifest, config: SessionConfig, n: int):
+        self.manifest = manifest
+        self.config = config
+        self.n = n
+
+    def decide(self, chunk_index: int, buffer_s, prev_levels):
+        """Level indices (int64 array) for chunk ``chunk_index``.
+
+        ``prev_levels`` holds zeros at the first chunk, matching the
+        scalar convention ``prev_level_index None -> 0`` used by the
+        algorithms that consult it.
+        """
+        raise NotImplementedError
+
+    def observe(self, throughput_kbps) -> None:
+        """Feedback after the chunk completed (raw ``size / time``)."""
+
+
+class _BatchConstant(_BatchController):
+    def __init__(self, level_index: int):
+        self._requested = level_index
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        count = len(manifest.ladder)
+        level = self._requested
+        if level < 0:
+            level += count
+        if not 0 <= level < count:
+            raise ValueError(
+                f"level {self._requested} invalid for a {count}-level ladder"
+            )
+        self._level = level
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        return np.full(self.n, self._level, dtype=np.int64)
+
+
+class _BatchRateBased(_BatchController):
+    def __init__(self, safety_factor: float = 1.0):
+        self.safety_factor = safety_factor
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        self._ladder = np.asarray(manifest.ladder.levels_kbps, dtype=np.float64)
+        self._predictor = _BatchHarmonic(n)
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        budget = self.safety_factor * self._predictor.estimate()
+        return _highest_at_most_batch(self._ladder, budget)
+
+    def observe(self, throughput_kbps):
+        self._predictor.observe(throughput_kbps)
+
+
+class _BatchBufferBased(_BatchController):
+    def __init__(self, reservoir_s: float = 5.0, cushion_s: float = 10.0):
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        self._ladder = np.asarray(manifest.ladder.levels_kbps, dtype=np.float64)
+        self._min = manifest.ladder.min_kbps
+        self._max = manifest.ladder.max_kbps
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        frac = (buffer_s - self.reservoir_s) / self.cushion_s
+        linear = self._min + frac * (self._max - self._min)
+        target = np.where(
+            buffer_s <= self.reservoir_s,
+            self._min,
+            np.where(
+                buffer_s >= self.reservoir_s + self.cushion_s, self._max, linear
+            ),
+        )
+        return _highest_at_most_batch(self._ladder, target)
+
+
+class _BatchBola(_BatchController):
+    def __init__(self, gamma_p: float = 5.0):
+        self.gamma_p = gamma_p
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        # Reuse the scalar implementation's prepared constants so the
+        # utilities and control parameter are the very same floats.
+        reference = BolaAlgorithm(gamma_p=self.gamma_p)
+        reference.prepare(manifest, config)
+        p = manifest.chunk_duration_s
+        self._p = p
+        self._offsets = [
+            reference.control_v * (utility + self.gamma_p)
+            for utility in reference._utilities
+        ]
+        self._sizes = [p * r for r in manifest.ladder]
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        q_chunks = buffer_s / self._p
+        best_score = np.full(self.n, -math.inf)
+        best_level = np.zeros(self.n, dtype=np.int64)
+        # The scalar loop's first-wins epsilon argmax, level by level.
+        for level, (offset, size) in enumerate(zip(self._offsets, self._sizes)):
+            score = (offset - q_chunks) / size
+            better = score > best_score + 1e-12
+            best_score[better] = score[better]
+            best_level[better] = level
+        return best_level
+
+
+class _BatchFastMPC(_BatchController):
+    def __init__(
+        self,
+        robust: bool = False,
+        table_config: Optional[FastMPCConfig] = None,
+        cache_dir: Optional[str] = None,
+    ):
+        self.robust = robust
+        self.table_config = table_config
+        self.cache_dir = cache_dir
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        quality_values = tuple(config.quality(r) for r in manifest.ladder)
+        self.table = build_decision_table(
+            manifest.ladder.levels_kbps,
+            manifest.chunk_duration_s,
+            config.buffer_capacity_s,
+            config.weights,
+            quality_values=quality_values,
+            config=self.table_config,
+            cache_dir=self.cache_dir,
+        )
+        self._predictor = _BatchHarmonic(n)
+        self._errors = _BatchErrorTracker(n)
+        self._pending_raw = None
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        raw = self._predictor.estimate()
+        self._pending_raw = raw
+        query = raw
+        if self.robust:
+            query = raw / (1.0 + self._errors.max_recent_abs_error())
+        levels = self.table.lookup_batch(buffer_s, prev_levels, query)
+        return np.asarray(levels, dtype=np.int64)
+
+    def observe(self, throughput_kbps):
+        if self._pending_raw is not None:
+            self._errors.record(self._pending_raw, throughput_kbps)
+            self._pending_raw = None
+        self._predictor.observe(throughput_kbps)
+
+
+def make_batch_controller(
+    name: str,
+    cache_dir: Optional[str] = None,
+    table_config: Optional[FastMPCConfig] = None,
+) -> _BatchController:
+    """Instantiate the vectorized twin of a registry algorithm."""
+    if not HAVE_NUMPY:  # pragma: no cover - guarded by the stepper
+        raise RuntimeError("batch controllers need NumPy; use the scalar engine")
+    if name == "lowest":
+        return _BatchConstant(0)
+    if name == "highest":
+        return _BatchConstant(-1)
+    if name == "rb":
+        return _BatchRateBased()
+    if name == "bb":
+        return _BatchBufferBased()
+    if name == "bola":
+        return _BatchBola()
+    if name == "fastmpc":
+        return _BatchFastMPC(table_config=table_config, cache_dir=cache_dir)
+    if name == "robust-fastmpc":
+        return _BatchFastMPC(
+            robust=True, table_config=table_config, cache_dir=cache_dir
+        )
+    raise ValueError(
+        f"unsupported fleet controller {name!r}; expected one of "
+        f"{SUPPORTED_CONTROLLERS}"
+    )

@@ -18,6 +18,8 @@ from .events import (
     ChunkDecision,
     ChunkDownload,
     Event,
+    FleetShard,
+    FleetSummary,
     Rebuffer,
     RequestSpan,
     SessionSummary,
@@ -46,6 +48,8 @@ __all__ = [
     "TableLookup",
     "RequestSpan",
     "SessionSummary",
+    "FleetShard",
+    "FleetSummary",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

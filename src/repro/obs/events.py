@@ -11,7 +11,9 @@ timeline is a complete, replayable record of a run:
 * :class:`SolverCall`      — one horizon-kernel invocation (profiling);
 * :class:`TableLookup`     — one FastMPC table query (profiling);
 * :class:`RequestSpan`     — one decision-service request span;
-* :class:`SessionSummary`  — end-of-session totals and the Eq. 5 score.
+* :class:`SessionSummary`  — end-of-session totals and the Eq. 5 score;
+* :class:`FleetShard`      — one completed fleet Monte Carlo shard;
+* :class:`FleetSummary`    — a whole fleet run's throughput accounting.
 
 Events are frozen dataclasses with only JSON-scalar fields, so the JSONL
 encoding (:func:`event_to_json` / :func:`event_from_json`) round-trips
@@ -36,6 +38,8 @@ __all__ = [
     "TableLookup",
     "RequestSpan",
     "SessionSummary",
+    "FleetShard",
+    "FleetSummary",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -181,6 +185,30 @@ class SessionSummary(Event):
     weight_startup: float
 
 
+@dataclass(frozen=True)
+class FleetShard(Event):
+    """One completed shard of a fleet Monte Carlo run."""
+
+    kind = "fleet-shard"
+
+    shard_index: int
+    sessions: int
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class FleetSummary(Event):
+    """End-of-fleet totals: population size and measured throughput."""
+
+    kind = "fleet-summary"
+
+    sessions: int
+    shards: int
+    workers: int
+    wall_s: float
+    sessions_per_s: float
+
+
 #: kind -> event class, the JSONL decoding registry.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -192,6 +220,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         TableLookup,
         RequestSpan,
         SessionSummary,
+        FleetShard,
+        FleetSummary,
     )
 }
 

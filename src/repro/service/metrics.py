@@ -14,8 +14,9 @@ schema is documented in ``docs/service.md`` and locked by tests.
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, List, Optional, Sequence
+
+from ..core.histmerge import FixedBucketHistogram, merge_histogram_dicts
 
 __all__ = [
     "LatencyHistogram",
@@ -42,127 +43,35 @@ DEFAULT_BUCKET_BOUNDS_US = (
 )
 
 
-class LatencyHistogram:
+class LatencyHistogram(FixedBucketHistogram):
     """Fixed-bucket histogram over microsecond latencies.
 
-    ``observe`` is O(log buckets); memory is O(buckets) regardless of
-    request volume — the standard production trade-off (exact quantiles
-    are not worth an unbounded reservoir at millions of requests).
-    Quantiles are estimated by linear interpolation inside the bucket
-    that contains the target rank, which is exact to within one bucket
-    width.
+    A unit-suffixed specialisation of the shared
+    :class:`repro.core.histmerge.FixedBucketHistogram` (the bucketing,
+    quantile, merge, and serialization machinery lives there so the
+    fleet driver can aggregate without importing the service layer):
+    values are non-negative, the serialized keys carry the ``_us``
+    suffix the ``/metrics`` schema documents, and quantile interpolation
+    floors the first bucket at 0.
     """
 
-    __slots__ = ("_bounds", "_counts", "_count", "_sum_us", "_max_us")
+    __slots__ = ()
+
+    key_suffix = "_us"
+    non_negative = True
+    value_name = "latency"
+    underflow_lower = 0.0
 
     def __init__(self, bounds_us: Sequence[float] = DEFAULT_BUCKET_BOUNDS_US) -> None:
-        bounds = [float(b) for b in bounds_us]
-        if not bounds or bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise ValueError("bucket bounds must be strictly increasing")
-        if bounds[0] <= 0:
-            raise ValueError("bucket bounds must be positive")
-        self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # last bucket = +inf
-        self._count = 0
-        self._sum_us = 0.0
-        self._max_us = 0.0
-
-    def observe(self, latency_us: float) -> None:
-        if latency_us < 0:
-            raise ValueError("latency must be >= 0")
-        self._counts[bisect.bisect_left(self._bounds, latency_us)] += 1
-        self._count += 1
-        self._sum_us += latency_us
-        if latency_us > self._max_us:
-            self._max_us = latency_us
-
-    @property
-    def count(self) -> int:
-        return self._count
+        super().__init__(bounds_us)
 
     @property
     def mean_us(self) -> float:
-        return self._sum_us / self._count if self._count else 0.0
+        return self.mean
 
     @property
     def max_us(self) -> float:
-        return self._max_us
-
-    def quantile(self, q: float) -> float:
-        """Estimated latency at quantile ``q`` in [0, 1]; 0 when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self._count == 0:
-            return 0.0
-        target = q * self._count
-        cumulative = 0
-        for i, bucket_count in enumerate(self._counts):
-            if bucket_count == 0:
-                continue
-            if cumulative + bucket_count >= target:
-                lower = self._bounds[i - 1] if i > 0 else 0.0
-                # The overflow bucket has no upper edge; report the max seen.
-                upper = self._bounds[i] if i < len(self._bounds) else self._max_us
-                if upper <= lower:
-                    return upper
-                fraction = (target - cumulative) / bucket_count
-                return lower + fraction * (upper - lower)
-            cumulative += bucket_count
-        return self._max_us
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram (same bounds) into this one."""
-        if other._bounds != self._bounds:
-            raise ValueError("cannot merge histograms with different buckets")
-        for i, c in enumerate(other._counts):
-            self._counts[i] += c
-        self._count += other._count
-        self._sum_us += other._sum_us
-        self._max_us = max(self._max_us, other._max_us)
-
-    def to_dict(self) -> dict:
-        return {
-            "bounds_us": list(self._bounds),
-            "counts": list(self._counts),
-            "count": self._count,
-            "sum_us": self._sum_us,
-            "mean_us": self.mean_us,
-            "max_us": self._max_us,
-            "p50_us": self.quantile(0.50),
-            "p99_us": self.quantile(0.99),
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "LatencyHistogram":
-        """Reconstruct a histogram from its :meth:`to_dict` document.
-
-        The per-bucket counts, total count, sum, and max round-trip
-        exactly (JSON floats serialise via ``repr``), so a snapshot
-        shipped across a process boundary merges losslessly — the
-        mechanism behind the cluster-wide ``/metrics`` aggregation.
-        """
-        if not isinstance(payload, dict):
-            raise ValueError("histogram payload must be a JSON object")
-        try:
-            bounds = payload["bounds_us"]
-            counts = [int(c) for c in payload["counts"]]
-            count = int(payload["count"])
-            sum_us = float(payload["sum_us"])
-            max_us = float(payload["max_us"])
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ValueError(f"malformed histogram payload: {exc}") from None
-        histogram = cls(bounds)
-        if len(counts) != len(histogram._counts):
-            raise ValueError(
-                f"{len(counts)} bucket counts for {len(bounds)} bounds"
-            )
-        if any(c < 0 for c in counts) or count != sum(counts):
-            raise ValueError("bucket counts must be >= 0 and sum to the count")
-        histogram._counts = counts
-        histogram._count = count
-        histogram._sum_us = sum_us
-        histogram._max_us = max_us
-        return histogram
+        return self.max_value
 
 
 class ServiceMetrics:
@@ -301,10 +210,7 @@ def _sum_counter_dicts(dicts: List[Dict[str, int]]) -> Dict[str, int]:
 
 
 def _merge_histogram_dicts(payloads: List[dict]) -> dict:
-    merged = LatencyHistogram.from_dict(payloads[0])
-    for payload in payloads[1:]:
-        merged.merge(LatencyHistogram.from_dict(payload))
-    return merged.to_dict()
+    return merge_histogram_dicts(payloads, LatencyHistogram)
 
 
 def merge_metrics_snapshots(snapshots: Sequence[dict]) -> dict:

@@ -1,0 +1,131 @@
+"""The shared lossless-histogram primitive behind /metrics and the fleet."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core.histmerge import (
+    FixedBucketHistogram,
+    merge_histogram_dicts,
+    merge_histograms,
+)
+
+BOUNDS = (-10.0, 0.0, 5.0, 50.0)
+
+
+def test_bounds_must_be_strictly_increasing():
+    for bad in ((), (1.0, 1.0), (2.0, 1.0)):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            FixedBucketHistogram(bad)
+
+
+def test_observe_many_matches_observe_exactly():
+    rng = random.Random(3)
+    values = [rng.uniform(-20.0, 80.0) for _ in range(500)]
+    one_by_one = FixedBucketHistogram(BOUNDS)
+    for v in values:
+        one_by_one.observe(v)
+    bulk = FixedBucketHistogram(BOUNDS)
+    bulk.observe_many(values)
+    assert bulk.bucket_counts == one_by_one.bucket_counts
+    assert bulk.count == one_by_one.count == 500
+    assert bulk.max_value == one_by_one.max_value
+    # fsum is correctly rounded, the sequential += sum merely close.
+    assert bulk.sum_value == pytest.approx(one_by_one.sum_value)
+    assert bulk.sum_value == math.fsum(values)
+
+
+def test_observe_many_sum_is_order_independent():
+    rng = random.Random(9)
+    values = [rng.uniform(-1e9, 1e9) for _ in range(300)]
+    forward = FixedBucketHistogram(BOUNDS)
+    forward.observe_many(values)
+    backward = FixedBucketHistogram(BOUNDS)
+    backward.observe_many(list(reversed(values)))
+    assert forward.sum_value == backward.sum_value
+    assert forward.bucket_counts == backward.bucket_counts
+
+
+def test_observe_many_empty_is_noop():
+    histogram = FixedBucketHistogram(BOUNDS)
+    histogram.observe_many([])
+    assert histogram.count == 0
+    assert histogram.mean == 0.0
+    assert histogram.max_value == 0.0
+    assert histogram.quantile(0.5) == 0.0
+
+
+def test_merge_is_lossless():
+    rng = random.Random(4)
+    values = [rng.uniform(-50.0, 200.0) for _ in range(400)]
+    whole = FixedBucketHistogram(BOUNDS)
+    whole.observe_many(values)
+    parts = []
+    for start in range(0, 400, 50):
+        part = FixedBucketHistogram(BOUNDS)
+        part.observe_many(values[start : start + 50])
+        parts.append(part)
+    merged = merge_histograms(parts)
+    assert merged.bucket_counts == whole.bucket_counts
+    assert merged.count == whole.count
+    assert merged.max_value == whole.max_value
+    assert merged.quantile(0.5) == whole.quantile(0.5)
+
+
+def test_merge_requires_matching_bounds():
+    with pytest.raises(ValueError, match="different buckets"):
+        FixedBucketHistogram(BOUNDS).merge(FixedBucketHistogram((1.0, 2.0)))
+    with pytest.raises(ValueError, match="at least one"):
+        merge_histograms([])
+
+
+def test_roundtrip_through_json_exact():
+    histogram = FixedBucketHistogram(BOUNDS)
+    histogram.observe_many([-3.25, 0.1, 7.75, 1000.0])
+    payload = json.loads(json.dumps(histogram.to_dict()))
+    back = FixedBucketHistogram.from_dict(payload)
+    assert back.to_dict() == histogram.to_dict()
+
+
+def test_merge_histogram_dicts_path():
+    a = FixedBucketHistogram(BOUNDS)
+    a.observe_many([1.0, 2.0])
+    b = FixedBucketHistogram(BOUNDS)
+    b.observe_many([60.0])
+    merged = merge_histogram_dicts([a.to_dict(), b.to_dict()])
+    assert merged["count"] == 3
+    assert merged["max"] == 60.0
+
+
+def test_from_dict_validation():
+    with pytest.raises(ValueError, match="JSON object"):
+        FixedBucketHistogram.from_dict("x")
+    with pytest.raises(ValueError, match="malformed"):
+        FixedBucketHistogram.from_dict({"bounds": [1.0]})
+    good = FixedBucketHistogram(BOUNDS)
+    good.observe(1.0)
+    payload = good.to_dict()
+    tampered = dict(payload, counts=[1] * 3)
+    with pytest.raises(ValueError, match="bucket counts"):
+        FixedBucketHistogram.from_dict(tampered)
+    tampered = dict(payload, count=99)
+    with pytest.raises(ValueError, match="sum to the count"):
+        FixedBucketHistogram.from_dict(tampered)
+
+
+def test_quantiles_are_bucket_bounded():
+    histogram = FixedBucketHistogram(BOUNDS)
+    histogram.observe_many([2.0] * 100)  # all in the (0, 5] bucket
+    assert 0.0 <= histogram.quantile(0.5) <= 5.0
+    with pytest.raises(ValueError, match="quantile"):
+        histogram.quantile(1.5)
+
+
+def test_overflow_bucket_reports_up_to_max():
+    histogram = FixedBucketHistogram(BOUNDS)
+    histogram.observe_many([75.0, 100.0, 125.0])
+    assert histogram.quantile(1.0) == 125.0

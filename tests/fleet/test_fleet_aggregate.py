@@ -1,0 +1,124 @@
+"""Population aggregates: lossless merge, exact round-trip, empty guards."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.fleet import (
+    ArmAggregate,
+    BITRATE_BOUNDS_KBPS,
+    FleetResult,
+    QOE_PER_CHUNK_BOUNDS,
+    REBUFFER_BOUNDS_S,
+)
+
+
+def observed_arm(values):
+    arm = ArmAggregate()
+    arm.observe_sessions(
+        values, [abs(v) % 7.0 for v in values], [abs(v) % 4300.0 for v in values]
+    )
+    return arm
+
+
+def test_bounds_are_strictly_increasing():
+    for bounds in (QOE_PER_CHUNK_BOUNDS, REBUFFER_BOUNDS_S, BITRATE_BOUNDS_KBPS):
+        assert list(bounds) == sorted(set(bounds))
+
+
+def test_sharded_merge_equals_single_aggregate():
+    # The losslessness statement: scattering observations across shards
+    # and merging produces byte-identical serialized aggregates.
+    rng = random.Random(13)
+    values = [rng.uniform(-7000.0, 4000.0) for _ in range(997)]
+    whole = observed_arm(values)
+    merged = ArmAggregate()
+    for start in range(0, len(values), 100):
+        merged.merge(observed_arm(values[start : start + 100]))
+    assert json.dumps(merged.to_dict(), sort_keys=True) == json.dumps(
+        whole.to_dict(), sort_keys=True
+    )
+
+
+def test_arm_roundtrip_exact():
+    arm = observed_arm([-123.25, 0.0, 999.5, 4250.0])
+    payload = json.loads(json.dumps(arm.to_dict()))
+    back = ArmAggregate.from_dict(payload)
+    assert back.to_dict() == arm.to_dict()
+    assert back.sessions == 4
+
+
+def test_misaligned_sequences_rejected():
+    arm = ArmAggregate()
+    with pytest.raises(ValueError, match="align"):
+        arm.observe_sessions([1.0, 2.0], [0.0], [100.0, 200.0])
+
+
+def test_bounds_mismatch_rejected():
+    payload = observed_arm([1.0]).to_dict()
+    payload["rebuffer_s"]["bounds"] = [1.0, 2.0, 3.0]
+    payload["rebuffer_s"]["counts"] = [1, 0, 0, 0]
+    with pytest.raises(ValueError, match="bounds do not match"):
+        ArmAggregate.from_dict(payload)
+
+
+def test_malformed_arm_payloads_rejected():
+    with pytest.raises(ValueError, match="JSON object"):
+        ArmAggregate.from_dict([1, 2])
+    with pytest.raises(ValueError, match="missing"):
+        ArmAggregate.from_dict({"sessions": 1})
+
+
+def test_qoe_percentiles_ordered():
+    arm = observed_arm([float(v) for v in range(-2000, 2000, 10)])
+    p = arm.qoe_percentiles()
+    assert list(p) == ["p5", "p25", "p50", "p75", "p95"]
+    assert p["p5"] <= p["p25"] <= p["p50"] <= p["p75"] <= p["p95"]
+
+
+def test_empty_fleet_wellformed():
+    result = FleetResult.empty()
+    assert result.to_dict() == {"sessions": 0, "arms": {}}
+    assert result.controller_rollup() == {}
+    empty_arm = ArmAggregate()
+    assert empty_arm.qoe_percentiles() == {
+        "p5": 0.0,
+        "p25": 0.0,
+        "p50": 0.0,
+        "p75": 0.0,
+        "p95": 0.0,
+    }
+
+
+def test_fleet_merge_and_rollup():
+    a = FleetResult()
+    a.arm("bola|fcc|balanced|envivio").observe_sessions([10.0], [0.0], [1000.0])
+    a.sessions += 1
+    b = FleetResult()
+    b.arm("bola|hsdpa|balanced|envivio").observe_sessions([20.0], [1.0], [500.0])
+    b.arm("rb|fcc|balanced|envivio").observe_sessions([30.0], [2.0], [750.0])
+    b.sessions += 2
+    a.merge(b)
+    assert a.sessions == 3
+    assert len(a.arms) == 3
+    rollup = a.controller_rollup()
+    assert set(rollup) == {"bola", "rb"}
+    assert rollup["bola"].sessions == 2
+    assert rollup["rb"].sessions == 1
+
+
+def test_fleet_roundtrip_and_validation():
+    result = FleetResult()
+    result.arm("bb|fcc|balanced|envivio").observe_sessions([5.0], [0.5], [800.0])
+    result.sessions = 1
+    back = FleetResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert back.to_dict() == result.to_dict()
+    with pytest.raises(ValueError, match="JSON object"):
+        FleetResult.from_dict("nope")
+    with pytest.raises(ValueError, match="missing"):
+        FleetResult.from_dict({"sessions": 0})
+    with pytest.raises(ValueError, match="arms"):
+        FleetResult.from_dict({"sessions": 0, "arms": [1]})

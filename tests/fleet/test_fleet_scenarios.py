@@ -1,0 +1,119 @@
+"""Scenario sampling: seeded, prefix-stable, validated up front."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import SUPPORTED_CONTROLLERS, ScenarioSpace, sample_scenarios
+from repro.fleet.scenarios import (
+    LADDER_NAMES,
+    PRESET_NAMES,
+    ladder_by_name,
+    manifest_for,
+    session_config_for,
+    trace_pools,
+)
+from repro.qoe import QoEWeights
+from repro.traces.datasets import DATASET_NAMES
+
+
+def small_space(**overrides):
+    defaults = dict(traces_per_dataset=5, num_chunks=10, trace_duration_s=60.0)
+    defaults.update(overrides)
+    return ScenarioSpace(**defaults)
+
+
+def test_same_seed_identical_stream():
+    space = small_space()
+    assert sample_scenarios(space, 200, 42) == sample_scenarios(space, 200, 42)
+
+
+def test_prefix_property():
+    # Growing a fleet never reshuffles the sessions already run.
+    space = small_space()
+    long = sample_scenarios(space, 500, 11)
+    for n in (0, 1, 7, 123, 500):
+        assert sample_scenarios(space, n, 11) == long[:n]
+
+
+def test_different_seeds_differ():
+    space = small_space()
+    assert sample_scenarios(space, 100, 1) != sample_scenarios(space, 100, 2)
+
+
+def test_scenarios_cover_the_space_and_respect_bounds():
+    space = small_space()
+    scenarios = sample_scenarios(space, 2000, 7)
+    assert [s.index for s in scenarios] == list(range(2000))
+    assert {s.controller for s in scenarios} == set(SUPPORTED_CONTROLLERS)
+    assert {s.dataset for s in scenarios} == set(DATASET_NAMES)
+    assert {s.preset for s in scenarios} == set(PRESET_NAMES)
+    assert {s.ladder for s in scenarios} == {"envivio"}
+    assert all(0 <= s.trace_index < 5 for s in scenarios)
+
+
+def test_arm_key_format():
+    space = small_space()
+    scenario = sample_scenarios(space, 1, 0)[0]
+    controller, dataset, preset, ladder = scenario.arm_key.split("|")
+    assert (controller, dataset, preset, ladder) == (
+        scenario.controller,
+        scenario.dataset,
+        scenario.preset,
+        scenario.ladder,
+    )
+
+
+def test_negative_sample_count_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        sample_scenarios(small_space(), -1, 0)
+
+
+@pytest.mark.parametrize(
+    "overrides, match",
+    [
+        (dict(controllers=("mpc",)), "unsupported fleet controller"),
+        (dict(controllers=()), "at least one controller"),
+        (dict(datasets=("netflix",)), "unknown dataset"),
+        (dict(datasets=()), "at least one dataset"),
+        (dict(presets=("chaotic",)), "preset"),
+        (dict(ladders=("imaginary",)), "unknown ladder"),
+        (dict(num_chunks=0), "num_chunks"),
+        (dict(traces_per_dataset=0), "traces_per_dataset"),
+        (dict(trace_duration_s=0.0), "duration"),
+    ],
+)
+def test_space_validation(overrides, match):
+    with pytest.raises(ValueError, match=match):
+        small_space(**overrides)
+
+
+def test_ladder_names_and_lookup():
+    assert "envivio" in LADDER_NAMES
+    for name in LADDER_NAMES:
+        assert len(ladder_by_name(name)) >= 2
+    with pytest.raises(ValueError, match="unknown ladder"):
+        ladder_by_name("nope")
+
+
+def test_trace_pools_memoized_and_seeded():
+    space = small_space()
+    pools = trace_pools(space)
+    assert set(pools) == set(DATASET_NAMES)
+    assert all(len(traces) >= 5 for traces in pools.values())
+    # Same parameters -> the very same memoized pool object.
+    assert trace_pools(small_space()) is pools
+    assert trace_pools(small_space(trace_seed=99)) is not pools
+
+
+def test_manifest_for_memoized():
+    manifest = manifest_for("envivio", 10)
+    assert manifest.num_chunks == 10
+    assert manifest_for("envivio", 10) is manifest
+    assert manifest_for("uniform-6", 10) is not manifest
+
+
+def test_session_config_for_presets():
+    for preset in PRESET_NAMES:
+        config = session_config_for(preset)
+        assert config.weights == QoEWeights.preset(preset)

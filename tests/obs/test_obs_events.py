@@ -9,6 +9,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     ChunkDecision,
     ChunkDownload,
+    FleetShard,
+    FleetSummary,
     Rebuffer,
     RequestSpan,
     SessionSummary,
@@ -86,6 +88,18 @@ def _one_of_each():
             weight_switching=1.0,
             weight_rebuffering=3000.0,
             weight_startup=3000.0,
+        ),
+        FleetShard(
+            session_id="fleet", t_mono=7.0, shard_index=3, sessions=4096, wall_s=1.25
+        ),
+        FleetSummary(
+            session_id="fleet",
+            t_mono=8.0,
+            sessions=1000000,
+            shards=245,
+            workers=8,
+            wall_s=210.5,
+            sessions_per_s=4750.6,
         ),
     ]
 
