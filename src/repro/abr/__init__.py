@@ -3,11 +3,12 @@
 from .base import ABRAlgorithm, DownloadResult, PlayerObservation, SessionConfig
 from .rate_based import RateBasedAlgorithm
 from .bola import BolaAlgorithm
-from .buffer_based import BufferBasedAlgorithm
+from .buffer_based import BufferBasedAlgorithm, BufferBasedChunkMapAlgorithm
+from .dasip import DasIpAlgorithm
 from .festive import FestiveAlgorithm
 from .dashjs import DashJSRuleBased
 from .fixed import ConstantLevelAlgorithm, FixedPlanAlgorithm
-from .registry import available, create, paper_algorithms, register
+from .registry import available, create, paper_algorithms, register, unregister
 
 __all__ = [
     "ABRAlgorithm",
@@ -17,6 +18,8 @@ __all__ = [
     "RateBasedAlgorithm",
     "BolaAlgorithm",
     "BufferBasedAlgorithm",
+    "BufferBasedChunkMapAlgorithm",
+    "DasIpAlgorithm",
     "FestiveAlgorithm",
     "DashJSRuleBased",
     "ConstantLevelAlgorithm",
@@ -25,4 +28,5 @@ __all__ = [
     "create",
     "paper_algorithms",
     "register",
+    "unregister",
 ]

@@ -83,8 +83,13 @@ class BolaAlgorithm(ABRAlgorithm):
         scores = self.scores(observation.buffer_level_s)
         best_level = 0
         best_score = -math.inf
+        # Exact first-wins argmax: strict ``>`` keeps the lowest level on
+        # ties.  An epsilon here would be scale-dependent — multi-Mbps
+        # chunk sizes compress the scores to where genuine differences
+        # fall under any fixed threshold and the argmax picks the wrong
+        # level (see tests/abr/test_bola.py::TestArgmaxExactness).
         for level, score in enumerate(scores):
-            if score > best_score + 1e-12:
+            if score > best_score:
                 best_score = score
                 best_level = level
         return best_level

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from .base import ABRAlgorithm, PlayerObservation
 
-__all__ = ["BufferBasedAlgorithm"]
+__all__ = ["BufferBasedAlgorithm", "BufferBasedChunkMapAlgorithm"]
 
 
 class BufferBasedAlgorithm(ABRAlgorithm):
@@ -56,3 +56,64 @@ class BufferBasedAlgorithm(ABRAlgorithm):
         return self.manifest.ladder.highest_at_most(
             self.rate_map_kbps(observation.buffer_level_s)
         )
+
+
+class BufferBasedChunkMapAlgorithm(ABRAlgorithm):
+    """BBA-1 — Huang et al.'s chunk-size map refinement of BBA-0.
+
+    Where BBA-0 maps the buffer to a nominal *rate*, BBA-1 maps it to an
+    actual *chunk size*: the reservoir/cushion ramp runs from the current
+    chunk's smallest to its largest encoding, and the chosen level is the
+    highest one whose chunk fits under the mapped size.  On a CBR
+    manifest the two coincide; on VBR content BBA-1 reacts to the real
+    per-chunk byte counts instead of the ladder's nominal rates.
+
+    Parameters
+    ----------
+    reservoir_s / cushion_s:
+        Same knobs (and defaults) as BBA-0.
+    """
+
+    name = "bba-1"
+
+    def __init__(self, reservoir_s: float = 5.0, cushion_s: float = 10.0) -> None:
+        if reservoir_s < 0:
+            raise ValueError("reservoir must be >= 0")
+        if cushion_s <= 0:
+            raise ValueError("cushion must be positive")
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+
+    def chunk_size_map_kilobits(
+        self, chunk_index: int, buffer_level_s: float
+    ) -> float:
+        """``f(B)`` in chunk-size space for chunk ``chunk_index``."""
+        self._require_prepared()
+        manifest = self.manifest
+        s_min = manifest.chunk_size_kilobits(chunk_index, 0)
+        s_max = manifest.chunk_size_kilobits(
+            chunk_index, len(manifest.ladder) - 1
+        )
+        if buffer_level_s <= self.reservoir_s:
+            return s_min
+        if buffer_level_s >= self.reservoir_s + self.cushion_s:
+            return s_max
+        frac = (buffer_level_s - self.reservoir_s) / self.cushion_s
+        return s_min + frac * (s_max - s_min)
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        self._require_prepared()
+        target = self.chunk_size_map_kilobits(
+            observation.chunk_index, observation.buffer_level_s
+        )
+        # Largest level whose chunk fits under the mapped size (sizes are
+        # strictly increasing per chunk); comparisons only, so the fleet
+        # batch twin's searchsorted agrees on every input.
+        best = 0
+        for level in range(1, len(self.manifest.ladder)):
+            if (
+                self.manifest.chunk_size_kilobits(observation.chunk_index, level)
+                <= target
+            ):
+                best = level
+        return best

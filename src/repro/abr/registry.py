@@ -20,18 +20,21 @@ from ..core.mpc import MPCController, make_mpc_opt
 from ..core.robust import RobustMPCController
 from .base import ABRAlgorithm
 from .bola import BolaAlgorithm
-from .buffer_based import BufferBasedAlgorithm
+from .buffer_based import BufferBasedAlgorithm, BufferBasedChunkMapAlgorithm
 from .dashjs import DashJSRuleBased
+from .dasip import DasIpAlgorithm
 from .festive import FestiveAlgorithm
 from .fixed import ConstantLevelAlgorithm
 from .rate_based import RateBasedAlgorithm
 
-__all__ = ["create", "available", "paper_algorithms", "register"]
+__all__ = ["create", "available", "paper_algorithms", "register", "unregister"]
 
 _FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
     "rb": RateBasedAlgorithm,
     "bb": BufferBasedAlgorithm,
+    "bba-1": BufferBasedChunkMapAlgorithm,
     "bola": BolaAlgorithm,
+    "das-ip": DasIpAlgorithm,
     "festive": FestiveAlgorithm,
     "dashjs": DashJSRuleBased,
     "mpc": MPCController,
@@ -45,14 +48,40 @@ _FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
 if MDPController is not None:
     _FACTORIES["mdp"] = MDPController
 
+#: Names shipped with the repo; :func:`register`/:func:`unregister` refuse
+#: to touch them so user plugins cannot shadow or strand the paper zoo.
+#: ``mdp`` is always protected, even when NumPy's absence keeps it out of
+#: the live registry.
+_BUILTIN_NAMES = frozenset(_FACTORIES) | {"mdp"}
 
-def register(name: str, factory: Callable[[], ABRAlgorithm]) -> None:
-    """Add a custom algorithm to the registry (e.g. from user code)."""
+
+def register(
+    name: str, factory: Callable[[], ABRAlgorithm], override: bool = False
+) -> None:
+    """Add a custom algorithm to the registry (e.g. from user code).
+
+    A duplicate name raises unless ``override=True`` replaces the earlier
+    *custom* registration; built-in names can never be replaced.
+    """
     if not name:
         raise ValueError("name must be non-empty")
-    if name in _FACTORIES:
-        raise ValueError(f"algorithm {name!r} is already registered")
+    if name in _BUILTIN_NAMES:
+        raise ValueError(f"algorithm {name!r} is built in and cannot be replaced")
+    if name in _FACTORIES and not override:
+        raise ValueError(
+            f"algorithm {name!r} is already registered; "
+            "pass override=True to replace it"
+        )
     _FACTORIES[name] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove a custom registration; built-in names are protected."""
+    if name in _BUILTIN_NAMES:
+        raise ValueError(f"algorithm {name!r} is built in and cannot be unregistered")
+    if name not in _FACTORIES:
+        raise ValueError(f"algorithm {name!r} is not registered")
+    del _FACTORIES[name]
 
 
 def available() -> List[str]:
@@ -65,6 +94,10 @@ def create(name: str) -> ABRAlgorithm:
     try:
         factory = _FACTORIES[name]
     except KeyError:
+        if name == "mdp" and MDPController is None:
+            raise ValueError(
+                "algorithm 'mdp' requires NumPy, which is not installed"
+            ) from None
         raise ValueError(
             f"unknown algorithm {name!r}; available: {', '.join(available())}"
         ) from None

@@ -21,6 +21,11 @@ Subcommands map one-to-one onto the paper's artifacts:
                         multi-process cluster (docs/scaling.md).
 * ``loadtest``        — closed-loop trace-driven load generation against
                         a running decision server.
+* ``leaderboard``     — race the controller zoo through the decision
+                        service: per dataset, an in-process server with
+                        an equal-weight A/B experiment over the named
+                        controllers, reported as a per-arm QoE table
+                        (docs/controllers.md).
 * ``chaos``           — run the load generator under a named fault
                         profile (injected resets, 500s, slow responses,
                         trace blackouts) and compare completion, fallback
@@ -239,6 +244,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", dest="trace_jsonl",
         help="stream one request-span JSONL event per request to PATH",
     )
+    p.add_argument(
+        "--arms", metavar="SPEC", default=None,
+        help=(
+            "serve an A/B experiment: comma-separated controller[=weight]"
+            " arms, e.g. 'table=4,bola,bba-1=0.5'; 'table' keeps the"
+            " vectorized FastMPC lookup, every other name routes its"
+            " sessions to that repro.abr.registry controller"
+            " (label:controller names an arm separately for A/A tests;"
+            " also settable at runtime via POST /v1/experiment)"
+        ),
+    )
+    p.add_argument(
+        "--experiment-salt", default="", metavar="SALT",
+        help="hashing salt for arm assignment (bump to re-randomise)",
+    )
 
     p = sub.add_parser(
         "loadtest", help="closed-loop load test against a decision server"
@@ -320,6 +340,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", metavar="PATH", help="also write the merged aggregates as JSON"
     )
+
+    p = sub.add_parser(
+        "leaderboard",
+        help=(
+            "cross-controller x cross-dataset QoE leaderboard, served"
+            " through an in-process decision server with an equal-weight"
+            " A/B experiment over the controller zoo"
+        ),
+    )
+    p.add_argument(
+        "--controllers", nargs="*", default=None,
+        help=(
+            "arms to race: 'table' plus repro.abr.registry names"
+            " (default: table bb bba-1 bola das-ip)"
+        ),
+    )
+    p.add_argument(
+        "--datasets", nargs="*", choices=DATASET_NAMES, default=None,
+        help="trace datasets, one leaderboard block each (default: fcc hsdpa)",
+    )
+    p.add_argument("--sessions", type=int, default=60, help="sessions per dataset")
+    p.add_argument("--chunks", type=int, default=30, help="decisions per session")
+    p.add_argument("--concurrency", type=int, default=8, help="sessions in flight")
+    p.add_argument("--seed", type=int, default=0, help="trace-generator seed")
+    p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
+    p.add_argument(
+        "--salt", default="leaderboard",
+        help="experiment salt (fixed by default so the arm split reproduces)",
+    )
+    p.add_argument(
+        "--bins", type=int, default=25,
+        help="decision-table discretization for the 'table' arm",
+    )
+    p.add_argument("--json", metavar="PATH", help="also write the cells as JSON")
 
     p = sub.add_parser(
         "chaos",
@@ -564,8 +618,16 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from .core.fastmpc import FastMPCConfig, build_decision_table
-    from .service import DecisionServer, DecisionService, ServiceConfig
+    from .service import (
+        DecisionServer,
+        DecisionService,
+        ServiceConfig,
+        parse_arms_spec,
+    )
 
+    experiment = None
+    if args.arms:
+        experiment = parse_arms_spec(args.arms, salt=args.experiment_salt)
     manifest = envivio()
     weights = QoEWeights.preset(args.weights)
     table = None
@@ -589,9 +651,10 @@ def _cmd_serve(args) -> int:
             lookup_budget_s=args.lookup_budget_ms / 1000.0,
             idle_timeout_s=args.idle_timeout,
         ),
+        experiment=experiment,
     )
     if args.workers > 1:
-        return _serve_cluster(args, manifest, table)
+        return _serve_cluster(args, manifest, table, experiment)
     tracer = None
     if args.trace_jsonl:
         from .obs import JsonlSink, Tracer
@@ -602,6 +665,9 @@ def _cmd_serve(args) -> int:
     async def _serve() -> None:
         await server.start()
         mode = "table loaded" if service.table_loaded else "COLD (fallback only)"
+        if experiment is not None:
+            arm_names = ",".join(arm.name for arm in experiment.arms)
+            mode += f", experiment [{arm_names}]"
         print(
             f"decision service on {args.host}:{server.bound_port} [{mode}]",
             flush=True,
@@ -618,7 +684,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _serve_cluster(args, manifest, table) -> int:
+def _serve_cluster(args, manifest, table, experiment=None) -> int:
     """``serve --workers N``: the sharded multi-process cluster."""
     import asyncio
     import tempfile
@@ -643,6 +709,7 @@ def _serve_cluster(args, manifest, table) -> int:
             lookup_budget_s=args.lookup_budget_ms / 1000.0,
             idle_timeout_s=args.idle_timeout,
         ),
+        experiment=experiment,
     )
     supervisor = ClusterSupervisor(
         manifest.ladder.levels_kbps, table_path=table_path, config=config
@@ -701,6 +768,53 @@ def _cmd_loadtest(args) -> int:
         )
         print(f"saved {args.json}")
     return 1 if report.errors else 0
+
+
+def _cmd_leaderboard(args) -> int:
+    """Cross-controller x cross-dataset QoE leaderboard via the service."""
+    import json
+    from pathlib import Path
+
+    from .experiments import (
+        DEFAULT_LEADERBOARD_CONTROLLERS,
+        LeaderboardConfig,
+        run_leaderboard,
+    )
+
+    config = LeaderboardConfig(
+        controllers=tuple(args.controllers or DEFAULT_LEADERBOARD_CONTROLLERS),
+        datasets=tuple(args.datasets or ("fcc", "hsdpa")),
+        sessions=args.sessions,
+        chunks_per_session=args.chunks,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        trace_duration_s=args.duration,
+        salt=args.salt,
+        bins=args.bins,
+        cache_dir=args.cache_dir,
+    )
+    result = run_leaderboard(config)
+    print(result.render())
+    served = sum(cell.sessions for cell in result.cells)
+    print(
+        f"{served} sessions over {len(config.datasets)} dataset(s) x"
+        f" {len(config.controllers)} arm(s) in {result.wall_s:.1f}s"
+        f" (salt {config.salt!r}, seed {config.seed}, errors {result.errors})"
+    )
+    empty = sorted(
+        {cell.arm for cell in result.cells if cell.sessions == 0}
+    )
+    if empty:
+        print(
+            f"warning: arms with zero sessions at this population: {empty}"
+            " — raise --sessions or change --salt"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved {args.json}")
+    return 1 if result.errors else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -918,6 +1032,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "leaderboard": _cmd_leaderboard,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
 }

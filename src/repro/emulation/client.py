@@ -27,7 +27,7 @@ from ..abr.base import (
 )
 from ..obs.events import ChunkDecision, ChunkDownload, Rebuffer, SessionSummary
 from ..obs.tracer import Tracer
-from ..prediction.base import TraceAware
+from ..prediction.base import OBSERVATION_FLOOR_KBPS, TraceAware
 from ..sim.session import SessionResult, StartupPolicy
 from ..video.manifest import VideoManifest
 from .clock import EventQueue
@@ -288,9 +288,14 @@ class EmulatedClient:
             bitrate_kbps=self.manifest.ladder[level],
             size_kilobits=size_kilobits,
             download_time_s=download_time,
-            throughput_kbps=size_kilobits / download_time
-            if download_time > 0
-            else _INFINITY,
+            # Floored like the simulator: a blacked-out transfer measures
+            # 0.0 (or sub-floor) throughput, which DownloadResult rejects.
+            throughput_kbps=max(
+                size_kilobits / download_time
+                if download_time > 0
+                else _INFINITY,
+                OBSERVATION_FLOOR_KBPS,
+            ),
             rebuffer_s=rebuffer,
             buffer_after_s=self._buffer_s,
             wall_time_end_s=now + waited,

@@ -23,9 +23,9 @@ How exactness is preserved, per mechanism:
 * FastMPC decisions go through ``DecisionTable.lookup_batch``, which is
   pinned scalar-equal to ``lookup`` by the PR-6 fast-path test suite,
   against the *same* table ``FastMPCController.prepare`` would build.
-* BOLA's first-wins epsilon argmax and the ladder's ``highest_at_most``
-  scan are replicated as comparison-only loops/searches (no arithmetic,
-  hence no rounding to diverge).
+* BOLA's and DAS-IP's exact first-wins argmax and the ladder's
+  ``highest_at_most`` scan are replicated as comparison-only
+  loops/searches (no arithmetic, hence no rounding to diverge).
 
 The module is NumPy-only by design: without NumPy the fleet stepper runs
 sessions through the reference simulator itself (see
@@ -39,7 +39,8 @@ from typing import Optional
 
 from ..abr.base import SessionConfig
 from ..abr.bola import BolaAlgorithm
-from ..abr.buffer_based import BufferBasedAlgorithm
+from ..abr.buffer_based import BufferBasedAlgorithm, BufferBasedChunkMapAlgorithm
+from ..abr.dasip import DasIpAlgorithm
 from ..abr.fixed import ConstantLevelAlgorithm
 from ..abr.rate_based import RateBasedAlgorithm
 from ..core.fastmpc import FastMPCConfig, FastMPCController, build_decision_table
@@ -63,7 +64,9 @@ SUPPORTED_CONTROLLERS = (
     "highest",
     "rb",
     "bb",
+    "bba-1",
     "bola",
+    "das-ip",
     "fastmpc",
     "robust-fastmpc",
 )
@@ -92,8 +95,12 @@ def make_scalar_algorithm(
         return RateBasedAlgorithm()
     if name == "bb":
         return BufferBasedAlgorithm()
+    if name == "bba-1":
+        return BufferBasedChunkMapAlgorithm()
     if name == "bola":
         return BolaAlgorithm()
+    if name == "das-ip":
+        return DasIpAlgorithm()
     if name == "fastmpc":
         return FastMPCController(config=table_config, cache_dir=cache_dir)
     if name == "robust-fastmpc":
@@ -270,6 +277,36 @@ class _BatchBufferBased(_BatchController):
         return _highest_at_most_batch(self._ladder, target)
 
 
+class _BatchBufferBasedChunkMap(_BatchController):
+    """BBA-1's chunk-size map; per-chunk size arrays, comparisons only."""
+
+    def __init__(self, reservoir_s: float = 5.0, cushion_s: float = 10.0):
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        manifest = self.manifest
+        sizes = [
+            manifest.chunk_size_kilobits(chunk_index, level)
+            for level in range(len(manifest.ladder))
+        ]
+        s_min = sizes[0]
+        s_max = sizes[-1]
+        frac = (buffer_s - self.reservoir_s) / self.cushion_s
+        linear = s_min + frac * (s_max - s_min)
+        target = np.where(
+            buffer_s <= self.reservoir_s,
+            s_min,
+            np.where(
+                buffer_s >= self.reservoir_s + self.cushion_s, s_max, linear
+            ),
+        )
+        # Chunk sizes are strictly increasing per level, so searchsorted
+        # is the scalar "highest size <= target" scan (comparisons only).
+        idx = np.searchsorted(np.asarray(sizes), target, side="right") - 1
+        return np.maximum(idx, 0)
+
+
 class _BatchBola(_BatchController):
     def __init__(self, gamma_p: float = 5.0):
         self.gamma_p = gamma_p
@@ -292,13 +329,51 @@ class _BatchBola(_BatchController):
         q_chunks = buffer_s / self._p
         best_score = np.full(self.n, -math.inf)
         best_level = np.zeros(self.n, dtype=np.int64)
-        # The scalar loop's first-wins epsilon argmax, level by level.
+        # The scalar loop's exact first-wins argmax, level by level:
+        # strict ``>`` only, no epsilon, in lockstep with
+        # BolaAlgorithm.select_bitrate (scale-dependent epsilons flip
+        # levels on large-magnitude ladders).
         for level, (offset, size) in enumerate(zip(self._offsets, self._sizes)):
             score = (offset - q_chunks) / size
-            better = score > best_score + 1e-12
+            better = score > best_score
             best_score[better] = score[better]
             best_level[better] = level
         return best_level
+
+
+class _BatchDasIp(_BatchController):
+    """DAS-IP's index policy; shares the exact first-wins argmax idiom."""
+
+    def __init__(self, beta: float = 1.0, gamma: float = 0.05):
+        self.beta = beta
+        self.gamma = gamma
+
+    def prepare(self, manifest, config, n):
+        super().prepare(manifest, config, n)
+        # Reuse the scalar implementation's prepared utilities so they
+        # are the very same floats.
+        reference = DasIpAlgorithm(beta=self.beta, gamma=self.gamma)
+        reference.prepare(manifest, config)
+        self._utilities = list(reference._utilities)
+        self._predictor = _BatchHarmonic(n)
+
+    def decide(self, chunk_index, buffer_s, prev_levels):
+        c_hat = self._predictor.estimate()
+        best_score = np.full(self.n, -math.inf)
+        best_level = np.zeros(self.n, dtype=np.int64)
+        # The scalar loop's exact first-wins argmax (strict ``>``).
+        for level, utility in enumerate(self._utilities):
+            size = self.manifest.chunk_size_kilobits(chunk_index, level)
+            deficit = np.maximum(0.0, size / c_hat - buffer_s)
+            switch = np.abs(level - prev_levels)
+            score = utility - self.beta * deficit - self.gamma * switch
+            better = score > best_score
+            best_score[better] = score[better]
+            best_level[better] = level
+        return best_level
+
+    def observe(self, throughput_kbps):
+        self._predictor.observe(throughput_kbps)
 
 
 class _BatchFastMPC(_BatchController):
@@ -360,8 +435,12 @@ def make_batch_controller(
         return _BatchRateBased()
     if name == "bb":
         return _BatchBufferBased()
+    if name == "bba-1":
+        return _BatchBufferBasedChunkMap()
     if name == "bola":
         return _BatchBola()
+    if name == "das-ip":
+        return _BatchDasIp()
     if name == "fastmpc":
         return _BatchFastMPC(table_config=table_config, cache_dir=cache_dir)
     if name == "robust-fastmpc":

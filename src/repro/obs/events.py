@@ -149,7 +149,8 @@ class RequestSpan(Event):
     chaos runs are attributable request by request.  ``worker`` is the
     cluster worker index that served the request (``None`` outside a
     cluster), so a sharded deployment's spans attribute load and tail
-    latency shard by shard.
+    latency shard by shard.  ``arm`` is the experiment arm the session
+    was routed to (``None`` when no A/B experiment is configured).
     """
 
     kind = "request-span"
@@ -160,6 +161,7 @@ class RequestSpan(Event):
     status: str = "ok"
     chaos: Optional[str] = None
     worker: Optional[int] = None
+    arm: Optional[str] = None
 
 
 @dataclass(frozen=True)

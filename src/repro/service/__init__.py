@@ -12,6 +12,11 @@ step the ROADMAP asks for and puts the table behind a serving boundary:
   logic with a rate-based fallback and per-lookup budgets) and
   :class:`DecisionServer`, a stdlib-only asyncio HTTP/1.1 front end
   with warm/cold table swapping that never drops connections.
+* :mod:`experiment` — deterministic weighted A/B assignment of sessions
+  to named controller arms (pure hash of the session id).
+* :mod:`backends` — stateful per-session controller instances (the
+  registry zoo: BOLA, BBA-0/1, DAS-IP, ...) behind the service, with
+  LRU + idle eviction.
 * :mod:`client` — a keep-alive asyncio client speaking the protocol.
 * :mod:`loadgen` — a closed-loop, trace-driven load generator that
   replays virtual player sessions against a running server.
@@ -31,6 +36,13 @@ from .protocol import (
     DecisionResponse,
     ProtocolError,
 )
+from .backends import AlgorithmBackend
+from .experiment import (
+    CONTROLLER_TABLE,
+    ExperimentArm,
+    ExperimentConfig,
+    parse_arms_spec,
+)
 from .metrics import LatencyHistogram, ServiceMetrics
 from .server import DecisionServer, DecisionService, ServiceConfig
 from .client import DecisionClient, RetryPolicy, ServiceClient, ServiceUnavailable
@@ -48,6 +60,11 @@ __all__ = [
     "DecisionRequest",
     "DecisionResponse",
     "ProtocolError",
+    "AlgorithmBackend",
+    "CONTROLLER_TABLE",
+    "ExperimentArm",
+    "ExperimentConfig",
+    "parse_arms_spec",
     "LatencyHistogram",
     "ServiceMetrics",
     "ServiceConfig",

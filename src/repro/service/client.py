@@ -386,6 +386,25 @@ class ServiceClient:
             )
         return payload
 
+    async def get_experiment(self) -> Optional[dict]:
+        """The server's active A/B config, or ``None`` when unset."""
+        status, body = await self.request("GET", "/v1/experiment")
+        if status != 200:
+            raise ServiceUnavailable(f"experiment read returned HTTP {status}")
+        return json.loads(body).get("experiment")
+
+    async def set_experiment(self, experiment: Optional[dict]) -> Optional[dict]:
+        """Install (a dict per ``ExperimentConfig.to_dict``) or clear
+        (``None``) the server's A/B config; returns what is now active."""
+        blob = json.dumps(experiment).encode() if experiment is not None else b""
+        status, body = await self.request("POST", "/v1/experiment", blob)
+        payload = json.loads(body) if body else {}
+        if status != 200:
+            raise ServiceUnavailable(
+                f"experiment rejected: HTTP {status} {payload.get('error', '')}"
+            )
+        return payload.get("experiment")
+
 
 #: The name the service docs use for the player-facing client; the
 #: transport object is the same either way.

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.chaos import ChaosConfig, ChaosPolicy
 from .client import RetryPolicy
+from .experiment import ExperimentConfig
 from .metrics import ServiceMetrics, merge_metrics_snapshots
 from .server import DecisionServer, DecisionService, ServiceConfig, _parse_head
 
@@ -122,6 +123,10 @@ class ClusterConfig:
     stable_after_s: float = 5.0
     service: ServiceConfig = ServiceConfig()
     chaos: Optional[ChaosConfig] = None
+    #: A/B routing config installed on every worker at spawn.  Assignment
+    #: is a pure hash of the session id, so all workers agree on every
+    #: session's arm with zero coordination — including across restarts.
+    experiment: Optional[ExperimentConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -162,6 +167,7 @@ class WorkerSpec:
     table_path: Optional[str]
     service: ServiceConfig
     chaos: Optional[ChaosConfig]
+    experiment: Optional[ExperimentConfig] = None
 
 
 # ---------------------------------------------------------------------------
@@ -179,7 +185,11 @@ async def _worker_serve(spec: WorkerSpec, conn) -> None:
 
         table = map_published_table(spec.table_path)
     service = DecisionService(
-        spec.ladder_kbps, table=table, config=spec.service, metrics=ServiceMetrics()
+        spec.ladder_kbps,
+        table=table,
+        config=spec.service,
+        metrics=ServiceMetrics(),
+        experiment=spec.experiment,
     )
     chaos = (
         ChaosPolicy(spec.chaos)
@@ -688,6 +698,7 @@ class ClusterSupervisor:
             table_path=self.table_path,
             service=self.config.service,
             chaos=chaos,
+            experiment=self.config.experiment,
         )
 
     def _spawn(self, slot: _WorkerSlot) -> None:

@@ -112,6 +112,22 @@ class LoadTestReport:
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     qoe_sum: float = 0.0
     qoe_count: int = 0
+    #: Per-experiment-arm outcomes (decisions, degraded, sessions, QoE),
+    #: keyed by the arm names the server stamps on responses.  Empty when
+    #: the server runs no experiment.
+    arms: Dict[str, dict] = field(default_factory=dict)
+
+    def arm_stats(self, name: str) -> dict:
+        stats = self.arms.get(name)
+        if stats is None:
+            stats = self.arms[name] = {
+                "decisions": 0,
+                "degraded": 0,
+                "sessions": 0,
+                "qoe_sum": 0.0,
+                "qoe_count": 0,
+            }
+        return stats
 
     @property
     def throughput_dps(self) -> float:
@@ -148,6 +164,17 @@ class LoadTestReport:
             "reasons": dict(self.reasons),
             "latency_us": self.latency.to_dict(),
             "qoe_mean": self.qoe_mean,
+            "arms": {
+                name: {
+                    **stats,
+                    "qoe_mean": (
+                        stats["qoe_sum"] / stats["qoe_count"]
+                        if stats["qoe_count"]
+                        else 0.0
+                    ),
+                }
+                for name, stats in sorted(self.arms.items())
+            },
         }
 
     def describe(self) -> str:
@@ -165,6 +192,16 @@ class LoadTestReport:
             lines.append(f"local fallbacks {self.local_fallbacks}")
         if self.reasons:
             lines.append(f"degradation reasons {self.reasons}")
+        for name, stats in sorted(self.arms.items()):
+            qoe_mean = (
+                stats["qoe_sum"] / stats["qoe_count"] if stats["qoe_count"] else 0.0
+            )
+            lines.append(
+                f"arm {name}: {stats['decisions']} decisions"
+                f" | {stats['sessions']} sessions"
+                f" | degraded {stats['degraded']}"
+                f" | mean QoE {qoe_mean:.1f}"
+            )
         return "\n".join(lines)
 
 
@@ -354,6 +391,9 @@ async def _session_worker(
         except asyncio.QueueEmpty:
             return
         completed = True
+        # A session's requests all hash to one arm, so the first armed
+        # response labels the whole session for the per-arm QoE rollup.
+        session_arm: Optional[str] = None
         for _ in range(config.chunks_per_session):
             request = player.next_request()
             started = time.perf_counter()
@@ -381,11 +421,23 @@ async def _session_worker(
                 report.degraded += 1
                 key = response.reason or "unknown"
                 report.reasons[key] = report.reasons.get(key, 0) + 1
+            if response.arm is not None:
+                session_arm = response.arm
+                arm_stats = report.arm_stats(response.arm)
+                arm_stats["decisions"] += 1
+                if response.degraded:
+                    arm_stats["degraded"] += 1
             player.apply_decision(response.level_index)
         if completed:
             report.sessions_completed += 1
-            report.qoe_sum += player.qoe()
+            qoe = player.qoe()
+            report.qoe_sum += qoe
             report.qoe_count += 1
+            if session_arm is not None:
+                arm_stats = report.arm_stats(session_arm)
+                arm_stats["sessions"] += 1
+                arm_stats["qoe_sum"] += qoe
+                arm_stats["qoe_count"] += 1
 
 
 async def run_loadtest(

@@ -87,6 +87,7 @@ class ServiceMetrics:
     def __init__(self, bounds_us: Sequence[float] = DEFAULT_BUCKET_BOUNDS_US) -> None:
         self.requests_total = 0
         self.decisions_table = 0
+        self.decisions_controller = 0
         self.decisions_fallback = 0
         self.errors_total = 0
         self.degraded_total = 0
@@ -107,6 +108,11 @@ class ServiceMetrics:
         #: Per-span-name request-phase histograms (observability layer);
         #: bucket bounds are shared with the request latency histogram.
         self.spans: Dict[str, LatencyHistogram] = {}
+        #: Per-experiment-arm breakdowns, keyed by arm name.  Each value
+        #: mirrors a slice of the top-level document (decision count,
+        #: degraded count, source and reason counters, latency histogram)
+        #: so dashboards can diff arms without joining streams.
+        self.arms: Dict[str, dict] = {}
         self._bounds_us = tuple(bounds_us)
         self._sessions_seen: set = set()
 
@@ -119,16 +125,36 @@ class ServiceMetrics:
         degraded: bool,
         reason: Optional[str],
         session_id: Optional[str] = None,
+        arm: Optional[str] = None,
     ) -> None:
         self.requests_total += 1
         if source == "table":
             self.decisions_table += 1
+        elif source == "controller":
+            self.decisions_controller += 1
         else:
             self.decisions_fallback += 1
         if degraded:
             self.degraded_total += 1
             key = reason or "unknown"
             self.fallback_reasons[key] = self.fallback_reasons.get(key, 0) + 1
+        if arm is not None:
+            stats = self.arms.get(arm)
+            if stats is None:
+                stats = self.arms[arm] = {
+                    "decisions": 0,
+                    "degraded": 0,
+                    "sources": {},
+                    "reasons": {},
+                    "latency": LatencyHistogram(self._bounds_us),
+                }
+            stats["decisions"] += 1
+            stats["sources"][source] = stats["sources"].get(source, 0) + 1
+            if degraded:
+                stats["degraded"] += 1
+                key = reason or "unknown"
+                stats["reasons"][key] = stats["reasons"].get(key, 0) + 1
+            stats["latency"].observe(latency_us)
         if session_id is not None and len(self._sessions_seen) < 100_000:
             self._sessions_seen.add(session_id)
         self.latency.observe(latency_us)
@@ -178,6 +204,7 @@ class ServiceMetrics:
             "requests_total": self.requests_total,
             "decisions": {
                 "table": self.decisions_table,
+                "controller": self.decisions_controller,
                 "fallback": self.decisions_fallback,
                 "error": self.errors_total,
             },
@@ -197,6 +224,16 @@ class ServiceMetrics:
             "spans_us": {
                 name: histogram.to_dict()
                 for name, histogram in sorted(self.spans.items())
+            },
+            "arms": {
+                name: {
+                    "decisions": stats["decisions"],
+                    "degraded": stats["degraded"],
+                    "sources": dict(stats["sources"]),
+                    "reasons": dict(stats["reasons"]),
+                    "latency_us": stats["latency"].to_dict(),
+                }
+                for name, stats in sorted(self.arms.items())
             },
         }
 
@@ -263,4 +300,20 @@ def merge_metrics_snapshots(snapshots: Sequence[dict]) -> dict:
         )
         for name in span_names
     }
+    # Per-arm breakdowns merge the same way: counters sum, histograms
+    # merge bucket-by-bucket — lossless because assignment is a pure
+    # function of the session id, so every worker labels a given session
+    # with the same arm.
+    arm_names = sorted({name for s in snapshots for name in s.get("arms", {})})
+    merged_arms = {}
+    for name in arm_names:
+        slices = [s["arms"][name] for s in snapshots if name in s.get("arms", {})]
+        merged_arms[name] = {
+            "decisions": sum(int(a["decisions"]) for a in slices),
+            "degraded": sum(int(a["degraded"]) for a in slices),
+            "sources": _sum_counter_dicts([a["sources"] for a in slices]),
+            "reasons": _sum_counter_dicts([a["reasons"] for a in slices]),
+            "latency_us": _merge_histogram_dicts([a["latency_us"] for a in slices]),
+        }
+    merged["arms"] = merged_arms
     return merged

@@ -41,6 +41,7 @@ __all__ = [
     "DecisionResponse",
     "SOURCE_TABLE",
     "SOURCE_FALLBACK",
+    "SOURCE_CONTROLLER",
     "CONTENT_TYPE_JSON",
     "CONTENT_TYPE_BINARY",
     "MAX_BATCH_RECORDS",
@@ -59,6 +60,7 @@ CONTENT_TYPE_BINARY = "application/x-repro-decision"
 #: Decision provenance values carried in every response.
 SOURCE_TABLE = "table"
 SOURCE_FALLBACK = "fallback"
+SOURCE_CONTROLLER = "controller"
 
 _MAX_PAST_ERRORS = 64  # more than any sensible robustness window
 
@@ -191,10 +193,12 @@ class DecisionRequest:
 class DecisionResponse:
     """The server's answer: a ladder level plus provenance.
 
-    ``source`` records where the decision came from (``"table"`` or
-    ``"fallback"``); ``degraded`` is True whenever anything other than a
-    healthy in-budget table lookup produced the decision, with ``reason``
-    naming the cause (``no-table`` / ``malformed`` / ``over-budget``).
+    ``source`` records where the decision came from (``"table"``, a
+    stateful ``"controller"`` backend, or ``"fallback"``); ``degraded``
+    is True whenever anything other than a healthy in-budget decision
+    produced the answer, with ``reason`` naming the cause (``no-table``
+    / ``malformed`` / ``over-budget``).  ``arm`` is the experiment arm
+    the session is assigned to, ``None`` when no experiment is running.
     """
 
     session_id: str
@@ -204,11 +208,12 @@ class DecisionResponse:
     degraded: bool = False
     reason: Optional[str] = None
     server_latency_us: float = 0.0
+    arm: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.level_index < 0:
             raise ProtocolError("level_index must be >= 0")
-        if self.source not in (SOURCE_TABLE, SOURCE_FALLBACK):
+        if self.source not in (SOURCE_TABLE, SOURCE_FALLBACK, SOURCE_CONTROLLER):
             raise ProtocolError(f"unknown decision source {self.source!r}")
 
     def to_dict(self) -> dict:
@@ -223,6 +228,8 @@ class DecisionResponse:
         }
         if self.reason is not None:
             payload["reason"] = self.reason
+        if self.arm is not None:
+            payload["arm"] = self.arm
         return payload
 
     def to_json(self) -> bytes:
@@ -245,6 +252,7 @@ class DecisionResponse:
                 degraded=bool(payload.get("degraded", False)),
                 reason=payload.get("reason"),
                 server_latency_us=float(payload.get("server_latency_us", 0.0)),
+                arm=payload.get("arm"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed response payload: {exc}") from None
@@ -282,11 +290,16 @@ class DecisionResponse:
 #                    u8 source, u8 degraded, u8 reason,
 #                    f64 server_latency_us,
 #                    [u8 len + utf-8 reason string iff reason == 255]
+#                    [u8 len + utf-8 arm iff flags & 0x01; len 0 = no arm]
 #
-# `flags` is reserved (must be 0).  `source` is 0=table 1=fallback.
-# `reason` is a code for the small closed set of degradation reasons the
-# server emits; 255 escapes to an explicit string so unknown reasons
-# survive the encoding instead of being dropped.
+# Request `flags` is reserved (must be 0).  Response `flags` bit 0x01
+# announces that every record carries a trailing experiment-arm string
+# (zero length = unassigned), so arm-free frames cost nothing and old
+# decoders reject armed frames loudly instead of misparsing them.
+# `source` is 0=table 1=fallback 2=controller.  `reason` is a code for
+# the small closed set of degradation reasons the server emits; 255
+# escapes to an explicit string so unknown reasons survive the encoding
+# instead of being dropped.
 
 #: Upper bound on records per frame — a u16 carries up to 65535, but a
 #: batch beyond this is a client bug, not a use case.
@@ -299,8 +312,10 @@ _RESP_FIXED = struct.Struct("<HdBBBd")
 _REQ_MAGIC = b"DQ"
 _RESP_MAGIC = b"DS"
 
-_SOURCE_CODES = {SOURCE_TABLE: 0, SOURCE_FALLBACK: 1}
+_SOURCE_CODES = {SOURCE_TABLE: 0, SOURCE_FALLBACK: 1, SOURCE_CONTROLLER: 2}
 _SOURCE_NAMES = {v: k for k, v in _SOURCE_CODES.items()}
+#: Response-frame flag: every record ends with a u8-length arm string.
+_FLAG_ARMS = 0x01
 #: The degradation reasons the server emits (see repro.service.server).
 _REASON_CODES = {None: 0, "no-table": 1, "malformed": 2, "over-budget": 3}
 _REASON_NAMES = {v: k for k, v in _REASON_CODES.items()}
@@ -329,8 +344,8 @@ def _unpack_str(blob, offset: int, what: str) -> Tuple[str, int]:
 
 
 def _check_header(
-    blob, magic: bytes, header: struct.Struct, what: str
-) -> int:
+    blob, magic: bytes, header: struct.Struct, what: str, allowed_flags: int = 0
+) -> Tuple[int, int]:
     try:
         got_magic, version, flags, count = header.unpack_from(blob, 0)
     except struct.error:
@@ -339,13 +354,13 @@ def _check_header(
         raise ProtocolError(f"not a binary {what} frame")
     if version != PROTOCOL_VERSION:
         raise ProtocolError(f"unsupported protocol version {version}")
-    if flags != 0:
+    if flags & ~allowed_flags:
         raise ProtocolError(f"unknown {what} frame flags {flags:#x}")
     if not 1 <= count <= MAX_BATCH_RECORDS:
         raise ProtocolError(
             f"{what} frame record count {count} outside 1..{MAX_BATCH_RECORDS}"
         )
-    return count
+    return count, flags
 
 
 def encode_request_batch(requests: Sequence[DecisionRequest]) -> bytes:
@@ -378,7 +393,7 @@ def decode_request_batch(blob) -> List[DecisionRequest]:
     buffer/prediction, non-empty session, bounded error window); a
     truncated or over-long frame raises :class:`ProtocolError`.
     """
-    count = _check_header(blob, _REQ_MAGIC, _REQ_HEADER, "request")
+    count, _ = _check_header(blob, _REQ_MAGIC, _REQ_HEADER, "request")
     offset = _REQ_HEADER.size
     requests: List[DecisionRequest] = []
     for _ in range(count):
@@ -417,7 +432,10 @@ def encode_response_batch(responses: Sequence[DecisionResponse]) -> bytes:
         raise ProtocolError(
             f"batch of {len(responses)} outside 1..{MAX_BATCH_RECORDS}"
         )
-    parts = [_RESP_HEADER.pack(_RESP_MAGIC, PROTOCOL_VERSION, 0, len(responses))]
+    flags = _FLAG_ARMS if any(r.arm is not None for r in responses) else 0
+    parts = [
+        _RESP_HEADER.pack(_RESP_MAGIC, PROTOCOL_VERSION, flags, len(responses))
+    ]
     for response in responses:
         parts.append(_pack_sid(response.session_id))
         if response.level_index > 65535:
@@ -439,12 +457,19 @@ def encode_response_batch(responses: Sequence[DecisionResponse]) -> bytes:
             if len(raw) > 255:
                 raise ProtocolError("reason string longer than 255 bytes")
             parts.append(struct.pack("<B", len(raw)) + raw)
+        if flags & _FLAG_ARMS:
+            raw = (response.arm or "").encode("utf-8")
+            if len(raw) > 255:
+                raise ProtocolError("arm name longer than 255 bytes")
+            parts.append(struct.pack("<B", len(raw)) + raw)
     return b"".join(parts)
 
 
 def decode_response_batch(blob) -> List[DecisionResponse]:
     """Inverse of :func:`encode_response_batch`, with full validation."""
-    count = _check_header(blob, _RESP_MAGIC, _RESP_HEADER, "response")
+    count, flags = _check_header(
+        blob, _RESP_MAGIC, _RESP_HEADER, "response", allowed_flags=_FLAG_ARMS
+    )
     offset = _RESP_HEADER.size
     responses: List[DecisionResponse] = []
     for _ in range(count):
@@ -469,6 +494,10 @@ def decode_response_batch(blob) -> List[DecisionResponse]:
             reason = _REASON_NAMES[reason_code]
         else:
             raise ProtocolError(f"unknown reason code {reason_code}")
+        arm: Optional[str] = None
+        if flags & _FLAG_ARMS:
+            arm, offset = _unpack_str(blob, offset, "arm")
+            arm = arm or None
         responses.append(
             DecisionResponse(
                 session_id=session_id,
@@ -478,6 +507,7 @@ def decode_response_batch(blob) -> List[DecisionResponse]:
                 degraded=bool(degraded),
                 reason=reason,
                 server_latency_us=latency_us,
+                arm=arm,
             )
         )
     if offset != len(blob):

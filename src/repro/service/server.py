@@ -46,10 +46,13 @@ from ..faults.chaos import (
     ChaosPolicy,
 )
 from ..video.manifest import BitrateLadder
+from .backends import AlgorithmBackend
+from .experiment import CONTROLLER_TABLE, ExperimentArm, ExperimentConfig
 from .metrics import ServiceMetrics
 from .protocol import (
     CONTENT_TYPE_BINARY,
     PROTOCOL_VERSION,
+    SOURCE_CONTROLLER,
     SOURCE_FALLBACK,
     SOURCE_TABLE,
     DecisionRequest,
@@ -83,6 +86,12 @@ class ServiceConfig:
     how long the server waits for a request to arrive in full on an
     open connection before giving up on it; ``idle_timeout_s`` reaps
     keep-alive connections that have gone quiet.
+
+    The ``backend_*`` knobs shape the stateful controller backends that
+    serve non-table experiment arms: how many live sessions a backend
+    holds before LRU eviction, how long a session may idle before the
+    reap watchdog retires it, and the synthetic CBR manifest (chunk
+    duration, buffer cap) the controllers are prepared against.
     """
 
     lookup_budget_s: float = 0.005
@@ -90,6 +99,10 @@ class ServiceConfig:
     idle_timeout_s: float = 60.0
     max_body_bytes: int = 64 * 1024
     max_table_bytes: int = 64 * 1024 * 1024
+    backend_max_sessions: int = 4096
+    backend_idle_timeout_s: float = 300.0
+    backend_chunk_duration_s: float = 4.0
+    backend_buffer_capacity_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.lookup_budget_s <= 0:
@@ -98,6 +111,14 @@ class ServiceConfig:
             raise ValueError("deadlines must be positive")
         if self.max_body_bytes < 1 or self.max_table_bytes < 1:
             raise ValueError("body limits must be positive")
+        if self.backend_max_sessions < 1:
+            raise ValueError("backend_max_sessions must be positive")
+        if (
+            self.backend_idle_timeout_s <= 0
+            or self.backend_chunk_duration_s <= 0
+            or self.backend_buffer_capacity_s <= 0
+        ):
+            raise ValueError("backend timings must be positive")
 
 
 class DecisionService:
@@ -118,6 +139,13 @@ class DecisionService:
         Telemetry sink; a fresh :class:`ServiceMetrics` by default.
     clock:
         Monotonic time source (injectable for budget tests).
+    experiment:
+        Optional A/B routing config (see
+        :class:`~repro.service.experiment.ExperimentConfig`): every
+        session is deterministically assigned to one arm, and arms on a
+        controller other than :data:`CONTROLLER_TABLE` are answered by a
+        stateful :class:`~repro.service.backends.AlgorithmBackend`
+        instead of the table.
     """
 
     def __init__(
@@ -127,14 +155,19 @@ class DecisionService:
         config: Optional[ServiceConfig] = None,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.perf_counter,
+        experiment: Optional[ExperimentConfig] = None,
     ) -> None:
         self.ladder = BitrateLadder(ladder_kbps)
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.clock = clock
         self._table: Optional[DecisionTable] = None
+        self._experiment: Optional[ExperimentConfig] = None
+        self._backends: dict = {}  # controller name -> AlgorithmBackend
         if table is not None:
             self._install(table)
+        if experiment is not None:
+            self.set_experiment(experiment)
 
     # ------------------------------------------------------------------
     # Table lifecycle
@@ -172,6 +205,60 @@ class DecisionService:
         self.metrics.record_table_swap()
 
     # ------------------------------------------------------------------
+    # Experiment / controller-backend lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def experiment(self) -> Optional[ExperimentConfig]:
+        return self._experiment
+
+    def set_experiment(self, experiment: Optional[ExperimentConfig]) -> None:
+        """Install (or clear, with ``None``) the A/B routing config.
+
+        Backends for every non-table arm are built eagerly so an unknown
+        controller name fails *here* — at configuration time — rather
+        than degrading live traffic.  A backend serving a controller the
+        new config still names is kept, sessions and all; like a table
+        swap, re-configuring never touches unrelated in-flight state.
+        """
+        if experiment is None:
+            self._experiment = None
+            self._backends = {}
+            return
+        backends = {}
+        for arm in experiment.arms:
+            controller = arm.controller
+            if controller == CONTROLLER_TABLE or controller in backends:
+                continue
+            backend = self._backends.get(controller)
+            if backend is None:
+                backend = AlgorithmBackend(
+                    controller,
+                    tuple(self.ladder),
+                    chunk_duration_s=self.config.backend_chunk_duration_s,
+                    buffer_capacity_s=self.config.backend_buffer_capacity_s,
+                    max_sessions=self.config.backend_max_sessions,
+                    idle_timeout_s=self.config.backend_idle_timeout_s,
+                )
+            backends[controller] = backend
+        self._experiment = experiment
+        self._backends = backends
+
+    @property
+    def backends(self) -> dict:
+        """Live controller backends, keyed by controller name."""
+        return dict(self._backends)
+
+    def assign_arm(self, session_id: str) -> Optional[ExperimentArm]:
+        """This session's experiment arm (``None`` when no experiment)."""
+        experiment = self._experiment
+        return experiment.assign(session_id) if experiment is not None else None
+
+    def evict_idle_backends(self) -> int:
+        """Reap idle backend sessions across all arms (watchdog hook)."""
+        return sum(backend.evict_idle() for backend in self._backends.values())
+
+    # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
 
@@ -181,6 +268,7 @@ class DecisionService:
         predicted_kbps: Optional[float],
         reason: str,
         started: float,
+        arm: Optional[str] = None,
     ) -> DecisionResponse:
         if predicted_kbps is not None and predicted_kbps > 0:
             level = self.ladder.highest_at_most(predicted_kbps)
@@ -195,19 +283,43 @@ class DecisionService:
             degraded=True,
             reason=reason,
             server_latency_us=latency_us,
+            arm=arm,
         )
         self.metrics.record_decision(
-            SOURCE_FALLBACK, latency_us, True, reason, session_id
+            SOURCE_FALLBACK, latency_us, True, reason, session_id, arm
         )
         return response
 
     def decide(self, request: DecisionRequest) -> DecisionResponse:
-        """Answer one well-formed request; never raises."""
+        """Answer one well-formed request; never raises.
+
+        With an experiment installed the session's arm picks the path:
+        table arms run the mmap lookup below, controller arms run their
+        stateful backend.  Both inherit the same degradation policy —
+        any failure or budget overrun falls back to the rate-based rule,
+        still labelled with the session's arm.
+        """
         started = self.clock()
+        arm = self.assign_arm(request.session_id)
+        if arm is not None and arm.controller != CONTROLLER_TABLE:
+            return self._decide_controller(request, arm, started)
+        return self._decide_table(request, arm, started)
+
+    def _decide_table(
+        self,
+        request: DecisionRequest,
+        arm: Optional[ExperimentArm],
+        started: float,
+    ) -> DecisionResponse:
+        arm_name = arm.name if arm is not None else None
         table = self._table  # captured once; swaps cannot tear a request
         if table is None:
             return self._fallback(
-                request.session_id, request.predicted_kbps, REASON_NO_TABLE, started
+                request.session_id,
+                request.predicted_kbps,
+                REASON_NO_TABLE,
+                started,
+                arm_name,
             )
         query_kbps = request.predicted_kbps
         if request.past_errors:
@@ -221,12 +333,20 @@ class DecisionService:
         except (IndexError, ValueError):
             # e.g. prev_level beyond the ladder: recoverable, not fatal.
             return self._fallback(
-                request.session_id, request.predicted_kbps, REASON_MALFORMED, started
+                request.session_id,
+                request.predicted_kbps,
+                REASON_MALFORMED,
+                started,
+                arm_name,
             )
         elapsed = self.clock() - started
         if elapsed > self.config.lookup_budget_s:
             return self._fallback(
-                request.session_id, request.predicted_kbps, REASON_OVER_BUDGET, started
+                request.session_id,
+                request.predicted_kbps,
+                REASON_OVER_BUDGET,
+                started,
+                arm_name,
             )
         latency_us = elapsed * 1e6
         response = DecisionResponse(
@@ -237,9 +357,60 @@ class DecisionService:
             degraded=False,
             reason=None,
             server_latency_us=latency_us,
+            arm=arm_name,
         )
         self.metrics.record_decision(
-            SOURCE_TABLE, latency_us, False, None, request.session_id
+            SOURCE_TABLE, latency_us, False, None, request.session_id, arm_name
+        )
+        return response
+
+    def _decide_controller(
+        self,
+        request: DecisionRequest,
+        arm: ExperimentArm,
+        started: float,
+    ) -> DecisionResponse:
+        """One decision from the arm's stateful controller backend."""
+        backend = self._backends[arm.controller]
+        try:
+            level = backend.decide(
+                request.session_id,
+                request.buffer_s,
+                request.prev_level,
+                request.predicted_kbps,
+            )
+        except Exception:
+            # A controller bug must degrade this request, never crash
+            # the service — same promise the table path makes.
+            return self._fallback(
+                request.session_id,
+                request.predicted_kbps,
+                REASON_MALFORMED,
+                started,
+                arm.name,
+            )
+        elapsed = self.clock() - started
+        if elapsed > self.config.lookup_budget_s:
+            return self._fallback(
+                request.session_id,
+                request.predicted_kbps,
+                REASON_OVER_BUDGET,
+                started,
+                arm.name,
+            )
+        latency_us = elapsed * 1e6
+        response = DecisionResponse(
+            session_id=request.session_id,
+            level_index=level,
+            bitrate_kbps=self.ladder[level],
+            source=SOURCE_CONTROLLER,
+            degraded=False,
+            reason=None,
+            server_latency_us=latency_us,
+            arm=arm.name,
+        )
+        self.metrics.record_decision(
+            SOURCE_CONTROLLER, latency_us, False, None, request.session_id, arm.name
         )
         return response
 
@@ -262,18 +433,60 @@ class DecisionService:
         lookup carries a fixed ~60 us of array-call overhead per batch,
         which beats a loop of ~5 us scalar decides only past a few dozen
         requests (measured crossover ~64 on a 1-core host).
+
+        With an experiment installed the batch is partitioned by arm:
+        controller-armed requests run their stateful backends one by one
+        (backends are sequential by nature), while the table-armed
+        remainder keeps the vectorized lookup — so A/B routing does not
+        tax the fast path of the sessions still on the table.
         """
         started = self.clock()
-        table = self._table  # captured once; swaps cannot tear a batch
         self.metrics.record_batch(len(requests))
+        if self._experiment is None:
+            return self._decide_batch_table(requests, None, started)
+        arms = [self.assign_arm(r.session_id) for r in requests]
+        responses: list = [None] * len(requests)
+        table_rows = []
+        for i, (request, arm) in enumerate(zip(requests, arms)):
+            if arm is not None and arm.controller != CONTROLLER_TABLE:
+                responses[i] = self._decide_controller(request, arm, self.clock())
+            else:
+                table_rows.append(i)
+        if table_rows:
+            table_responses = self._decide_batch_table(
+                [requests[i] for i in table_rows],
+                [arms[i] for i in table_rows],
+                started,
+            )
+            for i, response in zip(table_rows, table_responses):
+                responses[i] = response
+        return tuple(responses)
+
+    def _decide_batch_table(
+        self,
+        requests: Sequence[DecisionRequest],
+        arms: Optional[Sequence[Optional[ExperimentArm]]],
+        started: float,
+    ) -> Tuple[DecisionResponse, ...]:
+        arm_names = (
+            [a.name if a is not None else None for a in arms]
+            if arms is not None
+            else [None] * len(requests)
+        )
+        table = self._table  # captured once; swaps cannot tear a batch
         if len(requests) < VECTOR_MIN_BATCH:
-            return tuple(self.decide(r) for r in requests)
+            if arms is None:
+                arms = [None] * len(requests)
+            return tuple(
+                self._decide_table(r, arm, self.clock())
+                for r, arm in zip(requests, arms)
+            )
         if table is None:
             return tuple(
                 self._fallback(
-                    r.session_id, r.predicted_kbps, REASON_NO_TABLE, started
+                    r.session_id, r.predicted_kbps, REASON_NO_TABLE, started, name
                 )
-                for r in requests
+                for r, name in zip(requests, arm_names)
             )
         num_levels = table.num_levels
         rows = []  # per request: index into the batch arrays, -1 = malformed
@@ -299,14 +512,19 @@ class DecisionService:
             except (IndexError, ValueError):
                 # A poisoned value (e.g. NaN) the scalar path degrades per
                 # request; re-run scalar so only the bad entries degrade.
-                return tuple(self.decide(r) for r in requests)
+                if arms is None:
+                    arms = [None] * len(requests)
+                return tuple(
+                    self._decide_table(r, arm, self.clock())
+                    for r, arm in zip(requests, arms)
+                )
         else:
             levels = []
         elapsed = self.clock() - started
         over_budget = elapsed > self.config.lookup_budget_s
         latency_us = elapsed * 1e6
         responses = []
-        for request, row in zip(requests, rows):
+        for request, row, arm_name in zip(requests, rows, arm_names):
             if row < 0:
                 responses.append(
                     self._fallback(
@@ -314,6 +532,7 @@ class DecisionService:
                         request.predicted_kbps,
                         REASON_MALFORMED,
                         started,
+                        arm_name,
                     )
                 )
             elif over_budget:
@@ -323,6 +542,7 @@ class DecisionService:
                         request.predicted_kbps,
                         REASON_OVER_BUDGET,
                         started,
+                        arm_name,
                     )
                 )
             else:
@@ -335,9 +555,10 @@ class DecisionService:
                     degraded=False,
                     reason=None,
                     server_latency_us=latency_us,
+                    arm=arm_name,
                 )
                 self.metrics.record_decision(
-                    SOURCE_TABLE, latency_us, False, None, request.session_id
+                    SOURCE_TABLE, latency_us, False, None, request.session_id, arm_name
                 )
                 responses.append(response)
         return tuple(responses)
@@ -410,10 +631,11 @@ class DecisionServer:
 
     Routes
     ------
-    - ``POST /v1/decide``   one decision per request body
-    - ``GET  /metrics``     telemetry snapshot (JSON)
-    - ``GET  /healthz``     liveness + table status
-    - ``POST /v1/table``    warm/cold table swap (serialized table body)
+    - ``POST /v1/decide``      one decision per request body
+    - ``GET  /metrics``        telemetry snapshot (JSON)
+    - ``GET  /healthz``        liveness + table status
+    - ``POST /v1/table``       warm/cold table swap (serialized table body)
+    - ``GET/POST /v1/experiment``  read / install / clear the A/B config
 
     Connections are keep-alive by default; a request whose headers or
     body do not arrive within ``request_deadline_s`` closes only that
@@ -472,6 +694,7 @@ class DecisionServer:
         # tasks, flushed once per event-loop tick (see _decide_coalesced).
         self._batch_pending: list = []
         self._batch_scheduled = False
+        self._backend_reaper: Optional[asyncio.TimerHandle] = None
 
     # ------------------------------------------------------------------
 
@@ -480,6 +703,17 @@ class DecisionServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, **kwargs
         )
+        # Idle backend sessions are reaped on a timer, same rescheduling
+        # pattern as the per-connection watchdog: one call_later per
+        # window, zero per-request cost.
+        loop = asyncio.get_running_loop()
+        interval = self.service.config.backend_idle_timeout_s / 2
+
+        def _reap_backends() -> None:
+            self.service.evict_idle_backends()
+            self._backend_reaper = loop.call_later(interval, _reap_backends)
+
+        self._backend_reaper = loop.call_later(interval, _reap_backends)
 
     @property
     def bound_port(self) -> int:
@@ -489,6 +723,9 @@ class DecisionServer:
 
     async def close(self) -> None:
         """Stop listening and tear down every open connection."""
+        if self._backend_reaper is not None:
+            self._backend_reaper.cancel()
+            self._backend_reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -725,6 +962,7 @@ class DecisionServer:
                     "degraded" if degraded else "ok",
                     chaos_tag,
                     session_id=responses[0].session_id,
+                    arm=responses[0].arm,
                 )
                 return keep_alive
             try:
@@ -741,22 +979,78 @@ class DecisionServer:
                 "degraded" if response.degraded else "ok",
                 chaos_tag,
                 session_id=response.session_id,
+                arm=response.arm,
             )
             return keep_alive
         if path == "/metrics":
             await self._respond(writer, 200, metrics.snapshot(), close=not keep_alive)
             return keep_alive
         if path == "/healthz":
+            experiment = self.service.experiment
             health = {
                 "status": "ok",
                 "protocol_version": PROTOCOL_VERSION,
                 "binary_protocol": True,  # advertises the opt-in encoding
                 "table_loaded": self.service.table_loaded,
                 "num_levels": len(self.service.ladder),
+                "experiment_arms": (
+                    [arm.name for arm in experiment.arms]
+                    if experiment is not None
+                    else None
+                ),
             }
             if self.worker_id is not None:
                 health["worker_id"] = self.worker_id
             await self._respond(writer, 200, health, close=not keep_alive)
+            return keep_alive
+        if path == "/v1/experiment":
+            if method == "GET":
+                experiment = self.service.experiment
+                await self._respond(
+                    writer,
+                    200,
+                    {
+                        "experiment": (
+                            experiment.to_dict() if experiment is not None else None
+                        )
+                    },
+                    close=not keep_alive,
+                )
+                return keep_alive
+            if method != "POST":
+                metrics.record_error()
+                await self._respond(writer, 405, {"error": "GET or POST required"})
+                return keep_alive
+            try:
+                payload = json.loads(body) if body else None
+            except (ValueError, UnicodeDecodeError):
+                metrics.record_error()
+                await self._respond(writer, 400, {"error": "body is not valid JSON"})
+                return keep_alive
+            try:
+                if payload is None or payload == {} or (
+                    isinstance(payload, dict) and payload.get("arms") is None
+                ):
+                    # An empty body (or explicit null arms) turns the
+                    # experiment off — all traffic back to the table.
+                    self.service.set_experiment(None)
+                else:
+                    self.service.set_experiment(ExperimentConfig.from_dict(payload))
+            except ValueError as exc:
+                metrics.record_error()
+                await self._respond(writer, 400, {"error": f"bad experiment: {exc}"})
+                return keep_alive
+            experiment = self.service.experiment
+            await self._respond(
+                writer,
+                200,
+                {
+                    "experiment": (
+                        experiment.to_dict() if experiment is not None else None
+                    )
+                },
+                close=not keep_alive,
+            )
             return keep_alive
         if path == "/v1/table":
             if method != "POST":
@@ -852,6 +1146,7 @@ class DecisionServer:
         status: str,
         chaos: Optional[str],
         session_id: str = "",
+        arm: Optional[str] = None,
     ) -> None:
         """Record one request span into /metrics and (if on) the tracer."""
         wall_s = time.perf_counter() - started
@@ -868,6 +1163,7 @@ class DecisionServer:
                     status=status,
                     chaos=chaos,
                     worker=self.worker_id,
+                    arm=arm,
                 )
             )
 

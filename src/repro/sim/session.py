@@ -40,7 +40,7 @@ from ..abr.base import (
 from ..core.qoe import QoEBreakdown, compute_qoe
 from ..obs.events import ChunkDecision, ChunkDownload, Rebuffer, SessionSummary
 from ..obs.tracer import Tracer
-from ..prediction.base import TraceAware
+from ..prediction.base import OBSERVATION_FLOOR_KBPS, TraceAware
 from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
 from .metrics import SessionMetrics
@@ -243,7 +243,13 @@ def simulate_session(
             bitrate_kbps=manifest.ladder[level],
             size_kilobits=size,
             download_time_s=download_time,
-            throughput_kbps=size / download_time if download_time > 0 else _INFINITY,
+            # Floored: a blackout chunk (download_time = inf) divides to
+            # exactly 0.0, which the constructor rejects; sub-floor
+            # trickles clamp the same way the predictors already do.
+            throughput_kbps=max(
+                size / download_time if download_time > 0 else _INFINITY,
+                OBSERVATION_FLOOR_KBPS,
+            ),
             rebuffer_s=rebuffer,
             buffer_after_s=buffer_s,
             wall_time_end_s=t,

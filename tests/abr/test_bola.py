@@ -10,7 +10,7 @@ from repro.abr import BolaAlgorithm, SessionConfig, create
 from repro.abr.base import PlayerObservation
 from repro.sim import simulate_session
 from repro.traces import SyntheticTraceGenerator, Trace
-from repro.video import envivio
+from repro.video import BitrateLadder, VideoManifest, envivio
 
 
 def prepared(gamma_p=5.0, buffer_capacity_s=30.0):
@@ -62,6 +62,83 @@ class TestBolaDecisions:
     def test_no_predictors(self):
         """BOLA is pure Eq. 14: buffer in, bitrate out."""
         assert list(BolaAlgorithm().predictors()) == []
+
+
+#: A multi-Mbps ladder whose chunk sizes (~4e7..1e9 kilobits) compress
+#: the BOLA scores to ~1e-8, where genuine score differences between
+#: adjacent levels drop below any fixed epsilon.
+BIG_LADDER = (1e7, 3e7, 9e7, 2.7e8)
+
+
+def prepared_big(buffer_capacity_s=30.0):
+    manifest = VideoManifest.cbr(4.0, BitrateLadder(BIG_LADDER), 10, title="big")
+    bola = BolaAlgorithm()
+    bola.prepare(manifest, SessionConfig(buffer_capacity_s=buffer_capacity_s))
+    return bola
+
+
+def exact_first_wins_argmax(scores):
+    best_level, best_score = 0, -float("inf")
+    for level, score in enumerate(scores):
+        if score > best_score:
+            best_score, best_level = score, level
+    return best_level
+
+
+class TestArgmaxExactness:
+    """The tie-break family: select_bitrate must be the exact first-wins
+    argmax of scores().  The historical ``score > best + 1e-12`` argmax
+    was scale-dependent — on a large-magnitude ladder a genuinely better
+    level can win by less than any fixed epsilon, and the selection then
+    silently disagrees with the objective (and with the fleet twin)."""
+
+    # Found by scanning: at this buffer, level 3's score beats level 2's
+    # by a margin in (0, 1e-12) — exact argmax says 3, the old epsilon
+    # argmax stuck at 2.
+    ADVERSARIAL_BUFFER_S = 20.836
+
+    def test_sub_epsilon_winner_is_chosen(self):
+        bola = prepared_big()
+        scores = bola.scores(self.ADVERSARIAL_BUFFER_S)
+        winner = exact_first_wins_argmax(scores)
+        runner_up = max(
+            (level for level in range(len(scores)) if level != winner),
+            key=scores.__getitem__,
+        )
+        gap = scores[winner] - scores[runner_up]
+        # The case is only meaningful if the margin really is sub-epsilon.
+        assert 0.0 < gap < 1e-12
+        assert bola.select_bitrate(obs(self.ADVERSARIAL_BUFFER_S)) == winner
+
+    def test_selection_matches_exact_argmax_everywhere(self):
+        bola = prepared_big()
+        buffer_s = 0.0
+        while buffer_s <= 30.0:
+            scores = bola.scores(buffer_s)
+            assert bola.select_bitrate(obs(buffer_s)) == exact_first_wins_argmax(
+                scores
+            ), f"argmax mismatch at buffer {buffer_s}"
+            buffer_s += 0.0527  # irregular step: off the bin boundaries
+
+    def test_batch_twin_lockstep_on_adversarial_ladder(self):
+        """The fleet twin must make the very same sub-epsilon call."""
+        np = pytest.importorskip("numpy")
+        from repro.fleet.controllers import _BatchBola
+
+        manifest = VideoManifest.cbr(
+            4.0, BitrateLadder(BIG_LADDER), 10, title="big"
+        )
+        config = SessionConfig(buffer_capacity_s=30.0)
+        scalar = BolaAlgorithm()
+        scalar.prepare(manifest, config)
+        buffers = np.arange(0.0, 30.0, 0.0527)
+        batch = _BatchBola()
+        batch.prepare(manifest, config, len(buffers))
+        batch_levels = batch.decide(
+            5, buffers, np.ones(len(buffers), dtype=np.int64)
+        )
+        for buffer_s, batch_level in zip(buffers, batch_levels):
+            assert scalar.select_bitrate(obs(float(buffer_s))) == int(batch_level)
 
 
 class TestBolaSessions:

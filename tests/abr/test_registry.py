@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.abr import ABRAlgorithm, available, create, paper_algorithms, register
-from repro.abr.registry import _FACTORIES
+from repro.abr import registry as registry_module
+from repro.abr.registry import _FACTORIES, unregister
 
 
 class TestRegistry:
@@ -50,3 +51,73 @@ class TestRegistry:
     def test_register_empty_name(self):
         with pytest.raises(ValueError):
             register("", lambda: None)
+
+    def test_zoo_extensions_registered(self):
+        names = available()
+        for expected in ("bola", "bba-1", "das-ip"):
+            assert expected in names
+            assert isinstance(create(expected), ABRAlgorithm)
+
+
+class CustomA(ABRAlgorithm):
+    name = "custom-plugin"
+
+    def select_bitrate(self, observation):
+        return 0
+
+
+class CustomB(ABRAlgorithm):
+    name = "custom-plugin"
+
+    def select_bitrate(self, observation):
+        return 1
+
+
+class TestRegisterOverride:
+    def test_override_replaces_custom_registration(self):
+        register("custom-plugin", CustomA)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register("custom-plugin", CustomB)
+            register("custom-plugin", CustomB, override=True)
+            assert isinstance(create("custom-plugin"), CustomB)
+        finally:
+            _FACTORIES.pop("custom-plugin", None)
+
+    def test_builtin_names_cannot_be_shadowed(self):
+        for name in ("bola", "fastmpc", "bb"):
+            with pytest.raises(ValueError, match="built in"):
+                register(name, CustomA)
+            with pytest.raises(ValueError, match="built in"):
+                register(name, CustomA, override=True)
+
+    def test_mdp_protected_even_when_numpyless(self):
+        # 'mdp' stays guarded whether or not NumPy put it in the live
+        # registry — a plugin must never be able to claim the name.
+        with pytest.raises(ValueError, match="built in"):
+            register("mdp", CustomA, override=True)
+
+
+class TestUnregister:
+    def test_unregister_removes_custom(self):
+        register("custom-plugin", CustomA)
+        unregister("custom-plugin")
+        assert "custom-plugin" not in available()
+        with pytest.raises(ValueError, match="not registered"):
+            unregister("custom-plugin")
+
+    def test_builtins_cannot_be_unregistered(self):
+        for name in ("bola", "mdp"):
+            with pytest.raises(ValueError, match="built in"):
+                unregister(name)
+        assert "bola" in available()
+
+
+class TestMdpWithoutNumpy:
+    def test_create_mdp_names_the_missing_dependency(self, monkeypatch):
+        """When NumPy is absent, asking for 'mdp' must say *why* it is
+        unavailable, not claim the name is unknown."""
+        monkeypatch.setattr(registry_module, "MDPController", None)
+        monkeypatch.delitem(_FACTORIES, "mdp", raising=False)
+        with pytest.raises(ValueError, match="requires NumPy"):
+            create("mdp")

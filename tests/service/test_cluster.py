@@ -370,6 +370,62 @@ class TestClusterTelemetry:
         assert metrics["requests_total"] in (0, len(requests))
 
 
+class TestClusterExperiment:
+    def test_arm_routing_consistent_and_metrics_merge(self, tmp_path):
+        """Every worker must assign a session the same arm (pure hash, no
+        coordination), and the control endpoint's merged ``/metrics``
+        must carry per-arm counters summing to the served traffic."""
+        from repro.service import ExperimentArm, ExperimentConfig
+
+        path = publish_test_table(tmp_path)
+        experiment = ExperimentConfig(
+            arms=(
+                ExperimentArm("control", "table", weight=1.0),
+                ExperimentArm("bola", "bola", weight=1.0),
+            ),
+            salt="cluster-exp",
+        )
+        sessions = [f"session-{i:03d}" for i in range(24)]
+        rounds = 3
+
+        async def drive(port: int) -> dict:
+            seen: dict = {}
+            # A fresh connection per round spreads sessions over workers.
+            for _ in range(rounds):
+                async with ServiceClient("127.0.0.1", port) as client:
+                    for sid in sessions:
+                        response = await client.decide(
+                            DecisionRequest(
+                                session_id=sid,
+                                buffer_s=12.0,
+                                predicted_kbps=1400.0,
+                                prev_level=1,
+                            )
+                        )
+                        assert response.arm is not None
+                        seen.setdefault(sid, set()).add(response.arm)
+            return seen
+
+        async def inner():
+            config = ClusterConfig(workers=2, experiment=experiment)
+            async with ClusterSupervisor(
+                LADDER, table_path=path, config=config
+            ) as sup:
+                seen = await drive(sup.bound_port)
+                return seen, await sup.metrics()
+
+        seen, metrics = run(inner())
+        # One arm per session, no matter which worker answered.
+        assert all(len(arms) == 1 for arms in seen.values())
+        for sid, arms in seen.items():
+            assert arms == {experiment.assign(sid).name}
+        merged = metrics["arms"]
+        total = len(sessions) * rounds
+        assert sum(a["decisions"] for a in merged.values()) == total
+        assert sum(a["latency_us"]["count"] for a in merged.values()) == total
+        assert set(merged) == {arm for arms in seen.values() for arm in arms}
+
+
 class TestOfferedRate:
     def test_closed_loop_offered_rate_reaches_ideal(self, tmp_path):
         """With every response slowed a fixed 50 ms and a 4-connection

@@ -112,10 +112,40 @@ class TestLoadTest:
         assert set(d) == {
             "decisions", "errors", "degraded", "sessions_completed",
             "local_fallbacks", "wall_s", "throughput_dps", "sources",
-            "reasons", "latency_us", "qoe_mean",
+            "reasons", "latency_us", "qoe_mean", "arms",
         }
         assert "decisions/s" in report.describe()
         assert report.qoe_mean != 0.0  # completed sessions were scored
+        assert d["arms"] == {}  # no experiment on the server -> no arms
+
+    def test_experiment_arms_rolled_up(self):
+        from repro.service import ExperimentArm, ExperimentConfig
+
+        experiment = ExperimentConfig(
+            arms=(
+                ExperimentArm("control", "table", weight=1.0),
+                ExperimentArm("bola", "bola", weight=1.0),
+            ),
+            salt="loadgen-test",
+        )
+        service = DecisionService(
+            LADDER, table=make_test_table(), experiment=experiment
+        )
+        config = small_config(sessions=12, chunks_per_session=5)
+        report = asyncio.run(loadtest_against(service, config))
+        assert report.errors == 0
+        assert set(report.arms) <= {"control", "bola"}
+        assert len(report.arms) == 2  # 12 hashed sessions cover both arms
+        total = config.sessions * config.chunks_per_session
+        assert sum(a["decisions"] for a in report.arms.values()) == total
+        assert sum(a["sessions"] for a in report.arms.values()) == config.sessions
+        for name, stats in report.arms.items():
+            assert stats["qoe_count"] == stats["sessions"]
+        d = report.to_dict()
+        for name, stats in d["arms"].items():
+            assert "qoe_mean" in stats
+        assert "arm control:" in report.describe()
+        assert "arm bola:" in report.describe()
 
 
 async def loadtest_against_traces(service, config, traces):

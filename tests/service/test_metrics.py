@@ -122,7 +122,9 @@ class TestServiceMetrics:
         m.record_error()
         snap = m.snapshot()
         assert snap["requests_total"] == 4
-        assert snap["decisions"] == {"table": 1, "fallback": 2, "error": 1}
+        assert snap["decisions"] == {
+            "table": 1, "controller": 0, "fallback": 2, "error": 1,
+        }
         assert snap["degraded_total"] == 2
         assert snap["fallback_reasons"] == {"no-table": 2}
         assert snap["sessions_seen"] == 2
@@ -157,11 +159,14 @@ class TestServiceMetrics:
             "requests_total", "decisions", "degraded_total",
             "fallback_reasons", "sessions_seen", "table_swaps_total",
             "connections", "chaos_injected", "batch_occupancy",
-            "protocol_requests", "latency_us", "spans_us",
+            "protocol_requests", "latency_us", "spans_us", "arms",
         }
-        assert set(snap["decisions"]) == {"table", "fallback", "error"}
+        assert set(snap["decisions"]) == {
+            "table", "controller", "fallback", "error",
+        }
         assert set(snap["connections"]) == {"opened", "active", "reset"}
         assert snap["spans_us"] == {}  # per-span histograms appear lazily
+        assert snap["arms"] == {}  # per-arm breakdowns appear lazily
 
     def test_record_span_builds_named_histograms(self):
         metrics = ServiceMetrics()
@@ -177,3 +182,40 @@ class TestServiceMetrics:
         bounds = list(DEFAULT_BUCKET_BOUNDS_US)
         assert bounds == sorted(bounds)
         assert len(set(bounds)) == len(bounds)
+
+
+class TestArmMetrics:
+    def test_controller_source_counted(self):
+        m = ServiceMetrics()
+        m.record_decision("controller", 80.0, False, None, "s1")
+        snap = m.snapshot()
+        assert snap["decisions"]["controller"] == 1
+        assert snap["decisions"]["table"] == 0
+
+    def test_arm_breakdown(self):
+        m = ServiceMetrics()
+        m.record_decision("table", 50.0, False, None, "s1", arm="control")
+        m.record_decision("controller", 90.0, False, None, "s2", arm="bola")
+        m.record_decision("fallback", 30.0, True, "no-table", "s3", arm="control")
+        # Arm-less traffic never shows up in the per-arm breakdowns.
+        m.record_decision("table", 40.0, False, None, "s4")
+        snap = m.snapshot()
+        assert set(snap["arms"]) == {"control", "bola"}
+        control = snap["arms"]["control"]
+        assert control["decisions"] == 2
+        assert control["degraded"] == 1
+        assert control["sources"] == {"table": 1, "fallback": 1}
+        assert control["reasons"] == {"no-table": 1}
+        assert control["latency_us"]["count"] == 2
+        bola = snap["arms"]["bola"]
+        assert bola["decisions"] == 1
+        assert bola["sources"] == {"controller": 1}
+        assert bola["latency_us"]["count"] == 1
+
+    def test_arm_slice_schema(self):
+        m = ServiceMetrics()
+        m.record_decision("controller", 10.0, False, None, "s", arm="a")
+        slice_ = m.snapshot()["arms"]["a"]
+        assert set(slice_) == {
+            "decisions", "degraded", "sources", "reasons", "latency_us",
+        }

@@ -28,7 +28,9 @@ class TestMergeSnapshots:
         b = metrics_with(requests=5, chaos=1)
         merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
         assert merged["requests_total"] == 9  # 8 decisions + 1 error
-        assert merged["decisions"] == {"table": 8, "fallback": 0, "error": 1}
+        assert merged["decisions"] == {
+            "table": 8, "controller": 0, "fallback": 0, "error": 1,
+        }
         assert merged["chaos_injected"] == {"slow": 3}
         assert merged["latency_us"]["count"] == 8
         assert merged["sessions_seen"] == 8
@@ -83,6 +85,34 @@ class TestMergeSnapshots:
         merged = merge_metrics_snapshots([old, new.snapshot()])
         assert merged["batch_occupancy"] == {"4": 1}
         assert merged["protocol_requests"] == {"binary": 1}
+
+    def test_arm_breakdowns_merge(self):
+        # Two workers served disjoint slices of the same experiment: the
+        # merged per-arm counters must equal what one worker would have
+        # recorded, since assignment is deterministic per session.
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.record_decision("controller", 100.0, False, None, "s1", arm="bola")
+        a.record_decision("table", 50.0, False, None, "s2", arm="control")
+        b.record_decision("controller", 200.0, False, None, "s3", arm="bola")
+        b.record_decision("fallback", 30.0, True, "no-table", "s4", arm="control")
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged["arms"]) == {"bola", "control"}
+        bola = merged["arms"]["bola"]
+        assert bola["decisions"] == 2
+        assert bola["sources"] == {"controller": 2}
+        assert bola["latency_us"]["count"] == 2
+        control = merged["arms"]["control"]
+        assert control["decisions"] == 2
+        assert control["degraded"] == 1
+        assert control["reasons"] == {"no-table": 1}
+
+    def test_merge_tolerates_snapshots_predating_arms(self):
+        old = ServiceMetrics().snapshot()
+        del old["arms"]
+        new = ServiceMetrics()
+        new.record_decision("controller", 10.0, False, None, "s", arm="a")
+        merged = merge_metrics_snapshots([old, new.snapshot()])
+        assert merged["arms"]["a"]["decisions"] == 1
 
     def test_fallback_reason_counters_sum(self):
         a, b = ServiceMetrics(), ServiceMetrics()

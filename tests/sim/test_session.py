@@ -233,3 +233,33 @@ class TestSessionResult:
         )
         assert session.level_indices == plan
         assert session.bitrates_kbps[:5] == [350.0, 600.0, 1000.0, 2000.0, 3000.0]
+
+
+class TestThroughputFloor:
+    """Every DownloadResult must respect the prediction layer's
+    observation floor — a blackout chunk measures ``OBSERVATION_FLOOR_KBPS``,
+    never zero (which the DownloadResult constructor rejects) and never a
+    bare division artifact below the floor."""
+
+    def test_blackout_chunks_floored_not_rejected(self, envivio_manifest):
+        from repro.prediction import OBSERVATION_FLOOR_KBPS
+
+        # 1 s of healthy link, then a dead link for the rest of the
+        # (enormous) trace window: chunks landing in the blackout take
+        # nearly the whole 2e6 s pass, so their measured throughput is
+        # far below the floor and must be clamped up to it.
+        trace = Trace([0.0, 1.0], [5000.0, 0.0], duration_s=2_000_000.0)
+        session = simulate_session(
+            ConstantLevelAlgorithm(0), trace, envivio_manifest
+        )
+        assert len(session.records) == 65
+        throughputs = [r.throughput_kbps for r in session.records]
+        assert all(t >= OBSERVATION_FLOOR_KBPS for t in throughputs)
+        # The blackout chunks really did hit the floor (the regression
+        # was an unclamped size/time ratio, not a merely slow chunk).
+        assert min(throughputs) == OBSERVATION_FLOOR_KBPS
+        assert max(throughputs) > 1000.0  # the healthy first chunk
+        # (The emulation backend applies the identical clamp at its
+        # DownloadResult construction; driving its discrete-event engine
+        # through a megasecond blackout would blow the event budget, so
+        # the sim path carries the regression test for both.)
