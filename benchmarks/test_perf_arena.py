@@ -1,0 +1,230 @@
+"""Arena scale benchmark — hundreds of concurrent players, one link.
+
+The incremental shared-link engine (uncapped pool with one shared rate,
+per-event work bounded by the *capped* flow count) is what makes
+thousand-player arenas tractable: the old all-pairs loop was O(players)
+Python work per event, O(players^2) per completed chunk.
+
+Gates, in order:
+
+* **parity before the clock** — a churn-free arena slice must reproduce
+  ``emulate_shared_link`` with ``==`` (a fast wrong engine fails here,
+  not in the timing);
+* **scale** — ``REPRO_BENCH_ARENA_PLAYERS`` (default 500, the bar) players
+  streaming a 5-minute video through one bottleneck, with churn and
+  pulsed cross traffic, must complete inside
+  ``REPRO_BENCH_ARENA_BUDGET_S`` (default 120 s — measured runs land
+  ~50x under it) and pass the determinism re-run byte-identically.
+
+Results append to ``benchmarks/results/BENCH_arena.json`` carrying the
+fairness answers (whole-run Jain, utilization, per-cohort QoE) along
+with the throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import RESULTS_DIR, run_once
+
+from repro.abr import registry
+from repro.arena import (
+    ArenaConfig,
+    CrossTrafficSpec,
+    ScheduleConfig,
+    run_arena,
+)
+from repro.emulation import emulate_shared_link
+from repro.emulation.harness import NetworkProfile
+from repro.service.experiment import ExperimentArm, ExperimentConfig
+from repro.traces import Trace
+from repro.video import envivio
+
+pytestmark = pytest.mark.slow
+
+PLAYERS = int(os.environ.get("REPRO_BENCH_ARENA_PLAYERS", "500"))
+BUDGET_S = float(os.environ.get("REPRO_BENCH_ARENA_BUDGET_S", "120"))
+SEED = 2015
+
+#: 75 x 4 s chunks = a 5-minute video (envivio repeated past its 65).
+VIDEO_CHUNKS = 75
+
+MIX = ExperimentConfig(
+    arms=(
+        ExperimentArm(name="bola", controller="bola"),
+        ExperimentArm(name="fair-bola", controller="fair-bola"),
+        ExperimentArm(name="rb", controller="rb"),
+    )
+)
+
+
+def _manifest():
+    base = envivio()
+    sizes = [
+        [base.chunk_size_kilobits(k % base.num_chunks, i)
+         for i in range(len(base.ladder))]
+        for k in range(VIDEO_CHUNKS)
+    ]
+    from repro.video.manifest import VideoManifest
+
+    return VideoManifest(
+        base.chunk_duration_s, base.ladder, sizes, title="envivio-5min"
+    )
+
+
+def _config(manifest):
+    # Enough headroom that cohorts differentiate rather than all starving:
+    # ~1.5 Mbps per player plus a pulsed 10% cross-traffic load.
+    bandwidth = 1500.0 * PLAYERS
+    return ArenaConfig(
+        schedule=ScheduleConfig(
+            players=PLAYERS,
+            seed=SEED,
+            mix=MIX,
+            arrivals="poisson",
+            mean_interarrival_s=30.0 / PLAYERS,  # population ramps in ~30 s
+            min_watch_chunks=10,
+            max_watch_chunks=VIDEO_CHUNKS,
+            cross_traffic=(
+                CrossTrafficSpec(
+                    label="pulse",
+                    rate_kbps=0.1 * bandwidth,
+                    period_s=20.0,
+                    duty=0.5,
+                ),
+            ),
+        ),
+        trace=Trace.constant(bandwidth, 600.0, name=f"arena-{PLAYERS}p"),
+        manifest=manifest,
+        # Slow-start ramps generate O(log) epoch events per transfer and
+        # are irrelevant to the fairness story at this scale.
+        network=NetworkProfile(slow_start=False),
+        window_s=30.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def parity_probe():
+    """Exact emulate_shared_link parity on a churn-free slice, pre-clock."""
+    manifest = envivio().truncated(12)
+    trace = Trace.constant(6000.0, 600.0, name="probe")
+    network = NetworkProfile(slow_start=False)
+    config = ArenaConfig(
+        schedule=ScheduleConfig(
+            players=4,
+            mix=ExperimentConfig(
+                arms=(ExperimentArm(name="bola", controller="bola"),)
+            ),
+            arrivals="stagger",
+            stagger_s=3.0,
+        ),
+        trace=trace,
+        manifest=manifest,
+        network=network,
+    )
+    arena = run_arena(config)
+    reference = emulate_shared_link(
+        [registry.create("bola") for _ in range(4)],
+        trace,
+        manifest,
+        network=network,
+        start_stagger_s=3.0,
+    )
+    return [
+        i
+        for i, (mine, theirs) in enumerate(zip(arena.sessions, reference))
+        if mine.records != theirs.records
+        or mine.qoe().total != theirs.qoe().total
+    ]
+
+
+@pytest.fixture(scope="module")
+def arena_run(parity_probe):
+    assert not parity_probe, f"parity broke before timing: {parity_probe}"
+    manifest = _manifest()
+    config = _config(manifest)
+    t0 = time.perf_counter()
+    result = run_arena(config)
+    wall_s = time.perf_counter() - t0
+    return {"result": result, "wall_s": wall_s, "config": config}
+
+
+def test_arena_handles_the_player_bar(benchmark, arena_run):
+    outcome = run_once(benchmark, lambda: arena_run)
+    result = outcome["result"]
+    assert result.num_players == PLAYERS
+    assert outcome["wall_s"] <= BUDGET_S, (
+        f"{PLAYERS} players took {outcome['wall_s']:.1f}s"
+        f" > budget {BUDGET_S:.0f}s"
+    )
+    # Every cohort actually streamed, and the link was genuinely shared.
+    for arm in ("bola", "fair-bola", "rb"):
+        assert result.cohorts[arm].sessions > 0
+        assert result.cohorts[arm].chunks > 0
+    assert result.cross_kilobits["pulse"] > 0
+    assert 0.0 < result.totals.jain <= 1.0
+    assert result.totals.utilization is not None
+    assert result.totals.utilization > 0.5
+
+
+def test_arena_rerun_is_byte_identical(arena_run):
+    again = run_arena(arena_run["config"])
+    assert again.to_json() == arena_run["result"].to_json()
+
+
+def test_append_bench_json(arena_run, report_sink):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_arena.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if isinstance(history, dict):
+            history = [history]
+    result = arena_run["result"]
+    totals = result.totals
+    record = {
+        "timestamp": time.time(),
+        "cpu_count": os.cpu_count(),
+        "players": result.num_players,
+        "video_chunks": VIDEO_CHUNKS,
+        "wall_s": arena_run["wall_s"],
+        "players_per_s": result.num_players / arena_run["wall_s"],
+        "emulated_s": totals.duration_s,
+        "seed": SEED,
+        "jain": totals.jain,
+        "unfairness": totals.unfairness,
+        "utilization": totals.utilization,
+        "video_utilization": totals.video_utilization,
+        "switches": totals.switches,
+        "cohorts": {
+            arm: {
+                "sessions": rollup.sessions,
+                "departed": rollup.departed,
+                "mean_qoe": rollup.mean_qoe,
+                "mean_rebuffer_s": rollup.mean_rebuffer_s,
+                "mean_bitrate_kbps": rollup.mean_bitrate_kbps,
+                "switches": rollup.switches,
+            }
+            for arm, rollup in sorted(result.cohorts.items())
+        },
+    }
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    lines = [
+        f"{result.num_players} players x {VIDEO_CHUNKS} chunks in "
+        f"{arena_run['wall_s']:.1f}s wall ({totals.duration_s:.0f}s emulated)"
+        f" | jain {totals.jain:.4f} | utilization {totals.utilization:.4f}"
+    ]
+    for arm, stats in sorted(record["cohorts"].items()):
+        lines.append(
+            f"{arm:>12}: {stats['sessions']:>4} sessions"
+            f" ({stats['departed']} departed early)"
+            f" | QoE {stats['mean_qoe']:>9,.0f}"
+            f" | rebuf {stats['mean_rebuffer_s']:.2f}s"
+            f" | {stats['mean_bitrate_kbps']:,.0f} kbps"
+            f" | {stats['switches']} switches"
+        )
+    report_sink("BENCH_arena", "\n".join(lines))

@@ -1,0 +1,85 @@
+"""A fairness-aware wrapper: throughput-share capping over any ABR.
+
+The multiplayer paper (Yin et al., arXiv:1608.08469) traces much of
+shared-bottleneck unfairness to *over-subscription*: a player whose
+buffer-filling logic requests above its fair share keeps stealing
+capacity during competitors' OFF periods, and the feedback loop locks
+the imbalance in.  On a max-min fair link a player's measured HTTP
+throughput *is* (an estimate of) its current fair share, so the
+countermeasure is mechanical: never request a bitrate above
+``cap_fraction`` of the measured share, whatever the wrapped controller
+asks for.
+
+:class:`FairShareCappedAlgorithm` composes with any registry algorithm
+— decisions, startup policy, and predictor feedback all delegate to the
+wrapped controller; only the final level is clamped.  ``fair-bola`` is
+registered as the arena's stock fairness-aware arm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..prediction import HarmonicMeanPredictor
+from ..prediction.base import ThroughputPredictor
+from .base import ABRAlgorithm, DownloadResult, PlayerObservation
+
+__all__ = ["FairShareCappedAlgorithm"]
+
+
+class FairShareCappedAlgorithm(ABRAlgorithm):
+    """Clamp a wrapped controller's choice to the measured fair share.
+
+    Parameters
+    ----------
+    inner:
+        The controller actually making decisions.
+    cap_fraction:
+        Fraction of the measured throughput share the requested bitrate
+        may not exceed (default 0.95 — just under the share, so the
+        player never grows its claim during others' OFF periods).
+    window:
+        Chunks in the share monitor's harmonic mean (the paper's 5).
+    """
+
+    def __init__(
+        self,
+        inner: ABRAlgorithm,
+        cap_fraction: float = 0.95,
+        window: int = 5,
+    ) -> None:
+        if cap_fraction <= 0:
+            raise ValueError("cap fraction must be positive")
+        self.inner = inner
+        self.cap_fraction = cap_fraction
+        self._monitor = HarmonicMeanPredictor(window=window)
+        self._observed = 0
+        self.name = f"fair-{inner.name}"
+
+    def prepare(self, manifest, config) -> None:
+        super().prepare(manifest, config)
+        self.inner.tracer = self.tracer
+        self.inner.prepare(manifest, config)
+        self._monitor.reset()
+        self._observed = 0
+
+    def predictors(self) -> Iterable[ThroughputPredictor]:
+        # The inner controller's predictors (so trace-binding and resets
+        # reach them) plus the share monitor.
+        return tuple(self.inner.predictors()) + (self._monitor,)
+
+    def select_bitrate(self, observation: PlayerObservation) -> int:
+        level = self.inner.select_bitrate(observation)
+        if self._observed == 0:
+            return level  # no share measurement yet — nothing to cap by
+        share_kbps = self.cap_fraction * self._monitor.current_estimate()
+        cap_level = self.manifest.ladder.highest_at_most(share_kbps)
+        return min(level, cap_level)
+
+    def on_download_complete(self, result: DownloadResult) -> None:
+        self._observed += 1
+        self._monitor.observe_kbps(result.throughput_kbps, result.download_time_s)
+        self.inner.on_download_complete(result)
+
+    def select_startup_wait(self, observation: PlayerObservation) -> float:
+        return self.inner.select_startup_wait(observation)

@@ -23,6 +23,7 @@ from .bola import BolaAlgorithm
 from .buffer_based import BufferBasedAlgorithm, BufferBasedChunkMapAlgorithm
 from .dashjs import DashJSRuleBased
 from .dasip import DasIpAlgorithm
+from .fairshare import FairShareCappedAlgorithm
 from .festive import FestiveAlgorithm
 from .fixed import ConstantLevelAlgorithm
 from .rate_based import RateBasedAlgorithm
@@ -44,6 +45,9 @@ _FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
     "mpc-opt": make_mpc_opt,
     "lowest": lambda: ConstantLevelAlgorithm(0),
     "highest": lambda: ConstantLevelAlgorithm(-1),
+    # The arena's fairness-aware arm: BOLA clamped to its measured
+    # throughput share (docs/fairness.md).
+    "fair-bola": lambda: FairShareCappedAlgorithm(BolaAlgorithm()),
 }
 if MDPController is not None:
     _FACTORIES["mdp"] = MDPController

@@ -1,0 +1,46 @@
+"""Scalable shared-bottleneck multiplayer emulation (the arena).
+
+Thousand-player populations on one emulated bottleneck: seeded arrival
+schedules (staggered / Poisson / flash-crowd), chunk-boundary
+departures, on/off cross traffic, per-player controller mixes drawn
+from the registry zoo, and time-windowed efficiency / fairness /
+instability metrics.  See ``docs/fairness.md``.
+"""
+
+from .metrics import (
+    ArenaTotals,
+    CohortRollup,
+    PlayerOutcome,
+    WindowMetrics,
+    compute_cohorts,
+    compute_totals,
+    compute_windows,
+)
+from .runner import ArenaConfig, ArenaResult, run_arena
+from .schedule import (
+    ARRIVAL_MODES,
+    CrossTrafficSpec,
+    PlayerSchedule,
+    PlayerSpec,
+    ScheduleConfig,
+    build_schedule,
+)
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "ArenaConfig",
+    "ArenaResult",
+    "ArenaTotals",
+    "CohortRollup",
+    "CrossTrafficSpec",
+    "PlayerOutcome",
+    "PlayerSchedule",
+    "PlayerSpec",
+    "ScheduleConfig",
+    "WindowMetrics",
+    "build_schedule",
+    "compute_cohorts",
+    "compute_totals",
+    "compute_windows",
+    "run_arena",
+]

@@ -1,0 +1,398 @@
+"""Time-windowed efficiency / fairness / instability for arena runs.
+
+All metrics are computed *post hoc* from the players' per-chunk records —
+no sampling events perturb the emulation, which is what lets the
+2-player arena parity pin hold ``==`` against
+:func:`repro.emulation.harness.emulate_shared_link`.
+
+Per window ``[t0, t1)`` of ``window_s`` seconds:
+
+* **utilization** — video payload kilobits delivered inside the window
+  (download intervals are reconstructed from each record's wall-clock
+  end, pacing wait, and download time, and split proportionally across
+  the windows they overlap) over the trace's exact capacity integral
+  ``trace.kilobits_between(t0, t1)``.  Protocol headers and cross
+  traffic are excluded from the numerator, so utilization reads as
+  "fraction of the bottleneck spent on video".
+* **Jain index** — presence-weighted
+  (:func:`repro.emulation.fairness.jain_fairness_index`) over each
+  present player's in-window download rate, weights = seconds of
+  presence; players who join or depart mid-window count by how long
+  they were actually there.
+* **instability** — bitrate switches per present player (a switch is a
+  chunk whose level differs from its predecessor, stamped at the
+  chunk's request time).
+
+Cohort (per experiment arm) rollups ride on the fleet's lossless
+:class:`~repro.fleet.aggregate.ArmAggregate` histograms, so arena cells
+merge across scenario-matrix shards exactly like fleet shards do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fleet.aggregate import ArmAggregate
+from ..sim.session import SessionResult
+from ..traces.trace import Trace
+from .schedule import PlayerSpec
+from ..emulation.fairness import jain_fairness_index, unfairness
+
+__all__ = [
+    "PlayerOutcome",
+    "WindowMetrics",
+    "CohortRollup",
+    "ArenaTotals",
+    "compute_windows",
+    "compute_cohorts",
+    "compute_totals",
+]
+
+
+@dataclass(frozen=True)
+class PlayerOutcome:
+    """One player's scored session plus its arena placement."""
+
+    player_id: int
+    arm: str
+    controller: str
+    arrival_s: float
+    end_s: float  # arrival + total wall time (absolute arena clock)
+    chunks: int
+    departed_early: bool
+    qoe_total: float
+    rebuffer_s: float
+    mean_bitrate_kbps: float
+    switches: int
+    startup_delay_s: float
+    delivered_kilobits: float  # video payload over the whole session
+
+    @property
+    def presence_s(self) -> float:
+        return self.end_s - self.arrival_s
+
+    def to_dict(self) -> dict:
+        return {
+            "player_id": self.player_id,
+            "arm": self.arm,
+            "controller": self.controller,
+            "arrival_s": self.arrival_s,
+            "end_s": self.end_s,
+            "chunks": self.chunks,
+            "departed_early": self.departed_early,
+            "qoe_total": self.qoe_total,
+            "rebuffer_s": self.rebuffer_s,
+            "mean_bitrate_kbps": self.mean_bitrate_kbps,
+            "switches": self.switches,
+            "startup_delay_s": self.startup_delay_s,
+            "delivered_kilobits": self.delivered_kilobits,
+        }
+
+
+def player_outcome(
+    spec: PlayerSpec, session: SessionResult, num_chunks: int
+) -> PlayerOutcome:
+    """Score one finished session into its arena outcome row."""
+    switches = sum(
+        1
+        for prev, cur in zip(session.records, session.records[1:])
+        if cur.level_index != prev.level_index
+    )
+    return PlayerOutcome(
+        player_id=spec.player_id,
+        arm=spec.arm,
+        controller=spec.controller,
+        arrival_s=spec.arrival_s,
+        end_s=spec.arrival_s + session.total_wall_time_s,
+        chunks=len(session.records),
+        departed_early=len(session.records) < num_chunks,
+        qoe_total=session.qoe().total,
+        rebuffer_s=session.total_rebuffer_s,
+        mean_bitrate_kbps=float(session.metrics().average_bitrate_kbps),
+        switches=switches,
+        startup_delay_s=session.startup_delay_s,
+        delivered_kilobits=math.fsum(r.size_kilobits for r in session.records),
+    )
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """One ``[t0, t1)`` slice of the arena's shared-bottleneck economy."""
+
+    index: int
+    t0_s: float
+    t1_s: float
+    active_players: int
+    delivered_kilobits: float
+    capacity_kilobits: float
+    utilization: Optional[float]  # None when the window had no capacity
+    jain: Optional[float]  # None when nobody was present
+    switches: int
+    instability: Optional[float]  # switches per present player
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t0_s": self.t0_s,
+            "t1_s": self.t1_s,
+            "active_players": self.active_players,
+            "delivered_kilobits": self.delivered_kilobits,
+            "capacity_kilobits": self.capacity_kilobits,
+            "utilization": self.utilization,
+            "jain": self.jain,
+            "switches": self.switches,
+            "instability": self.instability,
+        }
+
+
+def _download_interval(record) -> Tuple[float, float]:
+    """The absolute wall interval a record's bytes flowed over.
+
+    ``wall_time_end_s`` includes the post-download pacing wait; backing
+    out the wait and the download time recovers the transfer span
+    (request latency and retries under faults are inside it — the
+    honest, application-level interval).
+    """
+    end = record.wall_time_end_s - record.waited_s
+    return end - record.download_time_s, end
+
+
+def compute_windows(
+    specs: Sequence[PlayerSpec],
+    sessions: Sequence[SessionResult],
+    trace: Trace,
+    window_s: float,
+    end_s: float,
+) -> List[WindowMetrics]:
+    """Slice the whole run into ``window_s`` windows of shared-link metrics."""
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    if end_s <= 0:
+        return []
+    num_windows = int(math.ceil(end_s / window_s))
+    # Per-window, per-player delivered kilobits and per-window switches.
+    delivered: List[Dict[int, float]] = [dict() for _ in range(num_windows)]
+    switches = [0] * num_windows
+
+    def clamp_index(t: float) -> int:
+        return min(num_windows - 1, max(0, int(t // window_s)))
+
+    for spec, session in zip(specs, sessions):
+        prev_level = None
+        for record in session.records:
+            start, end = _download_interval(record)
+            i0, i1 = clamp_index(start), clamp_index(end)
+            span = end - start
+            for i in range(i0, i1 + 1):
+                w0, w1 = i * window_s, (i + 1) * window_s
+                if span > 0:
+                    overlap = min(end, w1) - max(start, w0)
+                    if overlap <= 0:
+                        continue
+                    share = record.size_kilobits * (overlap / span)
+                else:  # instantaneous download: bill its start window
+                    if i != i0:
+                        continue
+                    share = record.size_kilobits
+                bucket = delivered[i]
+                bucket[spec.player_id] = bucket.get(spec.player_id, 0.0) + share
+            if prev_level is not None and record.level_index != prev_level:
+                switches[clamp_index(start)] += 1
+            prev_level = record.level_index
+    presence_bounds = [
+        (spec.arrival_s, spec.arrival_s + session.total_wall_time_s)
+        for spec, session in zip(specs, sessions)
+    ]
+    windows: List[WindowMetrics] = []
+    for i in range(num_windows):
+        t0, t1 = i * window_s, min((i + 1) * window_s, end_s)
+        rates: List[float] = []
+        weights: List[float] = []
+        for (arrive, leave), spec in zip(presence_bounds, specs):
+            present = min(leave, t1) - max(arrive, t0)
+            if present <= 0:
+                continue
+            rates.append(delivered[i].get(spec.player_id, 0.0) / present)
+            weights.append(present)
+        total = math.fsum(delivered[i].values())
+        capacity = trace.kilobits_between(t0, t1)
+        windows.append(
+            WindowMetrics(
+                index=i,
+                t0_s=t0,
+                t1_s=t1,
+                active_players=len(rates),
+                delivered_kilobits=total,
+                capacity_kilobits=capacity,
+                utilization=total / capacity if capacity > 0 else None,
+                jain=jain_fairness_index(rates, weights) if rates else None,
+                switches=switches[i],
+                instability=switches[i] / len(rates) if rates else None,
+            )
+        )
+    return windows
+
+
+@dataclass
+class CohortRollup:
+    """Per-arm population rollup on the fleet's lossless histograms."""
+
+    sessions: int
+    departed: int
+    qoe_total_sum: float
+    rebuffer_sum_s: float
+    bitrate_sum_kbps: float
+    switches: int
+    chunks: int
+    aggregate: ArmAggregate
+
+    @property
+    def mean_qoe(self) -> float:
+        return self.qoe_total_sum / self.sessions if self.sessions else 0.0
+
+    @property
+    def mean_rebuffer_s(self) -> float:
+        return self.rebuffer_sum_s / self.sessions if self.sessions else 0.0
+
+    @property
+    def mean_bitrate_kbps(self) -> float:
+        return self.bitrate_sum_kbps / self.sessions if self.sessions else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "departed": self.departed,
+            "qoe_total_sum": self.qoe_total_sum,
+            "rebuffer_sum_s": self.rebuffer_sum_s,
+            "bitrate_sum_kbps": self.bitrate_sum_kbps,
+            "switches": self.switches,
+            "chunks": self.chunks,
+            "aggregate": self.aggregate.to_dict(),
+        }
+
+    def merge(self, other: "CohortRollup") -> None:
+        self.sessions += other.sessions
+        self.departed += other.departed
+        self.qoe_total_sum = math.fsum((self.qoe_total_sum, other.qoe_total_sum))
+        self.rebuffer_sum_s = math.fsum((self.rebuffer_sum_s, other.rebuffer_sum_s))
+        self.bitrate_sum_kbps = math.fsum(
+            (self.bitrate_sum_kbps, other.bitrate_sum_kbps)
+        )
+        self.switches += other.switches
+        self.chunks += other.chunks
+        self.aggregate.merge(other.aggregate)
+
+    @classmethod
+    def empty(cls) -> "CohortRollup":
+        return cls(
+            sessions=0,
+            departed=0,
+            qoe_total_sum=0.0,
+            rebuffer_sum_s=0.0,
+            bitrate_sum_kbps=0.0,
+            switches=0,
+            chunks=0,
+            aggregate=ArmAggregate(),
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CohortRollup":
+        if not isinstance(payload, dict):
+            raise ValueError("cohort payload must be a JSON object")
+        try:
+            return cls(
+                sessions=int(payload["sessions"]),
+                departed=int(payload["departed"]),
+                qoe_total_sum=float(payload["qoe_total_sum"]),
+                rebuffer_sum_s=float(payload["rebuffer_sum_s"]),
+                bitrate_sum_kbps=float(payload["bitrate_sum_kbps"]),
+                switches=int(payload["switches"]),
+                chunks=int(payload["chunks"]),
+                aggregate=ArmAggregate.from_dict(payload["aggregate"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"malformed cohort payload: missing {exc}") from None
+
+
+def compute_cohorts(outcomes: Sequence[PlayerOutcome]) -> Dict[str, CohortRollup]:
+    """Group outcomes by arm into lossless, mergeable rollups."""
+    by_arm: Dict[str, List[PlayerOutcome]] = {}
+    for outcome in outcomes:
+        by_arm.setdefault(outcome.arm, []).append(outcome)
+    cohorts: Dict[str, CohortRollup] = {}
+    for arm in sorted(by_arm):
+        rows = by_arm[arm]
+        aggregate = ArmAggregate()
+        aggregate.observe_sessions(
+            [o.qoe_total / o.chunks for o in rows],
+            [o.rebuffer_s for o in rows],
+            [o.mean_bitrate_kbps for o in rows],
+        )
+        cohorts[arm] = CohortRollup(
+            sessions=len(rows),
+            departed=sum(1 for o in rows if o.departed_early),
+            qoe_total_sum=math.fsum(o.qoe_total for o in rows),
+            rebuffer_sum_s=math.fsum(o.rebuffer_s for o in rows),
+            bitrate_sum_kbps=math.fsum(o.mean_bitrate_kbps for o in rows),
+            switches=sum(o.switches for o in rows),
+            chunks=sum(o.chunks for o in rows),
+            aggregate=aggregate,
+        )
+    return cohorts
+
+
+@dataclass(frozen=True)
+class ArenaTotals:
+    """Whole-run shared-link accounting."""
+
+    duration_s: float
+    delivered_kilobits: float  # video payload, all players
+    cross_kilobits: float  # cross-traffic bytes over the same span
+    capacity_kilobits: float  # exact trace integral over [0, duration]
+    utilization: Optional[float]  # (video + cross) / capacity
+    video_utilization: Optional[float]  # video / capacity
+    jain: Optional[float]  # presence-weighted, whole-run rates
+    unfairness: Optional[float]
+    switches: int
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "delivered_kilobits": self.delivered_kilobits,
+            "cross_kilobits": self.cross_kilobits,
+            "capacity_kilobits": self.capacity_kilobits,
+            "utilization": self.utilization,
+            "video_utilization": self.video_utilization,
+            "jain": self.jain,
+            "unfairness": self.unfairness,
+            "switches": self.switches,
+        }
+
+
+def compute_totals(
+    outcomes: Sequence[PlayerOutcome],
+    trace: Trace,
+    cross_kilobits: float,
+    end_s: float,
+) -> ArenaTotals:
+    """Whole-run efficiency and fairness over the players' full lifetimes."""
+    delivered = math.fsum(o.delivered_kilobits for o in outcomes)
+    capacity = trace.kilobits_between(0.0, end_s) if end_s > 0 else 0.0
+    rates = [
+        o.delivered_kilobits / o.presence_s for o in outcomes if o.presence_s > 0
+    ]
+    weights = [o.presence_s for o in outcomes if o.presence_s > 0]
+    jain = jain_fairness_index(rates, weights) if rates else None
+    return ArenaTotals(
+        duration_s=end_s,
+        delivered_kilobits=delivered,
+        cross_kilobits=cross_kilobits,
+        capacity_kilobits=capacity,
+        utilization=(delivered + cross_kilobits) / capacity if capacity > 0 else None,
+        video_utilization=delivered / capacity if capacity > 0 else None,
+        jain=jain,
+        unfairness=unfairness(rates, weights) if rates else None,
+        switches=sum(o.switches for o in outcomes),
+    )

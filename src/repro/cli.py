@@ -26,6 +26,11 @@ Subcommands map one-to-one onto the paper's artifacts:
                         an equal-weight A/B experiment over the named
                         controllers, reported as a per-arm QoE table
                         (docs/controllers.md).
+* ``arena``           — N players competing on one emulated bottleneck
+                        with seeded churn, cross traffic, and fault
+                        profiles; prints time-windowed fairness,
+                        utilization, and instability plus per-cohort
+                        QoE rollups (docs/fairness.md).
 * ``chaos``           — run the load generator under a named fault
                         profile (injected resets, 500s, slow responses,
                         trace blackouts) and compare completion, fallback
@@ -374,6 +379,87 @@ def _build_parser() -> argparse.ArgumentParser:
         help="decision-table discretization for the 'table' arm",
     )
     p.add_argument("--json", metavar="PATH", help="also write the cells as JSON")
+
+    p = sub.add_parser(
+        "arena",
+        help=(
+            "N players on one shared bottleneck: seeded churn, cross"
+            " traffic, fault profiles, and windowed fairness/efficiency"
+            " rollups per controller cohort (docs/fairness.md)"
+        ),
+    )
+    p.add_argument("--players", type=int, default=100, help="population size")
+    p.add_argument("--seed", type=int, default=0, help="schedule seed")
+    p.add_argument(
+        "--mix", default="bola,fair-bola,rb",
+        help=(
+            "controller cohorts as 'controller[=weight]' entries"
+            " (label:controller for A/A arms), e.g. 'bola=2,fair-bola'"
+        ),
+    )
+    p.add_argument(
+        "--salt", default="arena",
+        help="cohort-assignment salt (fixed by default so splits reproduce)",
+    )
+    p.add_argument(
+        "--arrivals", choices=("stagger", "poisson", "flash-crowd"),
+        default="poisson", help="arrival model",
+    )
+    p.add_argument(
+        "--mean-interarrival", type=float, default=0.5,
+        help="poisson mean inter-arrival seconds",
+    )
+    p.add_argument(
+        "--stagger", type=float, default=0.0, help="stagger step seconds"
+    )
+    p.add_argument(
+        "--flash-crowds", type=int, default=3, help="bursts (flash-crowd mode)"
+    )
+    p.add_argument(
+        "--flash-gap", type=float, default=60.0, help="seconds between bursts"
+    )
+    p.add_argument(
+        "--min-watch", type=int, default=1,
+        help="minimum chunks a churning player watches",
+    )
+    p.add_argument(
+        "--max-watch", type=int, default=None,
+        help=(
+            "maximum chunks watched before departing; omit for no churn"
+            " (everyone watches the whole video)"
+        ),
+    )
+    p.add_argument(
+        "--cross", action="append", default=None, metavar="RATE[:PERIOD[:DUTY]]",
+        help=(
+            "add a cross-traffic flow: constant RATE kbps, or an on/off"
+            " square wave with PERIOD seconds and DUTY on-fraction;"
+            " repeatable"
+        ),
+    )
+    p.add_argument(
+        "--profile", default="clean",
+        help=(
+            "fault profile name (clean, blackouts, lossy-link, resets,"
+            " flaky-server, meltdown)"
+        ),
+    )
+    p.add_argument("--fault-seed", type=int, default=0, help="fault RNG seed")
+    p.add_argument(
+        "--window", type=float, default=10.0, help="metrics window seconds"
+    )
+    p.add_argument(
+        "--chunks", type=int, default=32, help="video length in chunks"
+    )
+    p.add_argument(
+        "--bandwidth", type=float, default=None,
+        help="constant bottleneck kbps (default: 1500 per player)",
+    )
+    p.add_argument(
+        "--no-slow-start", action="store_true",
+        help="disable per-transfer slow-start ramps (faster at scale)",
+    )
+    p.add_argument("--json", metavar="PATH", help="also write the rollups as JSON")
 
     p = sub.add_parser(
         "chaos",
@@ -1022,6 +1108,146 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _parse_cross_flows(specs):
+    """``RATE[:PERIOD[:DUTY]]`` strings into :class:`CrossTrafficSpec`."""
+    from .arena import CrossTrafficSpec
+
+    flows = []
+    for i, raw in enumerate(specs or ()):
+        parts = raw.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise SystemExit(f"bad --cross spec {raw!r}: RATE[:PERIOD[:DUTY]]")
+        try:
+            rate = float(parts[0])
+            period = float(parts[1]) if len(parts) > 1 else None
+            duty = float(parts[2]) if len(parts) > 2 else 0.5
+        except ValueError:
+            raise SystemExit(f"bad --cross spec {raw!r}: RATE[:PERIOD[:DUTY]]")
+        flows.append(
+            CrossTrafficSpec(
+                label=f"cross{i}",
+                rate_kbps=rate,
+                period_s=period,
+                duty=duty if period is not None else 1.0,
+            )
+        )
+    return tuple(flows)
+
+
+def _cmd_arena(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .arena import ArenaConfig, ScheduleConfig, run_arena
+    from .emulation.harness import NetworkProfile
+    from .service import parse_arms_spec
+    from .traces import Trace
+
+    manifest = envivio()
+    if args.chunks < manifest.num_chunks:
+        manifest = manifest.truncated(args.chunks)
+    bandwidth = (
+        args.bandwidth if args.bandwidth is not None else 1500.0 * args.players
+    )
+    # Long enough that even a heavily contended run never wraps awkwardly;
+    # the trace repeats anyway if it does.
+    trace = Trace.constant(
+        bandwidth, 600.0, name=f"arena-const-{bandwidth:g}"
+    )
+    schedule = ScheduleConfig(
+        players=args.players,
+        seed=args.seed,
+        mix=parse_arms_spec(args.mix, salt=args.salt),
+        arrivals=args.arrivals,
+        mean_interarrival_s=args.mean_interarrival,
+        stagger_s=args.stagger,
+        flash_crowds=args.flash_crowds,
+        flash_gap_s=args.flash_gap,
+        min_watch_chunks=args.min_watch,
+        max_watch_chunks=args.max_watch,
+        cross_traffic=_parse_cross_flows(args.cross),
+    )
+    config = ArenaConfig(
+        schedule=schedule,
+        trace=trace,
+        manifest=manifest,
+        network=NetworkProfile(slow_start=not args.no_slow_start),
+        profile=args.profile,
+        fault_seed=args.fault_seed,
+        window_s=args.window,
+    )
+    result = run_arena(config)
+
+    totals = result.totals
+    fmt = lambda v, spec=".4f": "-" if v is None else format(v, spec)
+    print(
+        f"{result.num_players} players, {totals.duration_s:.1f}s,"
+        f" profile {args.profile}, {args.arrivals} arrivals"
+    )
+    print(
+        f"whole run: jain {fmt(totals.jain)}"
+        f"  unfairness {fmt(totals.unfairness)}"
+        f"  utilization {fmt(totals.utilization)}"
+        f" (video {fmt(totals.video_utilization)})"
+        f"  switches {totals.switches}"
+    )
+    rows = [
+        [
+            f"{w.t0_s:.0f}-{w.t1_s:.0f}s",
+            w.active_players,
+            fmt(w.jain),
+            fmt(w.utilization),
+            w.switches,
+            fmt(w.instability, ".3f"),
+        ]
+        for w in result.windows
+    ]
+    print(
+        render_table(
+            ["window", "players", "jain", "util", "switches", "instab"], rows
+        )
+    )
+    rows = []
+    for arm in sorted(result.cohorts):
+        rollup = result.cohorts[arm]
+        rows.append(
+            [
+                arm,
+                rollup.sessions,
+                rollup.departed,
+                round(rollup.mean_qoe, 1),
+                round(rollup.mean_rebuffer_s, 2),
+                round(rollup.mean_bitrate_kbps, 0),
+                rollup.switches,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "cohort",
+                "sessions",
+                "departed",
+                "mean QoE",
+                "rebuf mean s",
+                "bitrate kbps",
+                "switches",
+            ],
+            rows,
+        )
+    )
+    if result.cross_kilobits:
+        shares = ", ".join(
+            f"{label} {kb:.0f} kb" for label, kb in result.cross_kilobits.items()
+        )
+        print(f"cross traffic: {shares}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "generate-traces": _cmd_generate_traces,
     "run": _cmd_run,
@@ -1033,6 +1259,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "leaderboard": _cmd_leaderboard,
+    "arena": _cmd_arena,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
 }

@@ -3,7 +3,7 @@ environment: trace-throttled link + HTTP chunk server + dash.js-like
 sequential client)."""
 
 from .clock import EventQueue
-from .link import SharedTraceLink, Transfer
+from .link import CrossFlow, SharedTraceLink, Transfer
 from .server import ChunkRequest, ChunkServer
 from .client import EmulatedClient
 from .fairness import (
@@ -22,6 +22,7 @@ from .harness import (
 __all__ = [
     "EventQueue",
     "SharedTraceLink",
+    "CrossFlow",
     "Transfer",
     "ChunkRequest",
     "ChunkServer",

@@ -11,6 +11,22 @@ standard measures over per-client average bitrates are implemented here:
 * **Unfairness** ``sqrt(1 - Jain)`` — the multiplayer paper's headline
   measure (also FESTIVE's); 0 is perfectly fair, larger is worse.
 
+Sessions that join or depart *mid-window* (the arena's churn) need
+defined semantics: a player present for 2 s of a 10 s window should not
+count as heavily as one present throughout.  The index therefore takes
+optional per-value **presence weights** — seconds of overlap between the
+session's lifetime and the measurement window — and computes the
+weighted Jain index ``(sum w x)^2 / (sum w * sum w x^2)``, which reduces
+to the classic form for equal weights.  A window nobody was present in
+(all weights zero, e.g. a zero-length window) has no allocation to
+measure and raises ``ValueError``; a single present player is perfectly
+fair by definition (exactly 1.0).
+
+Equal allocations return *exactly* ``1.0`` (not merely within float
+noise of it) and every result is clamped into ``(0, 1]`` — invariants
+the property suite in ``tests/emulation/test_fairness_properties.py``
+pins.
+
 :func:`fairness_report` aggregates finished sessions;
 :func:`repro.emulation.harness.emulate_shared_link` attaches one to its
 result so harness callers get fairness for free.
@@ -20,29 +36,58 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 __all__ = ["jain_fairness_index", "unfairness", "FairnessReport", "fairness_report"]
 
 
-def jain_fairness_index(values: Sequence[float]) -> float:
-    """Jain's index over non-negative allocations; 1 = perfectly fair."""
+def jain_fairness_index(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> float:
+    """Jain's index over non-negative allocations; 1 = perfectly fair.
+
+    ``weights`` (presence seconds, typically) weight each allocation's
+    contribution; omitted means every allocation counts equally.  Zero
+    weight removes an allocation from the index entirely — a session
+    with no presence in the window casts no vote.  All weights zero (or
+    no values at all) is an error: there is no allocation to measure.
+    """
     xs = [float(v) for v in values]
     if not xs:
         raise ValueError("need at least one allocation")
     if any(v < 0 for v in xs):
         raise ValueError("allocations must be non-negative")
-    square_of_sum = sum(xs) ** 2
-    sum_of_squares = sum(v * v for v in xs)
-    if sum_of_squares == 0.0:
-        return 1.0  # all-zero: everyone equally starved
-    return square_of_sum / (len(xs) * sum_of_squares)
+    if weights is None:
+        present = [(x, 1.0) for x in xs]
+    else:
+        ws = [float(w) for w in weights]
+        if len(ws) != len(xs):
+            raise ValueError(f"{len(xs)} allocations but {len(ws)} weights")
+        if any(w < 0 for w in ws):
+            raise ValueError("weights must be non-negative")
+        present = [(x, w) for x, w in zip(xs, ws) if w > 0]
+        if not present:
+            raise ValueError(
+                "no allocation carries positive weight (empty window)"
+            )
+    rates = [x for x, _ in present]
+    # Equal allocations are *exactly* fair — bypass the float formula,
+    # whose rounding cannot promise (sum wx)^2 == sum w * sum wx^2.
+    # Covers the single-player window and the all-zero (equally starved)
+    # case too.
+    if min(rates) == max(rates):
+        return 1.0
+    weighted_sum = math.fsum(x * w for x, w in present)
+    sum_of_squares = math.fsum(w * x * x for x, w in present)
+    total_weight = math.fsum(w for _, w in present)
+    return min(1.0, weighted_sum * weighted_sum / (total_weight * sum_of_squares))
 
 
-def unfairness(values: Sequence[float]) -> float:
+def unfairness(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> float:
     """The multiplayer paper's unfairness measure ``sqrt(1 - Jain)``."""
-    # Clamp: float error can push Jain a hair above 1 for equal inputs.
-    return math.sqrt(max(0.0, 1.0 - jain_fairness_index(values)))
+    return math.sqrt(max(0.0, 1.0 - jain_fairness_index(values, weights)))
 
 
 @dataclass(frozen=True)
@@ -55,6 +100,9 @@ class FairnessReport:
     #: Sessions excluded from the index because they downloaded nothing
     #: (e.g. a client killed by a fault before its first chunk).
     num_zero_chunk_sessions: int = 0
+    #: Presence weights (seconds) the index was computed under, aligned
+    #: with ``average_bitrates_kbps``; ``None`` means equal weights.
+    presence_weights_s: Optional[Tuple[float, ...]] = None
 
     @property
     def num_clients(self) -> int:
@@ -72,25 +120,38 @@ class FairnessReport:
         return line
 
 
-def fairness_report(sessions: Sequence) -> FairnessReport:
+def fairness_report(
+    sessions: Sequence, presence_s: Optional[Sequence[float]] = None
+) -> FairnessReport:
     """Fairness over finished sessions (anything with ``metrics()``).
 
-    Sessions whose ``metrics()`` raises :class:`ValueError` — i.e. they
-    finished with zero chunks, which happens under fault injection —
-    are excluded from the index and counted in
-    :attr:`FairnessReport.num_zero_chunk_sessions`.  All sessions being
-    empty (or the list itself) is an error: there is no allocation to
-    measure fairness over.
+    ``presence_s`` optionally gives each session's presence time within
+    the measurement window (aligned with ``sessions``); departures
+    mid-window then weight the index by how long each player was
+    actually there.  Sessions whose ``metrics()`` raises
+    :class:`ValueError` — i.e. they finished with zero chunks, which
+    happens under fault injection — are excluded from the index and
+    counted in :attr:`FairnessReport.num_zero_chunk_sessions`.  All
+    sessions being empty (or the list itself) is an error: there is no
+    allocation to measure fairness over.
     """
     if not sessions:
         raise ValueError("need at least one session")
+    if presence_s is not None and len(presence_s) != len(sessions):
+        raise ValueError(
+            f"{len(sessions)} sessions but {len(presence_s)} presence times"
+        )
     rates = []
+    weights = [] if presence_s is not None else None
     zero_chunk = 0
-    for session in sessions:
+    for i, session in enumerate(sessions):
         try:
             rates.append(float(session.metrics().average_bitrate_kbps))
         except ValueError:
             zero_chunk += 1
+            continue
+        if weights is not None:
+            weights.append(float(presence_s[i]))
     if not rates:
         raise ValueError(
             f"all {zero_chunk} sessions finished with zero chunks;"
@@ -98,7 +159,8 @@ def fairness_report(sessions: Sequence) -> FairnessReport:
         )
     return FairnessReport(
         average_bitrates_kbps=tuple(rates),
-        jain_index=jain_fairness_index(rates),
-        unfairness=unfairness(rates),
+        jain_index=jain_fairness_index(rates, weights),
+        unfairness=unfairness(rates, weights),
         num_zero_chunk_sessions=zero_chunk,
+        presence_weights_s=tuple(weights) if weights is not None else None,
     )

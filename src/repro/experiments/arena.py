@@ -1,0 +1,174 @@
+"""The arena scenario matrix: population x controller mix x fault profile.
+
+Each *cell* is one full :func:`repro.arena.run_arena` run; the matrix
+fans cells out over a process pool exactly like the fleet driver fans
+out shards: cells are self-contained picklable configs, workers return
+plain ``to_dict()`` payloads, and the parent folds them **in cell
+order**, so the result is bit-identical for 1 worker or N — pinned by
+``tests/arena/test_arena_determinism.py``.
+
+Per-cohort QoE rollups ride the fleet's lossless
+:class:`~repro.fleet.aggregate.ArmAggregate` histograms, so the
+matrix-wide per-arm summary (:attr:`ArenaMatrixResult.cohorts`) is the
+exact aggregate one process would have produced, however the cells were
+partitioned across workers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..arena.metrics import CohortRollup
+from ..arena.runner import ArenaConfig, run_arena
+from ..arena.schedule import ScheduleConfig
+from ..service.experiment import ExperimentConfig
+
+__all__ = [
+    "ArenaCell",
+    "ArenaMatrixResult",
+    "build_arena_matrix",
+    "run_arena_matrix",
+    "render_arena_matrix",
+]
+
+
+@dataclass(frozen=True)
+class ArenaCell:
+    """One named cell of the scenario matrix."""
+
+    name: str
+    config: ArenaConfig
+
+
+def build_arena_matrix(
+    base: ArenaConfig,
+    player_counts: Sequence[int],
+    mixes: Mapping[str, ExperimentConfig],
+    profiles: Sequence[str],
+) -> List[ArenaCell]:
+    """The full cross product, cells named ``"<players>p|<mix>|<profile>"``.
+
+    ``base`` supplies everything the axes do not vary (trace, video,
+    arrival model, cross traffic, window width, seed).  Mixes iterate in
+    sorted-name order so the cell list — and with it every downstream
+    fold — is deterministic.
+    """
+    if not player_counts:
+        raise ValueError("need at least one player count")
+    if not mixes:
+        raise ValueError("need at least one controller mix")
+    if not profiles:
+        raise ValueError("need at least one fault profile")
+    cells: List[ArenaCell] = []
+    for players in player_counts:
+        for mix_name in sorted(mixes):
+            for profile in profiles:
+                schedule = replace(
+                    base.schedule, players=players, mix=mixes[mix_name]
+                )
+                cells.append(
+                    ArenaCell(
+                        name=f"{players}p|{mix_name}|{profile}",
+                        config=replace(
+                            base, schedule=schedule, profile=profile
+                        ),
+                    )
+                )
+    return cells
+
+
+class ArenaMatrixResult:
+    """All cells of one matrix run, plus the matrix-wide cohort rollup."""
+
+    def __init__(self, cells: "Dict[str, dict]") -> None:
+        self.cells = cells
+        self.cohorts: Dict[str, CohortRollup] = {}
+        self.sessions = 0
+        # Fold per-arm rollups across cells in insertion (= cell) order;
+        # every CohortRollup field is associative, so the outcome does
+        # not depend on how cells were sharded over workers.
+        for payload in cells.values():
+            self.sessions += int(payload["players"])
+            for arm in sorted(payload["cohorts"]):
+                rollup = CohortRollup.from_dict(payload["cohorts"][arm])
+                mine = self.cohorts.get(arm)
+                if mine is None:
+                    mine = self.cohorts[arm] = CohortRollup.empty()
+                mine.merge(rollup)
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "cells": {name: self.cells[name] for name in sorted(self.cells)},
+            "cohorts": {
+                arm: self.cohorts[arm].to_dict() for arm in sorted(self.cohorts)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable encoding (the determinism contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _run_cell(cell: ArenaCell) -> Tuple[str, dict]:
+    """Process-pool work unit: one arena cell, summarised."""
+    return cell.name, run_arena(cell.config).to_dict()
+
+
+def run_arena_matrix(
+    cells: Sequence[ArenaCell],
+    workers: Optional[int] = None,
+) -> ArenaMatrixResult:
+    """Run every cell; deterministic and worker-count independent.
+
+    ``workers=1`` runs serially in-process (no pool); ``None`` uses the
+    CPU count.  Results fold in cell order either way.
+    """
+    if not cells:
+        raise ValueError("need at least one cell")
+    names = [cell.name for cell in cells]
+    if len(set(names)) != len(names):
+        raise ValueError("cell names must be unique")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        pairs = [_run_cell(cell) for cell in cells]
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            pairs = pool.map(_run_cell, cells, chunksize=1)
+    return ArenaMatrixResult(dict(pairs))
+
+
+def render_arena_matrix(result: ArenaMatrixResult) -> str:
+    """A plain-text summary: one row per cell, then the cohort rollup."""
+    lines = ["cell                               players    jain    util  switches"]
+    for name in sorted(result.cells):
+        cell = result.cells[name]
+        totals = cell["totals"]
+        jain = totals["jain"]
+        util = totals["utilization"]
+        jain_s = "-" if jain is None else f"{jain:.4f}"
+        util_s = "-" if util is None else f"{util:.4f}"
+        lines.append(
+            f"{name:<35}{cell['players']:>7}{jain_s:>8}{util_s:>8}"
+            f"{totals['switches']:>10}"
+        )
+    lines.append("")
+    lines.append(
+        "cohort            sessions  departed   mean QoE  rebuffer s  bitrate kbps"
+    )
+    for arm in sorted(result.cohorts):
+        rollup = result.cohorts[arm]
+        mean_qoe = (
+            rollup.qoe_total_sum / rollup.sessions if rollup.sessions else 0.0
+        )
+        lines.append(
+            f"{arm:<18}{rollup.sessions:>8}{rollup.departed:>10}"
+            f"{mean_qoe:>11.1f}"
+            f"{rollup.mean_rebuffer_s:>12.3f}"
+            f"{rollup.mean_bitrate_kbps:>14.1f}"
+        )
+    return "\n".join(lines)

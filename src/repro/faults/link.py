@@ -87,6 +87,17 @@ class FaultyLink:
     def active_transfers(self) -> int:
         return self.inner.active_transfers
 
+    @property
+    def cross_flows(self) -> int:
+        return self.inner.cross_flows
+
+    def add_cross_flow(self, rate_kbps: float, label: str = "cross"):
+        """Cross traffic is not subject to chunk faults — pass through."""
+        return self.inner.add_cross_flow(rate_kbps, label)
+
+    def remove_cross_flow(self, flow) -> float:
+        return self.inner.remove_cross_flow(flow)
+
     def start_transfer(
         self,
         size_kilobits: float,

@@ -13,7 +13,9 @@ timeline is a complete, replayable record of a run:
 * :class:`RequestSpan`     — one decision-service request span;
 * :class:`SessionSummary`  — end-of-session totals and the Eq. 5 score;
 * :class:`FleetShard`      — one completed fleet Monte Carlo shard;
-* :class:`FleetSummary`    — a whole fleet run's throughput accounting.
+* :class:`FleetSummary`    — a whole fleet run's throughput accounting;
+* :class:`ArenaWindow`     — one time window of a shared-bottleneck arena;
+* :class:`ArenaSummary`    — an arena run's whole-population totals.
 
 Events are frozen dataclasses with only JSON-scalar fields, so the JSONL
 encoding (:func:`event_to_json` / :func:`event_from_json`) round-trips
@@ -40,6 +42,8 @@ __all__ = [
     "SessionSummary",
     "FleetShard",
     "FleetSummary",
+    "ArenaWindow",
+    "ArenaSummary",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -211,6 +215,42 @@ class FleetSummary(Event):
     sessions_per_s: float
 
 
+@dataclass(frozen=True)
+class ArenaWindow(Event):
+    """One ``[t0, t1)`` slice of a shared-bottleneck arena run.
+
+    ``utilization``, ``jain``, and ``instability`` are ``None`` for
+    windows with no capacity / no present players (see
+    ``docs/fairness.md`` for the metric definitions).
+    """
+
+    kind = "arena-window"
+
+    index: int
+    t0_s: float
+    t1_s: float
+    active_players: int
+    utilization: Optional[float]
+    jain: Optional[float]
+    switches: int
+    instability: Optional[float]
+
+
+@dataclass(frozen=True)
+class ArenaSummary(Event):
+    """End-of-arena totals over the whole player population."""
+
+    kind = "arena-summary"
+
+    players: int
+    duration_s: float
+    utilization: Optional[float]
+    jain: Optional[float]
+    unfairness: Optional[float]
+    switches: int
+    cross_kilobits: float
+
+
 #: kind -> event class, the JSONL decoding registry.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -224,6 +264,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         SessionSummary,
         FleetShard,
         FleetSummary,
+        ArenaWindow,
+        ArenaSummary,
     )
 }
 

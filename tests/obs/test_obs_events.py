@@ -7,6 +7,8 @@ import pytest
 
 from repro.obs.events import (
     EVENT_TYPES,
+    ArenaSummary,
+    ArenaWindow,
     ChunkDecision,
     ChunkDownload,
     FleetShard,
@@ -100,6 +102,29 @@ def _one_of_each():
             workers=8,
             wall_s=210.5,
             sessions_per_s=4750.6,
+        ),
+        ArenaWindow(
+            session_id="arena:fcc-0000#seed7",
+            t_mono=9.0,
+            index=2,
+            t0_s=20.0,
+            t1_s=30.0,
+            active_players=48,
+            utilization=0.93,
+            jain=0.87,
+            switches=5,
+            instability=5 / 48,
+        ),
+        ArenaSummary(
+            session_id="arena:fcc-0000#seed7",
+            t_mono=10.0,
+            players=1000,
+            duration_s=412.5,
+            utilization=0.91,
+            jain=0.84,
+            unfairness=0.4,
+            switches=1310,
+            cross_kilobits=250000.0,
         ),
     ]
 

@@ -66,7 +66,9 @@ def test_cluster_survives_sustained_load_and_kills(tmp_path):
             started = time.perf_counter()
             last_kill = started
             victim = 0
-            while time.perf_counter() - started < SOAK_SECONDS:
+            # The wall budget governs on fast hosts; slow hosts (1-core
+            # CI) still run the two rounds the final assertions require.
+            while rounds < 2 or time.perf_counter() - started < SOAK_SECONDS:
                 load = asyncio.ensure_future(
                     run_loadtest("127.0.0.1", sup.bound_port, config, traces=traces)
                 )
@@ -75,12 +77,18 @@ def test_cluster_survives_sustained_load_and_kills(tmp_path):
                     now = time.perf_counter()
                     if now - last_kill >= KILL_EVERY_S:
                         last_kill = now
-                        try:
-                            sup.kill_worker(victim % cluster.workers, signal.SIGKILL)
-                            explicit_kills += 1
-                        except Exception:
-                            pass  # victim already mid-restart; chaos got it
-                        victim += 1
+                        # A slot can be mid-restart (chaos got it, or the
+                        # respawn is slow on a loaded host); scan for a
+                        # live victim rather than burning the kill tick.
+                        for _ in range(cluster.workers):
+                            slot = victim % cluster.workers
+                            victim += 1
+                            try:
+                                sup.kill_worker(slot, signal.SIGKILL)
+                                explicit_kills += 1
+                                break
+                            except Exception:
+                                continue
                 report = await load
                 rounds += 1
                 decisions += report.decisions
