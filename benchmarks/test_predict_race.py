@@ -1,0 +1,156 @@
+"""Predictor-accuracy race benchmark — the §7.3 sensitivity extension.
+
+Races the predictor zoo (harmonic, EWMA, their gap-corrected twins, and
+the oracle) across the clean / blackouts / lossy-link fault profiles at
+``REPRO_BENCH_PREDICT_TRACES`` traces per dataset (default 8), through
+the same FastMPC controller, and records the accuracy-vs-QoE table.
+
+Two gates, in order:
+
+* **parity before the clock** — the pooled run must reproduce the
+  single-worker table bit for bit; a fast non-deterministic race must
+  fail here, not get timed;
+* **the headline claim** — on both stall-heavy profiles the
+  gap-corrected predictors strictly reduce active-rate MAE vs their
+  plain counterparts, while the clean profile degrades exactly.
+
+Results append to ``benchmarks/results/BENCH_predict.json`` so the
+recorded trajectory carries the accuracy table (who predicts best under
+which faults, and what QoE that bought) along with the throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import RESULTS_DIR, run_once
+
+from repro.experiments import (
+    PREDICTOR_RACE_PREDICTORS,
+    PREDICTOR_RACE_PROFILES,
+    run_predictor_race,
+)
+from repro.traces import FCCTraceGenerator, HSDPATraceGenerator
+from repro.video.presets import envivio
+
+pytestmark = pytest.mark.slow
+
+TRACES_PER_DATASET = int(os.environ.get("REPRO_BENCH_PREDICT_TRACES", "8"))
+DURATION_S = 320.0
+SEED = 2015
+WORKERS = min(4, os.cpu_count() or 1)
+
+#: The strict-reduction gate runs on blackouts, where the idle-gap
+#: fraction (~9%) makes the correction's win large and stable across
+#: seeds and population sizes.  lossy-link (~2% gap) is recorded but not
+#: gated here: at benchmark scale its margin sits inside seed-to-seed
+#: noise, and the configured experiment population that *is* gated on
+#: both profiles lives in tests/experiments/test_predictor_race.py.
+GATED_PROFILES = ("blackouts",)
+GATED_PAIRS = (("gap-harmonic", "harmonic"), ("gap-ewma", "ewma"))
+
+
+def race_traces():
+    return FCCTraceGenerator(seed=SEED).generate_many(
+        TRACES_PER_DATASET, DURATION_S
+    ) + HSDPATraceGenerator(seed=SEED).generate_many(
+        TRACES_PER_DATASET, DURATION_S
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    """The single-worker ground truth every pooled run must reproduce."""
+    return run_predictor_race(race_traces(), envivio(), workers=1)
+
+
+@pytest.fixture(scope="module")
+def pooled_run(reference_run):
+    traces = race_traces()
+    manifest = envivio()
+    # Warm the memoised decision table so the clock measures the race,
+    # not the one-off offline build.
+    run_predictor_race(
+        traces[:1], manifest, predictors=("harmonic",), profiles=("clean",)
+    )
+    t0 = time.perf_counter()
+    result = run_predictor_race(traces, manifest, workers=WORKERS)
+    wall_s = time.perf_counter() - t0
+    assert result == reference_run, "pooled race drifted from 1 worker"
+    sessions = len(result.cells)
+    return {"result": result, "wall_s": wall_s, "rate": sessions / wall_s}
+
+
+def test_parity_gate_is_clean(reference_run, pooled_run):
+    assert pooled_run["result"] == reference_run
+    assert pooled_run["result"].table() == reference_run.table()
+
+
+def test_gap_correction_wins_on_stall_profiles(pooled_run):
+    result = pooled_run["result"]
+    for profile in GATED_PROFILES:
+        for corrected, baseline in GATED_PAIRS:
+            assert result.strictly_reduces(profile, corrected, baseline), (
+                f"{corrected} did not beat {baseline} on {profile}: "
+                f"{result.row(profile, corrected).active_mae} vs "
+                f"{result.row(profile, baseline).active_mae}"
+            )
+
+
+def test_clean_profile_degrades_exactly(pooled_run):
+    result = pooled_run["result"]
+    for corrected, baseline in GATED_PAIRS:
+        assert (
+            result.row("clean", corrected).active_mae
+            == result.row("clean", baseline).active_mae
+        )
+        assert (
+            result.row("clean", corrected).qoe_mean
+            == result.row("clean", baseline).qoe_mean
+        )
+
+
+def test_race_covers_the_grid(benchmark, pooled_run):
+    outcome = run_once(benchmark, lambda: pooled_run)
+    result = outcome["result"]
+    expected = (
+        len(PREDICTOR_RACE_PROFILES)
+        * len(PREDICTOR_RACE_PREDICTORS)
+        * 2
+        * TRACES_PER_DATASET
+    )
+    assert len(result.cells) == expected
+
+
+def test_append_bench_json(pooled_run, report_sink):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_predict.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if isinstance(history, dict):
+            history = [history]
+    result = pooled_run["result"]
+    record = {
+        "timestamp": time.time(),
+        "cpu_count": os.cpu_count(),
+        "workers": WORKERS,
+        "seed": SEED,
+        "traces_per_dataset": TRACES_PER_DATASET,
+        "trace_duration_s": DURATION_S,
+        "sessions": len(result.cells),
+        "wall_s": pooled_run["wall_s"],
+        "sessions_per_s": pooled_run["rate"],
+        "rows": [row.to_dict() for row in result.rows()],
+    }
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    lines = [
+        f"{record['sessions']} sessions in {record['wall_s']:.1f}s = "
+        f"{record['sessions_per_s']:,.0f} sessions/s over {WORKERS} worker(s)",
+        result.table(),
+    ]
+    report_sink("BENCH_predict", "\n".join(lines))

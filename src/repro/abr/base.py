@@ -68,13 +68,21 @@ class SessionConfig:
 
 @dataclass(frozen=True)
 class PlayerObservation:
-    """Player state at a decision instant (start of chunk ``k``)."""
+    """Player state at a decision instant (start of chunk ``k``).
+
+    ``available_chunks`` is the number of chunks published so far in a
+    live session (chunks ``0 .. available_chunks - 1`` exist); ``None``
+    — the default, and always the case for on-demand video — means the
+    whole manifest is available.  Lookahead controllers clip their
+    planning horizon to it.
+    """
 
     chunk_index: int
     buffer_level_s: float  # B_k, known exactly
     prev_level_index: Optional[int]  # None before the first chunk
     wall_time_s: float
     playback_started: bool
+    available_chunks: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.chunk_index < 0:
@@ -83,11 +91,27 @@ class PlayerObservation:
             raise ValueError("buffer level must be >= 0")
         if self.wall_time_s < 0:
             raise ValueError("wall time must be >= 0")
+        if (
+            self.available_chunks is not None
+            and self.available_chunks <= self.chunk_index
+        ):
+            raise ValueError(
+                "a decision requires the chunk being decided to be available"
+            )
 
 
 @dataclass(frozen=True)
 class DownloadResult:
-    """Feedback after chunk ``k`` finished downloading."""
+    """Feedback after chunk ``k`` finished downloading.
+
+    ``stalled_s`` is dead time *inside* the download window — seconds
+    spent in zero-bandwidth trace segments or burnt detecting link
+    failures — and ``idle_before_s`` is off time between the previous
+    transfer's end and this one's start (pacing waits, live-availability
+    waits).  Both default to 0 for backends that predate the
+    streaming-aware prediction layer; gap-corrected predictors use them
+    to reconstruct active-transfer rates.
+    """
 
     chunk_index: int
     level_index: int
@@ -100,12 +124,18 @@ class DownloadResult:
     wall_time_end_s: float
     waited_s: float = 0.0  # Delta t_k, non-zero only at a full buffer
     buffer_before_s: float = 0.0  # B_k at the decision instant
+    stalled_s: float = 0.0  # dead time inside the download window
+    idle_before_s: float = 0.0  # off time since the previous transfer
 
     def __post_init__(self) -> None:
         if self.download_time_s < 0 or self.rebuffer_s < 0 or self.waited_s < 0:
             raise ValueError("times must be >= 0")
         if self.throughput_kbps <= 0:
             raise ValueError("measured throughput must be positive")
+        if self.stalled_s < 0 or self.idle_before_s < 0:
+            raise ValueError("stall/idle times must be >= 0")
+        if self.stalled_s > self.download_time_s:
+            raise ValueError("stall time cannot exceed the download time")
 
 
 class ABRAlgorithm(ABC):
@@ -135,7 +165,12 @@ class ABRAlgorithm(ABC):
     def on_download_complete(self, result: DownloadResult) -> None:
         """Feedback hook; default updates every exposed predictor."""
         for predictor in self.predictors():
-            predictor.observe_kbps(result.throughput_kbps, result.download_time_s)
+            predictor.observe_kbps(
+                result.throughput_kbps,
+                result.download_time_s,
+                idle_s=result.idle_before_s,
+                stall_s=result.stalled_s,
+            )
 
     def select_startup_wait(self, observation: PlayerObservation) -> float:
         """Extra seconds to wait after the first chunk before playback.

@@ -18,6 +18,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy test
     MDPController = None  # type: ignore[assignment, misc]
 from ..core.mpc import MPCController, make_mpc_opt
 from ..core.robust import RobustMPCController
+from ..prediction.streaming import GapCorrectedHarmonicPredictor
 from .base import ABRAlgorithm
 from .bola import BolaAlgorithm
 from .buffer_based import BufferBasedAlgorithm, BufferBasedChunkMapAlgorithm
@@ -42,6 +43,12 @@ _FACTORIES: Dict[str, Callable[[], ABRAlgorithm]] = {
     "robust-mpc": RobustMPCController,
     "fastmpc": FastMPCController,
     "robust-fastmpc": lambda: FastMPCController(robust=True),
+    # FastMPC fed by the idle-gap-corrected harmonic predictor
+    # (docs/prediction.md): identical decisions on gap-free traffic,
+    # capacity-recovering ones through blackouts and faulty links.
+    "fastmpc-gap": lambda: FastMPCController(
+        predictor=GapCorrectedHarmonicPredictor(), name="fastmpc-gap"
+    ),
     "mpc-opt": make_mpc_opt,
     "lowest": lambda: ConstantLevelAlgorithm(0),
     "highest": lambda: ConstantLevelAlgorithm(-1),

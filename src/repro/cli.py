@@ -294,7 +294,87 @@ def _build_parser() -> argparse.ArgumentParser:
             " server)"
         ),
     )
+    p.add_argument(
+        "--predictors", nargs="*", default=None, metavar="NAME",
+        help=(
+            "route sessions round-robin over these client-side throughput"
+            " predictors (repro.prediction registry names, e.g. harmonic"
+            " gap-harmonic ewma); the report breaks QoE out per predictor"
+        ),
+    )
+    p.add_argument(
+        "--family", default=None, metavar="KEY",
+        help=(
+            "trace-family key stamped on every request so the server"
+            " pools a cross-session throughput prior (json protocol only)"
+        ),
+    )
+    p.add_argument(
+        "--open-loop", action="store_true",
+        help=(
+            "live/low-latency arrival model: sessions arrive on a"
+            " deterministic open-loop schedule instead of a closed loop"
+        ),
+    )
+    p.add_argument(
+        "--arrival-rate", type=float, default=16.0, metavar="HZ",
+        help="open-loop base arrival rate in sessions/s",
+    )
+    p.add_argument(
+        "--diurnal-amplitude", type=float, default=0.0, metavar="A",
+        help="sinusoidal rate modulation in [0, 1] around the base rate",
+    )
+    p.add_argument(
+        "--diurnal-period", type=float, default=10.0, metavar="S",
+        help="period of the diurnal sinusoid in seconds",
+    )
+    p.add_argument(
+        "--burst-at", type=float, default=None, metavar="S",
+        help="inject a flash crowd at this offset into the schedule",
+    )
+    p.add_argument(
+        "--burst-sessions", type=int, default=0,
+        help="extra sessions arriving together at --burst-at",
+    )
     p.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+
+    p = sub.add_parser(
+        "predict-race",
+        help=(
+            "race throughput predictors across fault profiles: the §7.3"
+            " sensitivity extension, reporting active-rate and wall-rate"
+            " MAE, gap diagnostics, and the QoE each predictor earned"
+        ),
+    )
+    p.add_argument(
+        "--datasets", nargs="*", choices=DATASET_NAMES, default=None,
+        help="trace datasets to pool sessions from (default: fcc hsdpa)",
+    )
+    p.add_argument(
+        "--traces", type=int, default=4, help="traces per dataset"
+    )
+    p.add_argument("--seed", type=int, default=11, help="trace-generator seed")
+    p.add_argument("--duration", type=float, default=320.0, help="trace seconds")
+    p.add_argument(
+        "--predictors", nargs="*", default=None, metavar="NAME",
+        help=(
+            "predictors to race (default: harmonic ewma gap-harmonic"
+            " gap-ewma oracle)"
+        ),
+    )
+    p.add_argument(
+        "--profiles", nargs="*", default=None, metavar="NAME",
+        help="fault profiles to race under (default: clean blackouts lossy-link)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process pool size (results are bit-identical at any count)",
+    )
+    p.add_argument(
+        "--bins", type=int, default=24,
+        help="decision-table discretization for the FastMPC controller",
+    )
+    p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
 
     p = sub.add_parser(
         "fleet", help="fleet-scale Monte Carlo over sampled scenarios"
@@ -845,6 +925,14 @@ def _cmd_loadtest(args) -> int:
         trace_duration_s=args.duration,
         deadline_s=args.deadline,
         protocol=args.protocol,
+        predictors=tuple(args.predictors or ()),
+        family=args.family,
+        open_loop=args.open_loop,
+        arrival_rate_hz=args.arrival_rate,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period_s=args.diurnal_period,
+        burst_at_s=args.burst_at,
+        burst_sessions=args.burst_sessions,
     )
     report = run_loadtest_sync(args.host, args.port, config)
     print(report.describe())
@@ -854,6 +942,49 @@ def _cmd_loadtest(args) -> int:
         )
         print(f"saved {args.json}")
     return 1 if report.errors else 0
+
+
+def _cmd_predict_race(args) -> int:
+    """Race predictors across fault profiles (§7.3 extension)."""
+    import json
+    from pathlib import Path
+
+    from .core.fastmpc import FastMPCConfig
+    from .experiments import (
+        PREDICTOR_RACE_PREDICTORS,
+        PREDICTOR_RACE_PROFILES,
+        run_predictor_race,
+    )
+
+    datasets = tuple(args.datasets or ("fcc", "hsdpa"))
+    manifest = envivio()
+    traces = []
+    for dataset in datasets:
+        generator = make_generator(dataset, seed=args.seed)
+        traces.extend(generator.generate_many(args.traces, args.duration))
+    result = run_predictor_race(
+        traces,
+        manifest,
+        predictors=tuple(args.predictors or PREDICTOR_RACE_PREDICTORS),
+        profiles=tuple(args.profiles or PREDICTOR_RACE_PROFILES),
+        config=FastMPCConfig(
+            buffer_bins=args.bins, throughput_bins=args.bins, horizon=5
+        ),
+        workers=args.workers,
+    )
+    print(result.table())
+    print(
+        f"{len(traces)} trace(s) from {'+'.join(datasets)}"
+        f" x {len(result.profiles)} profile(s)"
+        f" x {len(result.predictors)} predictor(s)"
+        f" (seed {args.seed}, workers {args.workers})"
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved {args.json}")
+    return 0
 
 
 def _cmd_leaderboard(args) -> int:
@@ -1258,6 +1389,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "predict-race": _cmd_predict_race,
     "leaderboard": _cmd_leaderboard,
     "arena": _cmd_arena,
     "chaos": _cmd_chaos,

@@ -315,7 +315,11 @@ class FastMPCController(ABRAlgorithm):
     def on_download_complete(self, result) -> None:
         if self._pending_raw_prediction is not None:
             self.error_tracker.record(
-                self._pending_raw_prediction, result.throughput_kbps
+                self._pending_raw_prediction,
+                result.throughput_kbps,
+                duration_s=result.download_time_s,
+                idle_s=result.idle_before_s,
+                stall_s=result.stalled_s,
             )
             self._pending_raw_prediction = None
         super().on_download_complete(result)

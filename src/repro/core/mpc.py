@@ -102,7 +102,11 @@ class MPCController(ABRAlgorithm):
     def on_download_complete(self, result: DownloadResult) -> None:
         if self._pending_raw_prediction is not None:
             self.error_tracker.record(
-                self._pending_raw_prediction, result.throughput_kbps
+                self._pending_raw_prediction,
+                result.throughput_kbps,
+                duration_s=result.download_time_s,
+                idle_s=result.idle_before_s,
+                stall_s=result.stalled_s,
             )
             self._pending_raw_prediction = None
         super().on_download_complete(result)
@@ -114,9 +118,16 @@ class MPCController(ABRAlgorithm):
     # The Predict / Optimize steps
     # ------------------------------------------------------------------
 
-    def _effective_horizon(self, chunk_index: int) -> int:
-        """Clip the look-ahead at the end of the video."""
-        remaining = self.manifest.num_chunks - chunk_index
+    def _effective_horizon(
+        self, chunk_index: int, available_chunks: Optional[int] = None
+    ) -> int:
+        """Clip the look-ahead at the end of the video — and, in a live
+        session, at the newest chunk published so far (the controller
+        cannot plan over chunks that do not exist yet)."""
+        last = self.manifest.num_chunks
+        if available_chunks is not None:
+            last = min(last, available_chunks)
+        remaining = last - chunk_index
         return max(1, min(self.horizon, remaining))
 
     def _transform_predictions(self, raw_kbps: List[float]) -> List[float]:
@@ -152,7 +163,9 @@ class MPCController(ABRAlgorithm):
         )
 
     def _solve(self, observation: PlayerObservation) -> HorizonSolution:
-        n = self._effective_horizon(observation.chunk_index)
+        n = self._effective_horizon(
+            observation.chunk_index, observation.available_chunks
+        )
         raw = self.predictor.predict(n)
         self._pending_raw_prediction = raw[0]
         predictions = self._transform_predictions(list(raw))

@@ -11,6 +11,9 @@ manufactures the unhappy ones, end to end:
   surgery (byte integration outside fault windows is untouched).
 * :mod:`link` — :class:`FaultyLink` enforces per-transfer faults around
   the emulation's shared bottleneck link.
+* :mod:`simlink` — :class:`SimLinkFaults`, the same per-transfer
+  semantics for the synchronous chunk simulator (dead time counted into
+  each chunk's ``stalled_s``).
 * :mod:`chaos` — :class:`ChaosPolicy`, the decision server's injected
   misbehaviour source (5xx, slow-loris, resets, mid-flight table swaps).
 * :mod:`profiles` — named scenarios for ``repro-abr chaos`` and tests.
@@ -34,6 +37,7 @@ from .spec import (
 )
 from .trace import apply_trace_faults
 from .link import FailedTransfer, FaultyLink
+from .simlink import SimLinkFaults
 from .chaos import (
     CHAOS_ERROR,
     CHAOS_KILL,
@@ -59,6 +63,7 @@ __all__ = [
     "apply_trace_faults",
     "FailedTransfer",
     "FaultyLink",
+    "SimLinkFaults",
     "CHAOS_ERROR",
     "CHAOS_KILL",
     "CHAOS_NONE",

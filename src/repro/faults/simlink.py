@@ -1,0 +1,85 @@
+"""Per-transfer link-fault enforcement for the chunk-level simulator.
+
+:class:`~repro.faults.link.FaultyLink` enforces :class:`LatencySpike`
+and :class:`ChunkFailure` around the event-driven emulation link; the
+simulator's synchronous download loop needs the same semantics without
+the event queue.  :class:`SimLinkFaults` mirrors ``FaultyLink`` exactly:
+
+* each transfer start makes one seeded Bernoulli draw per at-risk
+  :class:`ChunkFailure` spec, in start order — a failure costs
+  ``detect_delay_s`` of dead wall time and the transfer retries from the
+  delayed instant (a fresh draw at the new start time);
+* once a start survives the failure draws, every :class:`LatencySpike`
+  window active at that instant delays the first byte by its
+  ``extra_delay_s`` (overlapping spikes stack).
+
+The whole overhead is *dead* time: it extends the download's wall clock
+without delivering bytes, so the session loop counts it both into the
+download time and into the chunk's ``stalled_s`` — which is precisely
+the on/off signal the gap-corrected predictors divide back out.
+
+The same (faults, seed) pair always reproduces the same overhead
+sequence, keeping sensitivity-experiment results bit-reproducible across
+worker counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from .spec import ChunkFailure, FaultSpec, LatencySpike, link_faults
+
+__all__ = ["SimLinkFaults"]
+
+#: Retry ceiling per transfer: with the profile rates used in this repo
+#: (<= 0.25) the probability of hitting it is below 1e-38; it exists so a
+#: pathological rate=1.0 spec terminates instead of looping forever.
+_MAX_ATTEMPTS = 64
+
+
+class SimLinkFaults:
+    """Deterministic link-fault overhead for synchronous simulations."""
+
+    def __init__(self, faults: Iterable[FaultSpec], seed: int = 0) -> None:
+        specs = link_faults(faults)
+        self._failures: List[ChunkFailure] = [
+            s for s in specs if isinstance(s, ChunkFailure)
+        ]
+        self._spikes: List[LatencySpike] = [
+            s for s in specs if isinstance(s, LatencySpike)
+        ]
+        self._rng = random.Random(seed)
+        self.transfers_started = 0
+        self.transfers_failed = 0
+
+    def __bool__(self) -> bool:
+        return bool(self._failures or self._spikes)
+
+    def overhead_s(self, start_s: float) -> float:
+        """Dead seconds injected ahead of a transfer starting at ``start_s``.
+
+        Consumes RNG draws exactly as :class:`FaultyLink` would for a
+        client that retries every failure immediately.
+        """
+        now = start_s
+        for _ in range(_MAX_ATTEMPTS):
+            self.transfers_started += 1
+            spec = self._draw_failure(now)
+            if spec is None:
+                break
+            self.transfers_failed += 1
+            now += spec.detect_delay_s
+        for spike in self._spikes:
+            if spike.active_at(now):
+                now += spike.extra_delay_s
+        return now - start_s
+
+    def _draw_failure(self, now: float):
+        """One Bernoulli draw per at-risk transfer, in start order."""
+        for spec in self._failures:
+            if spec.rate <= 0 or not spec.active_at(now):
+                continue
+            if self._rng.random() < spec.rate:
+                return spec
+        return None

@@ -46,6 +46,7 @@ from ..abr.rate_based import RateBasedAlgorithm
 from ..core.fastmpc import FastMPCConfig, FastMPCController, build_decision_table
 from ..core.npcompat import HAVE_NUMPY, np
 from ..prediction.base import OBSERVATION_FLOOR_KBPS
+from ..prediction.streaming import GapCorrectedHarmonicPredictor
 from ..video.manifest import VideoManifest
 
 __all__ = [
@@ -69,6 +70,7 @@ SUPPORTED_CONTROLLERS = (
     "das-ip",
     "fastmpc",
     "robust-fastmpc",
+    "fastmpc-gap",
 )
 
 
@@ -106,6 +108,13 @@ def make_scalar_algorithm(
     if name == "robust-fastmpc":
         return FastMPCController(
             config=table_config, robust=True, cache_dir=cache_dir
+        )
+    if name == "fastmpc-gap":
+        return FastMPCController(
+            predictor=GapCorrectedHarmonicPredictor(),
+            config=table_config,
+            cache_dir=cache_dir,
+            name="fastmpc-gap",
         )
     raise ValueError(
         f"unsupported fleet controller {name!r}; expected one of "
@@ -155,6 +164,156 @@ class _BatchHarmonic:
             self._recip[:, -1] = 1.0 / clamped
 
 
+def _batch_active_rates(throughput_kbps, download_time_s, stall_s):
+    """Elementwise :attr:`ThroughputObservation.active_kbps` twin.
+
+    Rows with no in-window stall (or a fully stalled transfer) keep the
+    clamped wall rate *by selection* — ``np.where`` copies the value, no
+    arithmetic touches it — which is what preserves the scalar
+    degradation contract bit for bit.
+    """
+    clamped = np.maximum(throughput_kbps, OBSERVATION_FLOOR_KBPS)
+    engaged = (stall_s > 0.0) & (stall_s < download_time_s)
+    denom = np.where(engaged, download_time_s - stall_s, 1.0)
+    active = np.where(engaged, clamped * (download_time_s / denom), clamped)
+    return active, engaged
+
+
+class _BatchGapHarmonic:
+    """N :class:`GapCorrectedHarmonicPredictor` windows in lockstep.
+
+    Stores active rates (oldest first) plus a per-sample corrected flag;
+    the estimate replicates the scalar predictor's expression order —
+    harmonic mean, optional robust discount, then the clamp into the
+    window's [min, max] active-rate range, applied only to rows where a
+    correction engaged (min/max/comparison selection, no rounding).
+    """
+
+    __slots__ = (
+        "window",
+        "cold_start_kbps",
+        "robust_discount",
+        "_active",
+        "_corrected",
+        "_filled",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        window: int = 5,
+        cold_start_kbps: float = 100.0,
+        robust_discount: float = 0.0,
+    ):
+        self.window = window
+        self.cold_start_kbps = cold_start_kbps
+        self.robust_discount = robust_discount
+        self._active = np.zeros((n, window), dtype=np.float64)
+        self._corrected = np.zeros((n, window), dtype=bool)
+        self._filled = 0
+
+    def estimate(self):
+        n = self._active.shape[0]
+        if self._filled == 0:
+            return np.full(n, self.cold_start_kbps)
+        cols = self._active[:, : self._filled]
+        recip = 1.0 / cols
+        total = recip[:, 0].copy()
+        for j in range(1, self._filled):
+            total += recip[:, j]
+        estimate = self._filled / total
+        if self.robust_discount > 0.0:
+            estimate = estimate / (1.0 + self.robust_discount)
+            engaged = np.ones(n, dtype=bool)
+        else:
+            engaged = self._corrected[:, : self._filled].any(axis=1)
+            if not engaged.any():
+                return estimate
+        lo = np.min(cols, axis=1)
+        hi = np.max(cols, axis=1)
+        clamped = np.minimum(np.maximum(estimate, lo), hi)
+        return np.where(engaged, clamped, estimate)
+
+    def observe(self, throughput_kbps, download_time_s, stall_s) -> None:
+        active, engaged = _batch_active_rates(
+            throughput_kbps, download_time_s, stall_s
+        )
+        if self._filled < self.window:
+            self._active[:, self._filled] = active
+            self._corrected[:, self._filled] = engaged
+            self._filled += 1
+        else:
+            self._active[:, :-1] = self._active[:, 1:]
+            self._active[:, -1] = active
+            self._corrected[:, :-1] = self._corrected[:, 1:]
+            self._corrected[:, -1] = engaged
+
+
+class _BatchGapEWMA:
+    """N :class:`GapCorrectedEWMAPredictor` levels in lockstep.
+
+    The level recurrence is the scalar ``alpha * a + (1 - alpha) * level``
+    elementwise; bounds are the running min/max active rate and a row's
+    correction flag, once set, stays set — exactly the scalar predictor's
+    session-sticky clamp semantics.
+    """
+
+    __slots__ = (
+        "alpha",
+        "cold_start_kbps",
+        "robust_discount",
+        "_level",
+        "_lo",
+        "_hi",
+        "_any_corrected",
+        "_n",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        alpha: float = 0.4,
+        cold_start_kbps: float = 100.0,
+        robust_discount: float = 0.0,
+    ):
+        self.alpha = alpha
+        self.cold_start_kbps = cold_start_kbps
+        self.robust_discount = robust_discount
+        self._n = n
+        self._level = None
+        self._lo = None
+        self._hi = None
+        self._any_corrected = np.zeros(n, dtype=bool)
+
+    def estimate(self):
+        if self._level is None:
+            return np.full(self._n, self.cold_start_kbps)
+        estimate = self._level
+        if self.robust_discount > 0.0:
+            estimate = estimate / (1.0 + self.robust_discount)
+            engaged = np.ones(self._n, dtype=bool)
+        else:
+            engaged = self._any_corrected
+            if not engaged.any():
+                return estimate.copy()
+        clamped = np.minimum(np.maximum(estimate, self._lo), self._hi)
+        return np.where(engaged, clamped, estimate)
+
+    def observe(self, throughput_kbps, download_time_s, stall_s) -> None:
+        active, engaged = _batch_active_rates(
+            throughput_kbps, download_time_s, stall_s
+        )
+        self._any_corrected = self._any_corrected | engaged
+        if self._level is None:
+            self._level = active.copy()
+            self._lo = active.copy()
+            self._hi = active.copy()
+        else:
+            self._level = self.alpha * active + (1.0 - self.alpha) * self._level
+            self._lo = np.minimum(self._lo, active)
+            self._hi = np.maximum(self._hi, active)
+
+
 class _BatchErrorTracker:
     """N :class:`PredictionErrorTracker` windows in lockstep."""
 
@@ -198,6 +357,12 @@ def _highest_at_most_batch(ladder_array, budgets):
 class _BatchController:
     """Array-of-sessions decision interface driven by the stepper."""
 
+    #: Controllers whose predictors consume the on/off structure of the
+    #: download (gap-corrected twins) set this True; the stepper then
+    #: runs the stall-collecting trace walk and passes duration/stall
+    #: arrays to :meth:`observe`.
+    wants_gap_context = False
+
     def prepare(self, manifest: VideoManifest, config: SessionConfig, n: int):
         self.manifest = manifest
         self.config = config
@@ -212,8 +377,12 @@ class _BatchController:
         """
         raise NotImplementedError
 
-    def observe(self, throughput_kbps) -> None:
-        """Feedback after the chunk completed (raw ``size / time``)."""
+    def observe(self, throughput_kbps, download_time_s=None, stall_s=None) -> None:
+        """Feedback after the chunk completed (raw ``size / time``).
+
+        ``download_time_s`` / ``stall_s`` are only populated (and only
+        consumed) when :attr:`wants_gap_context` is set.
+        """
 
 
 class _BatchConstant(_BatchController):
@@ -249,7 +418,7 @@ class _BatchRateBased(_BatchController):
         budget = self.safety_factor * self._predictor.estimate()
         return _highest_at_most_batch(self._ladder, budget)
 
-    def observe(self, throughput_kbps):
+    def observe(self, throughput_kbps, download_time_s=None, stall_s=None):
         self._predictor.observe(throughput_kbps)
 
 
@@ -372,7 +541,7 @@ class _BatchDasIp(_BatchController):
             best_level[better] = level
         return best_level
 
-    def observe(self, throughput_kbps):
+    def observe(self, throughput_kbps, download_time_s=None, stall_s=None):
         self._predictor.observe(throughput_kbps)
 
 
@@ -380,10 +549,13 @@ class _BatchFastMPC(_BatchController):
     def __init__(
         self,
         robust: bool = False,
+        gap: bool = False,
         table_config: Optional[FastMPCConfig] = None,
         cache_dir: Optional[str] = None,
     ):
         self.robust = robust
+        self.gap = gap
+        self.wants_gap_context = gap
         self.table_config = table_config
         self.cache_dir = cache_dir
 
@@ -399,7 +571,9 @@ class _BatchFastMPC(_BatchController):
             config=self.table_config,
             cache_dir=self.cache_dir,
         )
-        self._predictor = _BatchHarmonic(n)
+        self._predictor = (
+            _BatchGapHarmonic(n) if self.gap else _BatchHarmonic(n)
+        )
         self._errors = _BatchErrorTracker(n)
         self._pending_raw = None
 
@@ -412,11 +586,14 @@ class _BatchFastMPC(_BatchController):
         levels = self.table.lookup_batch(buffer_s, prev_levels, query)
         return np.asarray(levels, dtype=np.int64)
 
-    def observe(self, throughput_kbps):
+    def observe(self, throughput_kbps, download_time_s=None, stall_s=None):
         if self._pending_raw is not None:
             self._errors.record(self._pending_raw, throughput_kbps)
             self._pending_raw = None
-        self._predictor.observe(throughput_kbps)
+        if self.gap:
+            self._predictor.observe(throughput_kbps, download_time_s, stall_s)
+        else:
+            self._predictor.observe(throughput_kbps)
 
 
 def make_batch_controller(
@@ -446,6 +623,10 @@ def make_batch_controller(
     if name == "robust-fastmpc":
         return _BatchFastMPC(
             robust=True, table_config=table_config, cache_dir=cache_dir
+        )
+    if name == "fastmpc-gap":
+        return _BatchFastMPC(
+            gap=True, table_config=table_config, cache_dir=cache_dir
         )
     raise ValueError(
         f"unsupported fleet controller {name!r}; expected one of "

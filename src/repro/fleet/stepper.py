@@ -137,6 +137,7 @@ class TraceBank:
         nseg: List[int] = []
         durations: List[float] = []
         per_pass: List[float] = []
+        stall_pp: List[float] = []
         for trace in order:
             offsets.append(len(times_flat))
             times = list(trace.timestamps)
@@ -152,6 +153,7 @@ class TraceBank:
                     "trace delivers zero bytes per pass; download never completes"
                 )
             per_pass.append(bits)
+            stall_pp.append(trace._stall_one_pass())
 
         self.num_traces = len(order)
         self.times_flat = np.asarray(times_flat, dtype=np.float64)
@@ -162,6 +164,7 @@ class TraceBank:
         self.nseg = np.asarray(nseg, dtype=np.int64)[tids]
         self.duration = np.asarray(durations, dtype=np.float64)[tids]
         self.per_pass = np.asarray(per_pass, dtype=np.float64)[tids]
+        self.stall_pp = np.asarray(stall_pp, dtype=np.float64)[tids]
         self._max_nseg = int(max(nseg)) if nseg else 0
 
     # ------------------------------------------------------------------
@@ -206,12 +209,27 @@ class TraceBank:
         ``_EPS`` completion test.  ``hint`` is updated in place with the
         located start segment for the next chunk's warm start.
         """
+        return self._walk(t0, size_kilobits, hint, collect_stall=False)[0]
+
+    def download_time_and_stall(self, t0, size_kilobits, hint):
+        """Vectorized :meth:`Trace.download_time_and_stall`.
+
+        The identical walk with a stall accumulator bolted on — zero-
+        bandwidth segments contribute their length, whole-repetition
+        skips contribute ``full * stall_per_pass`` — mirroring the
+        scalar method's accrual points exactly, and (like the scalar
+        twin) never touching the download-time arithmetic.
+        """
+        return self._walk(t0, size_kilobits, hint, collect_stall=True)
+
+    def _walk(self, t0, size_kilobits, hint, collect_stall):
         n = int(t0.shape[0])
         tw = self._wrap(t0)
         start_idx = self.locate(tw, hint)
         hint[:] = start_idx
 
         out = np.zeros(n, dtype=np.float64)
+        stall = np.zeros(n, dtype=np.float64)
         remaining = np.asarray(size_kilobits, dtype=np.float64).copy()
         elapsed = np.zeros(n, dtype=np.float64)
         t = tw.copy()
@@ -238,6 +256,8 @@ class TraceBank:
                     full = np.floor(remaining[mids] / self.per_pass[mids])
                     remaining[mids] = remaining[mids] - full * self.per_pass[mids]
                     elapsed[mids] = elapsed[mids] + full * self.duration[mids]
+                    if collect_stall:
+                        stall[mids] = stall[mids] + full * self.stall_pp[mids]
                 phase[tids] = 1
                 t[tids] = 0.0
                 idx[tids] = 0
@@ -269,6 +289,11 @@ class TraceBank:
                 cids = ids[cont]
                 remaining[cids] = remaining[cids] - seg_bits[cont]
                 elapsed[cids] = elapsed[cids] + seg_len[cont]
+                if collect_stall:
+                    zero = bw[cont] == 0.0
+                    if zero.any():
+                        zids = cids[zero]
+                        stall[zids] = stall[zids] + seg_len[cont][zero]
                 t[cids] = seg_end[cont]
                 idx[cids] = idx[cids] + 1
                 wrap = (phase[cids] == 1) & (idx[cids] >= self.nseg[cids])
@@ -276,7 +301,7 @@ class TraceBank:
                     wids = cids[wrap]
                     t[wids] = 0.0
                     idx[wids] = 0
-        return out
+        return out, stall
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +375,7 @@ def _run_vector(
     buffer_out = np.empty((n, num_chunks), dtype=np.float64)
     download_out = np.empty((n, num_chunks), dtype=np.float64)
 
+    wants_gap = controller.wants_gap_context
     for k in range(num_chunks):
         levels = controller.decide(k, buffer_s, prev_levels)
         if levels.size and (levels.min() < 0 or levels.max() >= num_levels):
@@ -357,7 +383,11 @@ def _run_vector(
                 f"{controller_name} returned an invalid level for chunk {k}"
             )
         size = sizes[k][levels]
-        download_time = bank.time_to_download(t, size, hint)
+        if wants_gap:
+            download_time, stalled = bank.download_time_and_stall(t, size, hint)
+        else:
+            download_time = bank.time_to_download(t, size, hint)
+            stalled = None
         t_end = t + download_time
 
         if k == 0:
@@ -402,7 +432,7 @@ def _run_vector(
         prev_quality = chunk_quality
         bitrate_total = bitrate_total + ladder_arr[levels]
 
-        controller.observe(throughput)
+        controller.observe(throughput, download_time, stalled)
         prev_levels = levels
 
     weights = config.weights

@@ -20,6 +20,7 @@ from .events import (
     Event,
     FleetShard,
     FleetSummary,
+    PredictionSpan,
     Rebuffer,
     RequestSpan,
     SessionSummary,
@@ -32,6 +33,7 @@ from .events import (
 )
 from .replay import (
     ReplayedSession,
+    prediction_errors,
     read_timeline,
     replay_session,
     split_sessions,
@@ -47,6 +49,7 @@ __all__ = [
     "SolverCall",
     "TableLookup",
     "RequestSpan",
+    "PredictionSpan",
     "SessionSummary",
     "FleetShard",
     "FleetSummary",
@@ -64,5 +67,6 @@ __all__ = [
     "split_sessions",
     "replay_session",
     "verify_timeline",
+    "prediction_errors",
     "ReplayedSession",
 ]

@@ -11,6 +11,7 @@ timeline is a complete, replayable record of a run:
 * :class:`SolverCall`      — one horizon-kernel invocation (profiling);
 * :class:`TableLookup`     — one FastMPC table query (profiling);
 * :class:`RequestSpan`     — one decision-service request span;
+* :class:`PredictionSpan`  — one predictor forecast vs its outcome;
 * :class:`SessionSummary`  — end-of-session totals and the Eq. 5 score;
 * :class:`FleetShard`      — one completed fleet Monte Carlo shard;
 * :class:`FleetSummary`    — a whole fleet run's throughput accounting;
@@ -39,6 +40,7 @@ __all__ = [
     "SolverCall",
     "TableLookup",
     "RequestSpan",
+    "PredictionSpan",
     "SessionSummary",
     "FleetShard",
     "FleetSummary",
@@ -169,6 +171,35 @@ class RequestSpan(Event):
 
 
 @dataclass(frozen=True)
+class PredictionSpan(Event):
+    """One throughput forecast paired with the download it predicted.
+
+    Emitted per (chunk, predictor) by the simulator's session loops:
+    ``predicted_kbps`` is the first horizon entry the predictor produced
+    at decision time, ``actual_kbps`` the wall-clock rate the download
+    measured (Eq. 2), and ``active_kbps`` the rate over active-transfer
+    time only (stall time divided back out — the Kairos capacity view).
+    ``error`` is the signed relative error vs the active rate, exactly
+    ``(predicted - active) / active`` of the recorded floats, so replay
+    reproduces a session's predicted-vs-actual error sequence bit for
+    bit.  ``idle_s``/``stall_s``/``duration_s`` carry the chunk's on/off
+    context for stratifying error by gap fraction.
+    """
+
+    kind = "prediction-span"
+
+    chunk_index: int
+    predictor: str
+    predicted_kbps: float
+    actual_kbps: float
+    active_kbps: float
+    error: float
+    duration_s: float = 0.0
+    idle_s: float = 0.0
+    stall_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class SessionSummary(Event):
     """End-of-session totals: the Eq. 5 accounting of the whole run.
 
@@ -261,6 +292,7 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         SolverCall,
         TableLookup,
         RequestSpan,
+        PredictionSpan,
         SessionSummary,
         FleetShard,
         FleetSummary,

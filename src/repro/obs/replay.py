@@ -20,7 +20,13 @@ from dataclasses import dataclass
 from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..qoe import QoEBreakdown, QoEWeights, compute_qoe
-from .events import ChunkDownload, Event, SessionSummary, event_from_json
+from .events import (
+    ChunkDownload,
+    Event,
+    PredictionSpan,
+    SessionSummary,
+    event_from_json,
+)
 
 __all__ = [
     "read_timeline",
@@ -28,6 +34,7 @@ __all__ = [
     "ReplayedSession",
     "replay_session",
     "verify_timeline",
+    "prediction_errors",
 ]
 
 
@@ -134,6 +141,35 @@ def replay_session(
         qoe=qoe,
         summary=summary,
     )
+
+
+def prediction_errors(
+    events: Iterable[Event],
+) -> Dict[str, List[PredictionSpan]]:
+    """Extract and re-verify the predicted-vs-actual error sequences.
+
+    Groups a timeline's :class:`~repro.obs.events.PredictionSpan` events
+    by predictor name (event order preserved) after checking each span's
+    recorded ``error`` against ``(predicted - active) / active``
+    recomputed from its own floats — the same expression the live run
+    evaluated, so equality is exact.  A span that does not reproduce its
+    own error is corrupt and raises.
+    """
+    out: Dict[str, List[PredictionSpan]] = {}
+    for event in events:
+        if not isinstance(event, PredictionSpan):
+            continue
+        expected = (
+            event.predicted_kbps - event.active_kbps
+        ) / event.active_kbps
+        if expected != event.error:
+            raise ValueError(
+                f"prediction span for chunk {event.chunk_index} does not "
+                f"replay its own error: recorded {event.error!r}, "
+                f"recomputed {expected!r}"
+            )
+        out.setdefault(event.predictor, []).append(event)
+    return out
 
 
 def verify_timeline(events: Iterable[Event]) -> Dict[str, List[str]]:

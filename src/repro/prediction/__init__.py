@@ -14,6 +14,8 @@ from .simple import (
     SlidingMeanPredictor,
 )
 from .oracle import NoisyOraclePredictor, OraclePredictor
+from .streaming import GapCorrectedEWMAPredictor, GapCorrectedHarmonicPredictor
+from .registry import available_predictors, make_predictor
 from .errors import PredictionErrorTracker, percentage_error
 
 __all__ = [
@@ -26,8 +28,12 @@ __all__ = [
     "HoltLinearPredictor",
     "LastSamplePredictor",
     "SlidingMeanPredictor",
+    "GapCorrectedHarmonicPredictor",
+    "GapCorrectedEWMAPredictor",
     "NoisyOraclePredictor",
     "OraclePredictor",
     "PredictionErrorTracker",
     "percentage_error",
+    "make_predictor",
+    "available_predictors",
 ]

@@ -48,11 +48,21 @@ class ThroughputObservation:
     clamped to :data:`OBSERVATION_FLOOR_KBPS` rather than rejected;
     negative, NaN, and infinite-duration inputs remain errors — those
     are caller bugs, not network conditions.
+
+    ``idle_s`` and ``stall_s`` carry the on/off structure of streaming
+    traffic (Kairos, arXiv 2503.14271): ``idle_s`` is off time *between*
+    transfers adjacent to this chunk (request pacing, waiting for a live
+    chunk to become available) and ``stall_s`` is off time *inside* the
+    transfer window (connectivity blackouts, fault-detection dead time).
+    Plain predictors ignore both; gap-corrected predictors reconstruct
+    the :meth:`active_kbps` rate from them.
     """
 
     throughput_kbps: float
     duration_s: float = 0.0
     chunk_index: int = -1
+    idle_s: float = 0.0
+    stall_s: float = 0.0
 
     def __post_init__(self) -> None:
         if math.isnan(self.throughput_kbps) or self.throughput_kbps < 0:
@@ -61,6 +71,32 @@ class ThroughputObservation:
             object.__setattr__(self, "throughput_kbps", OBSERVATION_FLOOR_KBPS)
         if self.duration_s < 0:
             raise ValueError("duration must be >= 0")
+        if math.isnan(self.idle_s) or self.idle_s < 0:
+            raise ValueError("idle time must be a number >= 0")
+        if math.isnan(self.stall_s) or self.stall_s < 0:
+            raise ValueError("stall time must be a number >= 0")
+        if self.stall_s > self.duration_s:
+            raise ValueError(
+                f"stall time {self.stall_s} exceeds download time {self.duration_s}"
+            )
+
+    @property
+    def active_kbps(self) -> float:
+        """Throughput over active-transfer time only.
+
+        With a stall of ``s`` inside a download of ``d`` seconds, the
+        wall-clock rate under-reports link capacity by ``(d - s) / d``;
+        the active rate divides that factor back out.  When no stall was
+        observed (or the transfer was entirely stalled) this is *exactly*
+        the wall-clock value — same float, no arithmetic applied — which
+        is what lets gap-corrected predictors degrade bit-for-bit to
+        their plain counterparts on gap-free traffic.
+        """
+        if 0.0 < self.stall_s < self.duration_s:
+            return self.throughput_kbps * (
+                self.duration_s / (self.duration_s - self.stall_s)
+            )
+        return self.throughput_kbps
 
 
 class ThroughputPredictor(ABC):
@@ -82,9 +118,19 @@ class ThroughputPredictor(ABC):
         chunks, in kbps.  Must return exactly ``horizon`` positive values,
         even with no history (a documented cold-start default)."""
 
-    def observe_kbps(self, throughput_kbps: float, duration_s: float = 0.0) -> None:
+    def observe_kbps(
+        self,
+        throughput_kbps: float,
+        duration_s: float = 0.0,
+        idle_s: float = 0.0,
+        stall_s: float = 0.0,
+    ) -> None:
         """Convenience wrapper building the observation record."""
-        self.observe(ThroughputObservation(throughput_kbps, duration_s))
+        self.observe(
+            ThroughputObservation(
+                throughput_kbps, duration_s, idle_s=idle_s, stall_s=stall_s
+            )
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"

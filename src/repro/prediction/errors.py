@@ -47,12 +47,27 @@ class PredictionErrorTracker:
         self.window = window
         self._recent: Deque[float] = deque(maxlen=window)
         self._all: List[float] = []
+        self._gapped: List[bool] = []
+        self._busy_s = 0.0
+        self._idle_s = 0.0
+        self._stall_s = 0.0
 
     def reset(self) -> None:
         self._recent.clear()
         self._all.clear()
+        self._gapped.clear()
+        self._busy_s = 0.0
+        self._idle_s = 0.0
+        self._stall_s = 0.0
 
-    def record(self, predicted_kbps: float, actual_kbps: float) -> float:
+    def record(
+        self,
+        predicted_kbps: float,
+        actual_kbps: float,
+        duration_s: float = 0.0,
+        idle_s: float = 0.0,
+        stall_s: float = 0.0,
+    ) -> float:
         """Record one chunk's prediction/outcome pair; returns the error.
 
         ``actual_kbps`` is clamped to the observation floor before the
@@ -60,12 +75,22 @@ class PredictionErrorTracker:
         through a blackout) is a real outcome the tracker must absorb
         without raising, and the clamped error stays finite — it simply
         reports a very large over-estimation, which is the truth.
+
+        ``duration_s``/``idle_s``/``stall_s`` carry the chunk's on/off
+        context (see :class:`~repro.prediction.base.ThroughputObservation`)
+        so the sensitivity study can stratify error by how gappy the
+        traffic was; all three default to 0 for callers that predate the
+        streaming-aware layer.
         """
         err = percentage_error(
             predicted_kbps, max(actual_kbps, OBSERVATION_FLOOR_KBPS)
         )
         self._recent.append(err)
         self._all.append(err)
+        self._gapped.append(idle_s > 0.0 or stall_s > 0.0)
+        self._busy_s += duration_s
+        self._idle_s += idle_s
+        self._stall_s += stall_s
         return err
 
     def __len__(self) -> int:
@@ -115,6 +140,41 @@ class PredictionErrorTracker:
         if not self._all:
             return 0.0
         return max(abs(e) for e in self._all)
+
+    # ------------------------------------------------------------------
+    # On/off (idle-gap) stratification
+    # ------------------------------------------------------------------
+
+    def idle_gap_fraction(self) -> float:
+        """Fraction of observed wall time the link sat idle or stalled.
+
+        ``(idle + stall) / (busy + idle)``; 0.0 before any timed chunk
+        has been recorded.  This is the on/off ratio the §7.3 extension
+        stratifies prediction error by — previously observed by the
+        ``record()`` callers but discarded.
+        """
+        total = self._busy_s + self._idle_s
+        if total <= 0.0:
+            return 0.0
+        return (self._idle_s + self._stall_s) / total
+
+    def stratified_mean_abs_error(self) -> dict:
+        """Mean |error| split by whether the chunk saw an idle gap/stall.
+
+        Returns ``{"gapped": {"chunks": n, "mae": ...},
+        "smooth": {"chunks": n, "mae": ...}}`` with ``mae`` 0.0 for an
+        empty stratum, accumulated with sequential sums in record order.
+        """
+        out = {}
+        for label, wanted in (("gapped", True), ("smooth", False)):
+            total = 0.0
+            count = 0
+            for err, gapped in zip(self._all, self._gapped):
+                if gapped is wanted:
+                    total += abs(err)
+                    count += 1
+            out[label] = {"chunks": count, "mae": total / count if count else 0.0}
+        return out
 
     @property
     def errors(self) -> List[float]:

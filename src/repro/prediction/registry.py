@@ -1,0 +1,59 @@
+"""Name-based construction of throughput predictors.
+
+The predictor race experiment, the load generator's per-session routing,
+and the CLI all refer to predictors by short names, mirroring how
+:mod:`repro.abr.registry` names algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ThroughputPredictor
+from .harmonic import HarmonicMeanPredictor
+from .oracle import OraclePredictor
+from .simple import (
+    EWMAPredictor,
+    HoltLinearPredictor,
+    LastSamplePredictor,
+    SlidingMeanPredictor,
+)
+from .streaming import GapCorrectedEWMAPredictor, GapCorrectedHarmonicPredictor
+
+__all__ = ["make_predictor", "available_predictors"]
+
+
+def _robust_gap_harmonic() -> GapCorrectedHarmonicPredictor:
+    predictor = GapCorrectedHarmonicPredictor(robust_discount=0.25)
+    predictor.name = "gap-harmonic-robust"
+    return predictor
+
+
+_FACTORIES: Dict[str, Callable[[], ThroughputPredictor]] = {
+    "harmonic": HarmonicMeanPredictor,
+    "ewma": EWMAPredictor,
+    "holt": HoltLinearPredictor,
+    "last-sample": LastSamplePredictor,
+    "sliding-mean": SlidingMeanPredictor,
+    "gap-harmonic": GapCorrectedHarmonicPredictor,
+    "gap-ewma": GapCorrectedEWMAPredictor,
+    "gap-harmonic-robust": _robust_gap_harmonic,
+    "oracle": OraclePredictor,
+}
+
+
+def available_predictors() -> List[str]:
+    """All predictor names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_predictor(name: str) -> ThroughputPredictor:
+    """A fresh, default-configured instance of a named predictor."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; "
+            f"available: {', '.join(available_predictors())}"
+        ) from None
+    return factory()

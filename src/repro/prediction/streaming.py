@@ -1,0 +1,258 @@
+"""Streaming-aware throughput predictors (idle-gap correction).
+
+Kairos (arXiv 2503.14271) observes that HTTP adaptive streaming traffic
+is on/off: the player downloads a chunk, then idles (request pacing, a
+full buffer, or — live — waiting for the next chunk to exist), and parts
+of a download itself can be dead time (connectivity blackouts, failure
+detection before a retry).  A predictor that averages wall-clock rates
+over such traffic systematically *under*-estimates link capacity, which
+the §7.3 sensitivity study shows translates directly into lost QoE.
+
+The predictors here correct for that by operating on *active rates*:
+each :class:`~repro.prediction.base.ThroughputObservation` carries the
+off time it saw (``idle_s`` between transfers, ``stall_s`` inside the
+transfer), and the correction
+
+.. math::  a_k = C_k \\cdot \\frac{d_k}{d_k - s_k}
+
+recovers the rate sustained while bytes were actually flowing.  Three
+exact-equality contracts pin the design (``tests/prediction/
+test_streaming_aware.py``):
+
+* **degradation** — on traffic with no stalls and no discount, every
+  prediction is bit-identical (``==``) to the plain harmonic/EWMA
+  predictor fed the same samples: the active rate *is* the wall rate
+  (same float, no arithmetic), and the aggregation expressions are
+  verbatim those of the plain predictors;
+* **idle invariance** — inserting zero-length idle gaps between
+  observations never changes a prediction (idle time informs only the
+  :meth:`idle_gap_fraction` diagnostic, never the estimate);
+* **bounded** — whenever a correction engaged (some stall in the window,
+  or a robust discount), the prediction is clamped into the closed range
+  of observed active rates, so a corrected estimate can never exceed any
+  rate the link actually demonstrated.
+
+``robust_discount`` is the Kairos-style conservatism knob: the estimate
+is divided by ``1 + robust_discount`` (the same shape as RobustMPC's
+``C_hat / (1 + err)`` lower bound) before the clamp, trading a little
+average bitrate for rebuffer safety.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .base import ThroughputObservation, ThroughputPredictor
+
+__all__ = [
+    "GapCorrectedHarmonicPredictor",
+    "GapCorrectedEWMAPredictor",
+]
+
+
+class _GapAccounting:
+    """Shared on/off bookkeeping for the gap-corrected predictors.
+
+    Accumulates the session's busy/idle/stall seconds with plain
+    sequential float sums (the repo's order-stable accumulation rule)
+    and holds the idle time reported out-of-band via
+    :meth:`observe_idle` until the next sample attaches it.
+    """
+
+    def __init__(self) -> None:
+        self._busy_s = 0.0
+        self._idle_s = 0.0
+        self._stall_s = 0.0
+        self._pending_idle_s = 0.0
+
+    def reset(self) -> None:
+        self._busy_s = 0.0
+        self._idle_s = 0.0
+        self._stall_s = 0.0
+        self._pending_idle_s = 0.0
+
+    def observe_idle(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("idle time must be >= 0")
+        self._pending_idle_s += seconds
+
+    def absorb(self, observation: ThroughputObservation) -> None:
+        self._busy_s += observation.duration_s
+        self._idle_s += observation.idle_s
+        self._idle_s += self._pending_idle_s
+        self._pending_idle_s = 0.0
+        self._stall_s += observation.stall_s
+
+    def idle_gap_fraction(self) -> float:
+        """Fraction of observed wall time the link sat idle or stalled.
+
+        ``(idle + stall) / (busy + idle)`` — the on/off ratio the
+        sensitivity experiment stratifies prediction error by; ``0.0``
+        before any time has been observed.
+        """
+        total = self._busy_s + self._idle_s
+        if total <= 0.0:
+            return 0.0
+        return (self._idle_s + self._stall_s) / total
+
+
+class GapCorrectedHarmonicPredictor(ThroughputPredictor):
+    """Harmonic mean over the last ``window`` *active* rates.
+
+    Drop-in for :class:`~repro.prediction.harmonic.HarmonicMeanPredictor`
+    (same window/cold-start semantics, same flat forecast); see the
+    module docstring for the exact-equality contracts.
+
+    Parameters
+    ----------
+    window / cold_start_kbps:
+        As in the plain harmonic predictor (paper defaults).
+    robust_discount:
+        Divide the estimate by ``1 + robust_discount`` before clamping
+        (0 disables; 0.25 is a reasonable conservative setting).
+    """
+
+    name = "gap-harmonic"
+
+    def __init__(
+        self,
+        window: int = 5,
+        cold_start_kbps: float = 100.0,
+        robust_discount: float = 0.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        if robust_discount < 0:
+            raise ValueError("robust discount must be >= 0")
+        self.window = window
+        self.cold_start_kbps = cold_start_kbps
+        self.robust_discount = robust_discount
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._corrected: Deque[bool] = deque(maxlen=window)
+        self._gaps = _GapAccounting()
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._corrected.clear()
+        self._gaps.reset()
+
+    def observe_idle(self, seconds: float) -> None:
+        """Report off time between transfers (attached to the next sample)."""
+        self._gaps.observe_idle(seconds)
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        self._samples.append(observation.active_kbps)
+        self._corrected.append(0.0 < observation.stall_s < observation.duration_s)
+        self._gaps.absorb(observation)
+
+    def idle_gap_fraction(self) -> float:
+        return self._gaps.idle_gap_fraction()
+
+    def current_estimate(self) -> float:
+        """Harmonic mean of the windowed active rates (clamped if corrected)."""
+        if not self._samples:
+            return self.cold_start_kbps
+        estimate = len(self._samples) / sum(1.0 / a for a in self._samples)
+        if self.robust_discount > 0.0:
+            estimate = estimate / (1.0 + self.robust_discount)
+        elif not any(self._corrected):
+            # Pure path: no stall in the window, no discount — the value
+            # above is the plain harmonic expression verbatim, returned
+            # unclamped so the degradation contract holds to the bit.
+            return estimate
+        lo = min(self._samples)
+        hi = max(self._samples)
+        if estimate < lo:
+            return lo
+        if estimate > hi:
+            return hi
+        return estimate
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        return [self.current_estimate()] * horizon
+
+
+class GapCorrectedEWMAPredictor(ThroughputPredictor):
+    """EWMA over active rates, with the same exact-equality contracts.
+
+    The level recurrence is verbatim
+    :class:`~repro.prediction.simple.EWMAPredictor`'s
+    (``level = alpha * a + (1 - alpha) * level``) applied to active
+    rates, so gap-free traffic reproduces the plain EWMA bit-for-bit.
+    Because the EWMA remembers every sample, the bound/clamp range is
+    the running min/max over *all* observed active rates, and a
+    correction, once engaged, stays engaged for the session.
+    """
+
+    name = "gap-ewma"
+
+    def __init__(
+        self,
+        alpha: float = 0.4,
+        cold_start_kbps: float = 100.0,
+        robust_discount: float = 0.0,
+    ) -> None:
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        if cold_start_kbps <= 0:
+            raise ValueError("cold-start value must be positive")
+        if robust_discount < 0:
+            raise ValueError("robust discount must be >= 0")
+        self.alpha = alpha
+        self.cold_start_kbps = cold_start_kbps
+        self.robust_discount = robust_discount
+        self._level: Optional[float] = None
+        self._bounds: Optional[Tuple[float, float]] = None
+        self._any_corrected = False
+        self._gaps = _GapAccounting()
+
+    def reset(self) -> None:
+        self._level = None
+        self._bounds = None
+        self._any_corrected = False
+        self._gaps.reset()
+
+    def observe_idle(self, seconds: float) -> None:
+        """Report off time between transfers (diagnostic only)."""
+        self._gaps.observe_idle(seconds)
+
+    def observe(self, observation: ThroughputObservation) -> None:
+        a = observation.active_kbps
+        if 0.0 < observation.stall_s < observation.duration_s:
+            self._any_corrected = True
+        if self._level is None:
+            self._level = a
+            self._bounds = (a, a)
+        else:
+            self._level = self.alpha * a + (1 - self.alpha) * self._level
+            lo, hi = self._bounds
+            self._bounds = (min(lo, a), max(hi, a))
+        self._gaps.absorb(observation)
+
+    def idle_gap_fraction(self) -> float:
+        return self._gaps.idle_gap_fraction()
+
+    def current_estimate(self) -> float:
+        if self._level is None:
+            return self.cold_start_kbps
+        estimate = self._level
+        if self.robust_discount > 0.0:
+            estimate = estimate / (1.0 + self.robust_discount)
+        elif not self._any_corrected:
+            return estimate
+        lo, hi = self._bounds
+        if estimate < lo:
+            return lo
+        if estimate > hi:
+            return hi
+        return estimate
+
+    def predict(self, horizon: int) -> List[float]:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        return [self.current_estimate()] * horizon

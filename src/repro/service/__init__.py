@@ -17,6 +17,9 @@ step the ROADMAP asks for and puts the table behind a serving boundary:
 * :mod:`backends` — stateful per-session controller instances (the
   registry zoo: BOLA, BBA-0/1, DAS-IP, ...) behind the service, with
   LRU + idle eviction.
+* :mod:`prior` — the cross-session throughput prior: LRU-bounded
+  per-trace-family histograms fed by family-keyed requests, served
+  back as ``prior_kbps`` and merged losslessly cluster-wide.
 * :mod:`client` — a keep-alive asyncio client speaking the protocol.
 * :mod:`loadgen` — a closed-loop, trace-driven load generator that
   replays virtual player sessions against a running server.
@@ -44,6 +47,7 @@ from .experiment import (
     parse_arms_spec,
 )
 from .metrics import LatencyHistogram, ServiceMetrics
+from .prior import SharedPriorStore, merge_prior_snapshots
 from .server import DecisionServer, DecisionService, ServiceConfig
 from .client import DecisionClient, RetryPolicy, ServiceClient, ServiceUnavailable
 from .loadgen import LoadTestConfig, LoadTestReport, run_loadtest, run_loadtest_sync
@@ -67,6 +71,8 @@ __all__ = [
     "parse_arms_spec",
     "LatencyHistogram",
     "ServiceMetrics",
+    "SharedPriorStore",
+    "merge_prior_snapshots",
     "ServiceConfig",
     "DecisionService",
     "DecisionServer",

@@ -54,6 +54,7 @@ from ..faults.chaos import ChaosConfig, ChaosPolicy
 from .client import RetryPolicy
 from .experiment import ExperimentConfig
 from .metrics import ServiceMetrics, merge_metrics_snapshots
+from .prior import merge_prior_snapshots
 from .server import DecisionServer, DecisionService, ServiceConfig, _parse_head
 
 __all__ = [
@@ -224,7 +225,7 @@ async def _worker_serve(spec: WorkerSpec, conn) -> None:
                 elif kind == "ping":
                     conn.send(("pong", message[1]))
                 elif kind == "metrics":
-                    conn.send(("metrics", message[1], service.metrics.snapshot()))
+                    conn.send(("metrics", message[1], service.metrics_document()))
         except (EOFError, OSError):
             # Supervisor is gone: a worker must not outlive it.
             stop.set()
@@ -659,6 +660,12 @@ class ClusterSupervisor:
             )
         if snapshots:
             merged = merge_metrics_snapshots(snapshots)
+            # Shared-prior sections merge losslessly too (integer bucket
+            # sums per family); .get — snapshots from workers predating
+            # the prior store simply contribute nothing.
+            prior_sections = [s["priors"] for s in snapshots if s.get("priors")]
+            if prior_sections:
+                merged["priors"] = merge_prior_snapshots(prior_sections)
         else:  # every worker mid-restart: an all-zero document
             merged = ServiceMetrics().snapshot()
         merged["cluster"] = {

@@ -29,11 +29,14 @@ is *zero* errors with every decision served by the fallback.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..prediction.base import ThroughputPredictor
+from ..prediction.registry import make_predictor
 from ..qoe import compute_qoe
 from ..traces.trace import Trace
 from ..video.presets import (
@@ -45,7 +48,13 @@ from .client import RetryPolicy, ServiceClient, ServiceUnavailable
 from .metrics import LatencyHistogram
 from .protocol import MAX_BATCH_RECORDS, DecisionRequest
 
-__all__ = ["LoadTestConfig", "LoadTestReport", "run_loadtest", "run_loadtest_sync"]
+__all__ = [
+    "LoadTestConfig",
+    "LoadTestReport",
+    "open_loop_arrivals",
+    "run_loadtest",
+    "run_loadtest_sync",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,27 @@ class LoadTestConfig:
     #: — sessions then always run to completion, the availability story
     #: a real player needs when the decision backend dies mid-stream.
     local_fallback: bool = True
+    #: Predictor registry names routed round-robin over sessions (see
+    #: :mod:`repro.prediction.registry`); session ``i`` predicts with
+    #: ``predictors[i % len]`` and feeds its download durations and
+    #: stall times back, so gap-corrected predictors engage.  Empty =
+    #: the historical inline harmonic mean.
+    predictors: Tuple[str, ...] = ()
+    #: Trace-family key stamped on every request (JSON protocol only);
+    #: the server pools the sessions' samples into one shared prior and
+    #: answers with ``prior_kbps``.
+    family: Optional[str] = None
+    #: Open-loop mode: sessions *arrive* on a deterministic wall-clock
+    #: schedule instead of being drained from a fixed queue — offered
+    #: load no longer tracks service capacity, which is the regime that
+    #: exposes overload behaviour.  The arrival rate follows a diurnal
+    #: sinusoid, optionally with a step burst (a flash crowd).
+    open_loop: bool = False
+    arrival_rate_hz: float = 16.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 10.0
+    burst_at_s: Optional[float] = None
+    burst_sessions: int = 0
 
     def __post_init__(self) -> None:
         if self.sessions < 1 or self.chunks_per_session < 1:
@@ -92,6 +122,18 @@ class LoadTestConfig:
             raise ValueError("ladder must be non-empty")
         if self.protocol not in ("json", "binary"):
             raise ValueError("protocol must be 'json' or 'binary'")
+        if self.family is not None and self.protocol != "json":
+            raise ValueError("family-keyed sessions require the json protocol")
+        if self.arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if self.burst_sessions < 0:
+            raise ValueError("burst_sessions must be >= 0")
+        if self.burst_at_s is not None and self.burst_at_s < 0:
+            raise ValueError("burst_at_s must be >= 0")
 
 
 @dataclass
@@ -116,6 +158,11 @@ class LoadTestReport:
     #: keyed by the arm names the server stamps on responses.  Empty when
     #: the server runs no experiment.
     arms: Dict[str, dict] = field(default_factory=dict)
+    #: Per-predictor outcomes when ``config.predictors`` routes sessions
+    #: across the predictor registry; empty on the inline-harmonic path.
+    predictors: Dict[str, dict] = field(default_factory=dict)
+    #: Responses that carried a shared-prior estimate (family-keyed runs).
+    prior_hits: int = 0
 
     def arm_stats(self, name: str) -> dict:
         stats = self.arms.get(name)
@@ -123,6 +170,17 @@ class LoadTestReport:
             stats = self.arms[name] = {
                 "decisions": 0,
                 "degraded": 0,
+                "sessions": 0,
+                "qoe_sum": 0.0,
+                "qoe_count": 0,
+            }
+        return stats
+
+    def predictor_stats(self, name: str) -> dict:
+        stats = self.predictors.get(name)
+        if stats is None:
+            stats = self.predictors[name] = {
+                "decisions": 0,
                 "sessions": 0,
                 "qoe_sum": 0.0,
                 "qoe_count": 0,
@@ -164,6 +222,18 @@ class LoadTestReport:
             "reasons": dict(self.reasons),
             "latency_us": self.latency.to_dict(),
             "qoe_mean": self.qoe_mean,
+            "prior_hits": self.prior_hits,
+            "predictors": {
+                name: {
+                    **stats,
+                    "qoe_mean": (
+                        stats["qoe_sum"] / stats["qoe_count"]
+                        if stats["qoe_count"]
+                        else 0.0
+                    ),
+                }
+                for name, stats in sorted(self.predictors.items())
+            },
             "arms": {
                 name: {
                     **stats,
@@ -192,6 +262,17 @@ class LoadTestReport:
             lines.append(f"local fallbacks {self.local_fallbacks}")
         if self.reasons:
             lines.append(f"degradation reasons {self.reasons}")
+        if self.prior_hits:
+            lines.append(f"prior-carrying responses {self.prior_hits}")
+        for name, stats in sorted(self.predictors.items()):
+            qoe_mean = (
+                stats["qoe_sum"] / stats["qoe_count"] if stats["qoe_count"] else 0.0
+            )
+            lines.append(
+                f"predictor {name}: {stats['decisions']} decisions"
+                f" | {stats['sessions']} sessions"
+                f" | mean QoE {qoe_mean:.1f}"
+            )
         for name, stats in sorted(self.arms.items()):
             qoe_mean = (
                 stats["qoe_sum"] / stats["qoe_count"] if stats["qoe_count"] else 0.0
@@ -208,10 +289,18 @@ class LoadTestReport:
 class _VirtualPlayer:
     """One trace-driven session: buffer dynamics + harmonic prediction."""
 
-    def __init__(self, session_id: str, trace: Trace, config: LoadTestConfig) -> None:
+    def __init__(
+        self,
+        session_id: str,
+        trace: Trace,
+        config: LoadTestConfig,
+        predictor: Optional[ThroughputPredictor] = None,
+    ) -> None:
         self.session_id = session_id
         self.trace = trace
         self.config = config
+        self.predictor = predictor
+        self.predictor_name = predictor.name if predictor is not None else None
         self.wall_s = 0.0
         self.buffer_s = 0.0
         self.prev_level: Optional[int] = None
@@ -222,6 +311,12 @@ class _VirtualPlayer:
         self._last_predicted: Optional[float] = None
 
     def _predict_kbps(self) -> float:
+        if self.predictor is not None:
+            if not self._measured:
+                # The same warm start the inline path uses: the trace's
+                # first sample, not the predictor's synthetic cold rate.
+                return max(self.trace.bandwidth_at(0.0), 1e-3)
+            return max(self.predictor.predict(1)[0], 1e-3)
         if not self._measured:
             return max(self.trace.bandwidth_at(0.0), 1e-3)
         return len(self._measured) / sum(1.0 / c for c in self._measured)
@@ -235,6 +330,7 @@ class _VirtualPlayer:
             predicted_kbps=predicted,
             prev_level=self.prev_level,
             past_errors=tuple(self._errors) if self.config.robust else (),
+            family=self.config.family,
         )
 
     def local_level(self, predicted_kbps: float) -> int:
@@ -257,10 +353,16 @@ class _VirtualPlayer:
         config = self.config
         level = min(max(level_index, 0), len(config.ladder_kbps) - 1)
         size_kilobits = config.chunk_duration_s * config.ladder_kbps[level]
-        download_s = max(
-            self.trace.time_to_download(self.wall_s, size_kilobits), 1e-9
+        raw_s, stall_s = self.trace.download_time_and_stall(
+            self.wall_s, size_kilobits
         )
+        download_s = max(raw_s, 1e-9)
         actual_kbps = max(size_kilobits / download_s, 1e-3)
+        if self.predictor is not None:
+            # Gap-corrected predictors see the chunk's on/off context.
+            self.predictor.observe_kbps(
+                actual_kbps, download_s, stall_s=min(stall_s, download_s)
+            )
         self.rebuffer_s += max(download_s - self.buffer_s, 0.0)
         self.buffer_s = min(
             max(self.buffer_s - download_s, 0.0) + config.chunk_duration_s,
@@ -368,76 +470,152 @@ class _ClientPool:
             await client.close()
 
 
+async def _drive_session(
+    pool: _ClientPool,
+    player: _VirtualPlayer,
+    config: LoadTestConfig,
+    report: LoadTestReport,
+) -> None:
+    """Run one virtual session to completion against the service.
+
+    The pooled clients never dial eagerly: a connection is established
+    (and re-established) inside each request, so a server that is down
+    when the run starts — or dies mid-run — costs decisions, not the
+    whole session.  With ``config.local_fallback`` on, every decision
+    the service cannot serve is answered locally with the rate-based
+    rule and the session runs to completion regardless.  Reported
+    latency is client-observed end to end — a lease that waits on a
+    saturated pool is real queueing delay, so it counts.
+    """
+    completed = True
+    # A session's requests all hash to one arm, so the first armed
+    # response labels the whole session for the per-arm QoE rollup.
+    session_arm: Optional[str] = None
+    pred_stats = (
+        report.predictor_stats(player.predictor_name)
+        if player.predictor_name is not None
+        else None
+    )
+    for _ in range(config.chunks_per_session):
+        request = player.next_request()
+        started = time.perf_counter()
+        try:
+            response = await pool.decide(request)
+        except ServiceUnavailable:
+            report.errors += 1
+            if not config.local_fallback:
+                completed = False
+                break
+            report.local_fallbacks += 1
+            report.decisions += 1
+            report.sources["local"] = report.sources.get("local", 0) + 1
+            if pred_stats is not None:
+                pred_stats["decisions"] += 1
+            player.apply_decision(
+                player.local_level(request.predicted_kbps)
+            )
+            continue
+        latency_us = (time.perf_counter() - started) * 1e6
+        report.latency.observe(latency_us)
+        report.decisions += 1
+        report.sources[response.source] = (
+            report.sources.get(response.source, 0) + 1
+        )
+        if response.degraded:
+            report.degraded += 1
+            key = response.reason or "unknown"
+            report.reasons[key] = report.reasons.get(key, 0) + 1
+        if response.prior_kbps is not None:
+            report.prior_hits += 1
+        if response.arm is not None:
+            session_arm = response.arm
+            arm_stats = report.arm_stats(response.arm)
+            arm_stats["decisions"] += 1
+            if response.degraded:
+                arm_stats["degraded"] += 1
+        if pred_stats is not None:
+            pred_stats["decisions"] += 1
+        player.apply_decision(response.level_index)
+    if completed:
+        report.sessions_completed += 1
+        qoe = player.qoe()
+        report.qoe_sum += qoe
+        report.qoe_count += 1
+        if session_arm is not None:
+            arm_stats = report.arm_stats(session_arm)
+            arm_stats["sessions"] += 1
+            arm_stats["qoe_sum"] += qoe
+            arm_stats["qoe_count"] += 1
+        if pred_stats is not None:
+            pred_stats["sessions"] += 1
+            pred_stats["qoe_sum"] += qoe
+            pred_stats["qoe_count"] += 1
+
+
 async def _session_worker(
     pool: _ClientPool,
     queue: "asyncio.Queue[_VirtualPlayer]",
     config: LoadTestConfig,
     report: LoadTestReport,
 ) -> None:
-    """One session worker draining the queue until it is empty.
-
-    The pooled clients never dial eagerly: a connection is established
-    (and re-established) inside each request, so a server that is down
-    when the run starts — or dies mid-run — costs decisions, not the
-    whole worker.  With ``config.local_fallback`` on, every decision the
-    service cannot serve is answered locally with the rate-based rule
-    and the session runs to completion regardless.  Reported latency is
-    client-observed end to end — a lease that waits on a saturated pool
-    is real queueing delay, so it counts.
-    """
+    """One closed-loop worker draining the session queue until empty."""
     while True:
         try:
             player = queue.get_nowait()
         except asyncio.QueueEmpty:
             return
-        completed = True
-        # A session's requests all hash to one arm, so the first armed
-        # response labels the whole session for the per-arm QoE rollup.
-        session_arm: Optional[str] = None
-        for _ in range(config.chunks_per_session):
-            request = player.next_request()
-            started = time.perf_counter()
-            try:
-                response = await pool.decide(request)
-            except ServiceUnavailable:
-                report.errors += 1
-                if not config.local_fallback:
-                    completed = False
-                    break
-                report.local_fallbacks += 1
-                report.decisions += 1
-                report.sources["local"] = report.sources.get("local", 0) + 1
-                player.apply_decision(
-                    player.local_level(request.predicted_kbps)
-                )
-                continue
-            latency_us = (time.perf_counter() - started) * 1e6
-            report.latency.observe(latency_us)
-            report.decisions += 1
-            report.sources[response.source] = (
-                report.sources.get(response.source, 0) + 1
-            )
-            if response.degraded:
-                report.degraded += 1
-                key = response.reason or "unknown"
-                report.reasons[key] = report.reasons.get(key, 0) + 1
-            if response.arm is not None:
-                session_arm = response.arm
-                arm_stats = report.arm_stats(response.arm)
-                arm_stats["decisions"] += 1
-                if response.degraded:
-                    arm_stats["degraded"] += 1
-            player.apply_decision(response.level_index)
-        if completed:
-            report.sessions_completed += 1
-            qoe = player.qoe()
-            report.qoe_sum += qoe
-            report.qoe_count += 1
-            if session_arm is not None:
-                arm_stats = report.arm_stats(session_arm)
-                arm_stats["sessions"] += 1
-                arm_stats["qoe_sum"] += qoe
-                arm_stats["qoe_count"] += 1
+        await _drive_session(pool, player, config, report)
+
+
+async def _arriving_session(
+    pool: _ClientPool,
+    player: _VirtualPlayer,
+    config: LoadTestConfig,
+    report: LoadTestReport,
+    arrival_s: float,
+    started: float,
+) -> None:
+    """One open-loop session: sleep until its arrival instant, then run."""
+    delay = arrival_s - (time.perf_counter() - started)
+    if delay > 0:
+        await asyncio.sleep(delay)
+    await _drive_session(pool, player, config, report)
+
+
+def open_loop_arrivals(config: LoadTestConfig) -> List[float]:
+    """Deterministic arrival instants (seconds) for the open-loop mode.
+
+    The instantaneous arrival rate is the diurnal sinusoid
+    ``rate * (1 + amplitude * sin(2*pi*t / period))``, integrated with a
+    credit accumulator (one arrival per accumulated unit) — no random
+    draws, so the same config always produces the same schedule.  A
+    configured burst injects ``burst_sessions`` arrivals at the burst
+    instant, on top of the sinusoid.  Exactly ``config.sessions``
+    instants are returned, in non-decreasing order.
+    """
+    times: List[float] = []
+    dt = 0.005
+    credit = 0.0
+    t = 0.0
+    burst_pending = (
+        config.burst_sessions if config.burst_at_s is not None else 0
+    )
+    while len(times) < config.sessions:
+        if burst_pending and config.burst_at_s is not None and t >= config.burst_at_s:
+            while burst_pending and len(times) < config.sessions:
+                times.append(config.burst_at_s)
+                burst_pending -= 1
+        rate = config.arrival_rate_hz * (
+            1.0
+            + config.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / config.diurnal_period_s)
+        )
+        credit += max(rate, 0.0) * dt
+        while credit >= 1.0 and len(times) < config.sessions:
+            times.append(t)
+            credit -= 1.0
+        t += dt
+    return times
 
 
 async def run_loadtest(
@@ -457,11 +635,62 @@ async def run_loadtest(
     if not trace_list:
         raise ValueError("need at least one trace")
 
-    queue: "asyncio.Queue[_VirtualPlayer]" = asyncio.Queue()
-    for i, trace in enumerate(trace_list):
-        queue.put_nowait(_VirtualPlayer(f"session-{i:05d}", trace, config))
+    players = [
+        _VirtualPlayer(
+            f"session-{i:05d}",
+            trace,
+            config,
+            predictor=(
+                make_predictor(config.predictors[i % len(config.predictors)])
+                if config.predictors
+                else None
+            ),
+        )
+        for i, trace in enumerate(trace_list)
+    ]
 
     report = LoadTestReport()
+    if config.open_loop:
+        # Open loop: every session gets its own task, gated only by its
+        # arrival instant — in-flight sessions are unbounded by design
+        # (connections stay pooled, so the wire fan-out is still capped).
+        schedule_config = (
+            config
+            if len(players) == config.sessions
+            else replace(config, sessions=len(players))
+        )
+        arrivals = open_loop_arrivals(schedule_config)
+        pool_size = (
+            config.connections
+            if config.connections is not None
+            else config.concurrency
+        )
+        pool = _ClientPool(host, port, pool_size, config)
+        started = time.perf_counter()
+        try:
+            results = await asyncio.gather(
+                *(
+                    _arriving_session(
+                        pool, player, config, report, arrival, started
+                    )
+                    for player, arrival in zip(players, arrivals)
+                ),
+                return_exceptions=True,
+            )
+        finally:
+            report.wall_s = time.perf_counter() - started
+            await pool.close()
+        for outcome in results:
+            if isinstance(outcome, ServiceUnavailable):
+                report.errors += 1
+            elif isinstance(outcome, BaseException):
+                raise outcome
+        return report
+
+    queue: "asyncio.Queue[_VirtualPlayer]" = asyncio.Queue()
+    for player in players:
+        queue.put_nowait(player)
+
     workers = min(config.concurrency, queue.qsize())
     pool_size = config.connections if config.connections is not None else workers
     pool = _ClientPool(host, port, pool_size, config)

@@ -1,0 +1,201 @@
+"""Cross-session throughput prior, keyed by trace family.
+
+Players on the same access technology see correlated capacity: a
+session that identifies its *trace family* (an opaque client-chosen
+key — "fcc", "hsdpa", a CDN pop, an ASN...) lets the service pool the
+throughput samples of every session in that family into one aggregate
+and hand the pooled estimate back as a **prior** a cold-starting player
+can use before its own prediction window fills.
+
+The aggregate is deliberately a :class:`~repro.core.histmerge.\
+FixedBucketHistogram` over kbps rather than a running mean:
+
+* integer bucket counts and the max merge **losslessly and
+  order-independently**, so the cluster's ``/metrics`` aggregation can
+  fold per-worker prior stores into exactly the aggregate one shared
+  store would have held;
+* the served estimate is a quantile of the bucket counts — derived only
+  from integers plus the exact max, so the same samples produce the
+  same prior no matter how they were scattered across workers;
+* memory is O(buckets) per family regardless of sample volume.
+
+Families are LRU-bounded exactly like the controller backends
+(:mod:`repro.service.backends`): observation of a family moves it to
+the back of the queue, and creating one past ``max_families`` evicts
+the least recently observed.  An evicted family simply restarts cold —
+the same contract a backend session has.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence
+
+from ..core.histmerge import FixedBucketHistogram, merge_histogram_dicts
+
+__all__ = [
+    "SharedPriorStore",
+    "ThroughputHistogram",
+    "merge_prior_snapshots",
+    "DEFAULT_PRIOR_BOUNDS_KBPS",
+]
+
+#: Upper bounds (kbps) of the default throughput buckets.  Spans the
+#: Envivio ladder's working range (hundreds of kbps) through fast
+#: broadband; the final bucket is implicit +inf.
+DEFAULT_PRIOR_BOUNDS_KBPS = (
+    100.0,
+    200.0,
+    350.0,
+    500.0,
+    750.0,
+    1_000.0,
+    1_500.0,
+    2_000.0,
+    3_000.0,
+    4_500.0,
+    6_000.0,
+    10_000.0,
+    20_000.0,
+)
+
+#: Served-estimate quantile: the family median — robust to the heavy
+#: upper tail throughput samples carry, unlike the mean.
+PRIOR_QUANTILE = 0.5
+
+
+class ThroughputHistogram(FixedBucketHistogram):
+    """Fixed-bucket histogram over kbps throughput samples."""
+
+    __slots__ = ()
+
+    key_suffix = "_kbps"
+    non_negative = True
+    value_name = "throughput"
+    underflow_lower = 0.0
+
+    def __init__(
+        self, bounds_kbps: Sequence[float] = DEFAULT_PRIOR_BOUNDS_KBPS
+    ) -> None:
+        super().__init__(bounds_kbps)
+
+
+class SharedPriorStore:
+    """LRU-bounded per-family throughput aggregates.
+
+    ``observe`` folds one sample into its family (creating or reviving
+    the family as needed); ``estimate`` serves the family's pooled
+    median without touching LRU order, so read traffic cannot keep a
+    dead family alive.
+    """
+
+    def __init__(
+        self,
+        bounds_kbps: Sequence[float] = DEFAULT_PRIOR_BOUNDS_KBPS,
+        max_families: int = 1024,
+    ) -> None:
+        if max_families < 1:
+            raise ValueError("max_families must be >= 1")
+        self._bounds = tuple(float(b) for b in bounds_kbps)
+        # Validate the bounds once, eagerly.
+        ThroughputHistogram(self._bounds)
+        self.max_families = max_families
+        self._families: "OrderedDict[str, ThroughputHistogram]" = OrderedDict()
+        self.evictions = 0
+        self.samples_total = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def families_active(self) -> int:
+        return len(self._families)
+
+    def family_names(self) -> tuple:
+        return tuple(self._families)
+
+    def observe(self, family: str, throughput_kbps: float) -> None:
+        """Fold one throughput sample into the family's aggregate."""
+        if not family:
+            raise ValueError("family must be non-empty")
+        if not throughput_kbps >= 0:
+            raise ValueError("throughput_kbps must be >= 0")
+        histogram = self._families.get(family)
+        if histogram is None:
+            histogram = ThroughputHistogram(self._bounds)
+            while len(self._families) >= self.max_families:
+                self._families.popitem(last=False)
+                self.evictions += 1
+            self._families[family] = histogram
+        else:
+            self._families.move_to_end(family)
+        histogram.observe(throughput_kbps)
+        self.samples_total += 1
+
+    def estimate(self, family: str) -> Optional[float]:
+        """The family's pooled median kbps; ``None`` when unseen."""
+        histogram = self._families.get(family)
+        if histogram is None or histogram.count == 0:
+            return None
+        return histogram.quantile(PRIOR_QUANTILE)
+
+    def clear(self) -> None:
+        self._families.clear()
+
+    # ------------------------------------------------------------------
+    # Serialization + merge — the cluster /metrics path
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``priors`` section of the ``/metrics`` document."""
+        return {
+            "families_active": self.families_active,
+            "max_families": self.max_families,
+            "evictions": self.evictions,
+            "samples_total": self.samples_total,
+            "families": {
+                name: {
+                    "estimate_kbps": self.estimate(name),
+                    **histogram.to_dict(),
+                }
+                for name, histogram in sorted(self._families.items())
+            },
+        }
+
+
+def merge_prior_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-worker :meth:`SharedPriorStore.snapshot` documents.
+
+    Bucket counts sum family by family — lossless and order-independent,
+    so the merged per-family estimate is exactly what one shared store
+    holding every worker's samples would serve.  Counter fields sum;
+    ``families_active`` counts the merged (union) family set.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    names = sorted({name for s in snapshots for name in s.get("families", {})})
+    families: Dict[str, dict] = {}
+    for name in names:
+        slices = [
+            s["families"][name]
+            for s in snapshots
+            if name in s.get("families", {})
+        ]
+        merged = merge_histogram_dicts(
+            [{k: v for k, v in sl.items() if k != "estimate_kbps"} for sl in slices],
+            ThroughputHistogram,
+        )
+        histogram = ThroughputHistogram.from_dict(merged)
+        merged = {
+            "estimate_kbps": (
+                histogram.quantile(PRIOR_QUANTILE) if histogram.count else None
+            ),
+            **merged,
+        }
+        families[name] = merged
+    return {
+        "families_active": len(families),
+        "max_families": max(int(s["max_families"]) for s in snapshots),
+        "evictions": sum(int(s["evictions"]) for s in snapshots),
+        "samples_total": sum(int(s["samples_total"]) for s in snapshots),
+        "families": families,
+    }

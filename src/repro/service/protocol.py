@@ -98,6 +98,13 @@ class DecisionRequest:
     past_errors:
         Recent signed percentage prediction errors; when non-empty the
         server queries the table with the RobustMPC lower bound.
+    family:
+        Optional trace-family key (access technology, CDN pop...); when
+        set, the server folds ``predicted_kbps`` into the family's
+        shared prior (:mod:`repro.service.prior`) and the response
+        carries the pooled ``prior_kbps`` estimate.  JSON-only: the
+        binary encoding predates the field and rejects it loudly rather
+        than dropping it silently.
     """
 
     session_id: str
@@ -105,6 +112,7 @@ class DecisionRequest:
     predicted_kbps: float
     prev_level: Optional[int] = None
     past_errors: Tuple[float, ...] = field(default_factory=tuple)
+    family: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.session_id:
@@ -119,6 +127,8 @@ class DecisionRequest:
             raise ProtocolError(
                 f"past_errors longer than {_MAX_PAST_ERRORS} entries"
             )
+        if self.family is not None and not self.family:
+            raise ProtocolError("family must be non-empty when given")
 
     def to_dict(self) -> dict:
         payload = {
@@ -131,6 +141,8 @@ class DecisionRequest:
             payload["prev_level"] = self.prev_level
         if self.past_errors:
             payload["past_errors"] = list(self.past_errors)
+        if self.family is not None:
+            payload["family"] = self.family
         return payload
 
     def to_json(self) -> bytes:
@@ -158,12 +170,16 @@ class DecisionRequest:
             if isinstance(e, bool) or not isinstance(e, (int, float)):
                 raise ProtocolError("past_errors entries must be numbers")
             errors.append(float(e))
+        family = payload.get("family")
+        if family is not None and (not isinstance(family, str) or not family):
+            raise ProtocolError("family must be a non-empty string")
         return cls(
             session_id=session_id,
             buffer_s=_require_number(payload, "buffer_s"),
             predicted_kbps=_require_number(payload, "predicted_kbps"),
             prev_level=prev_level,
             past_errors=tuple(errors),
+            family=family,
         )
 
     @classmethod
@@ -199,6 +215,10 @@ class DecisionResponse:
     produced the answer, with ``reason`` naming the cause (``no-table``
     / ``malformed`` / ``over-budget``).  ``arm`` is the experiment arm
     the session is assigned to, ``None`` when no experiment is running.
+    ``prior_kbps`` is the pooled cross-session throughput prior of the
+    request's trace family (``None`` when the request named no family or
+    the family holds no earlier samples); JSON-only, like the request's
+    ``family`` field.
     """
 
     session_id: str
@@ -209,6 +229,7 @@ class DecisionResponse:
     reason: Optional[str] = None
     server_latency_us: float = 0.0
     arm: Optional[str] = None
+    prior_kbps: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.level_index < 0:
@@ -230,6 +251,8 @@ class DecisionResponse:
             payload["reason"] = self.reason
         if self.arm is not None:
             payload["arm"] = self.arm
+        if self.prior_kbps is not None:
+            payload["prior_kbps"] = self.prior_kbps
         return payload
 
     def to_json(self) -> bytes:
@@ -253,6 +276,11 @@ class DecisionResponse:
                 reason=payload.get("reason"),
                 server_latency_us=float(payload.get("server_latency_us", 0.0)),
                 arm=payload.get("arm"),
+                prior_kbps=(
+                    float(payload["prior_kbps"])
+                    if payload.get("prior_kbps") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed response payload: {exc}") from None
@@ -371,6 +399,11 @@ def encode_request_batch(requests: Sequence[DecisionRequest]) -> bytes:
         )
     parts = [_REQ_HEADER.pack(_REQ_MAGIC, PROTOCOL_VERSION, 0, len(requests))]
     for request in requests:
+        if request.family is not None:
+            # Refuse rather than drop: the binary frame has no family
+            # field, and silently losing it would disable the shared
+            # prior without any signal.  Family-keyed sessions use JSON.
+            raise ProtocolError("family rides the JSON encoding only")
         parts.append(_pack_sid(request.session_id))
         prev = -1 if request.prev_level is None else request.prev_level
         if prev > 32767:
@@ -437,6 +470,8 @@ def encode_response_batch(responses: Sequence[DecisionResponse]) -> bytes:
         _RESP_HEADER.pack(_RESP_MAGIC, PROTOCOL_VERSION, flags, len(responses))
     ]
     for response in responses:
+        if response.prior_kbps is not None:
+            raise ProtocolError("prior_kbps rides the JSON encoding only")
         parts.append(_pack_sid(response.session_id))
         if response.level_index > 65535:
             raise ProtocolError("level_index too large for the binary frame")

@@ -29,7 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from struct import error as struct_error
 from typing import Callable, Optional, Sequence, Tuple
 
@@ -49,6 +49,7 @@ from ..video.manifest import BitrateLadder
 from .backends import AlgorithmBackend
 from .experiment import CONTROLLER_TABLE, ExperimentArm, ExperimentConfig
 from .metrics import ServiceMetrics
+from .prior import SharedPriorStore
 from .protocol import (
     CONTENT_TYPE_BINARY,
     PROTOCOL_VERSION,
@@ -103,6 +104,8 @@ class ServiceConfig:
     backend_idle_timeout_s: float = 300.0
     backend_chunk_duration_s: float = 4.0
     backend_buffer_capacity_s: float = 30.0
+    #: Trace families the shared prior store holds before LRU eviction.
+    prior_max_families: int = 1024
 
     def __post_init__(self) -> None:
         if self.lookup_budget_s <= 0:
@@ -119,6 +122,8 @@ class ServiceConfig:
             or self.backend_buffer_capacity_s <= 0
         ):
             raise ValueError("backend timings must be positive")
+        if self.prior_max_families < 1:
+            raise ValueError("prior_max_families must be positive")
 
 
 class DecisionService:
@@ -160,6 +165,10 @@ class DecisionService:
         self.ladder = BitrateLadder(ladder_kbps)
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Cross-session throughput prior, keyed by trace family (see
+        #: :mod:`repro.service.prior`); fed by requests that carry a
+        #: ``family`` and served back as ``prior_kbps`` on the response.
+        self.priors = SharedPriorStore(max_families=self.config.prior_max_families)
         self.clock = clock
         self._table: Optional[DecisionTable] = None
         self._experiment: Optional[ExperimentConfig] = None
@@ -302,8 +311,27 @@ class DecisionService:
         started = self.clock()
         arm = self.assign_arm(request.session_id)
         if arm is not None and arm.controller != CONTROLLER_TABLE:
-            return self._decide_controller(request, arm, started)
-        return self._decide_table(request, arm, started)
+            return self._apply_prior(request, self._decide_controller(request, arm, started))
+        return self._apply_prior(request, self._decide_table(request, arm, started))
+
+    def _apply_prior(
+        self, request: DecisionRequest, response: DecisionResponse
+    ) -> DecisionResponse:
+        """Fold a family-keyed request into the shared prior store.
+
+        The estimate is read *before* the request's own sample is
+        folded in, so the response carries the pooled view of the
+        family's earlier sessions — ``None`` for the family's very
+        first request.  Requests without a family pass through
+        untouched (the common path stays allocation-free).
+        """
+        if request.family is None:
+            return response
+        prior = self.priors.estimate(request.family)
+        self.priors.observe(request.family, request.predicted_kbps)
+        if prior is None:
+            return response
+        return replace(response, prior_kbps=prior)
 
     def _decide_table(
         self,
@@ -443,7 +471,7 @@ class DecisionService:
         started = self.clock()
         self.metrics.record_batch(len(requests))
         if self._experiment is None:
-            return self._decide_batch_table(requests, None, started)
+            return self._finish_batch(requests, self._decide_batch_table(requests, None, started))
         arms = [self.assign_arm(r.session_id) for r in requests]
         responses: list = [None] * len(requests)
         table_rows = []
@@ -460,7 +488,22 @@ class DecisionService:
             )
             for i, response in zip(table_rows, table_responses):
                 responses[i] = response
-        return tuple(responses)
+        return self._finish_batch(requests, tuple(responses))
+
+    def _finish_batch(
+        self,
+        requests: Sequence[DecisionRequest],
+        responses: Tuple[DecisionResponse, ...],
+    ) -> Tuple[DecisionResponse, ...]:
+        """Apply the shared prior to a batch, in request order — the same
+        estimate-before-observe sequence scalar :meth:`decide` calls
+        would have produced one by one."""
+        if all(r.family is None for r in requests):
+            return responses
+        return tuple(
+            self._apply_prior(request, response)
+            for request, response in zip(requests, responses)
+        )
 
     def _decide_batch_table(
         self,
@@ -562,6 +605,15 @@ class DecisionService:
                 )
                 responses.append(response)
         return tuple(responses)
+
+    def metrics_document(self) -> dict:
+        """The full ``/metrics`` JSON document: the counter/histogram
+        snapshot plus the shared-prior section (kept out of
+        :meth:`ServiceMetrics.snapshot` so the metrics schema stays
+        mergeable on its own)."""
+        document = self.metrics.snapshot()
+        document["priors"] = self.priors.snapshot()
+        return document
 
     def fallback_response(
         self,
@@ -983,7 +1035,9 @@ class DecisionServer:
             )
             return keep_alive
         if path == "/metrics":
-            await self._respond(writer, 200, metrics.snapshot(), close=not keep_alive)
+            await self._respond(
+                writer, 200, self.service.metrics_document(), close=not keep_alive
+            )
             return keep_alive
         if path == "/healthz":
             experiment = self.service.experiment

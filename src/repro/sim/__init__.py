@@ -2,5 +2,14 @@
 
 from .metrics import SessionMetrics
 from .session import SessionResult, StartupPolicy, simulate_session
+from .live import LiveConfig, LiveSessionResult, run_live_session
 
-__all__ = ["SessionMetrics", "SessionResult", "StartupPolicy", "simulate_session"]
+__all__ = [
+    "SessionMetrics",
+    "SessionResult",
+    "StartupPolicy",
+    "simulate_session",
+    "LiveConfig",
+    "LiveSessionResult",
+    "run_live_session",
+]

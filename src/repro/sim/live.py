@@ -1,35 +1,36 @@
-"""The chunk-level trace-driven simulator (Section 7.3's framework).
+"""Live-streaming sessions: chunks are published on a wall-clock schedule.
 
-*"The simulation takes as input a throughput trace and models the video
-download/playback process and the buffer dynamics.  At time t_k when the
-bitrate of chunk k is needed, the simulation calls the bitrate controller
-embedded with different algorithms to get R_k."*
+On-demand video hands the whole manifest to the player at ``t = 0``; a
+live stream publishes chunk ``k`` only once the encoder has produced it.
+That changes three things, each modelled here:
 
-The engine implements Eqs. (1)–(4) exactly:
+* **bounded lookahead** — the controller cannot plan over chunks that do
+  not exist yet, so every decision carries ``available_chunks`` and MPC
+  clips its horizon to the published prefix (Section 5's receding
+  horizon, truncated at the live edge);
+* **edge waits** — a player that drains its backlog must wait, idle, for
+  the next chunk to be published.  The wait drains the playback buffer
+  and can itself rebuffer; it is also exactly the kind of off time that
+  poisons naive throughput predictors, so it is accounted into each
+  chunk's ``idle_before_s`` for the gap-corrected ones;
+* **latency in the objective** — chunk ``k``'s *fetch latency* is how
+  far behind the live edge it was obtained
+  (``download end - publish time``); QoE becomes the Eq. 5 total minus
+  ``latency_weight`` times the mean latency excess over
+  ``latency_target_s``.
 
-* download time of chunk ``k`` is obtained by inverting the trace
-  integral (Eq. 1/2) — no per-chunk constant-throughput approximation;
-* the buffer drains in real time while downloading, gains ``L`` per
-  completed chunk, and rebuffering accrues whenever a download outlasts
-  the buffer (Eq. 3);
-* a full buffer forces the Eq. (4) pause before the next request;
-* playback start is governed by a :class:`StartupPolicy` — immediately
-  after the first chunk (real players; the default), at a fixed delay
-  (the Figure 11d experiment), or extended by the algorithm's own
-  ``f_stmpc`` startup decision.
-
-Every decision flows through the :class:`~repro.abr.base.ABRAlgorithm`
-interface, so the simulator runs the paper's algorithms and any
-user-supplied one interchangeably.
+The publish schedule is ``publish(k) = (k - backlog + 1) * interval``
+for ``k >= backlog`` (the first ``backlog`` chunks pre-exist at ``t=0``
+— the DVR window a joining viewer lands in), with ``interval`` equal to
+the chunk duration by default: real-time encoding.
 """
 
 from __future__ import annotations
 
-import enum
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 from ..abr.base import (
     ABRAlgorithm,
@@ -37,7 +38,6 @@ from ..abr.base import (
     PlayerObservation,
     SessionConfig,
 )
-from ..core.qoe import QoEBreakdown, compute_qoe
 from ..obs.events import (
     ChunkDecision,
     ChunkDownload,
@@ -46,150 +46,160 @@ from ..obs.events import (
     SessionSummary,
 )
 from ..obs.tracer import Tracer
-from ..prediction.base import (
-    OBSERVATION_FLOOR_KBPS,
-    ThroughputObservation,
-    TraceAware,
-)
+from ..prediction.base import OBSERVATION_FLOOR_KBPS, ThroughputObservation
 from ..traces.trace import Trace
 from ..video.manifest import VideoManifest
-from .metrics import SessionMetrics
+from .session import SessionResult, _bind_trace_aware, _set_wall_time
 
-__all__ = ["StartupPolicy", "SessionResult", "simulate_session"]
+__all__ = ["LiveConfig", "LiveSessionResult", "run_live_session"]
 
 _INFINITY = math.inf
 
 
-class StartupPolicy(enum.Enum):
-    """When playback begins relative to downloading."""
+@dataclass(frozen=True)
+class LiveConfig:
+    """Knobs of the live scenario (see the module docstring).
 
-    FIRST_CHUNK = "first-chunk"  # play as soon as chunk 1 arrives (+ algo wait)
-    FIXED = "fixed"  # play at a fixed wall-clock delay (Figure 11d)
+    ``interval_s = None`` publishes at the chunk duration — real-time
+    encoding, the live default.
+    """
+
+    interval_s: Optional[float] = None
+    backlog_chunks: int = 3
+    latency_target_s: float = 15.0
+    latency_weight: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ValueError("publish interval must be positive")
+        if self.backlog_chunks < 1:
+            raise ValueError("a live session needs at least one chunk at t=0")
+        if self.latency_target_s < 0:
+            raise ValueError("latency target must be >= 0")
+        if self.latency_weight < 0:
+            raise ValueError("latency weight must be >= 0")
+
+    def publish_interval_s(self, manifest: VideoManifest) -> float:
+        if self.interval_s is not None:
+            return self.interval_s
+        return manifest.chunk_duration_s
+
+    def publish_time_s(self, chunk_index: int, interval_s: float) -> float:
+        """Wall time chunk ``chunk_index`` becomes downloadable."""
+        if chunk_index < self.backlog_chunks:
+            return 0.0
+        return (chunk_index - self.backlog_chunks + 1) * interval_s
 
 
 @dataclass(frozen=True)
-class SessionResult:
-    """Everything observed during one simulated playback session."""
+class LiveSessionResult:
+    """A live session: the plain session log plus the live accounting."""
 
-    algorithm_name: str
-    trace_name: str
-    records: tuple  # DownloadResult per chunk, in order
-    startup_delay_s: float
-    total_rebuffer_s: float
-    total_wall_time_s: float
-    config: SessionConfig
+    session: SessionResult
+    live: LiveConfig
+    latencies_s: Tuple[float, ...]  # fetch latency per chunk, in order
+    edge_wait_s: float  # total time spent waiting for unpublished chunks
+    edge_rebuffer_s: float  # rebuffer incurred during those waits
 
-    @property
-    def bitrates_kbps(self) -> List[float]:
-        return [r.bitrate_kbps for r in self.records]
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        total = 0.0
+        for latency in self.latencies_s:
+            total += latency
+        return total / len(self.latencies_s)
 
-    @property
-    def level_indices(self) -> List[int]:
-        return [r.level_index for r in self.records]
+    def latency_penalty(self) -> float:
+        """``latency_weight * mean(max(0, latency - target))``."""
+        if not self.latencies_s:
+            return 0.0
+        excess = 0.0
+        for latency in self.latencies_s:
+            over = latency - self.live.latency_target_s
+            if over > 0.0:
+                excess += over
+        return self.live.latency_weight * (excess / len(self.latencies_s))
 
-    def qoe(self, weights=None, include_startup: bool = True) -> QoEBreakdown:
-        """Score the session under Eq. 5 (optionally re-weighted)."""
-        breakdown = compute_qoe(
-            self.bitrates_kbps,
-            self.total_rebuffer_s,
-            self.startup_delay_s,
-            weights if weights is not None else self.config.weights,
-            self.config.quality,
-        )
-        return breakdown if include_startup else breakdown.without_startup()
-
-    def metrics(self) -> SessionMetrics:
-        return SessionMetrics.from_session(self)
-
-
-def _bind_trace_aware(algorithm: ABRAlgorithm, trace: Trace, manifest: VideoManifest) -> None:
-    for predictor in algorithm.predictors():
-        if isinstance(predictor, TraceAware):
-            predictor.bind_trace(trace, manifest.chunk_duration_s)
+    def qoe_total(self, weights=None) -> float:
+        """Eq. 5 total minus the latency penalty — the live objective."""
+        return self.session.qoe(weights).total - self.latency_penalty()
 
 
-def _set_wall_time(algorithm: ABRAlgorithm, t: float) -> None:
-    for predictor in algorithm.predictors():
-        if isinstance(predictor, TraceAware):
-            predictor.set_wall_time(t)
-
-
-def simulate_session(
+def run_live_session(
     algorithm: ABRAlgorithm,
     trace: Trace,
     manifest: VideoManifest,
     config: Optional[SessionConfig] = None,
-    startup_policy: StartupPolicy = StartupPolicy.FIRST_CHUNK,
-    fixed_startup_delay_s: float = 0.0,
+    live: Optional[LiveConfig] = None,
     tracer: Optional[Tracer] = None,
     session_id: str = "",
     link_faults: Optional[Iterable] = None,
     fault_seed: int = 0,
-) -> SessionResult:
-    """Play the whole video once and return the session log.
+) -> LiveSessionResult:
+    """Play one live session; the dynamics mirror ``simulate_session``.
 
-    Parameters
-    ----------
-    algorithm:
-        Any :class:`~repro.abr.base.ABRAlgorithm`; it is ``prepare()``-d
-        here, so instances may be reused across sessions.
-    startup_policy / fixed_startup_delay_s:
-        ``FIRST_CHUNK`` starts playback when the first chunk arrives plus
-        the algorithm's optional extra wait; ``FIXED`` starts at the given
-        wall-clock delay exactly (Section 7.3's startup experiment).
-    tracer / session_id:
-        When a :class:`repro.obs.Tracer` is given, the session emits the
-        full per-chunk event timeline (decision, download, rebuffer,
-        per-predictor prediction spans) plus a closing summary, and
-        attaches itself to the algorithm so solver and table profiling
-        hooks fire too.  ``session_id`` defaults to
-        ``"<algorithm>:<trace>"``.
-    link_faults / fault_seed:
-        Per-transfer fault specs (:class:`LatencySpike` /
-        :class:`ChunkFailure`) enforced by a seeded
-        :class:`~repro.faults.simlink.SimLinkFaults` injector with the
-        same semantics as the emulation's ``FaultyLink``: each transfer's
-        fault overhead is dead wall time, counted into both the download
-        time and the chunk's ``stalled_s``.  Bandwidth faults belong in
-        the trace (:func:`~repro.faults.trace.apply_trace_faults`).
+    Eqs. (1)-(4) apply unchanged to each download; on top of them the
+    publish schedule gates when a chunk may be requested, and each
+    decision sees the published-prefix length via
+    ``PlayerObservation.available_chunks``.  Playback uses the
+    first-chunk startup policy (a live viewer joins and plays).
     """
     config = config if config is not None else SessionConfig()
+    live = live if live is not None else LiveConfig()
     if link_faults:
-        # Imported lazily: the faults package reaches into the emulation
-        # layer (FaultyLink), which itself imports this module.
         from ..faults.simlink import SimLinkFaults
 
         injector = SimLinkFaults(link_faults, fault_seed)
     else:
         injector = None
-    if startup_policy is StartupPolicy.FIXED and fixed_startup_delay_s < 0:
-        raise ValueError("fixed startup delay must be >= 0")
     tracing = tracer is not None and tracer.enabled
     if tracing and not session_id:
-        session_id = f"{algorithm.name}:{trace.name}"
+        session_id = f"live:{algorithm.name}:{trace.name}"
     if tracing and not tracer.session_id:
-        # Attribute solver/table profiling events (which are emitted with
-        # an empty session id) to this session.  Reuse a fresh tracer per
-        # session, or pre-set ``tracer.session_id``, when that matters.
         tracer.session_id = session_id
     if tracer is not None:
         algorithm.tracer = tracer
     algorithm.prepare(manifest, config)
     _bind_trace_aware(algorithm, trace, manifest)
 
+    interval = live.publish_interval_s(manifest)
     L = manifest.chunk_duration_s
     bmax = config.buffer_capacity_s
     t = 0.0
     buffer_s = 0.0
-    playback_start_s = (
-        fixed_startup_delay_s if startup_policy is StartupPolicy.FIXED else _INFINITY
-    )
+    playback_start_s = _INFINITY
     total_rebuffer = 0.0
+    edge_wait = 0.0
+    edge_rebuffer = 0.0
     prev_level: Optional[int] = None
     records: List[DownloadResult] = []
-    last_transfer_end = 0.0  # wall time the previous download finished
+    latencies: List[float] = []
+    last_transfer_end = 0.0
+    published = 0  # chunks 0 .. published-1 exist at wall time t
 
     for k in range(manifest.num_chunks):
+        publish = live.publish_time_s(k, interval)
+        if t < publish:
+            # Wait at the live edge.  The buffer keeps draining once
+            # playback has begun; running dry during the wait is a
+            # rebuffer charged to the publish schedule, not the network.
+            wait = publish - t
+            edge_wait += wait
+            if playback_start_s != _INFINITY and publish > playback_start_s:
+                drain = publish - max(t, playback_start_s)
+                stall = max(drain - buffer_s, 0.0)
+                buffer_s = max(buffer_s - drain, 0.0)
+                total_rebuffer += stall
+                edge_rebuffer += stall
+            t = publish
+        # Advance the published prefix by direct comparison against the
+        # schedule (no division — float-exact at publish boundaries).
+        while (
+            published < manifest.num_chunks
+            and live.publish_time_s(published, interval) <= t
+        ):
+            published += 1
+
         _set_wall_time(algorithm, t)
         idle_before = t - last_transfer_end
         observation = PlayerObservation(
@@ -198,6 +208,7 @@ def simulate_session(
             prev_level_index=prev_level,
             wall_time_s=t,
             playback_started=t >= playback_start_s,
+            available_chunks=published,
         )
         if tracing:
             _decide_t0 = time.perf_counter()
@@ -220,15 +231,10 @@ def simulate_session(
                     decide_wall_s=time.perf_counter() - _decide_t0,
                 )
             )
-        if tracing:
             _pending_predictions = [
                 (p.name, p.predict(1)[0]) for p in algorithm.predictors()
             ]
         size = manifest.chunk_size_kilobits(k, level)
-        # Link-fault overhead is dead time ahead of the first byte; the
-        # trace transfer then starts at the delayed instant.  With no
-        # injector the arithmetic below is untouched (+0.0 paths), so
-        # fault-free sessions reproduce their historical floats exactly.
         overhead = injector.overhead_s(t) if injector is not None else 0.0
         transfer_time, trace_stall = trace.download_time_and_stall(
             t + overhead, size
@@ -237,8 +243,6 @@ def simulate_session(
         stalled = overhead + trace_stall
         t_end = t + download_time
 
-        # Real-time drain over the portion of the download after playback
-        # has started (Eq. 3, generalised to mid-download playback start).
         drain = max(0.0, t_end - max(playback_start_s, t))
         rebuffer = max(drain - buffer_s, 0.0)
         buffer_s = max(buffer_s - drain, 0.0)
@@ -246,10 +250,9 @@ def simulate_session(
         t = t_end
         last_transfer_end = t
         buffer_s += L
+        latencies.append(t_end - publish)
 
         if playback_start_s == _INFINITY:
-            # FIRST_CHUNK policy: playback begins now, plus any extra wait
-            # the algorithm requests (MPC's f_stmpc startup decision).
             extra = algorithm.select_startup_wait(
                 PlayerObservation(
                     chunk_index=k,
@@ -257,6 +260,7 @@ def simulate_session(
                     prev_level_index=level,
                     wall_time_s=t,
                     playback_started=False,
+                    available_chunks=max(published, k + 1),
                 )
             )
             if extra < 0:
@@ -265,17 +269,8 @@ def simulate_session(
             playback_start_s = t
 
         waited = 0.0
-        if buffer_s > bmax and playback_start_s == _INFINITY:
-            # FIRST_CHUNK sessions never overflow before playback, but
-            # a misbehaving startup wait could; begin playback now.
-            playback_start_s = t
-        # Eq. (4), generalised by request pacing: pause until the buffer
-        # drains to the pacing threshold (Bmax by default).  Under a FIXED
-        # startup policy the buffer only drains once playback begins, so
-        # the wait spans until then too.  Pre-playback, pacing below Bmax
-        # does not apply (players build their pre-roll at full speed).
         threshold = config.pacing_threshold_s
-        if buffer_s > threshold and playback_start_s != _INFINITY:
+        if buffer_s > threshold:
             if t >= playback_start_s or buffer_s > bmax:
                 drain_start = max(t, playback_start_s)
                 waited = (drain_start - t) + (buffer_s - threshold)
@@ -288,9 +283,6 @@ def simulate_session(
             bitrate_kbps=manifest.ladder[level],
             size_kilobits=size,
             download_time_s=download_time,
-            # Floored: a blackout chunk (download_time = inf) divides to
-            # exactly 0.0, which the constructor rejects; sub-floor
-            # trickles clamp the same way the predictors already do.
             throughput_kbps=max(
                 size / download_time if download_time > 0 else _INFINITY,
                 OBSERVATION_FLOOR_KBPS,
@@ -333,8 +325,6 @@ def simulate_session(
                     )
                 )
             if _pending_predictions:
-                # The active rate is exactly what a gap-corrected
-                # predictor will reconstruct from this download.
                 active = ThroughputObservation(
                     result.throughput_kbps,
                     download_time,
@@ -370,6 +360,13 @@ def simulate_session(
         total_wall_time_s=t,
         config=config,
     )
+    live_result = LiveSessionResult(
+        session=session,
+        live=live,
+        latencies_s=tuple(latencies),
+        edge_wait_s=edge_wait,
+        edge_rebuffer_s=edge_rebuffer,
+    )
     if tracing:
         tracer.emit(
             SessionSummary(
@@ -387,4 +384,4 @@ def simulate_session(
                 weight_startup=config.weights.startup,
             )
         )
-    return session
+    return live_result

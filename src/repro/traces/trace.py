@@ -306,6 +306,79 @@ class Trace:
                 idx = 0
         return elapsed
 
+    def _stall_one_pass(self) -> float:
+        """Zero-bandwidth seconds per full pass of the trace."""
+        stall = 0.0
+        for bw, dur in zip(self._bw, self.segment_durations()):
+            if bw == 0.0:
+                stall += dur
+        return stall
+
+    def download_time_and_stall(
+        self, t0: float, size_kilobits: float
+    ) -> Tuple[float, float]:
+        """:meth:`time_to_download` plus the stalled seconds inside it.
+
+        The returned download time is bit-identical to
+        :meth:`time_to_download` — the walk below is the same code with a
+        stall accumulator bolted on (the added sums never touch the time
+        arithmetic).  "Stalled" means time spent inside zero-bandwidth
+        segments (blackouts compiled in by
+        :func:`repro.faults.trace.apply_trace_faults`); whole-repetition
+        skips contribute ``full * stall_per_pass`` with the per-pass
+        stall accumulated in segment order, which is also how the fleet
+        stepper's vectorized twin computes it.
+        """
+        if size_kilobits < 0:
+            raise ValueError("size must be >= 0")
+        if size_kilobits == 0:
+            return 0.0, 0.0
+        per_pass = self._kilobits_one_pass(0.0, self._duration)
+        if per_pass <= 0:
+            raise ValueError("trace delivers zero bytes per pass; download never completes")
+        remaining = size_kilobits
+        elapsed = 0.0
+        stall = 0.0
+        t = self._wrap(t0)
+        idx = bisect.bisect_right(self._times, t) - 1
+        # Leading partial pass.
+        while idx < len(self._times):
+            seg_end = self._times[idx + 1] if idx + 1 < len(self._times) else self._duration
+            seg_len = seg_end - t
+            seg_bits = self._bw[idx] * seg_len
+            if seg_bits >= remaining - _EPS and self._bw[idx] > 0:
+                return elapsed + remaining / self._bw[idx], stall
+            remaining -= seg_bits
+            elapsed += seg_len
+            if self._bw[idx] == 0.0:
+                stall += seg_len
+            t = seg_end
+            idx += 1
+        # Whole repetitions from the top of the trace.
+        if remaining > _EPS:
+            full = math.floor(remaining / per_pass)
+            remaining -= full * per_pass
+            elapsed += full * self._duration
+            stall += full * self._stall_one_pass()
+        t = 0.0
+        idx = 0
+        while remaining > _EPS:
+            seg_end = self._times[idx + 1] if idx + 1 < len(self._times) else self._duration
+            seg_len = seg_end - t
+            seg_bits = self._bw[idx] * seg_len
+            if seg_bits >= remaining - _EPS and self._bw[idx] > 0:
+                return elapsed + remaining / self._bw[idx], stall
+            remaining -= seg_bits
+            elapsed += seg_len
+            if self._bw[idx] == 0.0:
+                stall += seg_len
+            t = seg_end
+            idx += 1
+            if idx >= len(self._times):  # pragma: no cover - numeric safety
+                t = 0.0
+                idx = 0
+        return elapsed, stall
+
     def average_kbps_between(self, t0: float, t1: float) -> float:
         """Average throughput over a window — ``C_k`` of Eq. (2)."""
         if t1 <= t0:

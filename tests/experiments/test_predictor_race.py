@@ -1,0 +1,150 @@
+"""The predictor-accuracy race: determinism, degradation, strict wins.
+
+Pins the acceptance contract of the §7.3 extension: the gap-corrected
+predictors *strictly* reduce active-rate MAE vs their plain counterparts
+on the stall-heavy fault profiles, degrade bit-identically on the clean
+profile, and the whole table reproduces exactly whether computed by one
+worker or a pool.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    PREDICTOR_RACE_PREDICTORS,
+    PREDICTOR_RACE_PROFILES,
+    run_predictor_race,
+)
+from repro.traces import FCCTraceGenerator, HSDPATraceGenerator
+from repro.video.presets import envivio
+
+
+def make_traces():
+    return FCCTraceGenerator(seed=11).generate_many(
+        2, 240.0
+    ) + HSDPATraceGenerator(seed=11).generate_many(2, 240.0)
+
+
+@pytest.fixture(scope="module")
+def race():
+    return run_predictor_race(make_traces(), envivio(), workers=1)
+
+
+def test_shape(race):
+    profiles = set(PREDICTOR_RACE_PROFILES)
+    predictors = set(PREDICTOR_RACE_PREDICTORS)
+    assert len(race.cells) == len(profiles) * len(predictors) * 4
+    rows = race.rows()
+    assert len(rows) == len(profiles) * len(predictors)
+    for row in rows:
+        assert row.sessions == 4
+        assert row.chunks > 0
+
+
+@pytest.mark.parametrize("profile", ("blackouts", "lossy-link"))
+@pytest.mark.parametrize(
+    "corrected,baseline", (("gap-harmonic", "harmonic"), ("gap-ewma", "ewma"))
+)
+def test_gap_correction_strictly_reduces_active_mae(
+    race, profile, corrected, baseline
+):
+    """The headline claim: on stall-heavy profiles the corrected
+    predictor's active-rate MAE is strictly below the plain one's."""
+    assert race.strictly_reduces(profile, corrected, baseline), (
+        f"{corrected} did not beat {baseline} on {profile}: "
+        f"{race.row(profile, corrected).active_mae} vs "
+        f"{race.row(profile, baseline).active_mae}"
+    )
+
+
+@pytest.mark.parametrize(
+    "corrected,baseline", (("gap-harmonic", "harmonic"), ("gap-ewma", "ewma"))
+)
+def test_clean_profile_degrades_exactly(race, corrected, baseline):
+    """No stalls -> the gap predictors are their plain counterparts:
+    every per-trace cell matches bit for bit, QoE included."""
+    for cell in race.cells:
+        if cell.profile != "clean" or cell.predictor != corrected:
+            continue
+        twin = next(
+            c
+            for c in race.cells
+            if c.profile == "clean"
+            and c.predictor == baseline
+            and c.trace_name == cell.trace_name
+        )
+        assert cell.active_abs_error_sum == twin.active_abs_error_sum
+        assert cell.wall_abs_error_sum == twin.wall_abs_error_sum
+        assert cell.qoe_total == twin.qoe_total
+        assert cell.rebuffer_s == twin.rebuffer_s
+        assert cell.mean_bitrate_kbps == twin.mean_bitrate_kbps
+
+
+def test_clean_wall_equals_active(race):
+    """Without stalls the active rate *is* the wall rate (same float),
+    so the two MAE columns coincide exactly."""
+    for row in race.rows():
+        if row.profile == "clean":
+            assert row.wall_mae == row.active_mae
+            assert row.idle_gap_fraction == 0.0
+
+
+def test_oracle_is_the_accuracy_anchor(race):
+    for profile in PREDICTOR_RACE_PROFILES:
+        oracle = race.row(profile, "oracle").active_mae
+        for predictor in PREDICTOR_RACE_PREDICTORS:
+            if predictor != "oracle":
+                assert oracle < race.row(profile, predictor).active_mae
+
+
+def test_stall_profiles_report_nonzero_gap_fraction(race):
+    """The previously-discarded on/off context flows end to end: the
+    fault profiles that inject dead time show up in the diagnostic."""
+    for profile in ("blackouts", "lossy-link"):
+        for predictor in PREDICTOR_RACE_PREDICTORS:
+            row = race.row(profile, predictor)
+            assert row.idle_gap_fraction > 0.0
+            assert row.gapped_chunks > 0
+
+
+def test_workers_do_not_change_results(race):
+    """1 worker vs a pool of 2: bit-identical cells, rows, and table."""
+    pooled = run_predictor_race(make_traces(), envivio(), workers=2)
+    assert pooled == race
+    assert [r.to_dict() for r in pooled.rows()] == [
+        r.to_dict() for r in race.rows()
+    ]
+    assert pooled.table() == race.table()
+
+
+def test_render_and_serialize(race):
+    text = race.table()
+    assert "active_mae" in text and "gap-harmonic" in text
+    assert race.describe() == text
+    doc = json.loads(json.dumps(race.to_dict()))
+    assert doc["profiles"] == list(PREDICTOR_RACE_PROFILES)
+    assert len(doc["rows"]) == len(race.rows())
+    assert doc["rows"][0]["chunks"] > 0
+
+
+def test_row_lookup_raises_on_unknown(race):
+    with pytest.raises(KeyError):
+        race.row("clean", "nope")
+
+
+def test_input_validation():
+    manifest = envivio()
+    trace = FCCTraceGenerator(seed=1).generate_many(1, 60.0)
+    with pytest.raises(ValueError):
+        run_predictor_race([], manifest)
+    with pytest.raises(ValueError):
+        run_predictor_race(trace, manifest, predictors=())
+    with pytest.raises(ValueError):
+        run_predictor_race(trace, manifest, profiles=())
+    with pytest.raises(ValueError):
+        run_predictor_race(trace, manifest, workers=0)
+    with pytest.raises(ValueError):
+        run_predictor_race(trace, manifest, profiles=("no-such-profile",))

@@ -136,6 +136,26 @@ def test_parity_when_traces_wrap_around(controller):
 
 
 @needs_numpy
+@pytest.mark.parametrize("controller", ("fastmpc-gap", "fastmpc", "robust-fastmpc"))
+def test_parity_through_blackouts(controller):
+    # Zero-bandwidth windows exercise the stall-collecting trace walk and
+    # (for fastmpc-gap) the active-rate reconstruction — the correction
+    # must engage identically in both engines, bit for bit.
+    from repro.faults import Blackout, apply_trace_faults
+
+    faults = [
+        Blackout(start_s=20.0, duration_s=6.0),
+        Blackout(start_s=70.0, duration_s=9.0),
+    ]
+    traces = [
+        apply_trace_faults(trace, faults)
+        for trace in SyntheticTraceGenerator(seed=13).generate_many(5, 120.0)
+    ]
+    vec, sca = run_both(controller, traces, envivio())
+    assert_exact_parity(vec, sca)
+
+
+@needs_numpy
 def test_parity_on_single_chunk_video(mixed_traces):
     manifest = VideoManifest.cbr(4.0, BitrateLadder(ENVIVIO_LADDER_KBPS), 1)
     for controller in ("lowest", "rb", "bola"):

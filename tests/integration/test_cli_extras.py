@@ -61,3 +61,73 @@ class TestRunExtensions:
         code, out = run_cli(capsys, "run", algorithm, "--dataset", "synthetic")
         assert code == 0
         assert "avg bitrate" in out
+
+
+class TestPredictRace:
+    def test_race_prints_table_and_saves_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "race.json"
+        code, out = run_cli(
+            capsys, "predict-race",
+            "--datasets", "fcc",
+            "--traces", "1", "--duration", "120", "--bins", "8",
+            "--predictors", "harmonic", "gap-harmonic",
+            "--profiles", "clean", "blackouts",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert "active_mae" in out
+        assert "gap-harmonic" in out
+        doc = json.loads(path.read_text())
+        assert doc["profiles"] == ["clean", "blackouts"]
+        assert len(doc["rows"]) == 4
+
+    def test_unknown_profile_rejected(self, capsys):
+        with pytest.raises(ValueError):
+            main([
+                "predict-race", "--traces", "1", "--duration", "60",
+                "--profiles", "no-such-profile",
+            ])
+
+
+class TestLoadtestFlags:
+    def test_live_flags_map_onto_the_config(self, capsys, monkeypatch):
+        """The open-loop/predictor/family flags land verbatim in the
+        LoadTestConfig handed to the runner."""
+        import repro.service as service_module
+
+        seen = {}
+
+        def fake_run(host, port, config):
+            seen["config"] = config
+
+            class Report:
+                errors = 0
+
+                def describe(self):
+                    return "stub report"
+
+            return Report()
+
+        monkeypatch.setattr(service_module, "run_loadtest_sync", fake_run)
+        code, out = run_cli(
+            capsys, "loadtest",
+            "--sessions", "5", "--chunks", "4",
+            "--predictors", "harmonic", "gap-harmonic",
+            "--family", "fcc",
+            "--open-loop", "--arrival-rate", "25.0",
+            "--diurnal-amplitude", "0.5", "--diurnal-period", "8.0",
+            "--burst-at", "1.5", "--burst-sessions", "3",
+        )
+        assert code == 0
+        assert "stub report" in out
+        config = seen["config"]
+        assert config.predictors == ("harmonic", "gap-harmonic")
+        assert config.family == "fcc"
+        assert config.open_loop is True
+        assert config.arrival_rate_hz == 25.0
+        assert config.diurnal_amplitude == 0.5
+        assert config.diurnal_period_s == 8.0
+        assert config.burst_at_s == 1.5
+        assert config.burst_sessions == 3

@@ -101,3 +101,82 @@ def test_live_run_matches_golden_fixture(name):
             f"{live_qoe!r} != {golden_summary.qoe_total!r}"
         )
         assert replay_session(golden).qoe.total == golden_summary.qoe_total
+
+
+# ----------------------------------------------------------------------
+# Live-mode fixture
+# ----------------------------------------------------------------------
+
+
+def test_live_fixture_is_self_consistent():
+    name = regen_golden.LIVE_FIXTURE_ALGORITHM
+    events = read_timeline(_fixture_path(f"live-{name}"))
+    assert verify_timeline(events) == {}
+
+
+def test_live_mode_run_matches_golden_fixture():
+    """The live-mode session replays exactly: decisions, QoE, and the
+    prediction-span error sequence."""
+    from repro.obs import prediction_errors
+
+    name = regen_golden.LIVE_FIXTURE_ALGORITHM
+    fixture = split_sessions(read_timeline(_fixture_path(f"live-{name}")))
+    for trace in regen_golden.golden_traces():
+        session_id = f"live:{name}:{trace.name}"
+        golden = fixture[session_id]
+        live = regen_golden.run_golden_live_session(name, trace)
+        assert _decisions(live) == _decisions(golden), (
+            f"decision drift in {session_id}; if intentional, regenerate "
+            f"fixtures with scripts/regen_golden.py"
+        )
+        golden_summary = _summary(golden, session_id)
+        assert replay_session(golden).qoe.total == golden_summary.qoe_total
+        # the committed error sequences replay bit for bit, and the live
+        # re-run reproduces them float for float
+        golden_spans = prediction_errors(golden)
+        live_spans = prediction_errors(live)
+        assert set(golden_spans) == set(live_spans)
+        for predictor, spans in golden_spans.items():
+            assert [s.error for s in live_spans[predictor]] == [
+                s.error for s in spans
+            ]
+
+
+# ----------------------------------------------------------------------
+# Shared-prior fixture
+# ----------------------------------------------------------------------
+
+
+def test_prior_fixture_replays_exactly():
+    """Re-driving the fixed request schedule through a fresh service
+    reproduces every committed line — served levels, prior estimates,
+    and the final store snapshot."""
+    with open(_fixture_path("prior-session"), encoding="utf-8") as stream:
+        committed = stream.read()
+    assert regen_golden.render_prior_fixture() == committed
+
+
+def test_prior_fixture_snapshot_rebuilds_from_scattered_workers():
+    """The fixture's final snapshot is reproduced by scattering the same
+    request stream across two worker stores and merging — the lossless-
+    merge contract, anchored to committed bytes."""
+    import json as _json
+
+    from repro.service.prior import SharedPriorStore, merge_prior_snapshots
+
+    lines = read_prior_fixture_lines()
+    snapshot = _json.loads(lines[-1])["priors"]
+    workers = [
+        SharedPriorStore(max_families=snapshot["max_families"]),
+        SharedPriorStore(max_families=snapshot["max_families"]),
+    ]
+    for i, line in enumerate(lines[:-1]):
+        doc = _json.loads(line)
+        workers[i % 2].observe(doc["family"], doc["predicted_kbps"])
+    merged = merge_prior_snapshots([w.snapshot() for w in workers])
+    assert merged == snapshot
+
+
+def read_prior_fixture_lines():
+    with open(_fixture_path("prior-session"), encoding="utf-8") as stream:
+        return [line for line in stream.read().splitlines() if line]

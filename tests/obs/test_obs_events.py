@@ -13,6 +13,7 @@ from repro.obs.events import (
     ChunkDownload,
     FleetShard,
     FleetSummary,
+    PredictionSpan,
     Rebuffer,
     RequestSpan,
     SessionSummary,
@@ -76,6 +77,19 @@ def _one_of_each():
             wall_s=0.0004,
             status="ok",
             chaos=None,
+        ),
+        PredictionSpan(
+            session_id="s",
+            t_mono=5.5,
+            chunk_index=7,
+            predictor="gap-harmonic",
+            predicted_kbps=1450.25,
+            actual_kbps=1212.5,
+            active_kbps=1617.9012345678901,
+            error=-0.1036288148148148,
+            duration_s=4.125,
+            idle_s=0.75,
+            stall_s=1.03125,
         ),
         SessionSummary(
             session_id="s",

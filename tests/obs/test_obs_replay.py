@@ -3,6 +3,8 @@
 import dataclasses
 import io
 
+import itertools
+
 import pytest
 
 from repro.abr.registry import available, create
@@ -105,7 +107,12 @@ def test_verify_timeline_flags_missing_summary(short_manifest, constant_trace):
 def test_split_sessions_preserves_order(short_manifest, constant_trace):
     _, a = _traced_sim("rb", constant_trace, short_manifest)
     _, b = _traced_sim("bb", constant_trace, short_manifest)
-    mixed = [x for pair in zip(a, b) for x in pair]
+    mixed = [
+        x
+        for pair in itertools.zip_longest(a, b)
+        for x in pair
+        if x is not None
+    ]
     sessions = split_sessions(mixed)
     assert sessions["rb:constant-1500"] == a
     assert sessions["bb:constant-1500"] == b
@@ -128,3 +135,60 @@ def test_session_events_cover_eq_accounting(short_manifest, step_trace):
         assert event.download_time_s == record.download_time_s
         assert event.rebuffer_s == record.rebuffer_s
         assert event.buffer_after_s == record.buffer_after_s
+
+
+def test_prediction_spans_replay_error_sequences_exactly(
+    short_manifest, step_trace
+):
+    """The PredictionSpan stream reproduces the live run's predicted-vs-
+    actual error sequence bit for bit: each span's recorded error equals
+    ``(predicted - active) / active`` recomputed from its own floats,
+    and spans arrive per predictor in chunk order."""
+    from repro.obs import prediction_errors
+
+    session, events = _traced_sim("fastmpc-gap", step_trace, short_manifest)
+    by_predictor = prediction_errors(events)  # re-verifies every span
+    assert set(by_predictor) == {"gap-harmonic"}
+    spans = by_predictor["gap-harmonic"]
+    assert [s.chunk_index for s in spans] == [
+        r.chunk_index for r in session.records
+    ]
+    for span, record in zip(spans, session.records):
+        assert span.actual_kbps == record.throughput_kbps
+        assert span.duration_s == record.download_time_s
+        # gap-free link: active rate IS the wall rate, same float
+        assert span.active_kbps == span.actual_kbps
+
+
+def test_prediction_errors_reject_corrupt_span(short_manifest, step_trace):
+    from repro.obs import prediction_errors
+
+    _, events = _traced_sim("fastmpc", step_trace, short_manifest)
+    tampered = [
+        dataclasses.replace(e, error=e.error + 1.0)
+        if e.kind == "prediction-span"
+        else e
+        for e in events
+    ]
+    with pytest.raises(ValueError, match="does not replay"):
+        prediction_errors(tampered)
+
+
+def test_prediction_spans_survive_jsonl_round_trip(
+    tmp_path, short_manifest, step_trace
+):
+    """Serialized spans decode to the same floats, so the replay check
+    passes on a timeline read back from disk."""
+    from repro.obs import prediction_errors, read_timeline
+
+    path = tmp_path / "live.jsonl"
+    sink = JsonlSink(str(path))
+    tracer = Tracer([sink])
+    simulate_session(
+        create("fastmpc"), step_trace, short_manifest, tracer=tracer
+    )
+    sink.close()
+    events = read_timeline(str(path))
+    direct = prediction_errors(events)
+    assert set(direct) == {"harmonic"}
+    assert len(direct["harmonic"]) == short_manifest.num_chunks

@@ -102,3 +102,40 @@ def test_lower_bound_never_exceeds_prediction(pairs):
         t.record(predicted, actual)
     assert t.robust_lower_bound(1234.0) <= 1234.0 + 1e-9
     assert t.robust_lower_bound(1234.0) > 0
+
+
+class TestGapContext:
+    """The previously-discarded on/off context now flows into the
+    tracker: gap fraction and gap-stratified error statistics."""
+
+    def test_gapless_records_leave_diagnostics_zero(self):
+        t = PredictionErrorTracker()
+        t.record(1100.0, 1000.0)
+        assert t.idle_gap_fraction() == 0.0
+        strata = t.stratified_mean_abs_error()
+        assert strata["gapped"]["chunks"] == 0
+        assert strata["smooth"]["chunks"] == 1
+
+    def test_idle_gap_fraction_accounting(self):
+        t = PredictionErrorTracker()
+        t.record(1100.0, 1000.0, duration_s=4.0, idle_s=1.0, stall_s=2.0)
+        # (idle + stall) / (busy + idle) = 3 / 5
+        assert t.idle_gap_fraction() == 3.0 / 5.0
+
+    def test_stratified_mean_abs_error_splits_by_gap(self):
+        t = PredictionErrorTracker()
+        t.record(1100.0, 1000.0)                                  # smooth, 10%
+        t.record(1500.0, 1000.0, duration_s=4.0, stall_s=1.0)     # gapped, 50%
+        t.record(800.0, 1000.0, duration_s=4.0, stall_s=2.0)      # gapped, 20%
+        strata = t.stratified_mean_abs_error()
+        assert strata["smooth"]["chunks"] == 1
+        assert strata["smooth"]["mae"] == pytest.approx(0.1)
+        assert strata["gapped"]["chunks"] == 2
+        assert strata["gapped"]["mae"] == pytest.approx(0.35)
+
+    def test_reset_clears_gap_state(self):
+        t = PredictionErrorTracker()
+        t.record(1100.0, 1000.0, duration_s=4.0, idle_s=1.0, stall_s=2.0)
+        t.reset()
+        assert t.idle_gap_fraction() == 0.0
+        assert t.stratified_mean_abs_error()["gapped"]["chunks"] == 0

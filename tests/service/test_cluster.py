@@ -76,7 +76,9 @@ def golden_request_stream() -> list:
         with timeline.open() as fh:
             for line in fh:
                 event = json.loads(line)
-                if event["kind"] == "chunk-decision":
+                # The golden dir also holds non-timeline fixtures (the
+                # shared-prior session log) whose lines are not events.
+                if event.get("kind") == "chunk-decision":
                     prev = event["prev_level"]
                     if prev is not None:
                         prev = min(prev, len(LADDER) - 1)
@@ -88,7 +90,7 @@ def golden_request_stream() -> list:
                             prev_level=prev,
                         )
                     )
-                elif event["kind"] == "chunk-download":
+                elif event.get("kind") == "chunk-download":
                     predicted = event["throughput_kbps"]
     assert len(requests) >= 200, "golden timelines unexpectedly short"
     return requests

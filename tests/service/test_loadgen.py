@@ -113,6 +113,7 @@ class TestLoadTest:
             "decisions", "errors", "degraded", "sessions_completed",
             "local_fallbacks", "wall_s", "throughput_dps", "sources",
             "reasons", "latency_us", "qoe_mean", "arms",
+            "predictors", "prior_hits",
         }
         assert "decisions/s" in report.describe()
         assert report.qoe_mean != 0.0  # completed sessions were scored

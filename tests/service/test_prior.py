@@ -1,0 +1,187 @@
+"""The cross-session shared prior: store semantics, merge, service path.
+
+The store's contract is the same exactness story as the rest of the
+service metrics: integer bucket counts merge losslessly and
+order-independently, so per-worker prior stores fold into exactly the
+aggregate one shared store would have held — pinned here by splitting a
+sample stream across stores and comparing snapshots with ``==``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import DecisionService
+from repro.service.prior import (
+    DEFAULT_PRIOR_BOUNDS_KBPS,
+    SharedPriorStore,
+    ThroughputHistogram,
+    merge_prior_snapshots,
+)
+from repro.service.protocol import DecisionRequest, ProtocolError
+
+from .conftest import LADDER, make_test_table
+
+SAMPLES = [120.0, 480.0, 950.0, 1800.0, 2600.0, 480.0, 75.0, 5200.0]
+
+
+class TestSharedPriorStore:
+    def test_unseen_family_has_no_estimate(self):
+        store = SharedPriorStore()
+        assert store.estimate("fcc") is None
+        assert store.families_active == 0
+
+    def test_estimate_is_pooled_median(self):
+        store = SharedPriorStore()
+        reference = ThroughputHistogram()
+        for sample in SAMPLES:
+            store.observe("fcc", sample)
+            reference.observe(sample)
+        assert store.estimate("fcc") == reference.quantile(0.5)
+        assert store.samples_total == len(SAMPLES)
+
+    def test_families_are_independent(self):
+        store = SharedPriorStore()
+        store.observe("fcc", 3000.0)
+        store.observe("hsdpa", 250.0)
+        assert store.estimate("fcc") != store.estimate("hsdpa")
+        assert store.families_active == 2
+
+    def test_lru_eviction_drops_least_recently_observed(self):
+        store = SharedPriorStore(max_families=2)
+        store.observe("a", 100.0)
+        store.observe("b", 200.0)
+        store.observe("a", 100.0)  # revives a; b is now the oldest
+        store.observe("c", 300.0)  # evicts b
+        assert store.family_names() == ("a", "c")
+        assert store.evictions == 1
+        assert store.estimate("b") is None
+        # an evicted family restarts cold
+        store.observe("b", 999.0)
+        assert store.estimate("b") is not None
+        assert store.evictions == 2  # a or c paid for b's revival
+
+    def test_estimate_does_not_refresh_lru_order(self):
+        """Read traffic cannot keep a family alive."""
+        store = SharedPriorStore(max_families=2)
+        store.observe("a", 100.0)
+        store.observe("b", 200.0)
+        store.estimate("a")  # a read, not an observation
+        store.observe("c", 300.0)  # must evict a, the oldest *observed*
+        assert store.family_names() == ("b", "c")
+
+    def test_snapshot_schema(self):
+        store = SharedPriorStore(max_families=8)
+        store.observe("fcc", 800.0)
+        doc = store.snapshot()
+        assert set(doc) == {
+            "families_active", "max_families", "evictions",
+            "samples_total", "families",
+        }
+        family = doc["families"]["fcc"]
+        assert family["estimate_kbps"] == store.estimate("fcc")
+
+    def test_validation(self):
+        store = SharedPriorStore()
+        with pytest.raises(ValueError):
+            store.observe("", 100.0)
+        with pytest.raises(ValueError):
+            store.observe("fcc", -1.0)
+        with pytest.raises(ValueError):
+            SharedPriorStore(max_families=0)
+
+
+class TestMerge:
+    def test_scattered_samples_merge_losslessly(self):
+        """However the samples were scattered across workers, the merged
+        snapshot equals the one a single shared store would produce —
+        estimates included, compared with ``==``."""
+        shared = SharedPriorStore()
+        workers = [SharedPriorStore() for _ in range(3)]
+        for i, sample in enumerate(SAMPLES):
+            family = "fcc" if i % 2 == 0 else "hsdpa"
+            shared.observe(family, sample)
+            workers[i % 3].observe(family, sample)
+        merged = merge_prior_snapshots([w.snapshot() for w in workers])
+        assert merged == shared.snapshot()
+
+    def test_merge_is_order_independent(self):
+        a = SharedPriorStore()
+        b = SharedPriorStore()
+        for i, sample in enumerate(SAMPLES):
+            (a if i < 4 else b).observe("fcc", sample)
+        forward = merge_prior_snapshots([a.snapshot(), b.snapshot()])
+        backward = merge_prior_snapshots([b.snapshot(), a.snapshot()])
+        assert forward == backward
+
+    def test_merge_counts_union_families(self):
+        a = SharedPriorStore()
+        b = SharedPriorStore()
+        a.observe("fcc", 100.0)
+        b.observe("hsdpa", 200.0)
+        merged = merge_prior_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["families_active"] == 2
+        assert merged["samples_total"] == 2
+
+    def test_merge_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            merge_prior_snapshots([])
+
+
+def make_request(i: int, family=None, predicted=1000.0) -> DecisionRequest:
+    return DecisionRequest(
+        session_id=f"s{i}",
+        buffer_s=8.0,
+        predicted_kbps=predicted,
+        prev_level=1,
+        family=family,
+    )
+
+
+class TestServicePath:
+    def test_family_requests_accumulate_and_serve_prior(self):
+        service = DecisionService(LADDER, table=make_test_table())
+        first = service.decide(make_request(0, family="fcc", predicted=900.0))
+        assert first.prior_kbps is None  # nothing pooled yet
+        second = service.decide(make_request(1, family="fcc", predicted=1900.0))
+        assert second.prior_kbps is not None  # pooled from the first
+        doc = service.metrics_document()
+        assert doc["priors"]["samples_total"] == 2
+        assert "fcc" in doc["priors"]["families"]
+
+    def test_requests_without_family_bypass_the_store(self):
+        service = DecisionService(LADDER, table=make_test_table())
+        response = service.decide(make_request(0))
+        assert response.prior_kbps is None
+        assert service.metrics_document()["priors"]["samples_total"] == 0
+
+    def test_prior_families_are_bounded(self):
+        from repro.service import ServiceConfig
+
+        service = DecisionService(
+            LADDER,
+            table=make_test_table(),
+            config=ServiceConfig(prior_max_families=2),
+        )
+        for i, family in enumerate(("a", "b", "c")):
+            service.decide(make_request(i, family=family))
+        priors = service.metrics_document()["priors"]
+        assert priors["families_active"] == 2
+        assert priors["evictions"] == 1
+
+    def test_json_round_trip_carries_family_and_prior(self):
+        request = make_request(0, family="fcc")
+        decoded = DecisionRequest.from_json(request.to_json())
+        assert decoded.family == "fcc"
+
+    def test_binary_protocol_rejects_family(self):
+        """The binary frame predates the field; silent dropping is the
+        one behaviour the protocol must never have."""
+        with pytest.raises(ProtocolError):
+            make_request(0, family="fcc").to_binary()
+
+
+def test_default_bounds_are_ascending():
+    bounds = DEFAULT_PRIOR_BOUNDS_KBPS
+    assert list(bounds) == sorted(bounds)
+    assert len(set(bounds)) == len(bounds)
